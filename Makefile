@@ -1,0 +1,24 @@
+PYTHON ?= python
+
+.PHONY: install test bench report examples all clean
+
+install:
+	$(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+report:
+	$(PYTHON) -m repro.tools.report --out benchmarks/out
+
+examples:
+	@for s in examples/*.py; do echo "== $$s"; $(PYTHON) $$s || exit 1; done
+
+all: test bench examples
+
+clean:
+	rm -rf benchmarks/out .pytest_cache .hypothesis
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,53 @@
+"""The restart crossover, swept and predicted.
+
+Table 5 shows the crossover only at its two sampled points (8 and 16
+PEs).  This bench sweeps the full PE range with the simulated engines
+and overlays the closed-form predictor of
+:mod:`repro.perfmodel.crossover`: where the conventional restart stops
+winning, and why (the buffer-memory threshold).
+"""
+
+from repro.apps import make_proxy
+from repro.perfmodel.crossover import (
+    AppProfile,
+    crossover_pes,
+    threshold_pes,
+)
+from repro.perfmodel.experiments import measure_checkpoint_restart
+from repro.reporting.tables import Table
+
+PE_GRID = (4, 6, 8, 10, 12, 14, 16)
+
+
+def build_sweep():
+    t = Table(
+        ["App", "PEs", "DRMS restart (s)", "SPMD restart (s)", "winner"],
+        title="Restart crossover sweep (simulated engines, Class A)",
+    )
+    winners = {}
+    for name in ("bt", "lu", "sp"):
+        for pes in PE_GRID:
+            cell = measure_checkpoint_restart(name, pes)
+            d = cell.drms_restart.total_seconds
+            s = cell.spmd_restart.total_seconds
+            winners[(name, pes)] = "drms" if d < s else "spmd"
+            t.add_row(name.upper(), pes, d, s, winners[(name, pes)])
+    lines = [t.render(), ""]
+    for name in ("bt", "lu", "sp"):
+        prof = AppProfile.of(make_proxy(name, "A"))
+        lines.append(
+            f"{name.upper()}: analytic threshold at {threshold_pes(prof)} PEs, "
+            f"predicted crossover at {crossover_pes(prof)} PEs"
+        )
+    return "\n".join(lines), winners
+
+
+def test_crossover_sweep(benchmark, report):
+    text, winners = benchmark.pedantic(build_sweep, rounds=1, iterations=1)
+    report("crossover_sweep", text)
+    for name in ("bt", "lu", "sp"):
+        xo = crossover_pes(AppProfile.of(make_proxy(name, "A")))
+        assert xo is not None
+        for pes in PE_GRID:
+            expect = "drms" if pes >= xo else "spmd"
+            assert winners[(name, pes)] == expect, (name, pes)

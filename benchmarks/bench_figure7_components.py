@@ -1,0 +1,23 @@
+"""Figure 7 — stacked component bars for DRMS checkpoint ('C') and
+restart ('R'), grouped by partition size.
+
+ASCII rendition of the paper's stacked columns: data-segment transfer,
+distributed-array transfer, and the restart-only 'other' band.  The
+figure's visible story — restart bars shrink sharply from 8 to 16
+processors — must hold.
+"""
+
+from repro.perfmodel.reportgen import figure7
+
+
+def test_figure7(benchmark, report):
+    chart, cells = benchmark.pedantic(figure7, rounds=2, iterations=1)
+    report("figure7_components", chart)
+    for name in ("bt", "lu", "sp"):
+        r8 = cells[(name, 8)].drms_restart.total_seconds
+        r16 = cells[(name, 16)].drms_restart.total_seconds
+        # "the significant reduction in the restart time ... on 16
+        # processors as compared to ... 8 processors"
+        assert r16 < 0.92 * r8
+        # restart has a visible non-I/O band; checkpoint does not
+        assert cells[(name, 8)].drms_restart.other_seconds > 0

@@ -1,0 +1,77 @@
+"""Ablation: the two reconfiguration paths of §2.2.
+
+"Applications can be reconfigured using the state of the application
+from volatile memory on-the-fly or from the state saved in ... a
+checkpoint file."  This bench prices both paths for the BT Class A
+state at several (t1 -> t2) transitions:
+
+* **memory**: redistribute the distributed arrays over the switch
+  (wire bytes / bisection bandwidth) — what the JSA uses to resize a
+  healthy job;
+* **checkpoint**: DRMS checkpoint at t1 + reconfigured restart at t2 —
+  what failure recovery and cross-system migration must use (state
+  survives the task pool).
+
+The gap is the reason DRMS keeps both mechanisms.
+"""
+
+import numpy as np
+
+from repro.apps import make_proxy
+from repro.arrays.assignment import build_schedule, schedule_bytes
+from repro.checkpoint.drms import drms_checkpoint, drms_restart
+from repro.checkpoint.segment import DataSegment
+from repro.perfmodel.experiments import build_state
+from repro.pfs.piofs import PIOFS
+from repro.reporting.tables import Table
+from repro.runtime.machine import Machine, MachineParams
+
+TRANSITIONS = [(8, 4), (8, 12), (8, 16), (16, 8)]
+
+
+def memory_cost_s(machine, arrays, t2):
+    params = machine.params
+    wire = 0
+    for arr in arrays:
+        new_dist = arr.distribution.adjust(t2)
+        wire += schedule_bytes(
+            build_schedule(arr.distribution, new_dist), arr.itemsize,
+            remote_only=True,
+        )
+    return wire / (params.link_bandwidth_mbps * 1e6 * params.bisection_links), wire
+
+
+def build_comparison():
+    machine = Machine(MachineParams(num_nodes=16))
+    proxy = make_proxy("bt", "A", store_data=False)
+    t = Table(
+        ["t1 -> t2", "memory redis (s)", "wire MB", "checkpoint+restart (s)", "ratio"],
+        title="Reconfiguration paths for BT Class A state (volatile vs checkpoint)",
+    )
+    rows = {}
+    for t1, t2 in TRANSITIONS:
+        machine.clear_tasks()
+        machine.place_tasks(max(t1, t2))
+        arrays = build_state(proxy, t1)
+        mem_s, wire = memory_cost_s(machine, arrays, t2)
+        pfs = PIOFS(machine=machine)
+        seg = DataSegment(profile=proxy.segment_profile())
+        bd = drms_checkpoint(pfs, "p", seg, arrays)
+        _, rbd = drms_restart(pfs, "p", t2)
+        file_s = bd.total_seconds + rbd.total_seconds
+        rows[(t1, t2)] = (mem_s, file_s)
+        t.add_row(
+            f"{t1} -> {t2}", mem_s, wire / 1e6, file_s, f"{file_s / mem_s:.0f}x"
+        )
+    machine.clear_tasks()
+    return t.render(), rows
+
+
+def test_memory_path_is_an_order_of_magnitude_cheaper(benchmark, report):
+    text, rows = benchmark(build_comparison)
+    report("ablation_reconfig_paths", text)
+    for (t1, t2), (mem_s, file_s) in rows.items():
+        assert mem_s < file_s / 5, (t1, t2)
+    # but the checkpoint path is what survives failures/migration —
+    # both must exist; here we just confirm both produce finite costs
+    assert all(m > 0 and f > 0 for m, f in rows.values())

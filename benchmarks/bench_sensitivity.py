@@ -1,0 +1,85 @@
+"""Calibration-robustness ablation.
+
+Perturbs every fitted PIOFS constant by ±20% and reports the largest
+movement across the 24 Table 5 cells; then verifies that the paper's
+qualitative claims (who wins, crossovers, the threshold collapse)
+survive each perturbation — the reproduction's conclusions do not hinge
+on any single calibrated number.
+"""
+
+import dataclasses
+
+from repro.perfmodel.sensitivity import (
+    perturbable_params,
+    sensitivity_sweep,
+    shapes_hold,
+)
+from repro.pfs.params import PIOFSParams
+from repro.reporting.tables import Table
+
+
+def build_sweep():
+    influence = sensitivity_sweep(delta=0.2)
+    t = Table(
+        ["calibrated constant", "max cell change at +20%"],
+        title="Sensitivity of the Table 5 reproduction to the PIOFS calibration",
+    )
+    for name, infl in influence.items():
+        t.add_row(name, f"{100 * infl:.1f}%")
+    return t.render(), influence
+
+
+#: the buffer-memory capacities are *threshold* constants: moving them
+#: moves where the SPMD-restart collapse happens (that threshold being a
+#: buffer-memory artifact is the paper's own §5 explanation), so they
+#: are reported separately from the rate constants, whose perturbation
+#: must never change any qualitative claim.
+THRESHOLD_PARAMS = {"buffer_free_node_mb", "buffer_busy_node_mb",
+                    "write_pressure_file_mb"}
+
+
+def build_shape_robustness():
+    rows = {}
+    for name in perturbable_params():
+        default = getattr(PIOFSParams(), name)
+        for delta in (-0.2, 0.2):
+            p = dataclasses.replace(PIOFSParams(), **{name: default * (1 + delta)})
+            rows[(name, delta)] = shapes_hold(p)
+    t = Table(
+        ["constant", "kind", "-20%", "+20%"],
+        title="Qualitative claims under miscalibration "
+              "(threshold constants may move the crossover itself)",
+    )
+    for name in perturbable_params():
+        t.add_row(
+            name,
+            "threshold" if name in THRESHOLD_PARAMS else "rate",
+            "hold" if rows[(name, -0.2)] else "crossover moved",
+            "hold" if rows[(name, 0.2)] else "crossover moved",
+        )
+    return t.render(), rows
+
+
+def test_sensitivity_sweep(benchmark, report):
+    text, influence = benchmark.pedantic(build_sweep, rounds=1, iterations=1)
+    report("sensitivity_sweep", text)
+    # timing constants matter (the model is not vacuous) ...
+    assert max(influence.values()) > 0.05
+    # ... and no single constant dominates every cell
+    assert all(v < 0.6 for v in influence.values())
+
+
+def test_shapes_survive_miscalibration(benchmark, report):
+    text, rows = benchmark.pedantic(build_shape_robustness, rounds=1, iterations=1)
+    report("sensitivity_shapes", text)
+    broken = [
+        (name, d) for (name, d), ok in rows.items()
+        if not ok and name not in THRESHOLD_PARAMS
+    ]
+    # every qualitative claim holds at ±20% on every *rate* constant
+    assert broken == [], broken
+    # and the threshold constants exist for a reason: shrinking the
+    # buffer far enough must eventually move the BT crossover
+    tiny = dataclasses.replace(PIOFSParams(), buffer_free_node_mb=5.0,
+                               buffer_busy_node_mb=2.0)
+    assert not shapes_hold(tiny)

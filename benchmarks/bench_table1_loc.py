@@ -1,0 +1,19 @@
+"""Table 1 — source lines added to conform to the DRMS model.
+
+The paper reports ~1% source growth (85-107 lines on ~10k) for the
+Fortran NPB ports.  Our proxies are Python, so absolute counts differ;
+the bench counts the proxy lines that touch the DRMS API (the same
+notion of "added to conform") and reproduces the paper's claim that the
+conformance surface is a small handful of call sites, alongside the
+paper's own Fortran numbers.
+"""
+
+from repro.perfmodel.reportgen import table1
+
+
+def test_table1(benchmark, report):
+    text, rows = benchmark(table1)
+    report("table1_loc", text)
+    for name, (total, added, proxy_lines) in rows.items():
+        assert 0.005 < added / total < 0.015  # the ~1% claim
+        assert proxy_lines < 40  # conformance is a handful of call sites

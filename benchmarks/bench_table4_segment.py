@@ -1,0 +1,27 @@
+"""Table 4 — components of one task's data segment.
+
+Local sections are derived from the proxies' actual distributions at
+the compile-time minimum of 4 tasks (full Fortran-style halo pads); the
+system-related component is the paper's measured 34,972,228 bytes of
+library/message-buffer state; private/replicated is the per-application
+scratch profile.
+"""
+
+from repro.perfmodel.paper_data import PAPER_TABLE4
+from repro.perfmodel.reportgen import table4
+
+
+def test_table4(benchmark, report):
+    text, profiles = benchmark(table4)
+    report("table4_segment", text)
+    for name, prof in profiles.items():
+        total, local, system, private = PAPER_TABLE4[name]
+        assert prof.system_bytes == system
+        assert abs(prof.private_bytes / private - 1) < 0.01
+        assert abs(prof.local_section_bytes / local - 1) < 0.08
+        assert abs(prof.total_bytes / total - 1) < 0.05
+    # the cross-application structure: LU has by far the largest
+    # private component (its temporaries are task-private, not
+    # distributed) and the smallest local sections
+    assert profiles["lu"].private_bytes > 5 * profiles["bt"].private_bytes
+    assert profiles["lu"].local_section_bytes < profiles["sp"].local_section_bytes

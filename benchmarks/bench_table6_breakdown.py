@@ -1,0 +1,27 @@
+"""Table 6 — component breakdown of DRMS checkpoint and restart.
+
+For each (application, partition size): total time and aggregate rate,
+plus the data-segment and distributed-array components as a percentage
+of the total and their own I/O rates — demonstrating the paper's two
+asymmetries: writes are server-limited (rates fall with more busy
+nodes), reads are client-limited (rates rise with more clients).
+"""
+
+from repro.perfmodel.reportgen import table6
+
+
+def test_table6(benchmark, report):
+    text, cells = benchmark.pedantic(table6, rounds=2, iterations=1)
+    report("table6_breakdown", text)
+    for name in ("bt", "lu", "sp"):
+        c8, c16 = cells[(name, 8)], cells[(name, 16)]
+        # reads client-limited: segment restore rate scales with clients
+        assert (
+            c16.drms_restart.segment_rate_mbps
+            > 1.5 * c8.drms_restart.segment_rate_mbps
+        )
+        # writes server-limited: segment save rate does not improve
+        assert c16.drms_ckpt.segment_rate_mbps <= c8.drms_ckpt.segment_rate_mbps
+        # restart components sum to less than total (the 'other' band)
+        bd = c8.drms_restart
+        assert bd.segment_seconds + bd.arrays_seconds < bd.total_seconds

@@ -1,0 +1,81 @@
+"""Reference [19] (Wong & Franklin) — checkpointing with vs without
+load redistribution, the analytic backing for reconfigurable recovery.
+
+Sweeps the processor count and reports expected degradation with the
+optimal checkpoint interval: without redistribution the run must wait
+out each node repair and becomes unusable at scale; with redistribution
+(what DRMS restart provides) degradation stays negligible while the
+checkpoint/restart overheads are small — the paper's §7/§8 citation.
+"""
+
+import math
+
+from repro.perfmodel.wong_franklin import WongFranklinModel
+from repro.reporting.tables import Table
+
+MTBF_NODE_S = 30 * 24 * 3600.0  # one failure per node-month
+REPAIR_S = 4 * 3600.0
+
+
+def build_sweep():
+    t = Table(
+        ["procs", "tau* (s)", "degradation w/ redistribution",
+         "degradation w/o redistribution"],
+        title="Wong-Franklin model: recovery with vs without load redistribution",
+    )
+    rows = {}
+    for procs in (16, 64, 256, 1024, 4096):
+        m = WongFranklinModel(
+            procs=procs,
+            lam=1.0 / MTBF_NODE_S,
+            checkpoint_overhead_s=16.0,   # BT's DRMS checkpoint time
+            restart_overhead_s=42.0,      # BT's DRMS restart time
+            repair_time_s=REPAIR_S,
+        )
+        tau = m.optimal_interval()
+        with_r = m.degradation(tau, True)
+        without = m.degradation(tau, False)
+        rows[procs] = (with_r, without)
+        t.add_row(
+            procs, f"{tau:.0f}", f"{with_r:.3f}",
+            "unbounded" if without == math.inf else f"{without:.3f}",
+        )
+    return t.render(), rows
+
+
+def build_overhead_sensitivity():
+    t = Table(
+        ["checkpoint overhead C (s)", "degradation w/ redistribution @1024"],
+        title="Sensitivity: degradation stays negligible iff overheads are small",
+    )
+    rows = {}
+    for C in (4.0, 16.0, 64.0, 256.0, 1024.0):
+        m = WongFranklinModel(
+            procs=1024, lam=1.0 / MTBF_NODE_S,
+            checkpoint_overhead_s=C, restart_overhead_s=2 * C,
+            repair_time_s=REPAIR_S,
+        )
+        d = m.degradation(m.optimal_interval(), True)
+        rows[C] = d
+        t.add_row(f"{C:.0f}", f"{d:.3f}")
+    return t.render(), rows
+
+
+def test_redistribution_sweep(benchmark, report):
+    text, rows = benchmark(build_sweep)
+    report("wong_franklin_sweep", text)
+    # with redistribution: negligible degradation even at 4096 procs
+    assert rows[4096][0] < 1.5
+    assert rows[1024][0] < 1.2
+    # without: monotonically worse, unusable at scale
+    finite = [v for _, v in (rows[p] for p in (16, 64, 256, 1024, 4096)) if v != math.inf]
+    assert finite == sorted(finite)
+    assert rows[4096][1] == math.inf or rows[4096][1] > 3.0
+
+
+def test_overhead_sensitivity(benchmark, report):
+    text, rows = benchmark(build_overhead_sensitivity)
+    report("wong_franklin_overheads", text)
+    degs = [rows[c] for c in sorted(rows)]
+    assert degs == sorted(degs)  # larger overheads, larger degradation
+    assert degs[0] < 1.1

@@ -1,0 +1,27 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench regenerates one table or figure of the paper's evaluation,
+prints it (visible with ``pytest benchmarks/ --benchmark-only -s``) and
+persists it under ``benchmarks/out/`` so the reproduction artifacts
+survive the run.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+@pytest.fixture
+def report():
+    """Print a report and persist it under benchmarks/out/."""
+
+    def _write(name: str, text: str) -> None:
+        OUT_DIR.mkdir(exist_ok=True)
+        (OUT_DIR / f"{name}.txt").write_text(text + "\n")
+        print("\n" + text)
+
+    return _write

@@ -1,0 +1,46 @@
+#!/usr/bin/env python
+"""Sparse and unstructured data, distributed non-uniformly (paper §7).
+
+DRMS array sections are arbitrary index lists, not just regular
+triplets — so the model covers unstructured meshes, where Silva et
+al.'s structured-grid recovery cannot go.  This example relaxes heat
+over a random geometric graph: each task owns an irregular,
+*non-uniform* set of vertices (BFS-grown partitions) with its 1-hop
+graph neighborhood as explicit ghost ("mapped") vertices; checkpoints
+stream the vertex array in plain index order, so a restart simply
+re-partitions the mesh for the new task count.
+
+Run:  python examples/unstructured_mesh.py
+"""
+
+import numpy as np
+
+from repro.apps.unstructured import UnstructuredMeshApp, graph_distribution
+
+if __name__ == "__main__":
+    app_def = UnstructuredMeshApp(nv=50, graph_seed=9)
+    g = app_def.graph
+    print(f"mesh: {g.number_of_nodes()} vertices, {g.number_of_edges()} edges")
+
+    d = graph_distribution(g, 4)
+    sizes = [d.assigned(t).size for t in range(4)]
+    ghosts = [d.mapped(t).size - d.assigned(t).size for t in range(4)]
+    print(f"4-way partition sizes (non-uniform): {sizes}")
+    print(f"per-task ghost vertices:             {ghosts}")
+
+    app = app_def.build_application()
+    print("\nrunning 6 relaxation sweeps on 4 tasks (checkpoint at 1 and 5)...")
+    ref = app.start(4, args=(6, "mesh"))
+    print(f"  vertex-0 heat after 6 sweeps: "
+          f"{ref.arrays['x'].to_global()[0]:.2f} (from 100.0)")
+
+    print("restarting the checkpoint on 7 tasks (mesh re-partitioned)...")
+    rep = app.restart("mesh", 7, args=(6, "mesh"))
+    same = np.allclose(ref.arrays["x"].to_global(), rep.arrays["x"].to_global())
+    print(f"  state identical after irregular reconfiguration: {same}")
+    assert same
+
+    d7 = rep.arrays["x"].distribution
+    print(f"  7-way partition sizes: {[d7.assigned(t).size for t in range(7)]}")
+    print(f"  mapped sections explicitly overridden (graph ghosts): "
+          f"{d7.mapped_overridden}")

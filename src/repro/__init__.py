@@ -1,0 +1,103 @@
+"""repro: a full reproduction of DRMS reconfigurable checkpointing.
+
+Naik, Midkiff & Moreira, "A Checkpointing Strategy for Scalable Recovery
+on Distributed Parallel Systems", SC 1997.
+
+The package builds every layer of the paper's system in Python:
+
+* :mod:`repro.runtime`   — simulated message-passing machine (SP-like);
+* :mod:`repro.pfs`       — PIOFS parallel file system with a calibrated
+  performance model;
+* :mod:`repro.arrays`    — ranges, slices, distributions, distributed
+  arrays, and the array-assignment redistribution engine;
+* :mod:`repro.streaming` — distribution-independent parallel array
+  section streaming (partition + parstream);
+* :mod:`repro.checkpoint`— DRMS (reconfigurable) and SPMD
+  (conventional) checkpoint/restart engines;
+* :mod:`repro.drms`      — the DRMS programming model and API (the
+  paper's core contribution);
+* :mod:`repro.infra`     — the RC/TC/JSA/UIC architecture with failure
+  injection and recovery;
+* :mod:`repro.apps`      — NPB BT/LU/SP proxy applications;
+* :mod:`repro.perfmodel` — the paper's reference numbers plus the
+  Section 6 and Wong–Franklin analytic models.
+
+Quickstart::
+
+    from repro import DRMSApplication, CheckpointStatus
+    from repro.drms.api import *
+
+    def main(ctx, niter, prefix):
+        drms_initialize(ctx)
+        dist = drms_create_distribution(ctx, (64, 64), shadow=(1, 1))
+        u = drms_distribute(ctx, "u", dist, init_global=my_initializer)
+        for it in ctx.iterations(1, niter + 1):
+            if it % 10 == 1:
+                status, delta = drms_reconfig_checkpoint(ctx, "ckpt")
+                if status is CheckpointStatus.RESTARTED and delta != 0:
+                    u = drms_distribute(ctx, "u", drms_adjust(ctx, "u"))
+            ...  # compute on u.local / u.assigned
+
+    app = DRMSApplication(main)
+    app.start(8, args=(100, "ckpt"))
+    app.restart("ckpt", 12, args=(100, "ckpt"))   # reconfigured restart
+"""
+
+from repro.arrays import (
+    Block,
+    BlockCyclic,
+    Cyclic,
+    DistributedArray,
+    Distribution,
+    GenBlock,
+    Indexed,
+    Range,
+    Replicated,
+    Slice,
+    block_distribution,
+)
+from repro.checkpoint import (
+    DataSegment,
+    SegmentProfile,
+    drms_checkpoint,
+    drms_restart,
+    spmd_checkpoint,
+    spmd_restart,
+)
+from repro.drms import CheckpointStatus, DRMSApplication, DRMSContext, SOQSpec
+from repro.infra import DRMSCluster, FailurePlan
+from repro.pfs import PIOFS, PIOFSParams
+from repro.runtime import Machine, MachineParams
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Range",
+    "Slice",
+    "Distribution",
+    "Block",
+    "Cyclic",
+    "BlockCyclic",
+    "GenBlock",
+    "Indexed",
+    "Replicated",
+    "DistributedArray",
+    "block_distribution",
+    "DataSegment",
+    "SegmentProfile",
+    "drms_checkpoint",
+    "drms_restart",
+    "spmd_checkpoint",
+    "spmd_restart",
+    "CheckpointStatus",
+    "DRMSApplication",
+    "DRMSContext",
+    "SOQSpec",
+    "DRMSCluster",
+    "FailurePlan",
+    "PIOFS",
+    "PIOFSParams",
+    "Machine",
+    "MachineParams",
+    "__version__",
+]

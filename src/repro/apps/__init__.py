@@ -1,0 +1,50 @@
+"""NAS Parallel Benchmark proxy applications (BT, LU, SP).
+
+The paper evaluates DRMS checkpointing with the NPB BT, LU, and SP
+pseudo-applications (Class A, 64³ grids).  We cannot run the Fortran
+originals, so each proxy carries the original's *checkpoint-relevant
+anatomy* — the distributed-array inventory (names, component counts,
+byte totals), shadow widths, decomposition style, data-segment
+composition (Table 4), and the outer iterate-then-checkpoint structure —
+plus a small, deterministic, distribution-independent numerical kernel
+so functional tests can verify end-to-end state equality across
+reconfigured restarts.
+
+Class sizes: ``toy`` (12³, real data, fast tests) through Class ``A``
+(64³, the paper's benchmark size; virtual payloads) to ``C`` (162³, the
+Section 6 shadow analysis).
+"""
+
+from repro.apps.meta import NPB_CLASSES, FieldSpec, count_drms_lines, npb_class_n
+from repro.apps.base import NPBProxy
+from repro.apps.bt import BTProxy
+from repro.apps.lu import LUProxy
+from repro.apps.sp import SPProxy
+from repro.apps.stencil import StencilApp
+from repro.apps.unstructured import UnstructuredMeshApp
+
+__all__ = [
+    "UnstructuredMeshApp",
+    "NPB_CLASSES",
+    "FieldSpec",
+    "count_drms_lines",
+    "npb_class_n",
+    "NPBProxy",
+    "BTProxy",
+    "LUProxy",
+    "SPProxy",
+    "StencilApp",
+    "make_proxy",
+]
+
+
+def make_proxy(benchmark: str, klass: str = "A", **kw):
+    """Factory: ``make_proxy("bt", "A")`` etc."""
+    table = {"bt": BTProxy, "lu": LUProxy, "sp": SPProxy}
+    try:
+        cls = table[benchmark.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown benchmark {benchmark!r}; choose from {sorted(table)}"
+        ) from None
+    return cls(klass=klass, **kw)

@@ -1,0 +1,73 @@
+"""SP proxy: the Scalar-Pentadiagonal ADI pseudo-application.
+
+NPB SP factorizes into scalar pentadiagonal systems per direction.  The
+proxy keeps SP's inventory (≈48 MB at Class A: the 5-component state,
+rhs, and forcing plus eight auxiliary scalar grids such as the velocity
+components and ``ainv``), a 3D block decomposition with 2-wide shadows,
+and a per-iteration structure of directional relaxations plus the
+recomputation of the auxiliary scalar fields from the state — giving it
+the smallest data segment of the three (Table 4).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.apps.base import NPBProxy
+from repro.apps.meta import FieldSpec
+from repro.drms.context import DRMSContext, TaskArrayView
+
+__all__ = ["SPProxy"]
+
+
+class SPProxy(NPBProxy):
+    """The Scalar-Pentadiagonal pseudo-application proxy (see module docs)."""
+    benchmark = "sp"
+    #: 23 scalar grids = 48.2 MB at Class A (paper: 48 MB)
+    fields = (
+        FieldSpec("u", 5),
+        FieldSpec("rhs", 5),
+        FieldSpec("forcing", 5),
+        FieldSpec("us", 1),
+        FieldSpec("vs", 1),
+        FieldSpec("ws", 1),
+        FieldSpec("qs", 1),
+        FieldSpec("rho_i", 1),
+        FieldSpec("speed", 1),
+        FieldSpec("square", 1),
+        FieldSpec("ainv", 1),
+    )
+    shadow_width = 2
+    decomp_dims = 3
+    private_bytes_class_a = 5_621_696
+    paper_total_lines = 9_561
+    paper_added_lines = 99
+    main_field = "u"
+    flops_per_point = 700.0
+
+    def kernel(self, ctx: DRMSContext, views: Dict[str, TaskArrayView], it: int) -> None:
+        """One SP iteration: directional sweeps plus recomputation of the auxiliary scalar fields."""
+        u = views["u"]
+        # Scalar-pentadiagonal ADI in miniature: directional relaxations
+        # (shadow width 2 lets one refresh serve a radius-1 pass cleanly).
+        for axis in (1, 2, 3):
+            ctx.update_shadows("u")
+            self.jacobi_update(ctx, u, weight=0.4 * self.dt, axes=(axis,))
+        # Recompute the auxiliary scalar fields from the state, the way
+        # SP derives us/vs/ws/qs/rho_i/speed/square from u each step.
+        own = u.assigned  # (5, nz, ny, nx) owned block
+        rho = own[0]
+        rho_i = 1.0 / np.maximum(rho, 1e-12)
+        views["rho_i"].set_assigned(rho_i[None])
+        views["us"].set_assigned((own[1] * rho_i)[None])
+        views["vs"].set_assigned((own[2] * rho_i)[None])
+        views["ws"].set_assigned((own[3] * rho_i)[None])
+        sq = 0.5 * (own[1] ** 2 + own[2] ** 2 + own[3] ** 2) * rho_i
+        views["square"].set_assigned(sq[None])
+        views["qs"].set_assigned((sq * rho_i)[None])
+        views["speed"].set_assigned(np.sqrt(np.abs(own[4] * rho_i))[None])
+        views["ainv"].set_assigned(rho_i[None])
+        views["rhs"].set_assigned(own - self.dt * views["forcing"].assigned)
+        ctx.barrier()

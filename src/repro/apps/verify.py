@@ -1,0 +1,87 @@
+"""NPB-style verification for the proxy solvers.
+
+The NAS Parallel Benchmarks declare a run *verified* when class-
+dependent reference norms match the computed solution to a tolerance.
+Our proxies adopt the same discipline at the reproduction's scales: the
+table below pins the L1 mean and L2 norms of the main field after a
+fixed number of iterations at the ``toy`` class — computed once from
+the (distribution-independent) kernels and then frozen, so any change
+to the numerics, the distribution machinery, or checkpoint/restart
+paths that perturbs results trips verification.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ReproError
+
+__all__ = ["VerificationError", "ReferenceNorms", "verify_field", "REFERENCE"]
+
+#: verification tolerance, matching NPB's 1e-8 relative-error rule
+EPSILON = 1e-8
+
+#: fixed verification workload
+VERIFY_ITERS = 4
+
+
+class VerificationError(ReproError):
+    """The solution does not match the class reference norms."""
+
+
+@dataclass(frozen=True)
+class ReferenceNorms:
+    """Frozen reference values for (benchmark, class, iterations)."""
+
+    mean: float
+    l2: float
+
+
+#: reference norms of the main field u after VERIFY_ITERS iterations at
+#: class 'toy' (12^3), checkpointing disabled.  Regenerate with
+#: `python -m pytest tests/apps/test_verify.py -k regenerate -s` if the
+#: kernels are deliberately changed.
+REFERENCE: Dict[Tuple[str, str], ReferenceNorms] = {
+    ("bt", "toy"): ReferenceNorms(mean=1.4706903594771237, l2=138.19109222192077),
+    ("lu", "toy"): ReferenceNorms(mean=1.470690359477124, l2=138.49630100482588),
+    ("sp", "toy"): ReferenceNorms(mean=1.4706903594771237, l2=138.36731272064597),
+}
+
+
+def field_norms(field: np.ndarray) -> ReferenceNorms:
+    return ReferenceNorms(
+        mean=float(np.mean(field)), l2=float(np.linalg.norm(field.ravel()))
+    )
+
+
+def verify_field(
+    benchmark: str,
+    klass: str,
+    field: np.ndarray,
+    epsilon: float = EPSILON,
+) -> ReferenceNorms:
+    """Check ``field`` against the frozen reference; returns the
+    computed norms, raises :class:`VerificationError` on mismatch or
+    when no reference exists for the configuration."""
+    key = (benchmark.lower(), klass)
+    ref = REFERENCE.get(key)
+    got = field_norms(field)
+    if ref is None:
+        raise VerificationError(
+            f"no reference norms for {key}; computed mean={got.mean!r}, "
+            f"l2={got.l2!r}"
+        )
+    for name, expect, actual in (
+        ("mean", ref.mean, got.mean),
+        ("l2", ref.l2, got.l2),
+    ):
+        denom = abs(expect) if expect else 1.0
+        if abs(actual - expect) / denom > epsilon:
+            raise VerificationError(
+                f"{benchmark}/{klass} {name} norm {actual!r} differs from "
+                f"reference {expect!r} beyond {epsilon}"
+            )
+    return got

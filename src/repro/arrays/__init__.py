@@ -1,0 +1,41 @@
+"""DRMS distributed arrays: ranges, slices, distributions, arrays.
+
+This subpackage implements Section 3.1 of the paper: the range/slice
+algebra, distribution specifications with assigned and mapped (shadow)
+sections, the :class:`~repro.arrays.darray.DistributedArray` abstraction,
+and the general array assignment (redistribution) operation.
+"""
+
+from repro.arrays.ranges import Range
+from repro.arrays.slices import Slice
+from repro.arrays.distributions import (
+    AxisDistribution,
+    Block,
+    Cyclic,
+    BlockCyclic,
+    GenBlock,
+    Indexed,
+    Replicated,
+    Distribution,
+    block_distribution,
+)
+from repro.arrays.darray import DistributedArray
+from repro.arrays.assignment import array_assign, build_schedule, Transfer
+
+__all__ = [
+    "Range",
+    "Slice",
+    "AxisDistribution",
+    "Block",
+    "Cyclic",
+    "BlockCyclic",
+    "GenBlock",
+    "Indexed",
+    "Replicated",
+    "Distribution",
+    "block_distribution",
+    "DistributedArray",
+    "array_assign",
+    "build_schedule",
+    "Transfer",
+]

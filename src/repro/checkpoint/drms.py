@@ -1,0 +1,279 @@
+"""DRMS reconfigurable checkpoint and restart.
+
+Checkpoint (paper Section 5): the selected task writes its data segment
+first; then each distributed array is written in sequence through
+parallel array-section streaming.  Restart: every task loads the single
+saved data segment (restoring replicated variables and execution
+context), then each array is streamed in under the distribution
+appropriate for the *new* number of tasks — which may differ from the
+checkpointing task count.
+
+Each step is an I/O phase, so both operations return the same component
+breakdown the paper reports in Table 6 (data-segment time/rate, array
+time/rate, fixed restart initialization).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.arrays.darray import DistributedArray
+from repro.checkpoint.format import (
+    array_name,
+    distribution_to_spec,
+    manifest_name,
+    np_dtype_name,
+    read_manifest,
+    segment_name,
+    spec_to_distribution,
+    write_manifest,
+)
+from repro.checkpoint.segment import DataSegment
+from repro.errors import CheckpointError, RestartError
+from repro.pfs.phase import IOKind
+from repro.pfs.piofs import PIOFS
+from repro.streaming.parallel import stream_in_parallel, stream_out_parallel
+from repro.streaming.streams import PFSSink, PFSSource
+
+__all__ = [
+    "CheckpointBreakdown",
+    "RestartBreakdown",
+    "RestoredState",
+    "drms_checkpoint",
+    "drms_restart",
+]
+
+_MB = 1e6  # the paper reports decimal MB/s
+
+
+@dataclass
+class CheckpointBreakdown:
+    """Component timing/size of one checkpoint (Table 6, 'Checkpoint')."""
+
+    kind: str
+    prefix: str
+    ntasks: int
+    segment_seconds: float = 0.0
+    segment_bytes: int = 0
+    arrays_seconds: float = 0.0
+    arrays_bytes: int = 0
+    per_array: List[Tuple[str, float, int]] = field(default_factory=list)
+
+    @property
+    def total_seconds(self) -> float:
+        return self.segment_seconds + self.arrays_seconds
+
+    @property
+    def total_bytes(self) -> int:
+        return self.segment_bytes + self.arrays_bytes
+
+    @property
+    def rate_mbps(self) -> float:
+        return self.total_bytes / _MB / self.total_seconds if self.total_seconds else 0.0
+
+    @property
+    def segment_rate_mbps(self) -> float:
+        return (
+            self.segment_bytes / _MB / self.segment_seconds
+            if self.segment_seconds
+            else 0.0
+        )
+
+    @property
+    def arrays_rate_mbps(self) -> float:
+        return (
+            self.arrays_bytes / _MB / self.arrays_seconds if self.arrays_seconds else 0.0
+        )
+
+
+@dataclass
+class RestartBreakdown(CheckpointBreakdown):
+    """Restart adds the fixed initialization (text-segment load) the
+    paper shows as the 'other' band of Figure 7."""
+
+    other_seconds: float = 0.0
+
+    @property
+    def total_seconds(self) -> float:
+        return self.segment_seconds + self.arrays_seconds + self.other_seconds
+
+
+@dataclass
+class RestoredState:
+    """Everything a restarted application needs."""
+
+    segment: DataSegment
+    arrays: Dict[str, DistributedArray]
+    ntasks: int
+    checkpoint_ntasks: int
+    manifest: Dict
+
+    @property
+    def delta(self) -> int:
+        """New minus checkpointing task count (the API's ``delta``:
+        nonzero means the arrays needed a new distribution)."""
+        return self.ntasks - self.checkpoint_ntasks
+
+
+def drms_checkpoint(
+    pfs: PIOFS,
+    prefix: str,
+    segment: DataSegment,
+    arrays: Sequence[DistributedArray],
+    order: str = "F",
+    io_tasks: Optional[int] = None,
+    target_bytes: int = 1 << 20,
+    app_name: str = "",
+) -> CheckpointBreakdown:
+    """Write a reconfigurable checkpoint under ``prefix``."""
+    names = {a.name for a in arrays}
+    if len(names) != len(arrays):
+        raise CheckpointError("distributed array names must be unique")
+    ntasks = arrays[0].ntasks if arrays else 1
+    for a in arrays:
+        if a.ntasks != ntasks:
+            raise CheckpointError(
+                f"array {a.name!r} has {a.ntasks} tasks; expected {ntasks}"
+            )
+    bd = CheckpointBreakdown(kind="drms", prefix=prefix, ntasks=ntasks)
+
+    # Phase 1: the representative task writes its data segment.
+    header, pad = segment.serialize()
+    seg = segment_name(prefix)
+    pfs.create(seg, virtual=False)
+    pfs.begin_phase(IOKind.WRITE_SERIAL)
+    pfs.write_at(seg, 0, header, client=0)
+    if pad:
+        # The bulk segment components are sized payloads (see
+        # DataSegment): a sparse span past the exact header.
+        pfs.write_at(seg, len(header), None, nbytes=pad, client=0)
+    res = pfs.end_phase()
+    bd.segment_seconds = res.seconds
+    bd.segment_bytes = len(header) + pad
+
+    # Phase 2..N+1: each distributed array in sequence, via parstream.
+    manifest_arrays = []
+    for a in arrays:
+        fname = array_name(prefix, a.name)
+        sink = PFSSink(pfs, fname, virtual=not a.store_data, create=True)
+        pfs.begin_phase(IOKind.WRITE_PARALLEL)
+        stats = stream_out_parallel(
+            a, sink, P=io_tasks, order=order, target_bytes=target_bytes
+        )
+        res = pfs.end_phase()
+        bd.arrays_seconds += res.seconds
+        bd.arrays_bytes += stats.bytes_streamed
+        bd.per_array.append((a.name, res.seconds, stats.bytes_streamed))
+        manifest_arrays.append(
+            {
+                "name": a.name,
+                "shape": list(a.shape),
+                "dtype": np_dtype_name(a.dtype),
+                "file": fname,
+                "nbytes": stats.bytes_streamed,
+                "virtual": not a.store_data,
+                "distribution": distribution_to_spec(a.distribution),
+            }
+        )
+
+    write_manifest(
+        pfs,
+        prefix,
+        {
+            "kind": "drms",
+            "app_name": app_name,
+            "ntasks": ntasks,
+            "order": order,
+            "segment_file": seg,
+            "segment_bytes": bd.segment_bytes,
+            "arrays": manifest_arrays,
+        },
+    )
+    return bd
+
+
+def drms_restart(
+    pfs: PIOFS,
+    prefix: str,
+    ntasks: int,
+    order: Optional[str] = None,
+    io_tasks: Optional[int] = None,
+    target_bytes: int = 1 << 20,
+    distribution_overrides: Optional[Dict[str, object]] = None,
+) -> Tuple[RestoredState, RestartBreakdown]:
+    """Restore a DRMS checkpoint onto ``ntasks`` tasks (any count >= 1).
+
+    ``distribution_overrides`` maps array names to explicit
+    :class:`~repro.arrays.distributions.Distribution` objects, for
+    callers that specify their own post-reconfiguration distributions
+    (the Fig. 1 ``drms_adjust``/``drms_distribute`` path); everything
+    else is auto-adjusted from the stored spec.
+    """
+    manifest = read_manifest(pfs, prefix)
+    if manifest.get("kind") != "drms":
+        raise RestartError(
+            f"checkpoint {prefix!r} is kind {manifest.get('kind')!r}; "
+            "a reconfigured restart needs a DRMS checkpoint"
+        )
+    if ntasks < 1:
+        raise RestartError(f"cannot restart on {ntasks} tasks")
+    order = order or manifest.get("order", "F")
+    bd = RestartBreakdown(kind="drms", prefix=prefix, ntasks=ntasks)
+    bd.other_seconds = pfs.params.restart_init_s
+
+    # Phase 1: every task reads the single saved data segment.
+    seg = manifest["segment_file"]
+    seg_size = pfs.file_size(seg)
+    pfs.begin_phase(IOKind.READ_SHARED)
+    head = pfs.read_at(seg, 0, min(seg_size, DataSegment.header_prefix_bytes()), client=0)
+    if seg_size > len(head):
+        pfs.read_virtual(seg, len(head), seg_size - len(head), client=0)
+    for t in range(1, ntasks):
+        pfs.read_virtual(seg, 0, seg_size, client=t)
+    res = pfs.end_phase()
+    segment = DataSegment.deserialize(head)
+    bd.segment_seconds = res.seconds
+    bd.segment_bytes = seg_size * ntasks  # every task reads the file
+
+    # Phase 2..N+1: arrays under the (possibly adjusted) distributions.
+    arrays: Dict[str, DistributedArray] = {}
+    overrides = distribution_overrides or {}
+    for spec in manifest["arrays"]:
+        name = spec["name"]
+        dist = overrides.get(name) or spec_to_distribution(
+            spec["distribution"], ntasks=ntasks
+        )
+        if dist.ntasks != ntasks:
+            raise RestartError(
+                f"override distribution for {name!r} targets {dist.ntasks} "
+                f"tasks; restart uses {ntasks}"
+            )
+        arr = DistributedArray(
+            name,
+            spec["shape"],
+            np.dtype(spec["dtype"]),
+            dist,
+            store_data=not spec["virtual"],
+        )
+        source = PFSSource(pfs, spec["file"])
+        pfs.begin_phase(IOKind.READ_PARALLEL)
+        stats = stream_in_parallel(
+            arr, source, P=io_tasks, order=order, target_bytes=target_bytes
+        )
+        res = pfs.end_phase()
+        bd.arrays_seconds += res.seconds
+        bd.arrays_bytes += stats.bytes_streamed
+        bd.per_array.append((name, res.seconds, stats.bytes_streamed))
+        arrays[name] = arr
+
+    state = RestoredState(
+        segment=segment,
+        arrays=arrays,
+        ntasks=ntasks,
+        checkpoint_ntasks=manifest["ntasks"],
+        manifest=manifest,
+    )
+    return state, bd

@@ -1,0 +1,212 @@
+"""On-"disk" checkpoint formats: names, manifests, distribution specs.
+
+A checkpoint with prefix ``P`` consists of:
+
+* ``P.manifest``           — JSON metadata (this module);
+* DRMS kind: ``P.segment`` — one data segment, plus ``P.array.<name>``
+  per distributed array (distribution-independent streams);
+* SPMD kind: ``P.task<i>`` — one data segment per task.
+
+Manifests record enough to restart *without* the original program
+object: the checkpoint kind, task count, stream order, and — per array —
+shape, dtype, and a declarative distribution spec that
+:func:`spec_to_distribution` can re-instantiate and ``adjust`` to a new
+task count.  Different prefixes coexist, so an application can keep
+multiple checkpointed states concurrently (paper Section 3).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from repro.arrays.distributions import (
+    AxisDistribution,
+    Block,
+    BlockCyclic,
+    Cyclic,
+    Distribution,
+    GenBlock,
+    Indexed,
+    Replicated,
+)
+from repro.arrays.ranges import Range
+from repro.errors import CheckpointError
+from repro.pfs.piofs import PIOFS
+
+__all__ = [
+    "CHECKPOINT_VERSION",
+    "manifest_name",
+    "segment_name",
+    "array_name",
+    "task_segment_name",
+    "axis_to_spec",
+    "spec_to_axis",
+    "distribution_to_spec",
+    "spec_to_distribution",
+    "write_manifest",
+    "read_manifest",
+]
+
+CHECKPOINT_VERSION = 2
+
+
+def manifest_name(prefix: str) -> str:
+    """Manifest file name for a checkpoint prefix."""
+    return f"{prefix}.manifest"
+
+
+def segment_name(prefix: str) -> str:
+    """Data-segment file name for a DRMS checkpoint."""
+    return f"{prefix}.segment"
+
+
+def array_name(prefix: str, array: str) -> str:
+    """Array stream file name for a DRMS checkpoint."""
+    return f"{prefix}.array.{array}"
+
+
+def task_segment_name(prefix: str, task: int) -> str:
+    """Per-task segment file name for an SPMD checkpoint."""
+    return f"{prefix}.task{task}"
+
+
+# -- distribution specs ------------------------------------------------------
+
+
+def _range_to_spec(r: Range) -> Any:
+    if r.is_empty:
+        return {"kind": "empty"}
+    if r.is_regular:
+        return {"kind": "regular", "lo": r.first, "hi": r.last, "step": r.step}
+    return {"kind": "indexed", "indices": [int(i) for i in r.indices()]}
+
+
+def _spec_to_range(spec: Dict[str, Any]) -> Range:
+    kind = spec["kind"]
+    if kind == "empty":
+        return Range.empty()
+    if kind == "regular":
+        return Range.regular(spec["lo"], spec["hi"], spec["step"])
+    if kind == "indexed":
+        return Range(spec["indices"])
+    raise CheckpointError(f"unknown range spec kind {kind!r}")
+
+
+def axis_to_spec(ax: AxisDistribution) -> Dict[str, Any]:
+    """Serialize one axis distribution to a JSON-able spec."""
+    if isinstance(ax, Block):
+        return {"kind": "block"}
+    if isinstance(ax, Cyclic):
+        return {"kind": "cyclic"}
+    if isinstance(ax, BlockCyclic):
+        return {"kind": "block_cyclic", "block": ax.block}
+    if isinstance(ax, GenBlock):
+        return {"kind": "gen_block", "sizes": list(ax.sizes)}
+    if isinstance(ax, Indexed):
+        return {"kind": "indexed", "ranges": [_range_to_spec(r) for r in ax.ranges]}
+    if isinstance(ax, Replicated):
+        return {"kind": "replicated"}
+    raise CheckpointError(f"cannot serialize axis distribution {ax!r}")
+
+
+def spec_to_axis(spec: Dict[str, Any]) -> AxisDistribution:
+    """Inverse of axis_to_spec."""
+    kind = spec["kind"]
+    if kind == "block":
+        return Block()
+    if kind == "cyclic":
+        return Cyclic()
+    if kind == "block_cyclic":
+        return BlockCyclic(block=int(spec["block"]))
+    if kind == "gen_block":
+        return GenBlock(spec["sizes"])
+    if kind == "indexed":
+        return Indexed([_spec_to_range(r) for r in spec["ranges"]])
+    if kind == "replicated":
+        return Replicated()
+    raise CheckpointError(f"unknown axis spec kind {kind!r}")
+
+
+def _slice_to_spec(s) -> Any:
+    return [_range_to_spec(r) for r in s.ranges]
+
+
+def _spec_to_slice(spec) -> Any:
+    from repro.arrays.slices import Slice
+
+    return Slice([_spec_to_range(r) for r in spec])
+
+
+def distribution_to_spec(d: Distribution) -> Dict[str, Any]:
+    """Serialize a full Distribution to a JSON-able spec."""
+    out = {
+        "shape": list(d.shape),
+        "axes": [axis_to_spec(a) for a in d.axes],
+        "ntasks": d.ntasks,
+        "grid": list(d.grid),
+        "shadow": list(d.shadow),
+    }
+    if getattr(d, "mapped_overridden", False):
+        out["mapped"] = [_slice_to_spec(d.mapped(t)) for t in range(d.ntasks)]
+    return out
+
+
+def spec_to_distribution(
+    spec: Dict[str, Any], ntasks: Optional[int] = None
+) -> Distribution:
+    """Re-instantiate a distribution; with ``ntasks`` given and different
+    from the stored count, the distribution is *adjusted* to the new
+    task count (the ``drms_adjust`` path of a reconfigured restart)."""
+    mapped = spec.get("mapped")
+    stored = Distribution(
+        spec["shape"],
+        [spec_to_axis(a) for a in spec["axes"]],
+        spec["ntasks"],
+        grid=spec.get("grid"),
+        shadow=spec.get("shadow"),
+        mapped=[_spec_to_slice(m) for m in mapped] if mapped else None,
+    )
+    if ntasks is None or ntasks == stored.ntasks:
+        return stored
+    # A different task count invalidates explicit mapped overrides;
+    # adjust() re-derives a shadow-based analogue (the application may
+    # supply its own irregular distribution via drms_distribute).
+    return stored.adjust(ntasks)
+
+
+# -- manifests ------------------------------------------------------------------
+
+
+def write_manifest(pfs: PIOFS, prefix: str, manifest: Dict[str, Any]) -> None:
+    """Write a checkpoint manifest (stamps the format version)."""
+    manifest = dict(manifest)
+    manifest["version"] = CHECKPOINT_VERSION
+    data = json.dumps(manifest, sort_keys=True).encode()
+    pfs.create(manifest_name(prefix), virtual=False)
+    pfs.write_at(manifest_name(prefix), 0, data)
+
+
+def read_manifest(pfs: PIOFS, prefix: str) -> Dict[str, Any]:
+    """Read and version-check a checkpoint manifest."""
+    name = manifest_name(prefix)
+    if not pfs.exists(name):
+        raise CheckpointError(f"no checkpoint manifest {name!r}")
+    raw = pfs.read_at(name, 0, pfs.file_size(name))
+    try:
+        manifest = json.loads(raw.decode())
+    except Exception as exc:
+        raise CheckpointError(f"corrupt manifest {name!r}: {exc}") from exc
+    version = manifest.get("version")
+    if version != CHECKPOINT_VERSION:
+        raise CheckpointError(
+            f"manifest {name!r} has version {version}; "
+            f"this library reads version {CHECKPOINT_VERSION}"
+        )
+    return manifest
+
+
+def np_dtype_name(dtype) -> str:
+    return np.dtype(dtype).str  # endianness-explicit, e.g. '<f8'

@@ -1,0 +1,53 @@
+"""Checkpoint-set utilities shared by both checkpoint kinds."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.checkpoint.format import manifest_name, read_manifest
+from repro.errors import CheckpointError
+from repro.pfs.piofs import PIOFS
+
+__all__ = ["checkpoint_kind", "list_checkpoints", "saved_state_bytes"]
+
+_MANIFEST_SUFFIX = ".manifest"
+
+
+def checkpoint_kind(pfs: PIOFS, prefix: str) -> str:
+    """'drms' or 'spmd'."""
+    return read_manifest(pfs, prefix)["kind"]
+
+
+def list_checkpoints(pfs: PIOFS) -> List[str]:
+    """All checkpoint prefixes present in the file system.  Multiple
+    prefixes coexist, so an application can keep several checkpointed
+    states and restart from any of them (paper Section 3)."""
+    return sorted(
+        n[: -len(_MANIFEST_SUFFIX)]
+        for n in pfs.listdir()
+        if n.endswith(_MANIFEST_SUFFIX)
+    )
+
+
+def saved_state_bytes(pfs: PIOFS, prefix: str) -> Dict[str, int]:
+    """Size of every component of a checkpointed state (the Table 3
+    quantities).  Keys: ``total``, plus ``segment``/``arrays`` for DRMS
+    checkpoints or ``per_task``/``ntasks`` for SPMD ones.  The manifest
+    itself is metadata and excluded, matching the paper's accounting of
+    "all files necessary to capture the state"."""
+    manifest = read_manifest(pfs, prefix)
+    out: Dict[str, int] = {}
+    if manifest["kind"] == "drms":
+        seg = pfs.file_size(manifest["segment_file"])
+        arrays = sum(pfs.file_size(a["file"]) for a in manifest["arrays"])
+        out["segment"] = seg
+        out["arrays"] = arrays
+        out["total"] = seg + arrays
+    elif manifest["kind"] == "spmd":
+        sizes = [pfs.file_size(f) for f in manifest["task_files"]]
+        out["ntasks"] = len(sizes)
+        out["per_task"] = sizes[0] if sizes else 0
+        out["total"] = sum(sizes)
+    else:
+        raise CheckpointError(f"unknown checkpoint kind {manifest['kind']!r}")
+    return out

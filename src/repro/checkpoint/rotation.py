@@ -1,0 +1,106 @@
+"""Rotating checkpoint prefixes: multiple concurrent states, safely.
+
+The paper (Section 3): "A different prefix can be used each time,
+allowing the application to maintain multiple checkpointed states
+concurrently ... If multiple checkpointed states are available, the
+application can be restarted from any of them."
+
+Beyond flexibility, rotation is a *correctness* requirement: a failure
+striking mid-checkpoint must not destroy the only good state, so a new
+checkpoint must never overwrite its predecessor in place.
+:class:`CheckpointRotation` hands out monotonically numbered prefixes
+(``base.000001``, ``base.000002``, ...), identifies the newest *complete*
+state (a manifest is written last, so its presence marks completion),
+and prunes states beyond a retention budget.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional
+
+from repro.checkpoint.archive import delete_checkpoint
+from repro.checkpoint.format import manifest_name, read_manifest
+from repro.errors import CheckpointError
+from repro.pfs.piofs import PIOFS
+
+__all__ = ["CheckpointRotation", "latest_checkpoint", "generations"]
+
+_GEN_RE = re.compile(r"^(?P<base>.+)\.(?P<gen>\d{6})$")
+
+
+def generations(pfs: PIOFS, base: str) -> List[str]:
+    """Complete checkpoint prefixes under ``base``, oldest first.  Only
+    states with a readable manifest count (the manifest is written last,
+    so a half-written state is invisible here)."""
+    out = []
+    suffix = ".manifest"
+    for name in pfs.listdir(base + "."):
+        if not name.endswith(suffix):
+            continue
+        prefix = name[: -len(suffix)]
+        m = _GEN_RE.match(prefix)
+        if m is None or m.group("base") != base:
+            continue
+        try:
+            read_manifest(pfs, prefix)
+        except CheckpointError:
+            continue
+        out.append(prefix)
+    return sorted(out, key=lambda p: int(_GEN_RE.match(p).group("gen")))
+
+
+def latest_checkpoint(pfs: PIOFS, base: str) -> Optional[str]:
+    """The newest complete state under ``base`` (None when none exist)."""
+    gens = generations(pfs, base)
+    return gens[-1] if gens else None
+
+
+class CheckpointRotation:
+    """Prefix allocator + retention policy for one application."""
+
+    def __init__(self, pfs: PIOFS, base: str, keep: int = 2):
+        if keep < 1:
+            raise CheckpointError("retention must keep at least one state")
+        if _GEN_RE.match(base):
+            raise CheckpointError(
+                f"base prefix {base!r} already looks like a generation"
+            )
+        self.pfs = pfs
+        self.base = base
+        self.keep = keep
+
+    def next_prefix(self) -> str:
+        """A fresh prefix, strictly newer than every existing state —
+        including incomplete ones, whose numbers must not be reused."""
+        newest = 0
+        pat = re.compile(re.escape(self.base) + r"\.(?P<gen>\d{6})(\..*)?$")
+        for name in self.pfs.listdir(self.base + "."):
+            m = pat.match(name)
+            if m:
+                newest = max(newest, int(m.group("gen")))
+        return f"{self.base}.{newest + 1:06d}"
+
+    def latest(self) -> Optional[str]:
+        """Newest complete state (what a restart should use)."""
+        return latest_checkpoint(self.pfs, self.base)
+
+    def prune(self) -> List[str]:
+        """Delete complete states beyond the retention budget (oldest
+        first); never touches the newest ones.  Returns what was
+        deleted."""
+        gens = generations(self.pfs, self.base)
+        doomed = gens[: max(0, len(gens) - self.keep)]
+        for prefix in doomed:
+            delete_checkpoint(self.pfs, prefix)
+        return doomed
+
+    def commit(self, prefix: str) -> List[str]:
+        """Called after a checkpoint completes under ``prefix``: applies
+        retention and returns the pruned prefixes."""
+        if latest_checkpoint(self.pfs, self.base) != prefix:
+            raise CheckpointError(
+                f"{prefix!r} is not the newest complete state under "
+                f"{self.base!r}; refusing to prune"
+            )
+        return self.prune()

@@ -1,0 +1,138 @@
+"""The task data-segment model.
+
+The paper includes "the task stack, heap, static data, and register
+context" in the data segment and quantifies three byte components per
+task (Table 4):
+
+* *local sections*: storage for the mapped sections of distributed
+  arrays (fixed at compile time for the minimum task count);
+* *system related*: ~33 MB of runtime-library storage, mostly
+  message-passing buffers, identical across applications;
+* *private/replicated*: everything else — replicated variables plus
+  task-private scratch.
+
+For checkpointing we additionally capture the *execution context*: the
+SOP at which the checkpoint was taken, the iteration counter, and the
+SOQ control variables — what lets restart resume "from the
+drms_reconfig_checkpoint call".  Replicated variables and the context
+serialize exactly (they are restored on restart); the bulk byte
+components are carried as sized payloads so saved-state sizes and I/O
+times match the paper without gigabytes of literal content.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+from repro.errors import CheckpointError
+
+__all__ = ["SegmentProfile", "ExecutionContext", "DataSegment", "SYSTEM_SEGMENT_BYTES"]
+
+#: the paper's "System related" component (Table 4): ~33 MB of library
+#: state, dominated by message-passing buffers, same for BT, LU, and SP.
+SYSTEM_SEGMENT_BYTES = 34_972_228
+
+
+@dataclass(frozen=True)
+class SegmentProfile:
+    """Byte sizes of the data-segment components of one task."""
+
+    local_section_bytes: int
+    system_bytes: int
+    private_bytes: int
+
+    @property
+    def total_bytes(self) -> int:
+        return self.local_section_bytes + self.system_bytes + self.private_bytes
+
+    def __post_init__(self) -> None:
+        if min(self.local_section_bytes, self.system_bytes, self.private_bytes) < 0:
+            raise CheckpointError("segment components must be >= 0")
+
+
+@dataclass
+class ExecutionContext:
+    """Where execution resumes after a restart."""
+
+    sop_id: int = 0
+    iteration: int = 0
+    control: Dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class DataSegment:
+    """One task's data segment: sized components + exact small state."""
+
+    profile: SegmentProfile
+    replicated: Dict[str, Any] = field(default_factory=dict)
+    context: ExecutionContext = field(default_factory=ExecutionContext)
+
+    # -- serialization -------------------------------------------------------
+
+    def serialize(self) -> Tuple[bytes, int]:
+        """Returns ``(header, pad_bytes)``: the pickled exact state with
+        a length prefix, plus how many payload bytes pad the segment out
+        to its profiled size.  Segment file size is
+        ``max(len(header), profile.total_bytes)``."""
+        body = pickle.dumps(
+            {
+                "replicated": self.replicated,
+                "context": {
+                    "sop_id": self.context.sop_id,
+                    "iteration": self.context.iteration,
+                    "control": self.context.control,
+                },
+                "profile": {
+                    "local_section_bytes": self.profile.local_section_bytes,
+                    "system_bytes": self.profile.system_bytes,
+                    "private_bytes": self.profile.private_bytes,
+                },
+            },
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
+        header = len(body).to_bytes(8, "little") + body
+        pad = max(0, self.profile.total_bytes - len(header))
+        return header, pad
+
+    @property
+    def file_bytes(self) -> int:
+        """On-disk size of this segment."""
+        header, pad = self.serialize()
+        return len(header) + pad
+
+    @classmethod
+    def deserialize(cls, data: bytes) -> "DataSegment":
+        """Rebuild from the leading header of a segment file."""
+        if len(data) < 8:
+            raise CheckpointError("segment file too short for header")
+        n = int.from_bytes(data[:8], "little")
+        if len(data) < 8 + n:
+            raise CheckpointError("segment header truncated")
+        try:
+            blob = pickle.loads(data[8 : 8 + n])
+        except Exception as exc:
+            raise CheckpointError(f"corrupt segment header: {exc}") from exc
+        prof = blob["profile"]
+        ctx = blob["context"]
+        return cls(
+            profile=SegmentProfile(
+                local_section_bytes=prof["local_section_bytes"],
+                system_bytes=prof["system_bytes"],
+                private_bytes=prof["private_bytes"],
+            ),
+            replicated=blob["replicated"],
+            context=ExecutionContext(
+                sop_id=ctx["sop_id"],
+                iteration=ctx["iteration"],
+                control=ctx["control"],
+            ),
+        )
+
+    @classmethod
+    def header_prefix_bytes(cls) -> int:
+        """How many leading bytes :meth:`deserialize` may need; callers
+        read at least this much.  Generous bound for small replicated
+        sets; larger replicated payloads should read the whole file."""
+        return 1 << 20

@@ -1,0 +1,302 @@
+"""Application runtime and driver: build, run, checkpoint, restart.
+
+:class:`DRMSApplication` is what a user constructs around an SPMD
+``main(ctx, ...)`` function written against the
+:class:`~repro.drms.context.DRMSContext` API.  It owns the persistent
+pieces (machine, parallel file system, resource spec) and runs the
+application on any valid task count — fresh (:meth:`start`) or from a
+checkpointed state (:meth:`restart`), with an equal, larger, or smaller
+task pool.
+
+:class:`AppRuntime` is the per-run shared state the task contexts
+coordinate through: the distributed-array registry, replicated
+variables, the SOQ control section, and the checkpoint engine hooks.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.checkpoint.drms import (
+    CheckpointBreakdown,
+    RestartBreakdown,
+    RestoredState,
+    drms_checkpoint,
+    drms_restart,
+)
+from repro.checkpoint.segment import DataSegment, ExecutionContext, SegmentProfile
+from repro.drms.context import DRMSContext
+from repro.drms.soq import SOQSpec
+from repro.errors import ReconfigurationError
+from repro.pfs.piofs import PIOFS
+from repro.runtime.executor import SPMDResult, run_spmd
+from repro.runtime.machine import Machine
+
+__all__ = ["AppRuntime", "RunReport", "DRMSApplication"]
+
+
+class AppRuntime:
+    """Shared per-run state for one application execution."""
+
+    def __init__(
+        self,
+        app: "DRMSApplication",
+        ntasks: int,
+        restored: Optional[RestoredState] = None,
+        pending_clock_charge: float = 0.0,
+    ):
+        self.app = app
+        self.ntasks = ntasks
+        self.pfs = app.pfs
+        self.store_data = app.store_data
+        self.restored = restored
+        self.pending_clock_charge = pending_clock_charge
+        #: armed by the cluster/failure injector; see DRMSContext._maybe_fail
+        self.failure_plan = app.failure_plan
+        self.arrays: Dict[str, Any] = {}
+        self.replicated: Dict[str, Any] = (
+            dict(restored.segment.replicated) if restored else {}
+        )
+        self.control: Dict[str, Any] = (
+            dict(restored.segment.context.control) if restored else {}
+        )
+        self.checkpoints: List[Tuple[str, CheckpointBreakdown]] = []
+        self._restored_pool: Dict[str, Any] = dict(restored.arrays) if restored else {}
+        self._coll_result: Any = None
+        self._lock = threading.Lock()
+        #: volatile state captured at a reconfiguration point (see
+        #: repro.drms.elastic)
+        self.memory_state: Optional[Dict[str, Any]] = None
+
+    def capture_memory_state(self, iteration: int, sop_id: int, elapsed: float) -> None:
+        """Snapshot the live application state for an on-the-fly
+        reconfiguration (no file I/O; the arrays move by reference)."""
+        self.memory_state = {
+            "arrays": dict(self.arrays),
+            "replicated": dict(self.replicated),
+            "control": dict(self.control),
+            "iteration": iteration,
+            "sop_id": sop_id,
+            "elapsed": elapsed,
+        }
+
+    # -- restored-array handoff ------------------------------------------------
+
+    def take_restored_array(self, name: str):
+        """Claim a restored array for (re)binding; one-shot per name."""
+        with self._lock:
+            return self._restored_pool.pop(name, None)
+
+    def peek_restored_array(self, name: str):
+        with self._lock:
+            return self._restored_pool.get(name)
+
+    # -- checkpoint plumbing ------------------------------------------------------
+
+    def build_segment(self, iteration: int, sop_id: int) -> DataSegment:
+        """Assemble the DataSegment captured by a checkpoint at this SOP."""
+        profile = self.app.resolve_segment_profile(self)
+        return DataSegment(
+            profile=profile,
+            replicated=dict(self.replicated),
+            context=ExecutionContext(
+                sop_id=sop_id, iteration=iteration, control=dict(self.control)
+            ),
+        )
+
+    def engine_checkpoint(self, prefix: str, segment: DataSegment) -> CheckpointBreakdown:
+        """Run the DRMS checkpoint engine over the live array registry."""
+        bd = drms_checkpoint(
+            self.pfs,
+            prefix,
+            segment,
+            list(self.arrays.values()),
+            order=self.app.order,
+            io_tasks=self.app.io_tasks,
+            target_bytes=self.app.target_bytes,
+            app_name=self.app.name,
+        )
+        self.checkpoints.append((prefix, bd))
+        return bd
+
+    def consume_checkpoint_enable(self) -> bool:
+        """One-shot read of the system's enabling signal."""
+        return self.app.consume_checkpoint_enable()
+
+
+@dataclass
+class RunReport:
+    """Outcome of one application run."""
+
+    ntasks: int
+    returns: List[Any]
+    #: simulated wall time of the whole run, seconds
+    sim_elapsed: float
+    checkpoints: List[Tuple[str, CheckpointBreakdown]]
+    restarted_from: Optional[str] = None
+    restart_breakdown: Optional[RestartBreakdown] = None
+    replicated: Dict[str, Any] = field(default_factory=dict)
+    arrays: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def checkpoint_seconds(self) -> float:
+        return sum(bd.total_seconds for _, bd in self.checkpoints)
+
+
+class DRMSApplication:
+    """A reconfigurable, checkpointable SPMD application."""
+
+    def __init__(
+        self,
+        main: Callable[..., Any],
+        name: str = "app",
+        machine: Optional[Machine] = None,
+        pfs: Optional[PIOFS] = None,
+        soq: Optional[SOQSpec] = None,
+        segment_profile: Optional[SegmentProfile | Callable[[AppRuntime], SegmentProfile]] = None,
+        store_data: bool = True,
+        order: str = "F",
+        io_tasks: Optional[int] = None,
+        target_bytes: int = 1 << 20,
+        run_timeout: float = 300.0,
+        comm_timeout: float = 60.0,
+    ):
+        self.main = main
+        self.name = name
+        self.machine = machine or Machine()
+        self.pfs = pfs or PIOFS(machine=self.machine)
+        self.soq = soq or SOQSpec(name=name)
+        self.segment_profile = segment_profile
+        self.store_data = store_data
+        self.order = order
+        self.io_tasks = io_tasks
+        self.target_bytes = target_bytes
+        self.run_timeout = run_timeout
+        self.comm_timeout = comm_timeout
+        self._ckpt_enable = threading.Event()
+        self.runs: List[RunReport] = []
+        #: optional armed FailurePlan (set by the failure injector)
+        self.failure_plan = None
+        #: live-steering queue; clients read/write fields of a running
+        #: application at its steering points
+        from repro.drms.steering import SteeringHub
+
+        self.steering = SteeringHub(order=order)
+        #: active ElasticRunner, when running under on-the-fly
+        #: reconfiguration (repro.drms.elastic)
+        self._elastic_runner = None
+
+    # -- system-initiated checkpoint signal (used with reconfig_chkenable) ---
+
+    def enable_checkpoint(self) -> None:
+        """Send the enabling signal: the next ``reconfig_chkenable``
+        call in the application takes a checkpoint (JSA hook)."""
+        self._ckpt_enable.set()
+
+    def consume_checkpoint_enable(self) -> bool:
+        """One-shot read of the enabling signal (application side)."""
+        if self._ckpt_enable.is_set():
+            self._ckpt_enable.clear()
+            return True
+        return False
+
+    # -- segment profile ------------------------------------------------------------
+
+    def resolve_segment_profile(self, runtime: AppRuntime) -> SegmentProfile:
+        """The SegmentProfile for checkpoints of this application."""
+        if isinstance(self.segment_profile, SegmentProfile):
+            return self.segment_profile
+        if callable(self.segment_profile):
+            return self.segment_profile(runtime)
+        # Default: local-section storage of task 0 under the current
+        # distributions; no modeled system/private bulk.
+        local = sum(a.nbytes_local(0) for a in runtime.arrays.values())
+        return SegmentProfile(
+            local_section_bytes=local, system_bytes=0, private_bytes=0
+        )
+
+    # -- running ----------------------------------------------------------------------
+
+    def _execute(
+        self,
+        ntasks: int,
+        runtime: AppRuntime,
+        args: Sequence[Any],
+        kwargs: Optional[dict],
+        nodes: Optional[Sequence[int]],
+    ) -> SPMDResult:
+        return run_spmd(
+            self.main,
+            ntasks,
+            machine=self.machine,
+            args=args,
+            kwargs=kwargs,
+            nodes=nodes,
+            timeout=self.run_timeout,
+            comm_timeout=self.comm_timeout,
+            make_context=lambda comm: DRMSContext(comm, runtime),
+        )
+
+    def start(
+        self,
+        ntasks: int,
+        args: Sequence[Any] = (),
+        kwargs: Optional[dict] = None,
+        nodes: Optional[Sequence[int]] = None,
+    ) -> RunReport:
+        """Run the application from the beginning on ``ntasks`` tasks."""
+        self.soq.check(ntasks)
+        runtime = AppRuntime(self, ntasks)
+        result = self._execute(ntasks, runtime, args, kwargs, nodes)
+        report = RunReport(
+            ntasks=ntasks,
+            returns=result.returns,
+            sim_elapsed=result.elapsed,
+            checkpoints=runtime.checkpoints,
+            replicated=dict(runtime.replicated),
+            arrays=dict(runtime.arrays),
+        )
+        self.runs.append(report)
+        return report
+
+    def restart(
+        self,
+        prefix: str,
+        ntasks: int,
+        args: Sequence[Any] = (),
+        kwargs: Optional[dict] = None,
+        nodes: Optional[Sequence[int]] = None,
+    ) -> RunReport:
+        """Restart from the checkpointed state under ``prefix`` on a new
+        task pool of ``ntasks`` (equal, larger, or smaller than the
+        checkpointing pool)."""
+        self.soq.check(ntasks)
+        state, bd = drms_restart(
+            self.pfs,
+            prefix,
+            ntasks,
+            order=self.order,
+            io_tasks=self.io_tasks,
+            target_bytes=self.target_bytes,
+        )
+        runtime = AppRuntime(
+            self,
+            ntasks,
+            restored=state,
+            pending_clock_charge=bd.total_seconds,
+        )
+        result = self._execute(ntasks, runtime, args, kwargs, nodes)
+        report = RunReport(
+            ntasks=ntasks,
+            returns=result.returns,
+            sim_elapsed=result.elapsed,
+            checkpoints=runtime.checkpoints,
+            restarted_from=prefix,
+            restart_breakdown=bd,
+            replicated=dict(runtime.replicated),
+            arrays=dict(runtime.arrays),
+        )
+        self.runs.append(report)
+        return report

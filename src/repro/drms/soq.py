@@ -1,0 +1,65 @@
+"""Schedulable and observable quanta (SOQs) and points (SOPs).
+
+A DRMS application executes a series of SOQs separated by SOPs; each
+SOQ has four sections (paper Section 2.1):
+
+* **resource** — the valid range of task counts;
+* **data**     — the decomposition of the global data set;
+* **control**  — values of the control variables steering execution;
+* **computation** — the computations/communications themselves.
+
+The set of tasks is fixed within an SOQ and may change only at an SOP —
+the globally consistent points where checkpoints and reconfigurations
+happen.  :class:`SOQSpec` carries the resource section declaratively so
+the runtime (and the JSA scheduler) can validate task counts before
+starting or reconfiguring an application.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ReconfigurationError
+
+__all__ = ["SOQSpec"]
+
+
+@dataclass(frozen=True)
+class SOQSpec:
+    """Resource requirements of an application's SOQs.
+
+    ``divides`` optionally constrains valid counts to divisors/multiples
+    structure common in grid codes (e.g., BT wants square task counts —
+    encode such constraints via ``validator``).
+    """
+
+    min_tasks: int = 1
+    max_tasks: Optional[int] = None
+    #: optional extra predicate on the task count
+    validator: Optional[object] = None
+    name: str = "soq"
+
+    def check(self, ntasks: int) -> None:
+        """Raise :class:`ReconfigurationError` unless ``ntasks`` is in
+        the resource section's valid range."""
+        if ntasks < self.min_tasks:
+            raise ReconfigurationError(
+                f"{self.name}: {ntasks} tasks below minimum {self.min_tasks}"
+            )
+        if self.max_tasks is not None and ntasks > self.max_tasks:
+            raise ReconfigurationError(
+                f"{self.name}: {ntasks} tasks above maximum {self.max_tasks}"
+            )
+        if self.validator is not None and not self.validator(ntasks):
+            raise ReconfigurationError(
+                f"{self.name}: task count {ntasks} rejected by resource validator"
+            )
+
+    def valid(self, ntasks: int) -> bool:
+        """True when the task count satisfies the resource section."""
+        try:
+            self.check(ntasks)
+            return True
+        except ReconfigurationError:
+            return False

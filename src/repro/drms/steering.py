@@ -1,0 +1,170 @@
+"""Computational steering and inter-application communication.
+
+Both are direct uses of the array-assignment/streaming primitives
+(paper Sections 3.1-3.2): a steering client reads or writes *sections*
+of a running application's distributed arrays in the canonical stream
+order, without knowing (or caring about) the current distribution; and
+two applications exchange data by assigning one distributed array to
+another across their (independent) distributions.
+
+Live steering: requests from a client (any thread) queue in the
+application's :class:`SteeringHub`; the running SPMD program services
+them *at steering points* — globally consistent SOP-like points marked
+with :meth:`~repro.drms.context.DRMSContext.steering_point` — so a
+client never observes a half-updated field.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Any, Optional
+
+import numpy as np
+
+from repro.arrays.assignment import array_assign, build_schedule, schedule_bytes
+from repro.arrays.darray import DistributedArray
+from repro.arrays.slices import Slice
+from repro.errors import ArrayError
+from repro.streaming.order import bytes_to_section, check_order
+from repro.streaming.serial import gather_piece, scatter_piece
+from repro.streaming.partition import partition_for_target
+
+__all__ = [
+    "steer_read",
+    "steer_write",
+    "app_transfer",
+    "SteeringFuture",
+    "SteeringHub",
+]
+
+
+def steer_read(
+    array: DistributedArray,
+    section: Optional[Slice] = None,
+    order: str = "F",
+) -> np.ndarray:
+    """Read ``array[section]`` into a dense array shaped like the
+    section — the steering client's distribution-independent view."""
+    check_order(order)
+    section = section or Slice.full(array.shape)
+    return gather_piece(array, section, order)
+
+
+def steer_write(
+    array: DistributedArray,
+    values: np.ndarray,
+    section: Optional[Slice] = None,
+) -> None:
+    """Write a dense section into the array; every mapped copy of every
+    element is updated consistently (steering a live computation)."""
+    section = section or Slice.full(array.shape)
+    values = np.asarray(values, dtype=array.dtype)
+    if values.shape != section.shape:
+        raise ArrayError(
+            f"steer_write: values shape {values.shape} != section shape {section.shape}"
+        )
+    scatter_piece(array, section, values)
+
+
+class SteeringFuture:
+    """Completion handle for one queued steering request."""
+
+    def __init__(self):
+        self._event = threading.Event()
+        self._result: Any = None
+        self._error: Optional[BaseException] = None
+
+    def _fulfill(self, result: Any = None, error: Optional[BaseException] = None):
+        self._result = result
+        self._error = error
+        self._event.set()
+
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def result(self, timeout: Optional[float] = 30.0) -> Any:
+        """Block for the serviced result; raises the relayed error, or after timeout."""
+        if not self._event.wait(timeout=timeout):
+            raise ArrayError("steering request not serviced (no steering point?)")
+        if self._error is not None:
+            raise self._error
+        return self._result
+
+
+class SteeringHub:
+    """Thread-safe queue between steering clients and a running app.
+
+    Clients call :meth:`read_async` / :meth:`write_async` from any
+    thread; the application drains the queue whenever its tasks reach a
+    steering point.  Requests against unknown arrays complete with an
+    error rather than wedging the client.
+    """
+
+    def __init__(self, order: str = "F"):
+        self.order = check_order(order)
+        self._lock = threading.Lock()
+        self._queue: deque = deque()
+
+    # -- client side --------------------------------------------------------
+
+    def read_async(self, name: str, section: Optional[Slice] = None) -> SteeringFuture:
+        return self._enqueue(("read", name, section, None))
+
+    def write_async(
+        self, name: str, values: np.ndarray, section: Optional[Slice] = None
+    ) -> SteeringFuture:
+        """Queue a consistent write of a dense section into the named array."""
+        return self._enqueue(("write", name, section, np.asarray(values)))
+
+    def _enqueue(self, req) -> SteeringFuture:
+        fut = SteeringFuture()
+        with self._lock:
+            self._queue.append((req, fut))
+        return fut
+
+    def pending(self) -> int:
+        with self._lock:
+            return len(self._queue)
+
+    # -- application side (called at a steering point, by one task) -----------
+
+    def service(self, arrays) -> int:
+        """Drain the queue against the live array registry; returns the
+        number of requests serviced."""
+        n = 0
+        while True:
+            with self._lock:
+                if not self._queue:
+                    return n
+                req, fut = self._queue.popleft()
+            kind, name, section, values = req
+            try:
+                arr = arrays[name]
+            except KeyError:
+                fut._fulfill(error=ArrayError(f"no distributed array {name!r}"))
+                continue
+            try:
+                if kind == "read":
+                    fut._fulfill(result=steer_read(arr, section, self.order))
+                else:
+                    steer_write(arr, values, section)
+                    fut._fulfill(result=None)
+            except BaseException as exc:  # noqa: BLE001 - relayed to client
+                fut._fulfill(error=exc)
+            n += 1
+
+
+def app_transfer(dst: DistributedArray, src: DistributedArray) -> int:
+    """Inter-application transfer ``dst <- src`` across independent
+    distributions (the two arrays may belong to different applications
+    with different task pools).  Returns the wire bytes moved."""
+    if dst.shape != src.shape:
+        raise ArrayError(
+            f"app_transfer shape mismatch: {src.shape} -> {dst.shape}"
+        )
+    if dst.store_data and src.store_data:
+        sched = array_assign(dst, src)
+    else:
+        sched = build_schedule(src.distribution, dst.distribution)
+    return schedule_bytes(sched, src.itemsize, remote_only=True)

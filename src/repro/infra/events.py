@@ -1,0 +1,47 @@
+"""Cluster event log: the observable record of the DRMS daemons."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+__all__ = ["Event", "EventLog"]
+
+
+@dataclass(frozen=True)
+class Event:
+    """One timestamped infrastructure event."""
+
+    time: float
+    kind: str
+    detail: Dict[str, Any]
+
+    def __repr__(self) -> str:
+        items = ", ".join(f"{k}={v!r}" for k, v in self.detail.items())
+        return f"[{self.time:9.3f}s] {self.kind}({items})"
+
+
+class EventLog:
+    """Append-only event record shared by RC/TCs/JSA/UIC."""
+
+    def __init__(self):
+        self.events: List[Event] = []
+
+    def emit(self, time: float, kind: str, **detail: Any) -> Event:
+        """Append one timestamped event."""
+        ev = Event(time=time, kind=kind, detail=detail)
+        self.events.append(ev)
+        return ev
+
+    def of_kind(self, kind: str) -> List[Event]:
+        return [e for e in self.events if e.kind == kind]
+
+    def last(self, kind: Optional[str] = None) -> Optional[Event]:
+        seq = self.events if kind is None else self.of_kind(kind)
+        return seq[-1] if seq else None
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)

@@ -1,0 +1,54 @@
+"""Failure injection.
+
+The basic DRMS failure event is a processor failure.  A
+:class:`FailurePlan` arms a deterministic failure: when the application
+reaches the given iteration, the task placed on the doomed node raises
+:class:`NodeFailure`; the SPMD engine then kills the whole task group —
+exactly the paper's premise that a single component failure crashes the
+entire parallel application — and the Resource Coordinator's recovery
+protocol takes over.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import TaskFailure
+
+__all__ = ["NodeFailure", "FailurePlan"]
+
+
+class NodeFailure(TaskFailure):
+    """A processor died under a running task."""
+
+    def __init__(self, node_id: int, message: str = ""):
+        super().__init__(message or f"node {node_id} failed")
+        self.node_id = node_id
+
+
+@dataclass
+class FailurePlan:
+    """Fail ``node_id`` when the application reaches ``iteration``.
+
+    ``one_shot``: the plan disarms after firing so the restarted run
+    survives (the standard recovery experiment).
+    """
+
+    iteration: int
+    node_id: int
+    one_shot: bool = True
+    _fired: bool = False
+
+    def should_fire(self, iteration: int) -> bool:
+        """True when the plan triggers at this iteration."""
+        if self._fired and self.one_shot:
+            return False
+        return iteration == self.iteration
+
+    def fire(self) -> None:
+        self._fired = True
+
+    @property
+    def fired(self) -> bool:
+        return self._fired

@@ -1,0 +1,193 @@
+"""The Job Scheduler and Analyzer.
+
+The JSA assigns processors to applications and schedules them (paper
+Section 4).  It exploits reconfigurable checkpointing three ways:
+
+1. user-directed checkpoint/archive/restart (``submit`` + ``restart``);
+2. dynamic scheduling: shrink or grow a running job by enabling a
+   system-initiated checkpoint (``reconfig_chkenable``) and restarting
+   it on a different pool (:meth:`reconfigure`);
+3. automatic failure recovery: restart a killed application from its
+   latest checkpoint on the surviving processors (:meth:`recover`),
+   without waiting for the failed node.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.checkpoint.restart import list_checkpoints
+from repro.drms.app import DRMSApplication, RunReport
+from repro.errors import SchedulerError, TaskFailure
+from repro.infra.events import EventLog
+from repro.infra.rc import ResourceCoordinator
+
+__all__ = ["JobState", "Job", "JobSchedulerAnalyzer"]
+
+
+class JobState(enum.Enum):
+    """Lifecycle state of a scheduled job."""
+    QUEUED = "queued"
+    RUNNING = "running"
+    COMPLETED = "completed"
+    KILLED = "killed"
+    FAILED = "failed"
+
+
+@dataclass
+class Job:
+    """One scheduled application."""
+
+    job_id: str
+    app: DRMSApplication
+    args: tuple = ()
+    kwargs: dict = field(default_factory=dict)
+    #: checkpoint prefix this job writes (and recovers from)
+    prefix: str = "ckpt"
+    state: JobState = JobState.QUEUED
+    ntasks: int = 0
+    reports: List[RunReport] = field(default_factory=list)
+
+    @property
+    def last_report(self) -> Optional[RunReport]:
+        return self.reports[-1] if self.reports else None
+
+
+class JobSchedulerAnalyzer:
+    """Processor assignment + checkpoint-aware scheduling policy."""
+
+    def __init__(self, rc: ResourceCoordinator, events: Optional[EventLog] = None):
+        self.rc = rc
+        self.events = events if events is not None else rc.events
+        self.jobs: Dict[str, Job] = {}
+
+    # -- submission --------------------------------------------------------
+
+    def submit(
+        self,
+        job_id: str,
+        app: DRMSApplication,
+        args: Sequence[Any] = (),
+        kwargs: Optional[dict] = None,
+        prefix: str = "ckpt",
+    ) -> Job:
+        """Queue a job (application + args + checkpoint prefix)."""
+        if job_id in self.jobs:
+            raise SchedulerError(f"duplicate job id {job_id!r}")
+        job = Job(
+            job_id=job_id,
+            app=app,
+            args=tuple(args),
+            kwargs=dict(kwargs or {}),
+            prefix=prefix,
+        )
+        self.jobs[job_id] = job
+        self.events.emit(self.rc.clock, "job_submitted", job=job_id)
+        return job
+
+    def pick_ntasks(self, job: Job, want: Optional[int] = None) -> int:
+        """Choose a task count within the job's SOQ resource range that
+        fits the available processors (largest feasible by default)."""
+        avail = len(self.rc.available_nodes())
+        soq = job.app.soq
+        top = avail if want is None else min(want, avail)
+        for n in range(top, 0, -1):
+            if soq.valid(n):
+                return n
+        raise SchedulerError(
+            f"job {job.job_id!r}: no valid task count <= {top} "
+            f"(resource section: min {soq.min_tasks}, max {soq.max_tasks})"
+        )
+
+    # -- execution -----------------------------------------------------------
+
+    def run(self, job_id: str, ntasks: Optional[int] = None) -> RunReport:
+        """Start a queued job from the beginning."""
+        job = self._job(job_id)
+        n = self.pick_ntasks(job, ntasks)
+        nodes = self.rc.form_pool(job_id, n)
+        job.state = JobState.RUNNING
+        job.ntasks = n
+        try:
+            report = job.app.start(
+                n, args=job.args, kwargs=job.kwargs, nodes=nodes
+            )
+        except TaskFailure:
+            # Pool stays attached: the RC's failure protocol owns the
+            # cleanup (it must see which pool the dead TC belonged to).
+            job.state = JobState.KILLED
+            raise
+        except Exception:
+            job.state = JobState.KILLED
+            self.rc.release_pool(job_id)
+            raise
+        self.rc.release_pool(job_id)
+        job.state = JobState.COMPLETED
+        job.reports.append(report)
+        self.rc.advance(report.sim_elapsed)
+        self.events.emit(
+            self.rc.clock, "job_completed", job=job_id, ntasks=n,
+            sim_elapsed=report.sim_elapsed,
+        )
+        return report
+
+    def restart(self, job_id: str, ntasks: Optional[int] = None) -> RunReport:
+        """Restart a job from its latest checkpoint on a (possibly
+        different-sized) pool of currently available processors."""
+        job = self._job(job_id)
+        if not self._has_checkpoint(job):
+            raise SchedulerError(
+                f"job {job_id!r} has no checkpoint under prefix {job.prefix!r}"
+            )
+        n = self.pick_ntasks(job, ntasks)
+        nodes = self.rc.form_pool(job_id, n)
+        job.state = JobState.RUNNING
+        job.ntasks = n
+        try:
+            report = job.app.restart(
+                job.prefix, n, args=job.args, kwargs=job.kwargs, nodes=nodes
+            )
+        except TaskFailure:
+            job.state = JobState.KILLED
+            raise
+        except Exception:
+            job.state = JobState.KILLED
+            self.rc.release_pool(job_id)
+            raise
+        self.rc.release_pool(job_id)
+        job.state = JobState.COMPLETED
+        job.reports.append(report)
+        self.rc.advance(report.sim_elapsed)
+        self.events.emit(
+            self.rc.clock, "job_restarted", job=job_id, ntasks=n,
+            sim_elapsed=report.sim_elapsed,
+        )
+        return report
+
+    # -- policy hooks -----------------------------------------------------------
+
+    def recover(self, job_id: str, ntasks: Optional[int] = None) -> RunReport:
+        """Failure recovery: restart the killed job from its latest
+        checkpoint on the surviving processors.  The new pool may be
+        smaller (failed node out for repair), equal, or larger."""
+        job = self._job(job_id)
+        self.events.emit(self.rc.clock, "recovery_started", job=job_id)
+        return self.restart(job_id, ntasks=ntasks)
+
+    def enable_system_checkpoint(self, job_id: str) -> None:
+        """Arm a system-initiated checkpoint: the job's next
+        ``reconfig_chkenable`` call writes its state (used before a
+        planned shrink/grow or priority preemption)."""
+        self._job(job_id).app.enable_checkpoint()
+        self.events.emit(self.rc.clock, "checkpoint_enabled", job=job_id)
+
+    def _has_checkpoint(self, job: Job) -> bool:
+        return job.prefix in list_checkpoints(job.app.pfs)
+
+    def _job(self, job_id: str) -> Job:
+        try:
+            return self.jobs[job_id]
+        except KeyError:
+            raise SchedulerError(f"unknown job {job_id!r}") from None

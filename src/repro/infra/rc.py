@@ -1,0 +1,157 @@
+"""The Resource Coordinator: the DRMS master daemon.
+
+The RC owns one TC per processor and the TC pools of running
+applications.  On losing a TC connection it executes the paper's
+five-step recovery protocol (Section 4):
+
+1. determine which application/TC pool the disconnected TC belongs to;
+2. kill the application's other processes and the pool's TCs;
+3. consider the application terminated and inform the user;
+4. try to restart the killed TCs (the failed node may first need a
+   reboot or repair — modeled by ``node_repair_s``);
+5. as each TC reactivates, return its processor to the available pool.
+
+The system stays up throughout, with reduced processor availability;
+restarting the application does not wait for the failed node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.errors import MachineError, SchedulerError
+from repro.infra.events import EventLog
+from repro.infra.tc import TaskCoordinator, TCState
+from repro.runtime.machine import Machine
+
+__all__ = ["ResourceCoordinator"]
+
+
+class ResourceCoordinator:
+    """Master daemon: TC registry, pools, failure detection/recovery."""
+
+    def __init__(
+        self,
+        machine: Machine,
+        events: Optional[EventLog] = None,
+        tc_restart_s: float = 5.0,
+        node_repair_s: float = 600.0,
+    ):
+        self.machine = machine
+        self.events = events if events is not None else EventLog()
+        self.tc_restart_s = float(tc_restart_s)
+        self.node_repair_s = float(node_repair_s)
+        self.tcs: Dict[int, TaskCoordinator] = {
+            n.node_id: TaskCoordinator(n.node_id) for n in machine.nodes
+        }
+        #: job id -> node ids of its TC pool
+        self.pools: Dict[str, List[int]] = {}
+        self.clock = 0.0
+        #: node id -> simulated time its repair completes
+        self.repair_done_at: Dict[int, float] = {}
+
+    # -- time -------------------------------------------------------------
+
+    def advance(self, dt: float) -> float:
+        """Advance the cluster clock; completes any due node repairs."""
+        self.clock += dt
+        # Repairs that completed while time advanced bring nodes back.
+        for node_id, t in list(self.repair_done_at.items()):
+            if self.clock >= t:
+                self.machine.repair_node(node_id)
+                self.tcs[node_id].reconnect()
+                del self.repair_done_at[node_id]
+                self.events.emit(self.clock, "node_repaired", node=node_id)
+        return self.clock
+
+    # -- pools -------------------------------------------------------------
+
+    def available_nodes(self) -> List[int]:
+        """Processors with idle, connected TCs."""
+        return sorted(
+            nid
+            for nid, tc in self.tcs.items()
+            if tc.idle and self.machine.node(nid).up
+        )
+
+    def form_pool(self, job_id: str, ntasks: int) -> List[int]:
+        """Allocate a TC pool of ``ntasks`` processors for a job."""
+        avail = self.available_nodes()
+        if len(avail) < ntasks:
+            raise SchedulerError(
+                f"job {job_id!r} needs {ntasks} processors; "
+                f"{len(avail)} available"
+            )
+        nodes = avail[:ntasks]
+        for rank, nid in enumerate(nodes):
+            self.tcs[nid].attach(job_id, [rank])
+        self.pools[job_id] = nodes
+        self.events.emit(self.clock, "pool_formed", job=job_id, nodes=nodes)
+        return nodes
+
+    def release_pool(self, job_id: str) -> None:
+        """Return a completed job's processors to the available pool."""
+        for nid in self.pools.pop(job_id, []):
+            if self.tcs[nid].connected:
+                self.tcs[nid].detach()
+        self.events.emit(self.clock, "pool_released", job=job_id)
+
+    def pool_of(self, job_id: str) -> List[int]:
+        return list(self.pools.get(job_id, []))
+
+    # -- failure handling (the five-step protocol) -----------------------------
+
+    def handle_processor_failure(self, node_id: int) -> Optional[str]:
+        """Run the recovery protocol for a failed processor.  Returns
+        the id of the application that was killed (if the node was in a
+        pool) so the scheduler can restart it."""
+        if node_id not in self.tcs:
+            raise MachineError(f"no TC for node {node_id}")
+        tc = self.tcs[node_id]
+        tc.disconnect()
+        if self.machine.node(node_id).up:
+            self.machine.fail_node(node_id)
+        self.events.emit(self.clock, "tc_disconnected", node=node_id)
+
+        # Step 1: which application/TC pool?
+        job_id = tc.job_id
+        if job_id is None:
+            # Idle node failed: just schedule its repair.
+            tc.begin_restart()
+            self.repair_done_at[node_id] = self.clock + self.node_repair_s
+            self.events.emit(self.clock, "idle_node_failed", node=node_id)
+            return None
+
+        # Step 2: kill the application's processes and the pool's TCs.
+        pool = self.pool_of(job_id)
+        self.events.emit(self.clock, "application_killed", job=job_id, pool=pool)
+
+        # Step 3: application considered terminated; user informed.
+        self.events.emit(self.clock, "user_informed", job=job_id, reason="node failure")
+
+        # Step 4: restart the killed TCs.  Healthy nodes reconnect after
+        # a TC restart; the failed node needs repair first.
+        for nid in pool:
+            self.tcs[nid].begin_restart()
+        self.pools.pop(job_id, None)
+        for nid in pool:
+            if nid == node_id:
+                self.repair_done_at[nid] = self.clock + self.node_repair_s
+                self.events.emit(
+                    self.clock,
+                    "node_repair_started",
+                    node=nid,
+                    eta=self.clock + self.node_repair_s,
+                )
+            else:
+                # Step 5: reactivated TC returns its node to the pool.
+                self.tcs[nid].reconnect()
+        self.advance(self.tc_restart_s)
+        self.events.emit(
+            self.clock,
+            "tcs_restarted",
+            job=job_id,
+            healthy=[n for n in pool if n != node_id],
+        )
+        return job_id

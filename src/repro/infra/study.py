@@ -1,0 +1,262 @@
+"""Scheduling-flexibility study (the paper's Section 8 future work).
+
+The conclusions argue that reconfigurable checkpoint/restart benefits
+resource scheduling — long-running jobs can be shrunk, grown, or parked
+as load changes — and promise to "quantify these results in a future
+publication".  This module is that quantification, as a deterministic
+event-driven study at the JSA level.
+
+Two policies over the same job stream on the same machine:
+
+* **rigid** — conventional checkpointing: a job runs on exactly its
+  requested task count; it waits in the queue until that many
+  processors are free and never changes size (an SPMD checkpoint can
+  only restart at the same size).
+* **reconfigurable** — DRMS checkpointing: a job may start on any count
+  within its SOQ resource range (``min_tasks``..``max_tasks``) and the
+  scheduler may reconfigure it (checkpoint + reconfigured restart,
+  paying ``reconfig_cost_s``) to expand into idle processors whenever
+  another job completes.
+
+Jobs are perfectly parallel within their valid range (work measured in
+node-seconds); both policies use the same FCFS queue.  Metrics:
+makespan, mean response time, and machine utilization.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import SchedulerError
+
+__all__ = ["JobSpec", "StudyResult", "SchedulingStudy"]
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One job in the stream."""
+
+    name: str
+    #: total work in node-seconds
+    work: float
+    #: rigid request / reconfigurable maximum
+    max_tasks: int
+    #: reconfigurable minimum (SOQ resource section lower bound)
+    min_tasks: int = 1
+    arrival: float = 0.0
+
+    def __post_init__(self):
+        if self.work <= 0 or self.max_tasks < 1 or self.min_tasks < 1:
+            raise SchedulerError(f"invalid job spec {self.name!r}")
+        if self.min_tasks > self.max_tasks:
+            raise SchedulerError(
+                f"{self.name!r}: min_tasks {self.min_tasks} > max_tasks {self.max_tasks}"
+            )
+
+
+@dataclass
+class _Running:
+    spec: JobSpec
+    ntasks: int
+    remaining: float  # node-seconds still to do
+    #: absolute time before which the job does no useful work
+    #: (start-up or reconfiguration overhead)
+    blocked_until: float
+    reconfigs: int = 0
+
+
+@dataclass
+class StudyResult:
+    policy: str
+    makespan: float
+    mean_response: float
+    utilization: float
+    completions: Dict[str, float]
+    reconfigurations: int
+
+    def row(self) -> Tuple:
+        """The result as a printable table row."""
+        return (
+            self.policy,
+            f"{self.makespan:.0f}",
+            f"{self.mean_response:.0f}",
+            f"{100 * self.utilization:.1f}%",
+            self.reconfigurations,
+        )
+
+
+class SchedulingStudy:
+    """Run one job stream under both policies."""
+
+    def __init__(
+        self,
+        num_nodes: int,
+        jobs: List[JobSpec],
+        reconfig_cost_s: float = 60.0,
+        max_events: int = 100_000,
+    ):
+        if num_nodes < 1:
+            raise SchedulerError("study needs at least one node")
+        for j in jobs:
+            if j.min_tasks > num_nodes:
+                raise SchedulerError(
+                    f"{j.name!r} cannot ever run: min {j.min_tasks} > {num_nodes} nodes"
+                )
+        self.num_nodes = num_nodes
+        self.jobs = sorted(jobs, key=lambda j: (j.arrival, j.name))
+        self.reconfig_cost_s = float(reconfig_cost_s)
+        self.max_events = max_events
+
+    # -- public -------------------------------------------------------------
+
+    def run(self, policy: str) -> StudyResult:
+        """Simulate the job stream under one policy; returns the metrics."""
+        if policy not in ("rigid", "reconfigurable"):
+            raise SchedulerError(f"unknown policy {policy!r}")
+        return self._simulate(reconfigurable=(policy == "reconfigurable"))
+
+    def compare(self) -> Dict[str, StudyResult]:
+        return {p: self.run(p) for p in ("rigid", "reconfigurable")}
+
+    # -- the event loop ------------------------------------------------------
+
+    def _simulate(self, reconfigurable: bool) -> StudyResult:
+        t = 0.0
+        queue: List[JobSpec] = []
+        pending = list(self.jobs)  # not yet arrived
+        running: List[_Running] = []
+        completions: Dict[str, float] = {}
+        busy_nodeseconds = 0.0
+        reconfig_count = 0
+
+        def free_nodes() -> int:
+            return self.num_nodes - sum(r.ntasks for r in running)
+
+        def admit() -> None:
+            nonlocal reconfig_count
+            if not reconfigurable:
+                # FCFS, exact-size allocation, no resizing ever
+                while queue:
+                    spec = queue[0]
+                    want = min(spec.max_tasks, self.num_nodes)
+                    if free_nodes() < want:
+                        break
+                    queue.pop(0)
+                    running.append(
+                        _Running(spec=spec, ntasks=want, remaining=spec.work,
+                                 blocked_until=t)
+                    )
+                return
+
+            # Reconfigurable policy: equipartition.  Admit queued jobs
+            # whenever shrinking the running set (never below each
+            # job's SOQ minimum) can free their minimum; then split the
+            # machine near-evenly across all running jobs, clamped to
+            # [min_tasks, max_tasks].  Every resize models one
+            # checkpoint + reconfigured restart (reconfig_cost_s).
+            while queue:
+                spec = queue[0]
+                # feasible iff every running job can shrink to its SOQ
+                # minimum and the newcomer's minimum still fits
+                committed = sum(r.spec.min_tasks for r in running)
+                if committed + spec.min_tasks > self.num_nodes:
+                    break
+                queue.pop(0)
+                running.append(
+                    _Running(spec=spec, ntasks=0, remaining=spec.work,
+                             blocked_until=t)
+                )
+            if not running:
+                return
+            # near-even split, leftovers to the earliest arrivals
+            base = self.num_nodes // len(running)
+            extra = self.num_nodes - base * len(running)
+            order = sorted(running, key=lambda r: (r.spec.arrival, r.spec.name))
+            targets = {}
+            for i, r in enumerate(order):
+                n = base + (1 if i < extra else 0)
+                targets[r.spec.name] = max(r.spec.min_tasks, min(r.spec.max_tasks, n))
+            # clamping may oversubscribe; trim the largest jobs first
+            while sum(targets.values()) > self.num_nodes:
+                victim = max(
+                    (r for r in order if targets[r.spec.name] > r.spec.min_tasks),
+                    key=lambda r: targets[r.spec.name],
+                    default=None,
+                )
+                if victim is None:
+                    raise SchedulerError("minimum task counts exceed the machine")
+                targets[victim.spec.name] -= 1
+            # clamping may also leave idle nodes; grow the earliest jobs
+            spare = self.num_nodes - sum(targets.values())
+            for r in order:
+                if spare <= 0:
+                    break
+                grow = min(spare, r.spec.max_tasks - targets[r.spec.name])
+                targets[r.spec.name] += grow
+                spare -= grow
+            for r in order:
+                n = targets[r.spec.name]
+                if n == r.ntasks:
+                    continue
+                if n > r.ntasks and r.ntasks != 0:
+                    # growth is optional: skip when the job is nearly
+                    # done and the checkpoint+restart would not pay off
+                    if r.remaining <= self.reconfig_cost_s * r.ntasks:
+                        continue
+                # shrinks are mandatory (they free the nodes an admitted
+                # job was promised); initial placement (ntasks == 0) is
+                # a plain start, not a reconfiguration
+                if r.ntasks != 0:
+                    r.reconfigs += 1
+                    reconfig_count += 1
+                    r.blocked_until = max(r.blocked_until, t) + self.reconfig_cost_s
+                r.ntasks = n
+
+        for _ in range(self.max_events):
+            # arrivals at time t
+            while pending and pending[0].arrival <= t:
+                queue.append(pending.pop(0))
+            admit()
+            if not running and not queue and not pending:
+                break
+            # next event: earliest completion or next arrival
+            horizons = []
+            for r in running:
+                start = max(t, r.blocked_until)
+                horizons.append(start + r.remaining / r.ntasks)
+            if pending:
+                horizons.append(pending[0].arrival)
+            if not horizons:
+                raise SchedulerError("deadlock: queued jobs but nothing can run")
+            t_next = min(horizons)
+            # progress all running jobs to t_next
+            done_now = []
+            for r in running:
+                start = max(t, r.blocked_until)
+                work_dt = max(0.0, t_next - start)
+                did = min(r.remaining, work_dt * r.ntasks)
+                r.remaining -= did
+                busy_nodeseconds += did
+                if r.remaining <= 1e-9:
+                    done_now.append(r)
+            t = t_next
+            for r in done_now:
+                running.remove(r)
+                completions[r.spec.name] = t
+        else:
+            raise SchedulerError("event budget exhausted (livelock?)")
+
+        makespan = max(completions.values(), default=0.0)
+        responses = [completions[j.name] - j.arrival for j in self.jobs]
+        return StudyResult(
+            policy="reconfigurable" if reconfigurable else "rigid",
+            makespan=makespan,
+            mean_response=sum(responses) / len(responses) if responses else 0.0,
+            utilization=(
+                busy_nodeseconds / (self.num_nodes * makespan) if makespan else 0.0
+            ),
+            completions=completions,
+            reconfigurations=reconfig_count,
+        )

@@ -1,0 +1,64 @@
+"""Task Coordinators: one per processor.
+
+The TC controls and monitors the application processes on its node and
+interfaces them to the Resource Coordinator.  Its connection to the RC
+is the failure detector: a node failure manifests as a lost TC
+connection (paper Section 4).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+__all__ = ["TCState", "TaskCoordinator"]
+
+
+class TCState(enum.Enum):
+    """Connection state of a Task Coordinator."""
+    #: TC up and connected to the RC; node available or running tasks
+    CONNECTED = "connected"
+    #: connection lost (node failure); triggers RC recovery
+    DISCONNECTED = "disconnected"
+    #: RC is bringing the TC back (may require node reboot/repair)
+    RESTARTING = "restarting"
+
+
+@dataclass
+class TaskCoordinator:
+    """Per-node daemon state."""
+
+    node_id: int
+    state: TCState = TCState.CONNECTED
+    #: job id of the application whose tasks this TC controls, if any
+    job_id: Optional[str] = None
+    #: task ranks running under this TC
+    ranks: List[int] = field(default_factory=list)
+
+    @property
+    def connected(self) -> bool:
+        return self.state is TCState.CONNECTED
+
+    @property
+    def idle(self) -> bool:
+        return self.connected and self.job_id is None
+
+    def attach(self, job_id: str, ranks: List[int]) -> None:
+        self.job_id = job_id
+        self.ranks = list(ranks)
+
+    def detach(self) -> None:
+        self.job_id = None
+        self.ranks = []
+
+    def disconnect(self) -> None:
+        """The node died under this TC."""
+        self.state = TCState.DISCONNECTED
+
+    def begin_restart(self) -> None:
+        self.state = TCState.RESTARTING
+
+    def reconnect(self) -> None:
+        self.state = TCState.CONNECTED
+        self.detach()

@@ -1,0 +1,62 @@
+"""The User Interface Coordinator: the user/administrator facade."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.infra.events import Event, EventLog
+from repro.infra.jsa import JobSchedulerAnalyzer, JobState
+
+__all__ = ["UserInterfaceCoordinator"]
+
+
+class UserInterfaceCoordinator:
+    """Thin interface between users and the DRMS environment: job
+    submission/queries plus the notification stream (the paper's "the
+    user of the application is informed")."""
+
+    def __init__(self, jsa: JobSchedulerAnalyzer, events: Optional[EventLog] = None):
+        self.jsa = jsa
+        self.events = events if events is not None else jsa.events
+
+    # -- user actions --------------------------------------------------------
+
+    def submit(self, job_id: str, app, args=(), kwargs=None, prefix: str = "ckpt"):
+        return self.jsa.submit(job_id, app, args=args, kwargs=kwargs, prefix=prefix)
+
+    def run(self, job_id: str, ntasks=None):
+        return self.jsa.run(job_id, ntasks=ntasks)
+
+    def restart(self, job_id: str, ntasks=None):
+        return self.jsa.restart(job_id, ntasks=ntasks)
+
+    # -- queries ----------------------------------------------------------------
+
+    def job_status(self, job_id: str) -> JobState:
+        return self.jsa._job(job_id).state
+
+    def notifications(self, job_id: Optional[str] = None) -> List[Event]:
+        """User-facing notifications (failures, completions, restarts)."""
+        kinds = {
+            "user_informed",
+            "job_completed",
+            "job_restarted",
+            "recovery_started",
+        }
+        return [
+            e
+            for e in self.events
+            if e.kind in kinds
+            and (job_id is None or e.detail.get("job") == job_id)
+        ]
+
+    def system_status(self) -> Dict[str, Any]:
+        """Snapshot of cluster time, node availability, and job states."""
+        rc = self.jsa.rc
+        return {
+            "time": rc.clock,
+            "nodes_up": len(rc.machine.up_nodes()),
+            "nodes_total": rc.machine.num_nodes,
+            "available": len(rc.available_nodes()),
+            "jobs": {j: job.state.value for j, job in self.jsa.jobs.items()},
+        }

@@ -1,0 +1,36 @@
+"""Analytic models and the paper's reference numbers.
+
+* :mod:`repro.perfmodel.paper_data` — every value from Tables 1, 3, 4,
+  5, and 6 (the calibration targets, with reconstruction flags for the
+  cells garbled in the source text);
+* :mod:`repro.perfmodel.shadow_ratio` — the Section 6 global-view vs
+  task-based saved-state analysis ``r = ((n + 2s)/n)^d``;
+* :mod:`repro.perfmodel.wong_franklin` — the checkpointing/recovery
+  degradation model of reference [19], with and without load
+  redistribution (reconfiguration).
+"""
+
+from repro.perfmodel.paper_data import (
+    PAPER_TABLE1,
+    PAPER_TABLE3,
+    PAPER_TABLE4,
+    PAPER_TABLE5,
+    PAPER_TABLE6,
+)
+from repro.perfmodel.shadow_ratio import shadow_ratio, extra_task_based_bytes
+from repro.perfmodel.wong_franklin import WongFranklinModel
+from repro.perfmodel.crossover import AppProfile, crossover_pes, threshold_pes
+
+__all__ = [
+    "PAPER_TABLE1",
+    "PAPER_TABLE3",
+    "PAPER_TABLE4",
+    "PAPER_TABLE5",
+    "PAPER_TABLE6",
+    "shadow_ratio",
+    "extra_task_based_bytes",
+    "WongFranklinModel",
+    "AppProfile",
+    "crossover_pes",
+    "threshold_pes",
+]

@@ -1,0 +1,106 @@
+"""Analytic crossover predictor for the restart comparison.
+
+The paper's most interesting Table 5 pattern is a *crossover*: below the
+buffer-memory threshold the conventional SPMD restart beats the DRMS
+restart (it skips the array-read phase), above it the DRMS restart wins
+by a widening margin.  Given an application profile and the PIOFS
+constants, this module answers, in closed form, the question the paper
+leaves implicit: **at how many processors does DRMS restart start to
+win?**
+
+Two mechanisms bound the answer:
+
+* the *threshold PE count* ``p_thresh``: the smallest task count whose
+  total SPMD working set (``p × segment``) exceeds the buffer memory
+  available with ``p`` busy nodes — beyond it the SPMD restart runs at
+  the collapsed rate;
+* per-regime restart-time formulas mirroring
+  :mod:`repro.pfs.phase` (DRMS: shared segment read + client-scaled
+  array read + fixed init; SPMD: per-client distinct-file read).
+
+The bench cross-checks the analytic crossover against the simulated
+engines over a PE grid.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.pfs.params import PIOFSParams
+
+__all__ = ["AppProfile", "threshold_pes", "drms_restart_s", "spmd_restart_s", "crossover_pes"]
+
+_MB = 1e6
+
+
+@dataclass(frozen=True)
+class AppProfile:
+    """The two byte quantities the restart comparison depends on."""
+
+    segment_bytes: int
+    array_bytes: int
+    #: distinct array files (open overhead in the DRMS restart)
+    n_arrays: int = 1
+
+    @classmethod
+    def of(cls, proxy) -> "AppProfile":
+        """Profile of an :class:`~repro.apps.base.NPBProxy`."""
+        return cls(
+            segment_bytes=proxy.spmd_segment_bytes,
+            array_bytes=proxy.array_bytes_total,
+            n_arrays=len(proxy.fields),
+        )
+
+
+def threshold_pes(profile: AppProfile, params: Optional[PIOFSParams] = None) -> int:
+    """Smallest task count at which the SPMD restart working set
+    exceeds the buffer memory (⇒ collapsed read rate).  Returns a count
+    beyond ``num_servers`` when the threshold is never crossed."""
+    params = params or PIOFSParams()
+    seg_mb = profile.segment_bytes / _MB
+    for p in range(1, params.num_servers + 1):
+        if p * seg_mb > params.buffer_total_mb(p):
+            return p
+    return params.num_servers + 1
+
+
+def drms_restart_s(
+    profile: AppProfile, pes: int, params: Optional[PIOFSParams] = None
+) -> float:
+    """DRMS restart time: every task reads the shared segment, the
+    arrays stream in at the client-scaled rate, plus the fixed init."""
+    params = params or PIOFSParams()
+    seg_mb = profile.segment_bytes / _MB
+    arr_mb = profile.array_bytes / _MB
+    seg_s = seg_mb / params.shared_read_per_client_mbps + params.file_open_overhead_s
+    arr_s = (
+        arr_mb / (pes * params.array_read_per_client_mbps)
+        + params.file_open_overhead_s * profile.n_arrays
+    )
+    return params.restart_init_s + seg_s + arr_s
+
+
+def spmd_restart_s(
+    profile: AppProfile, pes: int, params: Optional[PIOFSParams] = None
+) -> float:
+    """SPMD restart time: each task reads its private segment at the
+    fast or collapsed rate depending on the working set."""
+    params = params or PIOFSParams()
+    seg_mb = profile.segment_bytes / _MB
+    pressured = pes * seg_mb > params.buffer_total_mb(pes)
+    rate = params.distinct_read_slow_mbps if pressured else params.distinct_read_fast_mbps
+    return params.restart_init_s + seg_mb / rate + params.file_open_overhead_s
+
+
+def crossover_pes(
+    profile: AppProfile, params: Optional[PIOFSParams] = None
+) -> Optional[int]:
+    """Smallest task count at which the DRMS restart beats the SPMD
+    restart; ``None`` when it never does within the machine."""
+    params = params or PIOFSParams()
+    for p in range(1, params.num_servers + 1):
+        if drms_restart_s(profile, p, params) < spmd_restart_s(profile, p, params):
+            return p
+    return None

@@ -1,0 +1,128 @@
+"""Drivers that regenerate the paper's measurements.
+
+``measure_checkpoint_restart`` reproduces one (application, PEs) cell of
+Tables 5 and 6: it builds the proxy's Class-A state (virtual payloads),
+places the tasks on the machine exactly as the paper does (one task per
+node, PIOFS servers on all 16 nodes), runs the DRMS checkpoint + restart
+engines and the conventional SPMD pair, and returns the component
+breakdowns.
+
+The paper reports mean ± σ over 10 runs; the simulator is
+deterministic, so ``repeat_with_noise`` models run-to-run variance with
+seeded lognormal jitter on phase durations (the observed coefficients of
+variation in Table 5 are 5-40%).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.apps import make_proxy
+from repro.apps.base import NPBProxy
+from repro.arrays.darray import DistributedArray
+from repro.checkpoint.drms import (
+    CheckpointBreakdown,
+    RestartBreakdown,
+    drms_checkpoint,
+    drms_restart,
+)
+from repro.checkpoint.spmd import spmd_checkpoint, spmd_restart
+from repro.pfs.params import PIOFSParams
+from repro.pfs.piofs import PIOFS
+from repro.runtime.machine import Machine, MachineParams
+
+__all__ = ["CellResult", "measure_checkpoint_restart", "repeat_with_noise"]
+
+
+@dataclass
+class CellResult:
+    """All four operations for one (app, PEs) configuration."""
+
+    benchmark: str
+    pes: int
+    drms_ckpt: CheckpointBreakdown
+    drms_restart: RestartBreakdown
+    spmd_ckpt: CheckpointBreakdown
+    spmd_restart: RestartBreakdown
+
+    def seconds(self) -> Dict[Tuple[str, str], float]:
+        """The four operation times keyed by (op, scheme)."""
+        return {
+            ("checkpoint", "drms"): self.drms_ckpt.total_seconds,
+            ("checkpoint", "spmd"): self.spmd_ckpt.total_seconds,
+            ("restart", "drms"): self.drms_restart.total_seconds,
+            ("restart", "spmd"): self.spmd_restart.total_seconds,
+        }
+
+
+def build_state(proxy: NPBProxy, pes: int) -> List[DistributedArray]:
+    """The proxy's distributed arrays at ``pes`` tasks (virtual for
+    bench-scale classes)."""
+    return [
+        DistributedArray(
+            f.name,
+            f.shape(proxy.n),
+            np.dtype(f.dtype),
+            proxy.field_distribution(f, pes),
+            store_data=proxy.store_data,
+        )
+        for f in proxy.fields
+    ]
+
+
+def measure_checkpoint_restart(
+    benchmark: str,
+    pes: int,
+    klass: str = "A",
+    machine: Optional[Machine] = None,
+    params: Optional[PIOFSParams] = None,
+    restart_pes: Optional[int] = None,
+) -> CellResult:
+    """One (app, PEs) cell of Tables 5/6, DRMS and SPMD variants."""
+    proxy = make_proxy(benchmark, klass, store_data=False)
+    machine = machine or Machine(MachineParams(num_nodes=16))
+    pfs = PIOFS(machine=machine, params=params)
+
+    # one task per node; PIOFS servers share all nodes (paper setup)
+    machine.clear_tasks()
+    machine.place_tasks(pes)
+
+    arrays = build_state(proxy, pes)
+    from repro.checkpoint.segment import DataSegment
+
+    segment = DataSegment(profile=proxy.segment_profile())
+    prefix = f"{benchmark}.{pes}"
+    bd_dc = drms_checkpoint(pfs, prefix + ".drms", segment, arrays)
+    _, bd_dr = drms_restart(pfs, prefix + ".drms", restart_pes or pes)
+    bd_sc = spmd_checkpoint(
+        pfs,
+        prefix + ".spmd",
+        ntasks=pes,
+        segment_bytes=proxy.spmd_segment_bytes,
+        app_name=benchmark,
+    )
+    _, bd_sr = spmd_restart(pfs, prefix + ".spmd", pes)
+    machine.clear_tasks()
+    return CellResult(
+        benchmark=benchmark,
+        pes=pes,
+        drms_ckpt=bd_dc,
+        drms_restart=bd_dr,
+        spmd_ckpt=bd_sc,
+        spmd_restart=bd_sr,
+    )
+
+
+def repeat_with_noise(
+    mean_seconds: float, runs: int = 10, cv: float = 0.10, seed: int = 7
+) -> Tuple[float, float]:
+    """Model the paper's 10-run mean ± σ: seeded lognormal jitter with
+    coefficient of variation ``cv`` around the deterministic value."""
+    rng = np.random.default_rng(seed + int(mean_seconds * 1000) % 99991)
+    sigma = math.sqrt(math.log(1.0 + cv * cv))
+    samples = mean_seconds * rng.lognormal(-sigma * sigma / 2.0, sigma, size=runs)
+    return float(np.mean(samples)), float(np.std(samples))

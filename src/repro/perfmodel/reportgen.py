@@ -1,0 +1,197 @@
+"""Generators for the paper's tables and figure, shared by the
+benchmark harness and the ``python -m repro.tools.report`` CLI.
+
+Each ``table*`` function returns ``(text, data)``: the rendered ASCII
+artifact plus the measured objects, so callers can assert against them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.apps import make_proxy
+from repro.apps.meta import count_drms_lines
+from repro.checkpoint.drms import drms_checkpoint
+from repro.checkpoint.restart import saved_state_bytes
+from repro.checkpoint.segment import DataSegment
+from repro.checkpoint.spmd import spmd_checkpoint
+from repro.perfmodel.experiments import (
+    build_state,
+    measure_checkpoint_restart,
+    repeat_with_noise,
+)
+from repro.perfmodel.paper_data import (
+    PAPER_TABLE1,
+    PAPER_TABLE3,
+    PAPER_TABLE4,
+    PAPER_TABLE5,
+    PAPER_TABLE6,
+)
+from repro.pfs.piofs import PIOFS
+from repro.reporting.tables import Table, bar_chart
+from repro.runtime.machine import Machine, MachineParams
+
+__all__ = [
+    "table1",
+    "table3",
+    "table4",
+    "table5",
+    "table6",
+    "figure7",
+    "measure_all_cells",
+]
+
+APPS = ("bt", "lu", "sp")
+MB = 1e6
+
+
+def measure_all_cells() -> Dict:
+    """All six (app, PEs) Table 5/6 measurements."""
+    return {
+        (b, p): measure_checkpoint_restart(b, p) for b in APPS for p in (8, 16)
+    }
+
+
+def table1() -> Tuple[str, Dict]:
+    """Regenerate Table 1 (conformance line counts)."""
+    t = Table(
+        ["Application", "paper total lines", "paper lines added", "paper %",
+         "proxy DRMS-API lines"],
+        title="Table 1: lines added to conform to the DRMS programming model",
+    )
+    rows = {}
+    for name in APPS:
+        proxy = make_proxy(name, "toy")
+        total, added = PAPER_TABLE1[name]
+        lines = count_drms_lines(proxy.spmd_main)
+        t.add_row(name.upper(), total, added, f"{100 * added / total:.1f}%", lines)
+        rows[name] = (total, added, lines)
+    return t.render(), rows
+
+
+def table3() -> Tuple[str, Dict]:
+    """Regenerate Table 3 (saved-state sizes)."""
+    machine = Machine(MachineParams(num_nodes=16))
+    pfs = PIOFS(machine=machine)
+    t = Table(
+        ["App", "DRMS data", "DRMS array", "DRMS total",
+         "SPMD 4PE", "SPMD 8PE", "SPMD 16PE", "paper DRMS/SPMD16"],
+        title="Table 3: size of saved state (MB); DRMS fixed, SPMD linear in P",
+    )
+    measured = {}
+    for name in APPS:
+        proxy = make_proxy(name, "A", store_data=False)
+        seg = DataSegment(profile=proxy.segment_profile())
+        drms_checkpoint(pfs, f"{name}.drms", seg, build_state(proxy, 4))
+        drms = saved_state_bytes(pfs, f"{name}.drms")
+        spmd = {}
+        for p in (4, 8, 16):
+            spmd_checkpoint(
+                pfs, f"{name}.spmd{p}", ntasks=p,
+                segment_bytes=proxy.spmd_segment_bytes,
+            )
+            spmd[p] = saved_state_bytes(pfs, f"{name}.spmd{p}")["total"]
+        paper = PAPER_TABLE3[name]
+        t.add_row(
+            name.upper(), drms["segment"] / MB, drms["arrays"] / MB,
+            drms["total"] / MB, spmd[4] / MB, spmd[8] / MB, spmd[16] / MB,
+            f"{paper['drms']['total']}/{paper['spmd'][16]}",
+        )
+        measured[name] = (drms, spmd)
+    return t.render(), measured
+
+
+def table4() -> Tuple[str, Dict]:
+    """Regenerate Table 4 (data-segment components)."""
+    t = Table(
+        ["App", "Total data (B)", "Local sections", "System related",
+         "Private/replicated", "paper total"],
+        title="Table 4: data-segment components of a representative task",
+    )
+    profiles = {}
+    for name in APPS:
+        prof = make_proxy(name, "A").segment_profile()
+        t.add_row(
+            name.upper(), prof.total_bytes, prof.local_section_bytes,
+            prof.system_bytes, prof.private_bytes, PAPER_TABLE4[name][0],
+        )
+        profiles[name] = prof
+    return t.render(), profiles
+
+
+def table5(cells: Dict = None) -> Tuple[str, Dict]:
+    """Regenerate Table 5 (checkpoint/restart times)."""
+    cells = cells or measure_all_cells()
+    t = Table(
+        ["App", "op", "PEs", "kind", "model (s)", "mean±sigma (10 runs)",
+         "paper (s)", "ratio"],
+        title="Table 5: time to checkpoint and restart DRMS vs SPMD applications",
+    )
+    for name in APPS:
+        for pes in (8, 16):
+            cell = cells[(name, pes)]
+            for (op, kind), sec in sorted(cell.seconds().items()):
+                paper = PAPER_TABLE5[name][(op, pes, kind)]
+                mean, sigma = repeat_with_noise(
+                    sec, runs=10, cv=paper.sigma / max(paper.mean, 1)
+                )
+                flag = " [R]" if paper.reconstructed else ""
+                t.add_row(
+                    name.upper(), op, pes, kind, sec,
+                    f"{mean:.0f}±{sigma:.0f}",
+                    f"{paper.mean:.0f}±{paper.sigma:.0f}{flag}",
+                    f"{sec / paper.mean:.2f}",
+                )
+    return t.render(), cells
+
+
+def table6(cells: Dict = None) -> Tuple[str, Dict]:
+    """Regenerate Table 6 (component breakdowns)."""
+    cells = cells or measure_all_cells()
+    t = Table(
+        ["App", "PEs", "op", "total s (paper)", "rate (paper)",
+         "seg % (paper)", "seg MB/s (paper)", "arr % (paper)", "arr MB/s (paper)"],
+        title="Table 6: components of DRMS checkpoint and restart operations",
+    )
+    for name in APPS:
+        for pes in (8, 16):
+            cell = cells[(name, pes)]
+            for op, bd in (
+                ("checkpoint", cell.drms_ckpt),
+                ("restart", cell.drms_restart),
+            ):
+                paper = PAPER_TABLE6[name][(pes, op)]
+                t.add_row(
+                    name.upper(), pes, op,
+                    f"{bd.total_seconds:.1f} ({paper.total_s})",
+                    f"{bd.rate_mbps:.1f} ({paper.total_rate})",
+                    f"{100 * bd.segment_seconds / bd.total_seconds:.0f} ({paper.segment_pct})",
+                    f"{bd.segment_rate_mbps:.1f} ({paper.segment_rate})",
+                    f"{100 * bd.arrays_seconds / bd.total_seconds:.0f} ({paper.arrays_pct})",
+                    f"{bd.arrays_rate_mbps:.1f} ({paper.arrays_rate})",
+                )
+    return t.render(), cells
+
+
+def figure7(cells: Dict = None) -> Tuple[str, Dict]:
+    """Regenerate Figure 7 (stacked component bars, ASCII)."""
+    cells = cells or measure_all_cells()
+    series = {}
+    for pes in (8, 16):
+        for name in APPS:
+            cell = cells[(name, pes)]
+            series[f"{pes:2}PE {name.upper()} C"] = {
+                "segment": cell.drms_ckpt.segment_seconds,
+                "arrays": cell.drms_ckpt.arrays_seconds,
+            }
+            series[f"{pes:2}PE {name.upper()} R"] = {
+                "segment": cell.drms_restart.segment_seconds,
+                "arrays": cell.drms_restart.arrays_seconds,
+                "other": cell.drms_restart.other_seconds,
+            }
+    chart = bar_chart(
+        series,
+        title="Figure 7: components of DRMS checkpoint (C) and restart (R) times",
+        unit="s",
+    )
+    return chart, cells

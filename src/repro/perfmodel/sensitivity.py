@@ -1,0 +1,93 @@
+"""Sensitivity analysis of the PIOFS calibration.
+
+The timing reproduction rests on the calibrated constants in
+:class:`~repro.pfs.params.PIOFSParams`.  This module perturbs each
+constant and measures how much every Table 5 cell moves — showing (a)
+which mechanisms carry which cells and (b) that the paper's qualitative
+*shapes* (orderings, crossovers) are robust to substantial
+miscalibration, so the reproduction's conclusions do not hinge on any
+single fitted number.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Tuple
+
+from repro.perfmodel.experiments import measure_checkpoint_restart
+from repro.pfs.params import PIOFSParams
+
+__all__ = ["perturbable_params", "cell_times", "sensitivity_sweep", "shapes_hold"]
+
+APPS = ("bt", "lu", "sp")
+PES = (8, 16)
+
+
+def perturbable_params() -> List[str]:
+    """The float-valued calibration constants (counts excluded)."""
+    out = []
+    for f in dataclasses.fields(PIOFSParams):
+        if f.type == "float" or isinstance(getattr(PIOFSParams(), f.name), float):
+            out.append(f.name)
+    return out
+
+
+def cell_times(params: Optional[PIOFSParams] = None) -> Dict[Tuple, float]:
+    """All 24 Table 5 cells under the given parameter set."""
+    out: Dict[Tuple, float] = {}
+    for b in APPS:
+        for p in PES:
+            cell = measure_checkpoint_restart(b, p, params=params)
+            for key, sec in cell.seconds().items():
+                out[(b, p) + key] = sec
+    return out
+
+
+def sensitivity_sweep(
+    delta: float = 0.2, params: Optional[List[str]] = None
+) -> Dict[str, float]:
+    """Max relative change over the 24 cells when each constant is
+    scaled by ``1 + delta``; sorted most-influential first."""
+    base = cell_times()
+    names = params or perturbable_params()
+    influence: Dict[str, float] = {}
+    for name in names:
+        default = getattr(PIOFSParams(), name)
+        perturbed = dataclasses.replace(PIOFSParams(), **{name: default * (1 + delta)})
+        times = cell_times(perturbed)
+        influence[name] = max(
+            abs(times[k] / base[k] - 1.0) for k in base if base[k] > 0
+        )
+    return dict(sorted(influence.items(), key=lambda kv: -kv[1]))
+
+
+def shapes_hold(params: PIOFSParams) -> bool:
+    """The paper's four qualitative claims under an arbitrary parameter
+    set (used to show robustness to miscalibration)."""
+    cells = {
+        (b, p): measure_checkpoint_restart(b, p, params=params)
+        for b in APPS
+        for p in PES
+    }
+    for b in APPS:
+        for p in PES:
+            s = cells[(b, p)].seconds()
+            if not s[("checkpoint", "drms")] < s[("checkpoint", "spmd")]:
+                return False
+        if not (
+            cells[(b, 16)].drms_restart.total_seconds
+            < cells[(b, 8)].drms_restart.total_seconds
+        ):
+            return False
+    # threshold collapse: BT's SPMD restart degrades sharply 8 -> 16
+    if not (
+        cells[("bt", 16)].spmd_restart.total_seconds
+        > 2 * cells[("bt", 8)].spmd_restart.total_seconds
+    ):
+        return False
+    # crossover at 16 PEs: DRMS restart beats SPMD restart everywhere
+    return all(
+        cells[(b, 16)].drms_restart.total_seconds
+        < cells[(b, 16)].spmd_restart.total_seconds
+        for b in APPS
+    )

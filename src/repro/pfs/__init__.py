@@ -1,0 +1,27 @@
+"""PIOFS-like parallel file system simulator.
+
+Files hold real bytes (striped across server nodes) so checkpoint data
+round-trips exactly; *timing* comes from a phase-based throughput model
+(:mod:`repro.pfs.phase`) calibrated against the paper's 16-node SP
+testbed, reproducing its three I/O phenomena: writes are
+server-limited, shared-file reads are client-limited (PIOFS prefetch),
+and reads of many large distinct files collapse once the working set
+exceeds the available buffer memory.
+"""
+
+from repro.pfs.params import PIOFSParams
+from repro.pfs.file import PFSFile
+from repro.pfs.phase import IOKind, IOPhaseResult
+from repro.pfs.piofs import PIOFS
+from repro.pfs.localfs import SerialFS
+from repro.pfs.hostfs import HostFS
+
+__all__ = [
+    "PIOFSParams",
+    "PFSFile",
+    "IOKind",
+    "IOPhaseResult",
+    "PIOFS",
+    "SerialFS",
+    "HostFS",
+]

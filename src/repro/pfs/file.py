@@ -1,0 +1,115 @@
+"""Logical files striped across PIOFS server nodes.
+
+A :class:`PFSFile` is one logical byte stream physically striped
+round-robin in ``stripe_kb`` units over the server nodes (the paper:
+"each array stored in a single logical file that is physically
+distributed among the server nodes").  Files either hold real bytes
+(checkpoint data round-trips exactly) or are *virtual* (size-only, for
+Class-A-scale benchmarks that must not allocate gigabytes).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.errors import PFSError
+
+__all__ = ["PFSFile"]
+
+
+class PFSFile:
+    """One logical file in the parallel file system."""
+
+    def __init__(self, name: str, num_servers: int, stripe_kb: int, virtual: bool = False):
+        if num_servers < 1:
+            raise PFSError("file needs at least one server")
+        self.name = name
+        self.num_servers = num_servers
+        self.stripe_bytes = int(stripe_kb) * 1024
+        if self.stripe_bytes < 1:
+            raise PFSError("stripe size must be positive")
+        self.virtual = bool(virtual)
+        self._data = bytearray() if not virtual else None
+        self._size = 0
+
+    @property
+    def size(self) -> int:
+        return self._size
+
+    @property
+    def stored_bytes(self) -> int:
+        """Bytes with materialized content; the rest of the file (up to
+        :attr:`size`) is sparse or virtual and reads back as zeros."""
+        return len(self._data) if self._data is not None else 0
+
+    # -- stripe geometry --------------------------------------------------
+
+    def server_of_offset(self, offset: int) -> int:
+        """The server node holding the stripe containing ``offset``."""
+        if offset < 0:
+            raise PFSError(f"negative offset {offset}")
+        return (offset // self.stripe_bytes) % self.num_servers
+
+    def server_byte_spans(self, offset: int, nbytes: int) -> Dict[int, int]:
+        """Bytes of ``[offset, offset+nbytes)`` that land on each server
+        — used by the phase model for per-server load balance checks."""
+        out: Dict[int, int] = {}
+        pos, end = offset, offset + nbytes
+        while pos < end:
+            stripe_end = (pos // self.stripe_bytes + 1) * self.stripe_bytes
+            chunk = min(end, stripe_end) - pos
+            srv = self.server_of_offset(pos)
+            out[srv] = out.get(srv, 0) + chunk
+            pos += chunk
+        return out
+
+    # -- data access -------------------------------------------------------
+
+    def write_at(self, offset: int, data: Optional[bytes], nbytes: Optional[int] = None) -> int:
+        """Write ``data`` at ``offset``; returns bytes written.  Writing
+        past EOF zero-fills the gap (POSIX seek+write).  With
+        ``data=None`` and ``nbytes`` set, the write is *sparse*: the file
+        grows but no content is stored; sparse regions read back as
+        zeros.  Virtual files store nothing either way."""
+        if offset < 0:
+            raise PFSError(f"negative offset {offset}")
+        if self.virtual or data is None:
+            if nbytes is None:
+                if data is None:
+                    raise PFSError("content-free write needs nbytes")
+                nbytes = len(data)
+            self._size = max(self._size, offset + int(nbytes))
+            return int(nbytes)
+        end = offset + len(data)
+        if end > len(self._data):
+            self._data.extend(b"\x00" * (end - len(self._data)))
+        self._data[offset:end] = data
+        self._size = max(self._size, end)
+        return len(data)
+
+    def append(self, data: Optional[bytes], nbytes: Optional[int] = None) -> int:
+        """Sequential write at EOF (what serial streaming uses; needs no
+        seek capability)."""
+        return self.write_at(self._size, data, nbytes)
+
+    def read_at(self, offset: int, nbytes: int) -> bytes:
+        """Read ``nbytes`` at ``offset``; sparse spans read back as zeros."""
+        if self.virtual:
+            raise PFSError(f"file {self.name!r} is virtual; no data to read")
+        if offset < 0 or offset + nbytes > self._size:
+            raise PFSError(
+                f"read [{offset}, {offset + nbytes}) outside file "
+                f"{self.name!r} of size {self._size}"
+            )
+        stored_end = min(offset + nbytes, len(self._data))
+        out = bytes(self._data[offset:stored_end]) if stored_end > offset else b""
+        if len(out) < nbytes:  # sparse tail reads back as zeros
+            out += b"\x00" * (nbytes - len(out))
+        return out
+
+    def read_all(self) -> bytes:
+        return self.read_at(0, self._size)
+
+    def __repr__(self) -> str:
+        kind = "virtual" if self.virtual else "data"
+        return f"PFSFile({self.name!r}, {self._size}B, {kind})"

@@ -1,0 +1,65 @@
+"""A serial single-server file system (NFS-like baseline).
+
+The paper notes its approach "works with any file system" but only
+reaches full performance on a parallel one.  :class:`SerialFS` is the
+contrast case: one server, one channel, so *every* phase — regardless of
+how many clients participate — is limited by a single sequential rate.
+Used by the streaming ablation bench to show why parallel streaming
+needs a parallel file system (paper Section 3.2: serial streaming works
+through a sequential channel such as a UNIX socket or tape drive).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.pfs.params import PIOFSParams
+from repro.pfs.phase import IOKind, IOPhaseResult, solve_phase
+from repro.pfs.piofs import PIOFS
+from repro.runtime.machine import Machine
+
+__all__ = ["SerialFS"]
+
+
+class SerialFS(PIOFS):
+    """PIOFS-compatible interface backed by one serial server."""
+
+    def __init__(
+        self,
+        machine: Optional[Machine] = None,
+        sequential_mbps: float = 7.0,
+        seekable: bool = False,
+    ):
+        params = PIOFSParams(num_servers=1)
+        super().__init__(machine=machine, params=params)
+        self.sequential_mbps = float(sequential_mbps)
+        #: sockets/tape drives cannot seek; parallel streaming needs it
+        self.seekable = bool(seekable)
+
+    def supports_parallel_streaming(self) -> bool:
+        return self.seekable
+
+    def end_phase(self) -> IOPhaseResult:
+        """All traffic funnels through one channel at one rate."""
+        with self._lock:
+            kind = self._phase_kind
+            transfers = self._phase_transfers
+            self._phase_kind = None
+            self._phase_transfers = []
+            self._phase_server_bytes = {}
+        if kind is None:
+            from repro.errors import PFSError
+
+            raise PFSError("no phase open")
+        total_mb = sum(t.nbytes for t in transfers) / 1e6
+        files = {t.filename for t in transfers}
+        result = IOPhaseResult(
+            kind=kind,
+            seconds=total_mb / self.sequential_mbps
+            + self.params.file_open_overhead_s * len(files),
+            total_bytes=sum(t.nbytes for t in transfers),
+            clients={t.client for t in transfers},
+            files=files,
+        )
+        self.phase_log.append(result)
+        return result

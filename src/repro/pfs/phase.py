@@ -1,0 +1,199 @@
+"""The I/O phase timing model.
+
+Checkpoint and restart are globally synchronous operations (the paper
+uses *blocking* checkpoints), so I/O naturally groups into *phases*: the
+data-segment write, then each distributed array in sequence; on restart
+the segment reads, then the arrays.  A phase collects every transfer
+performed between ``begin`` and ``end``; at ``end`` the model computes a
+deterministic duration from the transfer set, the operation class, and
+the machine state (how many server nodes also run application tasks).
+
+Operation classes mirror the component breakdown of Table 6:
+
+* ``WRITE_SERIAL``  — one task writes one file (DRMS data segment);
+  limited by the writer's injection rate, degraded by interference.
+* ``WRITE_PARALLEL`` — parstream array write; server-limited aggregate.
+* ``WRITE_DISTINCT`` — P tasks each write a private file (SPMD
+  checkpoint); server-limited, plus memory-pressure slowdown when a
+  per-task segment exceeds the node's free memory.
+* ``READ_SHARED``   — every task reads the same file (DRMS restart
+  segment); client-limited thanks to prefetch, so it *speeds up* with
+  more tasks.
+* ``READ_PARALLEL`` — parstream array read; client-limited.
+* ``READ_DISTINCT`` — P tasks each read a private file (SPMD restart);
+  fast per-client below the buffer-memory threshold, collapsed above it
+  — the paper's BT five-fold restart blow-up from 8 to 16 PEs.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.errors import PFSError
+from repro.pfs.params import PIOFSParams
+
+__all__ = ["IOKind", "PhaseTransfer", "IOPhaseResult", "solve_phase"]
+
+_MB = 1e6  # the paper reports decimal MB/s
+
+
+class IOKind(enum.Enum):
+    """Operation class of an I/O phase (the Table 6 components)."""
+    WRITE_SERIAL = "write_serial"
+    WRITE_PARALLEL = "write_parallel"
+    WRITE_DISTINCT = "write_distinct"
+    READ_SHARED = "read_shared"
+    READ_PARALLEL = "read_parallel"
+    READ_DISTINCT = "read_distinct"
+
+    @property
+    def is_write(self) -> bool:
+        return self in (
+            IOKind.WRITE_SERIAL,
+            IOKind.WRITE_PARALLEL,
+            IOKind.WRITE_DISTINCT,
+        )
+
+
+@dataclass(frozen=True)
+class PhaseTransfer:
+    """One client-side read or write inside a phase."""
+
+    client: int  # task rank performing the I/O
+    filename: str
+    offset: int
+    nbytes: int
+
+
+@dataclass
+class IOPhaseResult:
+    """Deterministic outcome of a solved phase."""
+
+    kind: IOKind
+    seconds: float
+    total_bytes: int
+    clients: Set[int] = field(default_factory=set)
+    files: Set[str] = field(default_factory=set)
+    #: per-server byte loads (stripe accounting)
+    server_bytes: Dict[int, int] = field(default_factory=dict)
+    #: True when the buffer-memory threshold was exceeded
+    pressured: bool = False
+
+    @property
+    def rate_mbps(self) -> float:
+        if self.seconds <= 0:
+            return 0.0
+        return self.total_bytes / _MB / self.seconds
+
+
+def solve_phase(
+    kind: IOKind,
+    transfers: List[PhaseTransfer],
+    params: PIOFSParams,
+    busy_nodes: int,
+    server_bytes: Optional[Dict[int, int]] = None,
+    file_sizes: Optional[Dict[str, int]] = None,
+) -> IOPhaseResult:
+    """Compute the simulated duration of one I/O phase.
+
+    ``busy_nodes`` is the number of server nodes co-running application
+    tasks; ``file_sizes`` (total size of each file touched) feeds the
+    working-set computations for the pressure mechanisms.
+    """
+    result = IOPhaseResult(
+        kind=kind,
+        seconds=0.0,
+        total_bytes=sum(t.nbytes for t in transfers),
+        clients={t.client for t in transfers},
+        files={t.filename for t in transfers},
+        server_bytes=dict(server_bytes or {}),
+    )
+    if not transfers:
+        return result
+
+    busy_fraction = busy_nodes / max(1, params.num_servers)
+    nclients = len(result.clients)
+    per_client_mb: Dict[int, float] = {}
+    for t in transfers:
+        per_client_mb[t.client] = per_client_mb.get(t.client, 0.0) + t.nbytes / _MB
+    max_client_mb = max(per_client_mb.values())
+    total_mb = result.total_bytes / _MB
+    # Metadata cost: distinct per-task-file operations open their files
+    # concurrently (one per client); cooperative operations pay per file.
+    files_per_client: Dict[int, Set[str]] = {}
+    for t in transfers:
+        files_per_client.setdefault(t.client, set()).add(t.filename)
+    if kind in (IOKind.WRITE_DISTINCT, IOKind.READ_DISTINCT):
+        open_cost = params.file_open_overhead_s * max(
+            len(fs) for fs in files_per_client.values()
+        )
+    else:
+        open_cost = params.file_open_overhead_s * len(result.files)
+
+    if kind is IOKind.WRITE_SERIAL:
+        rate = params.client_write_mbps * params.write_eff(busy_fraction)
+        if max_client_mb > params.write_pressure_file_mb:
+            # Writing a segment larger than the node's free memory
+            # thrashes the writer (LU's ~89 MB segments).
+            rate *= params.serial_write_pressure_factor
+            result.pressured = True
+        result.seconds = max_client_mb / rate + open_cost
+
+    elif kind is IOKind.WRITE_PARALLEL:
+        agg = params.array_write_agg_mbps * params.array_write_eff(busy_fraction)
+        # A single straggler client cannot exceed its injection rate.
+        client_bound = max_client_mb / params.client_write_mbps
+        result.seconds = max(total_mb / agg, client_bound) + open_cost
+
+    elif kind is IOKind.WRITE_DISTINCT:
+        agg = params.distinct_write_agg_mbps * params.write_eff(busy_fraction)
+        if max_client_mb > params.write_pressure_file_mb:
+            # Each writer degrades to a thrash-limited rate; the phase
+            # runs at whichever bound is tighter.
+            agg = min(agg, nclients * params.write_thrash_per_client_mbps)
+            result.pressured = True
+        result.seconds = total_mb / agg + open_cost
+
+    elif kind is IOKind.READ_SHARED:
+        if len(result.files) != 1:
+            raise PFSError(
+                f"READ_SHARED phase touched {len(result.files)} files; expected 1"
+            )
+        result.seconds = (
+            max_client_mb / params.shared_read_per_client_mbps + open_cost
+        )
+
+    elif kind is IOKind.READ_PARALLEL:
+        agg = nclients * params.array_read_per_client_mbps
+        result.seconds = total_mb / agg + open_cost
+
+    elif kind is IOKind.READ_DISTINCT:
+        workset_mb = _workset_mb(result.files, file_sizes, transfers)
+        buffer_mb = params.buffer_total_mb(busy_nodes)
+        if workset_mb > buffer_mb:
+            rate = params.distinct_read_slow_mbps
+            result.pressured = True
+        else:
+            rate = params.distinct_read_fast_mbps
+        result.seconds = max_client_mb / rate + open_cost
+
+    else:  # pragma: no cover - enum is closed
+        raise PFSError(f"unknown phase kind {kind}")
+
+    return result
+
+
+def _workset_mb(
+    files: Set[str],
+    file_sizes: Optional[Dict[str, int]],
+    transfers: List[PhaseTransfer],
+) -> float:
+    """Distinct-file working set of the phase in MB."""
+    if file_sizes:
+        return sum(file_sizes.get(f, 0) for f in files) / _MB
+    seen: Dict[str, int] = {}
+    for t in transfers:
+        seen[t.filename] = max(seen.get(t.filename, 0), t.offset + t.nbytes)
+    return sum(seen.values()) / _MB

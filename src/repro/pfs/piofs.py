@@ -1,0 +1,226 @@
+"""The PIOFS namespace: open/read/write/unlink plus phase accounting.
+
+:class:`PIOFS` glues the striped files (:mod:`repro.pfs.file`) to the
+phase timing model (:mod:`repro.pfs.phase`).  Task code performs real
+reads and writes at any time; to get *timed* I/O, the caller brackets a
+group of transfers in ``begin_phase(kind)`` / ``end_phase()``, which
+returns the phase's simulated duration.  Phases make the timing
+deterministic under thread scheduling: duration depends only on the set
+of transfers, never on their interleaving.
+
+Thread safety: all mutating entry points take one internal lock; task
+threads of an SPMD run may call concurrently.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional
+
+from repro.errors import PFSError
+from repro.pfs.file import PFSFile
+from repro.pfs.params import PIOFSParams
+from repro.pfs.phase import IOKind, IOPhaseResult, PhaseTransfer, solve_phase
+from repro.runtime.machine import Machine
+
+__all__ = ["PIOFS"]
+
+
+class PIOFS:
+    """A simulated parallel file system instance."""
+
+    def __init__(
+        self,
+        machine: Optional[Machine] = None,
+        params: Optional[PIOFSParams] = None,
+    ):
+        self.machine = machine or Machine()
+        self.params = params or PIOFSParams(num_servers=self.machine.num_nodes)
+        self._files: Dict[str, PFSFile] = {}
+        self._lock = threading.Lock()
+        self._phase_kind: Optional[IOKind] = None
+        self._phase_transfers: List[PhaseTransfer] = []
+        self._phase_server_bytes: Dict[int, int] = {}
+        self.phase_log: List[IOPhaseResult] = []
+
+    # -- namespace ---------------------------------------------------------
+
+    def create(self, name: str, virtual: bool = False, overwrite: bool = True) -> PFSFile:
+        """Create (or, by default, replace) a logical file."""
+        with self._lock:
+            if name in self._files and not overwrite:
+                raise PFSError(f"file exists: {name!r}")
+            f = PFSFile(
+                name,
+                num_servers=self.params.num_servers,
+                stripe_kb=self.params.stripe_kb,
+                virtual=virtual,
+            )
+            self._files[name] = f
+            return f
+
+    def open(self, name: str) -> PFSFile:
+        """The PFSFile for ``name``; raises PFSError when missing."""
+        with self._lock:
+            try:
+                return self._files[name]
+            except KeyError:
+                raise PFSError(f"no such file: {name!r}") from None
+
+    def exists(self, name: str) -> bool:
+        with self._lock:
+            return name in self._files
+
+    def listdir(self, prefix: str = "") -> List[str]:
+        with self._lock:
+            return sorted(n for n in self._files if n.startswith(prefix))
+
+    def unlink(self, name: str) -> None:
+        """Remove a file from the namespace."""
+        with self._lock:
+            if name not in self._files:
+                raise PFSError(f"no such file: {name!r}")
+            del self._files[name]
+
+    def file_size(self, name: str) -> int:
+        return self.open(name).size
+
+    def total_bytes(self, prefix: str = "") -> int:
+        """Sum of file sizes under a name prefix (checkpoint state size)."""
+        with self._lock:
+            return sum(f.size for n, f in self._files.items() if n.startswith(prefix))
+
+    # -- timed I/O ----------------------------------------------------------
+
+    def begin_phase(self, kind: IOKind) -> None:
+        """Open a timed I/O phase of the given operation kind."""
+        with self._lock:
+            if self._phase_kind is not None:
+                raise PFSError(
+                    f"phase {self._phase_kind} already open; phases do not nest"
+                )
+            self._phase_kind = kind
+            self._phase_transfers = []
+            self._phase_server_bytes = {}
+
+    def end_phase(self) -> IOPhaseResult:
+        """Close the phase: solve its simulated duration and log it."""
+        with self._lock:
+            if self._phase_kind is None:
+                raise PFSError("no phase open")
+            kind = self._phase_kind
+            transfers = self._phase_transfers
+            server_bytes = self._phase_server_bytes
+            file_sizes = {
+                t.filename: self._files[t.filename].size
+                for t in transfers
+                if t.filename in self._files
+            }
+            self._phase_kind = None
+            self._phase_transfers = []
+            self._phase_server_bytes = {}
+        busy = sum(1 for n in self.machine.nodes if n.busy)
+        result = solve_phase(
+            kind,
+            transfers,
+            self.params,
+            busy_nodes=busy,
+            server_bytes=server_bytes,
+            file_sizes=file_sizes,
+        )
+        self.phase_log.append(result)
+        return result
+
+    def _record(self, client: int, f: PFSFile, offset: int, nbytes: int) -> None:
+        # caller holds the lock
+        if self._phase_kind is not None:
+            self._phase_transfers.append(
+                PhaseTransfer(client, f.name, offset, nbytes)
+            )
+            for srv, b in f.server_byte_spans(offset, nbytes).items():
+                self._phase_server_bytes[srv] = (
+                    self._phase_server_bytes.get(srv, 0) + b
+                )
+
+    def write_at(
+        self,
+        name: str,
+        offset: int,
+        data: Optional[bytes],
+        nbytes: Optional[int] = None,
+        client: int = 0,
+    ) -> int:
+        """Write into a file (recorded against the open phase, if any)."""
+        with self._lock:
+            f = self._files.get(name)
+            if f is None:
+                raise PFSError(f"no such file: {name!r}")
+            n = f.write_at(offset, data, nbytes)
+            self._record(client, f, offset, n)
+            return n
+
+    def append(
+        self,
+        name: str,
+        data: Optional[bytes],
+        nbytes: Optional[int] = None,
+        client: int = 0,
+    ) -> int:
+        """Sequential write at EOF (recorded against the open phase)."""
+        with self._lock:
+            f = self._files.get(name)
+            if f is None:
+                raise PFSError(f"no such file: {name!r}")
+            offset = f.size
+            n = f.write_at(offset, data, nbytes)
+            self._record(client, f, offset, n)
+            return n
+
+    def read_at(self, name: str, offset: int, nbytes: int, client: int = 0) -> bytes:
+        """Read from a file (recorded against the open phase, if any)."""
+        with self._lock:
+            f = self._files.get(name)
+            if f is None:
+                raise PFSError(f"no such file: {name!r}")
+            out = f.read_at(offset, nbytes)
+            self._record(client, f, offset, nbytes)
+            return out
+
+    def read_virtual(self, name: str, offset: int, nbytes: int, client: int = 0) -> None:
+        """Account a read without returning data (virtual files)."""
+        with self._lock:
+            f = self._files.get(name)
+            if f is None:
+                raise PFSError(f"no such file: {name!r}")
+            self._record(client, f, offset, nbytes)
+
+    # -- statistics ------------------------------------------------------------
+
+    def stats(self) -> Dict[str, object]:
+        """Cumulative phase statistics: counts/bytes/seconds by
+        operation kind, plus how many phases hit the buffer-memory
+        pressure regime — the quick health readout of an experiment."""
+        by_kind: Dict[str, Dict[str, float]] = {}
+        pressured = 0
+        for res in self.phase_log:
+            k = res.kind.value
+            agg = by_kind.setdefault(
+                k, {"phases": 0, "bytes": 0, "seconds": 0.0}
+            )
+            agg["phases"] += 1
+            agg["bytes"] += res.total_bytes
+            agg["seconds"] += res.seconds
+            pressured += bool(res.pressured)
+        with self._lock:
+            nfiles = len(self._files)
+            stored = sum(f.size for f in self._files.values())
+        return {
+            "files": nfiles,
+            "bytes_stored": stored,
+            "phases": len(self.phase_log),
+            "pressured_phases": pressured,
+            "by_kind": by_kind,
+        }
+
+    def __repr__(self) -> str:
+        return f"PIOFS({len(self._files)} files, {self.params.num_servers} servers)"

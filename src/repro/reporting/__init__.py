@@ -1,0 +1,7 @@
+"""ASCII reporting: tables and paper-vs-measured comparisons for the
+benchmark harness."""
+
+from repro.reporting.tables import Table, bar_chart
+from repro.reporting.compare import Comparison, fmt_mb, fmt_s
+
+__all__ = ["Table", "bar_chart", "Comparison", "fmt_mb", "fmt_s"]

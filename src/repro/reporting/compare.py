@@ -1,0 +1,48 @@
+"""Paper-vs-measured comparison records for EXPERIMENTS.md and benches."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+__all__ = ["Comparison", "fmt_mb", "fmt_s"]
+
+
+def fmt_mb(nbytes: float) -> str:
+    """Format bytes as decimal megabytes."""
+    return f"{nbytes / 1e6:.1f}"
+
+
+def fmt_s(seconds: float) -> str:
+    """Format seconds with one decimal."""
+    return f"{seconds:.1f}"
+
+
+@dataclass
+class Comparison:
+    """One reproduced quantity against its paper value."""
+
+    name: str
+    paper: float
+    measured: float
+    unit: str = ""
+    reconstructed: bool = False
+
+    @property
+    def ratio(self) -> float:
+        if self.paper == 0:
+            return float("inf") if self.measured else 1.0
+        return self.measured / self.paper
+
+    def within(self, rel_tol: float) -> bool:
+        return abs(self.ratio - 1.0) <= rel_tol
+
+    def row(self) -> tuple:
+        """The comparison as a printable table row (flags reconstructions)."""
+        flag = " (reconstructed)" if self.reconstructed else ""
+        return (
+            self.name + flag,
+            f"{self.paper:g}{self.unit}",
+            f"{self.measured:.1f}{self.unit}",
+            f"{self.ratio:.2f}x",
+        )

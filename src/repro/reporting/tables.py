@@ -1,0 +1,95 @@
+"""Minimal ASCII table / bar-chart rendering for bench output."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+__all__ = ["Table", "bar_chart"]
+
+
+class Table:
+    """Fixed-column ASCII table."""
+
+    def __init__(self, columns: Sequence[str], title: str = ""):
+        self.title = title
+        self.columns = [str(c) for c in columns]
+        self.rows: List[List[str]] = []
+
+    def add_row(self, *cells: Any) -> None:
+        """Append one row (cell count must match the columns)."""
+        if len(cells) != len(self.columns):
+            raise ValueError(
+                f"row has {len(cells)} cells; table has {len(self.columns)} columns"
+            )
+        self.rows.append([_fmt(c) for c in cells])
+
+    def render(self) -> str:
+        """The table as aligned ASCII text."""
+        widths = [
+            max(len(self.columns[i]), *(len(r[i]) for r in self.rows))
+            if self.rows
+            else len(self.columns[i])
+            for i in range(len(self.columns))
+        ]
+        sep = "-+-".join("-" * w for w in widths)
+        head = " | ".join(c.ljust(w) for c, w in zip(self.columns, widths))
+        body = "\n".join(
+            " | ".join(c.rjust(w) for c, w in zip(row, widths)) for row in self.rows
+        )
+        out = []
+        if self.title:
+            out.append(self.title)
+            out.append("=" * len(self.title))
+        out += [head, sep]
+        if body:
+            out.append(body)
+        return "\n".join(out)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def _fmt(cell: Any) -> str:
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 100:
+            return f"{cell:.0f}"
+        if abs(cell) >= 1:
+            return f"{cell:.1f}"
+        return f"{cell:.3f}"
+    return str(cell)
+
+
+def bar_chart(
+    series: Dict[str, Dict[str, float]],
+    width: int = 50,
+    title: str = "",
+    unit: str = "s",
+) -> str:
+    """Horizontal stacked bars: ``{bar_label: {component: value}}``.
+    The reproduction's stand-in for Figure 7's stacked columns."""
+    totals = {k: sum(v.values()) for k, v in series.items()}
+    peak = max(totals.values()) if totals else 1.0
+    glyphs = "#=+o*%"
+    comp_names: List[str] = []
+    for v in series.values():
+        for c in v:
+            if c not in comp_names:
+                comp_names.append(c)
+    lines = []
+    if title:
+        lines += [title, "=" * len(title)]
+    label_w = max((len(k) for k in series), default=0)
+    for label, comps in series.items():
+        bar = ""
+        for c in comp_names:
+            val = comps.get(c, 0.0)
+            n = int(round(width * val / peak)) if peak else 0
+            bar += glyphs[comp_names.index(c) % len(glyphs)] * n
+        lines.append(f"{label.ljust(label_w)} |{bar}  {totals[label]:.1f}{unit}")
+    legend = "  ".join(
+        f"{glyphs[i % len(glyphs)]}={c}" for i, c in enumerate(comp_names)
+    )
+    lines.append(f"legend: {legend}")
+    return "\n".join(lines)

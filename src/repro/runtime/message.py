@@ -1,0 +1,54 @@
+"""Message envelopes and payload sizing for the simulated network."""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+__all__ = ["Message", "payload_nbytes", "ANY_TAG", "ANY_SOURCE"]
+
+#: wildcard tag for receives
+ANY_TAG = -1
+#: wildcard source for receives
+ANY_SOURCE = -1
+
+
+def payload_nbytes(payload: Any) -> int:
+    """Approximate wire size of a payload in bytes.
+
+    numpy arrays and raw byte strings are sized exactly; other Python
+    objects are sized by their pickled length (mirroring mpi4py's
+    lowercase pickle-based API).
+    """
+    if isinstance(payload, np.ndarray):
+        return int(payload.nbytes)
+    if isinstance(payload, (bytes, bytearray, memoryview)):
+        return len(payload)
+    if payload is None:
+        return 0
+    try:
+        return len(pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL))
+    except Exception:
+        return 64  # conservative fallback for unpicklable control objects
+
+
+@dataclass
+class Message:
+    """One point-to-point message in flight."""
+
+    src: int
+    dst: int
+    tag: int
+    payload: Any
+    nbytes: int
+    #: simulated time at which the message is fully available at dst
+    arrival_time: float
+
+    def __repr__(self) -> str:
+        return (
+            f"Message({self.src}->{self.dst} tag={self.tag} "
+            f"{self.nbytes}B @{self.arrival_time:.6f}s)"
+        )

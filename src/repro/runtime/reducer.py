@@ -1,0 +1,95 @@
+"""MPI-style reduction operators for the collective calls.
+
+``comm.reduce``/``comm.allreduce`` accept any binary callable; this
+module provides the standard MPI operator set with correct numpy
+element-wise semantics plus the location-carrying MAXLOC/MINLOC pairs
+(useful for residual tracking in the solvers).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Tuple
+
+import numpy as np
+
+__all__ = [
+    "SUM",
+    "PROD",
+    "MAX",
+    "MIN",
+    "LAND",
+    "LOR",
+    "BAND",
+    "BOR",
+    "BXOR",
+    "MAXLOC",
+    "MINLOC",
+]
+
+
+def SUM(a: Any, b: Any) -> Any:
+    """Element-wise (or scalar) sum."""
+    return np.add(a, b) if _arrayish(a, b) else a + b
+
+
+def PROD(a: Any, b: Any) -> Any:
+    """Element-wise (or scalar) product."""
+    return np.multiply(a, b) if _arrayish(a, b) else a * b
+
+
+def MAX(a: Any, b: Any) -> Any:
+    """Element-wise (or scalar) maximum."""
+    return np.maximum(a, b) if _arrayish(a, b) else max(a, b)
+
+
+def MIN(a: Any, b: Any) -> Any:
+    """Element-wise (or scalar) minimum."""
+    return np.minimum(a, b) if _arrayish(a, b) else min(a, b)
+
+
+def LAND(a: Any, b: Any) -> Any:
+    """Logical AND."""
+    return np.logical_and(a, b) if _arrayish(a, b) else bool(a) and bool(b)
+
+
+def LOR(a: Any, b: Any) -> Any:
+    """Logical OR."""
+    return np.logical_or(a, b) if _arrayish(a, b) else bool(a) or bool(b)
+
+
+def BAND(a: Any, b: Any) -> Any:
+    """Bitwise AND."""
+    return np.bitwise_and(a, b) if _arrayish(a, b) else a & b
+
+
+def BOR(a: Any, b: Any) -> Any:
+    """Bitwise OR."""
+    return np.bitwise_or(a, b) if _arrayish(a, b) else a | b
+
+
+def BXOR(a: Any, b: Any) -> Any:
+    """Bitwise XOR."""
+    return np.bitwise_xor(a, b) if _arrayish(a, b) else a ^ b
+
+
+def MAXLOC(a: Tuple[Any, int], b: Tuple[Any, int]) -> Tuple[Any, int]:
+    """Reduce ``(value, rank)`` pairs to the maximum value and the
+    lowest rank holding it (MPI MAXLOC tie-breaking)."""
+    if a[0] > b[0]:
+        return a
+    if b[0] > a[0]:
+        return b
+    return a if a[1] <= b[1] else b
+
+
+def MINLOC(a: Tuple[Any, int], b: Tuple[Any, int]) -> Tuple[Any, int]:
+    """Reduce (value, rank) pairs to the minimum value, lowest rank on ties."""
+    if a[0] < b[0]:
+        return a
+    if b[0] < a[0]:
+        return b
+    return a if a[1] <= b[1] else b
+
+
+def _arrayish(a: Any, b: Any) -> bool:
+    return isinstance(a, np.ndarray) or isinstance(b, np.ndarray)

@@ -1,0 +1,134 @@
+"""Communication tracing: who talked to whom, when, how much.
+
+Attach a :class:`CommTracer` to a :class:`~repro.runtime.comm.CommWorld`
+(or pass ``trace=True`` through :func:`~repro.runtime.executor.run_spmd`
+by wrapping the world after the run) to record every message with its
+simulated send time.  The summary answers the debugging questions a
+communication-heavy reproduction raises: per-pair traffic matrices,
+hot ranks, and a compact timeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.reporting.tables import Table
+from repro.runtime.comm import CommWorld
+
+__all__ = ["TraceRecord", "CommTracer"]
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One traced message."""
+
+    time: float
+    src: int
+    dst: int
+    tag: int
+    nbytes: int
+
+
+class CommTracer:
+    """Records messages by wrapping a world's ``send``.
+
+    Use as a context manager around the communication being studied::
+
+        world = CommWorld(4)
+        with CommTracer(world) as tracer:
+            ...  # run the tasks
+        print(tracer.summary())
+    """
+
+    def __init__(self, world: CommWorld):
+        self.world = world
+        self.records: List[TraceRecord] = []
+        self._orig_send = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def attach(self) -> "CommTracer":
+        """Start recording (idempotent)."""
+        if self._orig_send is not None:
+            return self
+        self._orig_send = self.world.send
+
+        def traced_send(src, dst, tag, payload):
+            self._orig_send(src, dst, tag, payload)
+            from repro.runtime.message import payload_nbytes
+
+            self.records.append(
+                TraceRecord(
+                    time=self.world.clocks[src].now,
+                    src=src,
+                    dst=dst,
+                    tag=tag,
+                    nbytes=payload_nbytes(payload),
+                )
+            )
+
+        self.world.send = traced_send
+        return self
+
+    def detach(self) -> None:
+        """Stop recording and restore the world."""
+        if self._orig_send is not None:
+            self.world.send = self._orig_send
+            self._orig_send = None
+
+    def __enter__(self) -> "CommTracer":
+        return self.attach()
+
+    def __exit__(self, *exc) -> None:
+        self.detach()
+
+    # -- analysis --------------------------------------------------------------
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(r.nbytes for r in self.records)
+
+    @property
+    def total_messages(self) -> int:
+        return len(self.records)
+
+    def pair_matrix(self) -> Dict[Tuple[int, int], int]:
+        """Bytes per (src, dst) pair."""
+        out: Dict[Tuple[int, int], int] = {}
+        for r in self.records:
+            key = (r.src, r.dst)
+            out[key] = out.get(key, 0) + r.nbytes
+        return out
+
+    def hottest_pairs(self, k: int = 5) -> List[Tuple[Tuple[int, int], int]]:
+        """The ``k`` heaviest (src, dst) pairs by bytes."""
+        return sorted(self.pair_matrix().items(), key=lambda kv: -kv[1])[:k]
+
+    def per_rank_sent(self) -> Dict[int, int]:
+        """Bytes sent by each rank."""
+        out: Dict[int, int] = {}
+        for r in self.records:
+            out[r.src] = out.get(r.src, 0) + r.nbytes
+        return out
+
+    def summary(self, top: int = 5) -> str:
+        """A printable traffic report."""
+        t = Table(["src", "dst", "bytes"], title=(
+            f"Traffic: {self.total_messages} messages, "
+            f"{self.total_bytes} bytes"
+        ))
+        for (src, dst), nbytes in self.hottest_pairs(top):
+            t.add_row(src, dst, nbytes)
+        return t.render()
+
+    def timeline(self, bins: int = 10) -> List[int]:
+        """Bytes per simulated-time bin (message send times)."""
+        if not self.records:
+            return [0] * bins
+        t_max = max(r.time for r in self.records) or 1.0
+        out = [0] * bins
+        for r in self.records:
+            i = min(bins - 1, int(bins * r.time / t_max))
+            out[i] += r.nbytes
+        return out

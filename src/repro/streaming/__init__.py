@@ -1,0 +1,38 @@
+"""Distribution-independent array-section streaming (paper Section 3.2).
+
+Streaming moves the elements of a distributed-array section in or out of
+an application in a canonical linear order (FORTRAN column-major or C
+row-major) that depends only on the section — never on the distribution.
+That property is what makes DRMS checkpoints restartable on a different
+number of tasks.
+
+* :mod:`repro.streaming.partition` — the recursive lo/hi partition of a
+  slice into stream-order-contiguous pieces (paper Fig. 5a);
+* :mod:`repro.streaming.serial` — one task performs all I/O (works on
+  non-seekable channels: sockets, tape);
+* :mod:`repro.streaming.parallel` — ``parstream`` (paper Fig. 5b):
+  redistribute each piece to a canonical owner, then P tasks write their
+  pieces at computed stream offsets in parallel (needs seek).
+"""
+
+from repro.streaming.order import stream_order_bytes, section_stream_positions
+from repro.streaming.partition import partition, partition_for_target, piece_offsets
+from repro.streaming.streams import ByteSink, ByteSource, MemorySink, MemorySource
+from repro.streaming.serial import stream_out_serial, stream_in_serial
+from repro.streaming.parallel import stream_out_parallel, stream_in_parallel
+
+__all__ = [
+    "stream_order_bytes",
+    "section_stream_positions",
+    "partition",
+    "partition_for_target",
+    "piece_offsets",
+    "ByteSink",
+    "ByteSource",
+    "MemorySink",
+    "MemorySource",
+    "stream_out_serial",
+    "stream_in_serial",
+    "stream_out_parallel",
+    "stream_in_parallel",
+]

@@ -1,0 +1,139 @@
+"""Serial streaming over real sequential channels.
+
+The paper (Section 3.2): "serial streaming can be performed through a
+sequential channel, such as a UNIX socket or tape drive", because it
+only ever appends.  This module provides an actual socket-backed
+channel: :class:`SocketChannel` wraps a connected ``socket.socketpair``
+as a (non-seekable) :class:`~repro.streaming.streams.ByteSink` on one
+end and a :class:`~repro.streaming.streams.ByteSource`-like sequential
+reader on the other — so a distributed array can be streamed out of one
+"application" and into another through a live byte pipe, the DRMS
+inter-application transport.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+from typing import Optional
+
+from repro.errors import StreamingError
+from repro.streaming.streams import ByteSink, ByteSource
+
+__all__ = ["SocketChannel", "SocketSink", "SocketSource"]
+
+
+class SocketSink(ByteSink):
+    """Append-only sink writing into a connected socket."""
+
+    seekable = False
+
+    def __init__(self, sock: socket.socket):
+        self._sock = sock
+        self._pos = 0
+
+    def append(self, data, nbytes=None, client=0):
+        """Send the bytes down the socket (sequential append)."""
+        if data is None:
+            raise StreamingError("socket channels carry real bytes only")
+        self._sock.sendall(data)
+        self._pos += len(data)
+
+    def write_at(self, offset, data, nbytes=None, client=0):
+        """Sequential-only write (sockets cannot seek)."""
+        if offset != self._pos:
+            raise StreamingError(
+                f"socket channel cannot seek (write at {offset}, stream at {self._pos})"
+            )
+        self.append(data, nbytes=nbytes, client=client)
+
+    def close(self) -> None:
+        """Shut down the write end, signalling EOF to the reader."""
+        try:
+            self._sock.shutdown(socket.SHUT_WR)
+        except OSError:
+            pass
+        self._sock.close()
+
+
+class SocketSource(ByteSource):
+    """Sequential reader draining the other socket end.
+
+    ``read_at`` enforces sequential access (serial stream-in reads in
+    order); a background-free, blocking ``recv`` loop fills each read.
+    """
+
+    def __init__(self, sock: socket.socket):
+        self._sock = sock
+        self._pos = 0
+
+    def read_at(self, offset: int, nbytes: int, client: int = 0) -> bytes:
+        """Sequential blocking read of exactly ``nbytes`` from the socket."""
+        if offset != self._pos:
+            raise StreamingError(
+                f"socket channel is sequential (read at {offset}, stream at {self._pos})"
+            )
+        chunks = []
+        remaining = nbytes
+        while remaining > 0:
+            chunk = self._sock.recv(min(remaining, 1 << 16))
+            if not chunk:
+                raise StreamingError(
+                    f"channel closed {remaining} bytes short of the read"
+                )
+            chunks.append(chunk)
+            remaining -= len(chunk)
+        self._pos += nbytes
+        return b"".join(chunks)
+
+    @property
+    def size(self) -> int:
+        raise StreamingError("a live channel has no size")
+
+    def close(self) -> None:
+        self._sock.close()
+
+
+class SocketChannel:
+    """A connected in-process byte pipe: ``sink`` on the writing end,
+    ``source`` on the reading end.  Stream out on one thread, stream in
+    on another (the socket buffer is finite)."""
+
+    def __init__(self):
+        w, r = socket.socketpair()
+        self.sink = SocketSink(w)
+        self.source = SocketSource(r)
+
+    def close(self) -> None:
+        self.sink.close()
+        self.source.close()
+
+    def __enter__(self) -> "SocketChannel":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def pump(self, producer, consumer):
+        """Run ``producer(sink)`` on a helper thread while
+        ``consumer(source)`` runs on this one; closes the write end when
+        the producer finishes and re-raises its exception, if any."""
+        error = []
+
+        def run():
+            try:
+                producer(self.sink)
+            except BaseException as exc:  # noqa: BLE001 - relayed below
+                error.append(exc)
+            finally:
+                self.sink.close()
+
+        t = threading.Thread(target=run, name="stream-producer")
+        t.start()
+        try:
+            result = consumer(self.source)
+        finally:
+            t.join(timeout=30)
+        if error:
+            raise error[0]
+        return result

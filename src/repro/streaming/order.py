@@ -1,0 +1,74 @@
+"""Stream element orderings.
+
+For a section described by slice ``s`` of an array ``A``, the output
+stream contains the elements of ``A[s]`` ordered over the *section's own
+index mesh*: FORTRAN-style column-major (first axis fastest) or C-style
+row-major (last axis fastest).  The paper's key observation: this order
+depends only on the section, so the stream is a distribution-independent
+representation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.arrays.slices import Slice
+from repro.errors import StreamingError
+
+__all__ = ["check_order", "stream_order_bytes", "bytes_to_section", "section_stream_positions"]
+
+
+def check_order(order: str) -> str:
+    """Validate a stream-order flag ('F' column-major or 'C' row-major)."""
+    if order not in ("F", "C"):
+        raise StreamingError(f"stream order must be 'F' or 'C', got {order!r}")
+    return order
+
+
+def stream_order_bytes(values: np.ndarray, order: str = "F") -> bytes:
+    """Serialize a section's values (shaped like the section) in stream
+    order."""
+    check_order(order)
+    return np.ascontiguousarray(values).tobytes(order=order)
+
+
+def bytes_to_section(data: bytes, shape, dtype, order: str = "F") -> np.ndarray:
+    """Inverse of :func:`stream_order_bytes`."""
+    check_order(order)
+    flat = np.frombuffer(data, dtype=dtype)
+    expect = int(np.prod(shape)) if len(shape) else 1
+    if flat.size != expect:
+        raise StreamingError(
+            f"stream has {flat.size} elements for section shape {tuple(shape)}"
+        )
+    return flat.reshape(shape, order=order)
+
+
+def section_stream_positions(section: Slice, sub: Slice, order: str = "F") -> np.ndarray:
+    """Stream positions (0-based, within ``section``'s stream) of the
+    elements of ``sub`` (a subset of ``section``), in ``sub``'s own
+    stream order.  Used by tests to verify piece offsets and by serial
+    streaming of scattered owners."""
+    check_order(order)
+    if not sub.issubset(section):
+        raise StreamingError(f"{sub!r} is not a subset of {section!r}")
+    axis_pos = [
+        outer.positions_of(inner)
+        for inner, outer in zip(sub.ranges, section.ranges)
+    ]
+    mesh = np.meshgrid(*axis_pos, indexing="ij")
+    shape = section.shape
+    # strides in elements for the chosen order over the section mesh
+    strides = [1] * len(shape)
+    if order == "F":
+        acc = 1
+        for i in range(len(shape)):
+            strides[i] = acc
+            acc *= shape[i]
+    else:
+        acc = 1
+        for i in range(len(shape) - 1, -1, -1):
+            strides[i] = acc
+            acc *= shape[i]
+    pos = sum(m * s for m, s in zip(mesh, strides))
+    return pos.reshape(-1, order=order)

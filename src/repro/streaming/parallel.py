@@ -1,0 +1,135 @@
+"""Parallel array-section streaming: the ``parstream`` algorithm
+(paper Fig. 5b).
+
+The section is partitioned into ``m >= P`` stream-contiguous pieces of
+roughly ``target_bytes`` each (1 MB in the paper).  Pieces are processed
+in rounds of ``P``: in round ``k`` task ``p`` receives piece ``k*P + p``
+through a canonical redistribution (an array assignment onto an
+auxiliary distribution that makes each piece wholly local to its I/O
+task), then writes it at the piece's stream offset — which is just the
+sum of the sizes of the earlier pieces.  The output is byte-identical to
+serial streaming; only the access pattern differs, which is why parallel
+streaming requires a seekable sink.
+
+``P`` may be anything from 1 (fully serial) to the number of tasks;
+tasks beyond ``P`` still participate in redistribution (their assigned
+data must reach the I/O tasks) but perform no I/O.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.arrays.darray import DistributedArray
+from repro.arrays.slices import Slice
+from repro.errors import StreamingError
+from repro.streaming.order import bytes_to_section, check_order, stream_order_bytes
+from repro.streaming.partition import partition_for_target, piece_offsets
+from repro.streaming.serial import (
+    StreamStats,
+    _piece_redistribution_bytes,
+    gather_piece,
+    scatter_piece,
+)
+from repro.streaming.streams import ByteSink, ByteSource
+
+__all__ = ["stream_out_parallel", "stream_in_parallel"]
+
+
+def _plan(
+    darray: DistributedArray,
+    section: Optional[Slice],
+    P: Optional[int],
+    order: str,
+    target_bytes: int,
+):
+    check_order(order)
+    section = section or Slice.full(darray.shape)
+    ntasks = darray.ntasks
+    if P is None:
+        P = ntasks
+    if not 1 <= P <= ntasks:
+        raise StreamingError(
+            f"I/O task count P={P} must be within 1..{ntasks} (the task pool)"
+        )
+    pieces = partition_for_target(
+        section, darray.itemsize, target_bytes=target_bytes, min_pieces=P, order=order
+    )
+    offsets = piece_offsets(pieces, darray.itemsize)
+    return section, P, pieces, offsets
+
+
+def stream_out_parallel(
+    darray: DistributedArray,
+    sink: ByteSink,
+    section: Optional[Slice] = None,
+    P: Optional[int] = None,
+    order: str = "F",
+    target_bytes: int = 1 << 20,
+) -> StreamStats:
+    """Stream ``darray[section]`` out with ``P`` parallel I/O tasks."""
+    if not getattr(sink, "seekable", True) and (P or darray.ntasks) > 1:
+        raise StreamingError(
+            "parallel streaming requires a seekable sink; use serial "
+            "streaming for sequential channels"
+        )
+    section, P, pieces, offsets = _plan(darray, section, P, order, target_bytes)
+    total = 0
+    redis = 0
+    for j, piece in enumerate(pieces):
+        if piece.is_empty:
+            continue
+        p = j % P  # I/O task for this piece (round-robin rounds of P)
+        nbytes = piece.size * darray.itemsize
+        if darray.store_data:
+            buf = gather_piece(darray, piece, order)
+            sink.write_at(offsets[j], stream_order_bytes(buf, order), client=p)
+        else:
+            sink.write_at(offsets[j], None, nbytes=nbytes, client=p)
+        redis += _piece_redistribution_bytes(darray, piece, p)
+        total += nbytes
+    return StreamStats(
+        pieces=len(pieces),
+        bytes_streamed=total,
+        redistribution_bytes=redis,
+        io_tasks=P,
+    )
+
+
+def stream_in_parallel(
+    darray: DistributedArray,
+    source: ByteSource,
+    section: Optional[Slice] = None,
+    P: Optional[int] = None,
+    order: str = "F",
+    target_bytes: int = 1 << 20,
+    source_offset: int = 0,
+) -> StreamStats:
+    """Stream a section into ``darray`` with ``P`` parallel I/O tasks.
+    The inverse of :func:`stream_out_parallel`: task ``p`` reads its
+    pieces at their stream offsets, then the canonical redistribution
+    delivers each piece to every task mapping part of it."""
+    section, P, pieces, offsets = _plan(darray, section, P, order, target_bytes)
+    total = 0
+    redis = 0
+    for j, piece in enumerate(pieces):
+        if piece.is_empty:
+            continue
+        p = j % P
+        nbytes = piece.size * darray.itemsize
+        data = source.read_at(source_offset + offsets[j], nbytes, client=p)
+        if darray.store_data:
+            if len(data) != nbytes:
+                raise StreamingError(
+                    f"short read: wanted {nbytes} bytes, got {len(data)}"
+                )
+            values = bytes_to_section(data, piece.shape, darray.dtype, order)
+            scatter_piece(darray, piece, values)
+        redis += _piece_redistribution_bytes(darray, piece, p)
+        total += nbytes
+    return StreamStats(
+        pieces=len(pieces),
+        bytes_streamed=total,
+        redistribution_bytes=redis,
+        io_tasks=P,
+    )

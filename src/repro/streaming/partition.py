@@ -1,0 +1,71 @@
+"""Recursive stream-order partition of a slice (paper Fig. 5a).
+
+``partition(x, m)`` splits slice ``x`` into ``m = 2**k`` sub-slices such
+that concatenating their streams in order reproduces the stream of
+``x``: the split axis is always the slowest-varying axis with more than
+one element, so every element of ``lo`` precedes every element of ``hi``
+in the stream.
+
+``partition_for_target`` chooses ``m`` the way DRMS does: the smallest
+power of two giving pieces of at most ``target_bytes`` (≈1 MB in the
+paper, balancing parallelism and buffer memory against per-operation
+overhead), but never fewer pieces than the number of I/O tasks.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.arrays.slices import Slice
+from repro.errors import StreamingError
+
+__all__ = ["partition", "partition_for_target", "piece_offsets"]
+
+
+def partition(x: Slice, m: int, order: str = "F") -> List[Slice]:
+    """Split ``x`` into ``m`` stream-contiguous pieces; ``m`` must be a
+    power of two (the recursive halving of Fig. 5a).  Pieces may be
+    empty when ``m`` exceeds the splittable extent."""
+    if m < 1 or (m & (m - 1)) != 0:
+        raise StreamingError(f"partition count must be a power of two, got {m}")
+    pieces = [x]
+    while len(pieces) < m:
+        nxt: List[Slice] = []
+        for p in pieces:
+            nxt.append(p.lo(order))
+            nxt.append(p.hi(order) if p.size > 1 else Slice.empty(p.rank))
+        pieces = nxt
+    return pieces
+
+
+def partition_for_target(
+    x: Slice,
+    itemsize: int,
+    target_bytes: int = 1 << 20,
+    min_pieces: int = 1,
+    order: str = "F",
+) -> List[Slice]:
+    """Pick ``m`` per the paper's rule (≈``target_bytes`` per piece, at
+    least ``min_pieces`` for parallelism) and partition."""
+    if itemsize < 1:
+        raise StreamingError("itemsize must be positive")
+    if target_bytes < 1:
+        raise StreamingError("target_bytes must be positive")
+    total = x.size * itemsize
+    m = 1
+    while total / m > target_bytes or m < min_pieces:
+        m *= 2
+        if m > max(1, x.size):
+            break
+    return partition(x, m, order)
+
+
+def piece_offsets(pieces: List[Slice], itemsize: int) -> List[int]:
+    """Byte offset of each piece in the output stream: the sum of the
+    sizes of all earlier pieces (the paper's starting-position rule)."""
+    out: List[int] = []
+    pos = 0
+    for p in pieces:
+        out.append(pos)
+        pos += p.size * itemsize
+    return out

@@ -1,0 +1,143 @@
+"""Serial array-section streaming: one task performs all I/O.
+
+The pieces of the section are produced in stream order and *appended* —
+no seek needed, so serial streaming works over sequential channels
+(sockets, tape).  All data funnels through the single I/O task, which is
+exactly why the paper adds the parallel variant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.arrays.darray import DistributedArray
+from repro.arrays.slices import Slice
+from repro.errors import StreamingError
+from repro.streaming.order import bytes_to_section, check_order, stream_order_bytes
+from repro.streaming.partition import partition_for_target
+from repro.streaming.streams import ByteSink, ByteSource
+
+__all__ = ["StreamStats", "stream_out_serial", "stream_in_serial", "gather_piece", "scatter_piece"]
+
+
+@dataclass
+class StreamStats:
+    """Accounting for one streaming operation."""
+
+    pieces: int
+    bytes_streamed: int
+    #: bytes moved between distinct tasks to marshal pieces
+    redistribution_bytes: int
+    io_tasks: int
+
+
+def gather_piece(darray: DistributedArray, piece: Slice, order: str = "F") -> np.ndarray:
+    """Assemble one piece (shaped like the piece) from its owner tasks.
+    Elements assigned to no task are undefined; they stream as zeros."""
+    check_order(order)
+    buf = np.zeros(piece.shape, dtype=darray.dtype)
+    dist = darray.distribution
+    for owner in dist.owner_tasks(piece):
+        sec = dist.assigned(owner).intersect(piece)
+        if sec.is_empty:
+            continue
+        buf[sec.local_index_within(piece)] = darray.section_from_task(
+            owner, sec
+        ).reshape(sec.shape)
+    return buf
+
+
+def scatter_piece(darray: DistributedArray, piece: Slice, values: np.ndarray) -> None:
+    """Deliver one piece into every task whose mapped section overlaps
+    it — all copies of each element are updated consistently."""
+    dist = darray.distribution
+    for t in range(dist.ntasks):
+        sec = dist.mapped(t).intersect(piece)
+        if sec.is_empty:
+            continue
+        darray.section_to_task(t, sec, values[sec.local_index_within(piece)])
+
+
+def _piece_redistribution_bytes(
+    darray: DistributedArray, piece: Slice, io_task: int
+) -> int:
+    dist = darray.distribution
+    return sum(
+        dist.assigned(owner).intersect(piece).size * darray.itemsize
+        for owner in dist.owner_tasks(piece)
+        if owner != io_task
+    )
+
+
+def stream_out_serial(
+    darray: DistributedArray,
+    sink: ByteSink,
+    section: Optional[Slice] = None,
+    order: str = "F",
+    io_task: int = 0,
+    target_bytes: int = 1 << 20,
+) -> StreamStats:
+    """Stream ``darray[section]`` out through a single task."""
+    check_order(order)
+    section = section or Slice.full(darray.shape)
+    pieces = partition_for_target(
+        section, darray.itemsize, target_bytes=target_bytes, min_pieces=1, order=order
+    )
+    total = 0
+    redis = 0
+    for piece in pieces:
+        if piece.is_empty:
+            continue
+        nbytes = piece.size * darray.itemsize
+        if darray.store_data:
+            buf = gather_piece(darray, piece, order)
+            sink.append(stream_order_bytes(buf, order), client=io_task)
+        else:
+            sink.append(None, nbytes=nbytes, client=io_task)
+        redis += _piece_redistribution_bytes(darray, piece, io_task)
+        total += nbytes
+    return StreamStats(
+        pieces=len(pieces), bytes_streamed=total, redistribution_bytes=redis, io_tasks=1
+    )
+
+
+def stream_in_serial(
+    darray: DistributedArray,
+    source: ByteSource,
+    section: Optional[Slice] = None,
+    order: str = "F",
+    io_task: int = 0,
+    target_bytes: int = 1 << 20,
+    source_offset: int = 0,
+) -> StreamStats:
+    """Stream a section into ``darray`` through a single task, reading
+    sequentially starting at ``source_offset``."""
+    check_order(order)
+    section = section or Slice.full(darray.shape)
+    pieces = partition_for_target(
+        section, darray.itemsize, target_bytes=target_bytes, min_pieces=1, order=order
+    )
+    pos = source_offset
+    total = 0
+    redis = 0
+    for piece in pieces:
+        if piece.is_empty:
+            continue
+        nbytes = piece.size * darray.itemsize
+        data = source.read_at(pos, nbytes, client=io_task)
+        if darray.store_data:
+            if len(data) != nbytes:
+                raise StreamingError(
+                    f"short read: wanted {nbytes} bytes, got {len(data)}"
+                )
+            values = bytes_to_section(data, piece.shape, darray.dtype, order)
+            scatter_piece(darray, piece, values)
+        redis += _piece_redistribution_bytes(darray, piece, io_task)
+        pos += nbytes
+        total += nbytes
+    return StreamStats(
+        pieces=len(pieces), bytes_streamed=total, redistribution_bytes=redis, io_tasks=1
+    )

@@ -1,0 +1,124 @@
+"""Byte sink/source abstractions for streaming targets.
+
+Serial streaming only appends, so it runs over any sequential channel;
+parallel streaming writes at computed offsets, so its sink must be
+*seekable* (paper Section 3.2).  PIOFS files provide seekable sinks;
+:class:`MemorySink` models both a seekable buffer and a sequential
+socket/tape-like channel.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import StreamingError
+from repro.pfs.piofs import PIOFS
+
+__all__ = ["ByteSink", "ByteSource", "MemorySink", "MemorySource", "PFSSink", "PFSSource"]
+
+
+class ByteSink:
+    """Write-side interface."""
+
+    seekable: bool = True
+
+    def write_at(self, offset: int, data: Optional[bytes], nbytes: Optional[int] = None, client: int = 0) -> None:
+        raise NotImplementedError
+
+    def append(self, data: Optional[bytes], nbytes: Optional[int] = None, client: int = 0) -> None:
+        raise NotImplementedError
+
+
+class ByteSource:
+    """Read-side interface."""
+
+    def read_at(self, offset: int, nbytes: int, client: int = 0) -> bytes:
+        raise NotImplementedError
+
+    @property
+    def size(self) -> int:
+        raise NotImplementedError
+
+
+class MemorySink(ByteSink):
+    """In-memory sink; ``seekable=False`` models a socket or tape drive."""
+
+    def __init__(self, seekable: bool = True):
+        self.seekable = bool(seekable)
+        self._buf = bytearray()
+
+    def write_at(self, offset, data, nbytes=None, client=0):
+        """Write at an absolute offset (appends only when non-seekable)."""
+        if not self.seekable and offset != len(self._buf):
+            raise StreamingError(
+                "non-seekable sink only supports sequential appends"
+            )
+        if data is None:
+            raise StreamingError("memory sink requires real bytes")
+        end = offset + len(data)
+        if end > len(self._buf):
+            self._buf.extend(b"\x00" * (end - len(self._buf)))
+        self._buf[offset:end] = data
+
+    def append(self, data, nbytes=None, client=0):
+        """Sequential append to the buffer."""
+        if data is None:
+            raise StreamingError("memory sink requires real bytes")
+        self._buf.extend(data)
+
+    def getvalue(self) -> bytes:
+        return bytes(self._buf)
+
+
+class MemorySource(ByteSource):
+    """In-memory read-side source over a bytes buffer."""
+    def __init__(self, data: bytes):
+        self._data = bytes(data)
+
+    def read_at(self, offset, nbytes, client=0):
+        """Read a byte span from the in-memory source."""
+        if offset < 0 or offset + nbytes > len(self._data):
+            raise StreamingError("read outside memory source")
+        return self._data[offset : offset + nbytes]
+
+    @property
+    def size(self) -> int:
+        return len(self._data)
+
+
+class PFSSink(ByteSink):
+    """Sink writing into a (possibly virtual) PIOFS file."""
+
+    def __init__(self, pfs: PIOFS, name: str, virtual: bool = False, create: bool = True):
+        self.pfs = pfs
+        self.name = name
+        self.virtual = virtual
+        if create:
+            pfs.create(name, virtual=virtual)
+
+    def write_at(self, offset, data, nbytes=None, client=0):
+        self.pfs.write_at(self.name, offset, data, nbytes=nbytes, client=client)
+
+    def append(self, data, nbytes=None, client=0):
+        self.pfs.append(self.name, data, nbytes=nbytes, client=client)
+
+
+class PFSSource(ByteSource):
+    """Source reading from a PIOFS file; virtual files account reads
+    without returning data."""
+
+    def __init__(self, pfs: PIOFS, name: str):
+        self.pfs = pfs
+        self.name = name
+        self.virtual = pfs.open(name).virtual
+
+    def read_at(self, offset, nbytes, client=0):
+        """Read from the PFS file (accounting-only for virtual files)."""
+        if self.virtual:
+            self.pfs.read_virtual(self.name, offset, nbytes, client=client)
+            return b""
+        return self.pfs.read_at(self.name, offset, nbytes, client=client)
+
+    @property
+    def size(self) -> int:
+        return self.pfs.file_size(self.name)

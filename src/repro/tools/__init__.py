@@ -1,0 +1,1 @@
+"""Command-line utilities: ``python -m repro.tools.report``."""

@@ -1,0 +1,60 @@
+"""Regenerate every paper table/figure in one command.
+
+Usage::
+
+    python -m repro.tools.report [--out DIR]
+
+Prints the full reproduction report (Tables 1, 3, 4, 5, 6 and
+Figure 7) and, with ``--out``, writes each artifact to a file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+from typing import Optional
+
+from repro.perfmodel import reportgen
+
+ARTIFACTS = (
+    ("table1", lambda cells: reportgen.table1()),
+    ("table3", lambda cells: reportgen.table3()),
+    ("table4", lambda cells: reportgen.table4()),
+    ("table5", lambda cells: reportgen.table5(cells)),
+    ("table6", lambda cells: reportgen.table6(cells)),
+    ("figure7", lambda cells: reportgen.figure7(cells)),
+)
+
+
+def generate_report(out_dir: Optional[str] = None, stream=None) -> None:
+    stream = stream if stream is not None else sys.stdout
+    cells = reportgen.measure_all_cells()
+    out = pathlib.Path(out_dir) if out_dir else None
+    if out:
+        out.mkdir(parents=True, exist_ok=True)
+    for name, builder in ARTIFACTS:
+        text, _ = builder(cells)
+        print(text, file=stream)
+        print(file=stream)
+        if out:
+            (out / f"{name}.txt").write_text(text + "\n")
+    print(
+        "(times are simulated seconds from the calibrated PIOFS model; "
+        "see EXPERIMENTS.md for paper-vs-measured notes)",
+        file=stream,
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.tools.report", description=__doc__
+    )
+    parser.add_argument("--out", default=None, help="directory for .txt artifacts")
+    args = parser.parse_args(argv)
+    generate_report(args.out)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

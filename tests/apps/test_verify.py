@@ -1,0 +1,76 @@
+"""NPB-style verification of the proxy solvers."""
+
+import numpy as np
+import pytest
+
+from repro.apps import make_proxy
+from repro.apps.verify import (
+    EPSILON,
+    REFERENCE,
+    VERIFY_ITERS,
+    VerificationError,
+    field_norms,
+    verify_field,
+)
+
+
+def run_main_field(benchmark, ntasks, restart_on=None):
+    proxy = make_proxy(benchmark, "toy")
+    app = proxy.build_application()
+    rep = app.start(
+        ntasks, args=(VERIFY_ITERS, f"{benchmark}.vv"),
+        kwargs={"checkpoint_every": 3},
+    )
+    if restart_on:
+        rep = app.restart(
+            f"{benchmark}.vv", restart_on,
+            args=(VERIFY_ITERS, f"{benchmark}.vv"),
+            kwargs={"checkpoint_every": 3},
+        )
+    return rep.arrays["u"].to_global()
+
+
+@pytest.mark.parametrize("nb", ["bt", "lu", "sp"])
+class TestVerification:
+    def test_straight_run_verifies(self, nb):
+        field = run_main_field(nb, 4)
+        norms = verify_field(nb, "toy", field)
+        ref = REFERENCE[(nb, "toy")]
+        assert norms.l2 == pytest.approx(ref.l2, rel=EPSILON)
+
+    def test_verifies_on_any_task_count(self, nb):
+        for nt in (1, 3, 6):
+            verify_field(nb, "toy", run_main_field(nb, nt))
+
+    def test_verifies_across_reconfigured_restart(self, nb):
+        """Verification also pins the checkpoint/restart path: the
+        restarted run must produce reference-exact numerics."""
+        field = run_main_field(nb, 4, restart_on=2)
+        verify_field(nb, "toy", field)
+
+    def test_perturbation_detected(self, nb):
+        # a single-element error large enough to move the global norms
+        # past the 1e-8 relative tolerance
+        field = run_main_field(nb, 2)
+        field[0, 0, 0, 0] += 0.05
+        with pytest.raises(VerificationError):
+            verify_field(nb, "toy", field)
+
+
+def test_unknown_configuration_rejected():
+    with pytest.raises(VerificationError, match="no reference"):
+        verify_field("bt", "C", np.ones((2, 2)))
+
+
+def test_kernels_differ_across_benchmarks():
+    """BT/LU/SP proxies are genuinely different solvers: identical
+    initial data, distinct verified norms."""
+    l2s = {b: REFERENCE[(b, "toy")].l2 for b in ("bt", "lu", "sp")}
+    assert len(set(l2s.values())) == 3
+
+
+def test_field_norms_roundtrip():
+    f = np.full((3, 3), 2.0)
+    n = field_norms(f)
+    assert n.mean == 2.0
+    assert n.l2 == pytest.approx(6.0)

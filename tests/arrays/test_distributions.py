@@ -1,0 +1,164 @@
+"""Unit tests for distribution specifications and their legality."""
+
+import numpy as np
+import pytest
+
+from repro.arrays.distributions import (
+    Block,
+    BlockCyclic,
+    Cyclic,
+    Distribution,
+    GenBlock,
+    Indexed,
+    Replicated,
+    block_distribution,
+    process_grid,
+)
+from repro.arrays.ranges import Range
+from repro.errors import DistributionError
+
+
+class TestAxisKinds:
+    def test_block_near_equal(self):
+        rs = Block().assigned(3, 10)
+        assert sorted(r.size for r in rs) == [3, 3, 4]
+        assert max(r.size for r in rs) - min(r.size for r in rs) <= 1
+        assert rs[0] == Range.regular(0, 2, 1)
+
+    def test_block_covers_disjointly(self):
+        rs = Block().assigned(4, 13)
+        assert sum(r.size for r in rs) == 13
+        for i in range(4):
+            for j in range(i + 1, 4):
+                assert (rs[i] * rs[j]).is_empty
+
+    def test_cyclic(self):
+        rs = Cyclic().assigned(3, 8)
+        assert list(rs[0]) == [0, 3, 6]
+        assert list(rs[2]) == [2, 5]
+
+    def test_cyclic_more_procs_than_elements(self):
+        rs = Cyclic().assigned(5, 3)
+        assert rs[4].is_empty
+
+    def test_block_cyclic(self):
+        rs = BlockCyclic(2).assigned(2, 10)
+        assert list(rs[0]) == [0, 1, 4, 5, 8, 9]
+        assert list(rs[1]) == [2, 3, 6, 7]
+
+    def test_block_cyclic_bad_block(self):
+        with pytest.raises(DistributionError):
+            BlockCyclic(0).assigned(2, 10)
+
+    def test_gen_block(self):
+        rs = GenBlock([2, 5, 3]).assigned(3, 10)
+        assert [r.size for r in rs] == [2, 5, 3]
+        assert rs[1] == Range.regular(2, 6, 1)
+
+    def test_gen_block_must_sum_to_extent(self):
+        with pytest.raises(DistributionError):
+            GenBlock([2, 5]).assigned(2, 10)
+
+    def test_indexed_irregular(self):
+        rs = Indexed([Range([0, 2, 4]), Range([1, 3])]).assigned(2, 5)
+        assert list(rs[0]) == [0, 2, 4]
+
+    def test_indexed_bounds_checked(self):
+        with pytest.raises(DistributionError):
+            Indexed([Range([0, 9])]).assigned(1, 5)
+
+    def test_replicated_requires_grid_1(self):
+        assert Replicated().assigned(1, 6)[0] == Range.of_size(6)
+        with pytest.raises(DistributionError):
+            Replicated().assigned(2, 6)
+
+
+class TestProcessGrid:
+    def test_near_square(self):
+        assert process_grid(8, 3) == (2, 2, 2)
+        assert sorted(process_grid(16, 3)) == [2, 2, 4]
+        assert process_grid(1, 2) == (1, 1)
+
+    def test_fixed_axes(self):
+        g = process_grid(8, 4, fixed=(1, 0, 0, 0))
+        assert g[0] == 1 and np.prod(g) == 8
+
+    def test_fixed_must_divide(self):
+        with pytest.raises(DistributionError):
+            process_grid(8, 2, fixed=(3, 0))
+
+    def test_prime_counts(self):
+        assert np.prod(process_grid(7, 3)) == 7
+        assert np.prod(process_grid(13, 2)) == 13
+
+
+class TestDistribution:
+    def test_task_coords_roundtrip(self):
+        d = block_distribution((8, 8), 6, grid=(2, 3))
+        for t in range(6):
+            assert d.task_of_coords(d.task_coords(t)) == t
+
+    def test_assigned_mapped_shapes(self):
+        d = block_distribution((10, 10), 4, shadow=(1, 1))
+        # interior tasks mapped sections are assigned+shadow clipped
+        a, m = d.assigned(0), d.mapped(0)
+        assert a.issubset(m)
+        assert m.shape == (6, 6)  # 5+1 shadow on the high side only
+
+    def test_validate_rejects_overlap(self):
+        with pytest.raises(DistributionError):
+            Distribution((10,), [Indexed([Range([0, 1, 2]), Range([2, 3])])], 2)
+
+    def test_validate_rejects_gap(self):
+        with pytest.raises(DistributionError):
+            Distribution((10,), [GenBlock([4, 4])], 2)
+
+    def test_shadow_negative_rejected(self):
+        with pytest.raises(DistributionError):
+            block_distribution((10, 10), 2, shadow=(-1, 0))
+
+    def test_grid_mismatch_rejected(self):
+        with pytest.raises(DistributionError):
+            block_distribution((10, 10), 4, grid=(3, 2))
+
+    def test_owner_tasks(self):
+        from repro.arrays.slices import Slice
+
+        d = block_distribution((12,), 3)
+        sec = Slice([Range.regular(3, 8, 1)])
+        assert d.owner_tasks(sec) == [0, 1, 2]
+        sec2 = Slice([Range.regular(9, 11, 1)])
+        assert d.owner_tasks(sec2) == [2]
+
+    def test_total_local_exceeds_global_with_shadows(self):
+        d = block_distribution((16, 16), 4, shadow=(2, 2))
+        assert d.total_local_elements() > d.global_elements()
+        d0 = block_distribution((16, 16), 4)
+        assert d0.total_local_elements() == d0.global_elements()
+
+    def test_adjust_preserves_shape_and_shadow(self):
+        d = block_distribution((12, 12), 4, shadow=(1, 1))
+        d2 = d.adjust(6)
+        assert d2.ntasks == 6
+        assert d2.shape == d.shape
+        assert d2.shadow == d.shadow
+        d2.validate()
+
+    def test_adjust_irregular_falls_back_to_block(self):
+        d = Distribution((10,), [GenBlock([7, 3])], 2)
+        d2 = d.adjust(5)
+        assert [d2.assigned(t).size for t in range(5)] == [2, 2, 2, 2, 2]
+
+    def test_equality(self):
+        a = block_distribution((9, 9), 3)
+        b = block_distribution((9, 9), 3)
+        assert a == b
+        assert a != a.adjust(2) if a.ntasks != 2 else True
+
+    def test_paper_legality_conditions(self):
+        """a_i * a_j empty (i != j) and a_i * m_i == a_i for all i."""
+        d = block_distribution((20, 20), 6, shadow=(2, 2))
+        for i in range(6):
+            assert d.assigned(i).intersect(d.mapped(i)) == d.assigned(i)
+            for j in range(i + 1, 6):
+                assert d.assigned(i).intersect(d.assigned(j)).is_empty

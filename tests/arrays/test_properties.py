@@ -1,0 +1,140 @@
+"""Property-based tests (hypothesis) for the range/slice/distribution
+algebra — the invariants in DESIGN.md §6."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arrays.darray import DistributedArray
+from repro.arrays.distributions import (
+    Block,
+    BlockCyclic,
+    Cyclic,
+    Distribution,
+    block_distribution,
+)
+from repro.arrays.ranges import Range
+from repro.arrays.slices import Slice
+
+
+# -- strategies ---------------------------------------------------------------
+
+regular_ranges = st.builds(
+    Range.regular,
+    st.integers(-20, 20),
+    st.integers(-20, 60),
+    st.integers(1, 7),
+)
+
+indexed_ranges = st.lists(
+    st.integers(-30, 70), min_size=0, max_size=12, unique=True
+).map(sorted).map(Range)
+
+ranges = st.one_of(regular_ranges, indexed_ranges)
+
+slices2d = st.builds(lambda a, b: Slice([a, b]), ranges, ranges)
+
+
+# -- range algebra --------------------------------------------------------------
+
+
+@given(ranges, ranges)
+def test_intersection_commutative(q, r):
+    assert q * r == r * q
+
+
+@given(ranges, ranges, ranges)
+@settings(max_examples=60)
+def test_intersection_associative(q, r, s):
+    assert (q * r) * s == q * (r * s)
+
+
+@given(ranges)
+def test_intersection_idempotent(r):
+    assert r * r == r
+
+
+@given(ranges, ranges)
+def test_intersection_size_bound(q, r):
+    assert (q * r).size <= min(q.size, r.size)
+
+
+@given(ranges, ranges)
+def test_intersection_matches_numpy(q, r):
+    expect = np.intersect1d(q.indices(), r.indices())
+    assert np.array_equal((q * r).indices(), expect)
+
+
+@given(ranges)
+def test_lo_hi_partition(r):
+    lo, hi = r.lo(), r.hi()
+    assert list(lo) + list(hi) == list(r)
+    assert lo.size - hi.size in (0, 1)
+
+
+@given(ranges, ranges)
+def test_union_size(q, r):
+    assert q.union(r).size == q.size + r.size - (q * r).size
+
+
+@given(ranges, st.integers(-50, 50))
+def test_shift_preserves_structure(r, off):
+    s = r.shift(off)
+    assert s.size == r.size
+    assert np.array_equal(s.indices(), r.indices() + off)
+
+
+# -- slice algebra -----------------------------------------------------------------
+
+
+@given(slices2d, slices2d)
+def test_slice_intersection_commutative(s, t):
+    assert s * t == t * s
+
+
+@given(slices2d)
+def test_slice_size_is_product(s):
+    assert s.size == s[0].size * s[1].size
+
+
+@given(slices2d)
+def test_slice_lo_hi_tile(s):
+    lo, hi = s.lo(), s.hi()
+    assert lo.size + hi.size == s.size
+    if not s.is_empty and s.size > 1:
+        assert (lo * hi).is_empty
+
+
+# -- distribution legality -------------------------------------------------------------
+
+axis_kinds = st.sampled_from([Block(), Cyclic(), BlockCyclic(2), BlockCyclic(3)])
+
+
+@given(
+    st.integers(4, 25),
+    st.integers(4, 25),
+    st.integers(1, 8),
+    axis_kinds,
+    axis_kinds,
+    st.integers(0, 2),
+)
+@settings(max_examples=60)
+def test_distribution_always_legal(nx, ny, ntasks, kx, ky, shadow):
+    d = Distribution((nx, ny), [kx, ky], ntasks, shadow=(shadow, shadow))
+    d.validate()  # raises on any violation
+    # assigned sections tile the array
+    total = sum(d.assigned(t).size for t in range(ntasks))
+    assert total == nx * ny
+
+
+@given(st.integers(2, 20), st.integers(1, 6), st.integers(1, 6), st.integers(0, 2))
+@settings(max_examples=50)
+def test_redistribution_preserves_content(n, t1, t2, shadow):
+    g = np.arange(n * n, dtype=np.float64).reshape(n, n)
+    a = DistributedArray(
+        "a", (n, n), np.float64, block_distribution((n, n), t1, shadow=(shadow, shadow))
+    )
+    a.set_global(g)
+    b = a.redistributed(block_distribution((n, n), t2, shadow=(shadow, shadow)))
+    assert np.array_equal(b.to_global(), g)
+    assert b.is_consistent()

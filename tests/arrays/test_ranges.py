@@ -1,0 +1,192 @@
+"""Unit tests for the Range algebra."""
+
+import numpy as np
+import pytest
+
+from repro.arrays.ranges import Range
+from repro.errors import RangeError
+
+
+class TestConstruction:
+    def test_regular_triplet(self):
+        r = Range.regular(3, 11, 2)
+        assert list(r) == [3, 5, 7, 9, 11]
+        assert r.size == 5
+        assert r.is_regular
+        assert r.step == 2
+
+    def test_regular_truncates_to_last_on_stride(self):
+        r = Range.regular(0, 10, 3)
+        assert r.last == 9
+        assert list(r) == [0, 3, 6, 9]
+
+    def test_singleton_from_int(self):
+        r = Range(7)
+        assert list(r) == [7]
+        assert r.first == r.last == 7
+
+    def test_from_python_slice_stop_exclusive(self):
+        assert list(Range(slice(2, 7))) == [2, 3, 4, 5, 6]
+        assert list(Range(slice(2, 8, 3))) == [2, 5]
+
+    def test_slice_needs_bounds(self):
+        with pytest.raises(RangeError):
+            Range(slice(None, 5))
+
+    def test_from_index_list(self):
+        r = Range([8, 9, 10, 12])
+        assert not r.is_regular
+        assert list(r) == [8, 9, 10, 12]
+
+    def test_index_list_detects_regular_pattern(self):
+        assert Range([2, 4, 6, 8]).is_regular
+
+    def test_rejects_non_increasing(self):
+        with pytest.raises(RangeError):
+            Range([3, 3, 4])
+        with pytest.raises(RangeError):
+            Range([5, 4])
+
+    def test_rejects_bad_stride(self):
+        with pytest.raises(RangeError):
+            Range.regular(0, 5, 0)
+        with pytest.raises(RangeError):
+            Range.regular(0, 5, -1)
+
+    def test_empty(self):
+        e = Range.empty()
+        assert e.size == 0
+        assert not e
+        assert e.is_empty
+        assert list(e) == []
+
+    def test_of_size(self):
+        assert list(Range.of_size(3, offset=5)) == [5, 6, 7]
+        assert Range.of_size(0).is_empty
+
+    def test_copy_constructor(self):
+        r = Range([1, 4, 5])
+        assert Range(r) == r
+
+
+class TestProtocol:
+    def test_contains(self):
+        r = Range.regular(0, 20, 4)
+        assert 8 in r and 12 in r
+        assert 9 not in r and 24 not in r
+        ir = Range([1, 5, 6])
+        assert 5 in ir and 2 not in ir
+
+    def test_getitem(self):
+        r = Range.regular(10, 20, 5)
+        assert [r[0], r[1], r[2]] == [10, 15, 20]
+        with pytest.raises(IndexError):
+            r[3]
+
+    def test_equality_across_representations(self):
+        assert Range([0, 2, 4]) == Range.regular(0, 4, 2)
+        assert Range([0, 2, 5]) != Range.regular(0, 5, 2)
+        assert Range.empty() == Range.of_size(0)
+
+    def test_hash_consistency(self):
+        assert hash(Range([0, 2, 4])) == hash(Range.regular(0, 4, 2))
+
+    def test_first_last_on_empty_raise(self):
+        with pytest.raises(RangeError):
+            Range.empty().first
+        with pytest.raises(RangeError):
+            Range.empty().last
+
+
+class TestIntersection:
+    def test_contiguous(self):
+        assert Range.regular(0, 10, 1) * Range.regular(5, 20, 1) == Range.regular(5, 10, 1)
+
+    def test_disjoint(self):
+        assert (Range.regular(0, 4, 1) * Range.regular(5, 9, 1)).is_empty
+
+    def test_strided_crt(self):
+        # multiples of 3 vs multiples of 2 -> multiples of 6
+        assert Range.regular(0, 30, 3) * Range.regular(0, 30, 2) == Range.regular(0, 30, 6)
+
+    def test_strided_offset(self):
+        a = Range.regular(1, 25, 3)  # 1,4,7,...
+        b = Range.regular(0, 25, 2)  # evens
+        assert list(a * b) == [4, 10, 16, 22]
+
+    def test_strided_no_solution(self):
+        # odds vs evens never meet
+        assert (Range.regular(1, 99, 2) * Range.regular(0, 98, 2)).is_empty
+
+    def test_indexed_vs_regular(self):
+        assert list(Range([8, 9, 10, 12]) * Range.regular(0, 100, 2)) == [8, 10, 12]
+
+    def test_empty_absorbs(self):
+        assert (Range.empty() * Range.regular(0, 5, 1)).is_empty
+
+    def test_matches_numpy_reference(self):
+        a = Range.regular(3, 50, 4)
+        b = Range([5, 7, 11, 15, 19, 23, 31])
+        expect = np.intersect1d(a.indices(), b.indices())
+        assert np.array_equal((a * b).indices(), expect)
+
+
+class TestSetOps:
+    def test_union(self):
+        assert list(Range([1, 3]).union(Range([2, 3, 5]))) == [1, 2, 3, 5]
+        assert Range.empty().union(Range([4])) == Range([4])
+
+    def test_difference(self):
+        assert list(Range.regular(0, 5, 1).difference(Range([1, 3]))) == [0, 2, 4, 5]
+
+    def test_shift(self):
+        assert Range.regular(0, 4, 2).shift(10) == Range.regular(10, 14, 2)
+        assert Range([1, 5]).shift(-1) == Range([0, 4])
+
+    def test_clip(self):
+        assert Range.regular(0, 100, 7).clip(10, 50) == Range.regular(14, 49, 7)
+
+    def test_issubset(self):
+        assert Range([2, 4]).issubset(Range.regular(0, 10, 2))
+        assert not Range([2, 3]).issubset(Range.regular(0, 10, 2))
+        assert Range.empty().issubset(Range.empty())
+
+
+class TestSplitting:
+    def test_lo_hi_partition_in_order(self):
+        r = Range.regular(0, 9, 1)
+        assert list(r.lo()) + list(r.hi()) == list(r)
+        assert r.lo().size == 5
+
+    def test_odd_split_puts_extra_in_lo(self):
+        r = Range.regular(0, 4, 1)
+        assert r.lo().size == 3
+        assert r.hi().size == 2
+
+    def test_singleton_hi_empty(self):
+        r = Range(5)
+        assert r.lo() == r
+        assert r.hi().is_empty
+
+    def test_take(self):
+        r = Range.regular(0, 20, 2)
+        assert list(r.take(2, 5)) == [4, 6, 8]
+        assert r.take(5, 2).is_empty
+        assert r.take(-3, 100) == r
+
+
+class TestPositions:
+    def test_positions_regular(self):
+        outer = Range.regular(10, 30, 2)
+        sub = Range([12, 20, 28])
+        assert list(outer.positions_of(sub)) == [1, 5, 9]
+
+    def test_positions_indexed(self):
+        outer = Range([3, 7, 9, 20])
+        assert list(outer.positions_of(Range([7, 20]))) == [1, 3]
+
+    def test_positions_rejects_non_subset(self):
+        with pytest.raises(RangeError):
+            Range.regular(0, 10, 2).positions_of(Range([3]))
+        with pytest.raises(RangeError):
+            Range([3, 7]).positions_of(Range([5]))

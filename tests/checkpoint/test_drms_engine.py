@@ -1,0 +1,162 @@
+"""Unit tests for the DRMS checkpoint/restart engine."""
+
+import numpy as np
+import pytest
+
+from repro.arrays.darray import DistributedArray
+from repro.arrays.distributions import block_distribution
+from repro.checkpoint.drms import drms_checkpoint, drms_restart
+from repro.checkpoint.restart import list_checkpoints, saved_state_bytes
+from repro.checkpoint.segment import DataSegment, SegmentProfile
+from repro.errors import CheckpointError, RestartError
+from repro.pfs.phase import IOKind
+from repro.pfs.piofs import PIOFS
+from repro.runtime.machine import Machine, MachineParams
+
+
+@pytest.fixture
+def env():
+    machine = Machine(MachineParams(num_nodes=16))
+    machine.place_tasks(8)
+    pfs = PIOFS(machine=machine)
+    g = np.arange(10 * 12 * 6, dtype=np.float64).reshape(10, 12, 6)
+    arr = DistributedArray(
+        "u", (10, 12, 6), np.float64, block_distribution((10, 12, 6), 8, shadow=(1, 1, 1))
+    )
+    arr.set_global(g)
+    seg = DataSegment(
+        profile=SegmentProfile(50_000, 30_000, 10_000),
+        replicated={"dt": 0.25},
+    )
+    seg.context.iteration = 7
+    return machine, pfs, g, arr, seg
+
+
+class TestCheckpoint:
+    def test_writes_expected_files(self, env):
+        _, pfs, _, arr, seg = env
+        drms_checkpoint(pfs, "ck", seg, [arr])
+        assert pfs.exists("ck.manifest")
+        assert pfs.exists("ck.segment")
+        assert pfs.exists("ck.array.u")
+        assert pfs.file_size("ck.segment") == seg.file_bytes
+        assert pfs.file_size("ck.array.u") == arr.nbytes_global
+
+    def test_breakdown_components(self, env):
+        _, pfs, _, arr, seg = env
+        bd = drms_checkpoint(pfs, "ck", seg, [arr])
+        assert bd.kind == "drms"
+        assert bd.segment_bytes == seg.file_bytes
+        assert bd.arrays_bytes == arr.nbytes_global
+        assert bd.total_seconds == bd.segment_seconds + bd.arrays_seconds
+        assert bd.per_array == [("u", pytest.approx(bd.arrays_seconds), arr.nbytes_global)]
+
+    def test_phase_kinds_logged(self, env):
+        _, pfs, _, arr, seg = env
+        drms_checkpoint(pfs, "ck", seg, [arr])
+        kinds = [p.kind for p in pfs.phase_log]
+        assert kinds == [IOKind.WRITE_SERIAL, IOKind.WRITE_PARALLEL]
+
+    def test_duplicate_array_names_rejected(self, env):
+        _, pfs, _, arr, seg = env
+        with pytest.raises(CheckpointError):
+            drms_checkpoint(pfs, "ck", seg, [arr, arr])
+
+    def test_mixed_ntasks_rejected(self, env):
+        _, pfs, g, arr, seg = env
+        other = DistributedArray(
+            "v", (4, 4), np.float64, block_distribution((4, 4), 3)
+        )
+        with pytest.raises(CheckpointError):
+            drms_checkpoint(pfs, "ck", seg, [arr, other])
+
+    def test_multiple_prefixes_coexist(self, env):
+        _, pfs, _, arr, seg = env
+        drms_checkpoint(pfs, "ck1", seg, [arr])
+        drms_checkpoint(pfs, "ck2", seg, [arr])
+        assert list_checkpoints(pfs) == ["ck1", "ck2"]
+
+    def test_state_size_accounting(self, env):
+        _, pfs, _, arr, seg = env
+        drms_checkpoint(pfs, "ck", seg, [arr])
+        sizes = saved_state_bytes(pfs, "ck")
+        assert sizes["segment"] == seg.file_bytes
+        assert sizes["arrays"] == arr.nbytes_global
+        assert sizes["total"] == sizes["segment"] + sizes["arrays"]
+
+
+class TestRestart:
+    @pytest.mark.parametrize("nt", [1, 4, 8, 12, 16])
+    def test_reconfigured_restart_restores_content(self, env, nt):
+        _, pfs, g, arr, seg = env
+        drms_checkpoint(pfs, "ck", seg, [arr])
+        state, bd = drms_restart(pfs, "ck", nt)
+        restored = state.arrays["u"]
+        assert restored.ntasks == nt
+        assert np.array_equal(restored.to_global(), g)
+        assert restored.is_consistent()
+        assert state.delta == nt - 8
+
+    def test_segment_state_restored(self, env):
+        _, pfs, _, arr, seg = env
+        drms_checkpoint(pfs, "ck", seg, [arr])
+        state, _ = drms_restart(pfs, "ck", 4)
+        assert state.segment.replicated == {"dt": 0.25}
+        assert state.segment.context.iteration == 7
+
+    def test_restart_breakdown(self, env):
+        _, pfs, _, arr, seg = env
+        drms_checkpoint(pfs, "ck", seg, [arr])
+        state, bd = drms_restart(pfs, "ck", 8)
+        assert bd.other_seconds == pfs.params.restart_init_s
+        # every task reads the whole segment file
+        assert bd.segment_bytes == 8 * seg.file_bytes
+        assert bd.total_seconds > bd.other_seconds
+
+    def test_restart_phase_kinds(self, env):
+        _, pfs, _, arr, seg = env
+        drms_checkpoint(pfs, "ck", seg, [arr])
+        pfs.phase_log.clear()
+        drms_restart(pfs, "ck", 8)
+        kinds = [p.kind for p in pfs.phase_log]
+        assert kinds == [IOKind.READ_SHARED, IOKind.READ_PARALLEL]
+
+    def test_unknown_prefix(self, env):
+        _, pfs, *_ = env
+        with pytest.raises(CheckpointError):
+            drms_restart(pfs, "nope", 4)
+
+    def test_zero_tasks_rejected(self, env):
+        _, pfs, _, arr, seg = env
+        drms_checkpoint(pfs, "ck", seg, [arr])
+        with pytest.raises(RestartError):
+            drms_restart(pfs, "ck", 0)
+
+    def test_distribution_override(self, env):
+        _, pfs, g, arr, seg = env
+        drms_checkpoint(pfs, "ck", seg, [arr])
+        custom = block_distribution((10, 12, 6), 5, shadow=(2, 2, 0))
+        state, _ = drms_restart(pfs, "ck", 5, distribution_overrides={"u": custom})
+        assert state.arrays["u"].distribution == custom
+        assert np.array_equal(state.arrays["u"].to_global(), g)
+
+    def test_override_ntasks_mismatch(self, env):
+        _, pfs, _, arr, seg = env
+        drms_checkpoint(pfs, "ck", seg, [arr])
+        bad = block_distribution((10, 12, 6), 3)
+        with pytest.raises(RestartError):
+            drms_restart(pfs, "ck", 5, distribution_overrides={"u": bad})
+
+    def test_virtual_checkpoint_roundtrip_sizes(self, env):
+        machine, pfs, *_ = env
+        varr = DistributedArray(
+            "big", (64, 64, 64), np.float64,
+            block_distribution((64, 64, 64), 8), store_data=False,
+        )
+        seg = DataSegment(profile=SegmentProfile(int(5e6), int(2e6), 0))
+        bd = drms_checkpoint(pfs, "vck", seg, [varr])
+        assert bd.arrays_bytes == 64 ** 3 * 8
+        state, rbd = drms_restart(pfs, "vck", 16)
+        assert not state.arrays["big"].store_data
+        assert state.arrays["big"].ntasks == 16
+        assert rbd.arrays_bytes == 64 ** 3 * 8

@@ -1,0 +1,109 @@
+"""Checkpoint edge cases: dtypes, endianness, degenerate shapes,
+many arrays, and zero-iteration contexts."""
+
+import numpy as np
+import pytest
+
+from repro.arrays.darray import DistributedArray
+from repro.arrays.distributions import block_distribution
+from repro.checkpoint.drms import drms_checkpoint, drms_restart
+from repro.checkpoint.segment import DataSegment, SegmentProfile
+from repro.pfs.piofs import PIOFS
+from repro.runtime.machine import Machine, MachineParams
+
+
+@pytest.fixture
+def pfs():
+    return PIOFS(machine=Machine(MachineParams(num_nodes=16)))
+
+
+def seg(n=1000):
+    return DataSegment(profile=SegmentProfile(n, 0, 0))
+
+
+@pytest.mark.parametrize(
+    "dtype",
+    [np.float32, np.float64, np.int32, np.int64, np.uint8, np.complex128,
+     np.dtype(">f8")],
+    ids=str,
+)
+def test_dtype_roundtrip(pfs, dtype):
+    shape = (6, 5)
+    g = (np.arange(30) * 3 + 1).reshape(shape).astype(dtype)
+    arr = DistributedArray("u", shape, dtype, block_distribution(shape, 3))
+    arr.set_global(g)
+    drms_checkpoint(pfs, "dt", seg(), [arr])
+    state, _ = drms_restart(pfs, "dt", 5)
+    back = state.arrays["u"]
+    assert back.dtype == np.dtype(dtype)
+    assert np.array_equal(back.to_global(), g)
+
+
+def test_scalar_like_1d_array(pfs):
+    arr = DistributedArray("x", (1,), np.float64, block_distribution((1,), 1))
+    arr.set_global(np.array([42.0]))
+    drms_checkpoint(pfs, "s", seg(), [arr])
+    state, _ = drms_restart(pfs, "s", 3)
+    assert state.arrays["x"].to_global()[0] == 42.0
+
+
+def test_more_tasks_than_elements(pfs):
+    g = np.arange(3.0)
+    arr = DistributedArray("x", (3,), np.float64, block_distribution((3,), 3))
+    arr.set_global(g)
+    drms_checkpoint(pfs, "t", seg(), [arr])
+    state, _ = drms_restart(pfs, "t", 8)  # 5 tasks get nothing
+    back = state.arrays["x"]
+    assert np.array_equal(back.to_global(), g)
+    empties = sum(
+        1 for t in range(8) if back.distribution.assigned(t).is_empty
+    )
+    assert empties == 5
+
+
+def test_checkpoint_with_no_arrays(pfs):
+    bd = drms_checkpoint(pfs, "n", seg(), [])
+    assert bd.arrays_bytes == 0
+    state, _ = drms_restart(pfs, "n", 4)
+    assert state.arrays == {}
+    assert state.ntasks == 4
+
+
+def test_many_small_arrays(pfs):
+    arrays = []
+    for i in range(24):
+        a = DistributedArray(f"f{i}", (4, 4), np.float64, block_distribution((4, 4), 2))
+        a.set_global(np.full((4, 4), float(i)))
+        arrays.append(a)
+    drms_checkpoint(pfs, "m", seg(), arrays)
+    state, bd = drms_restart(pfs, "m", 3)
+    assert len(state.arrays) == 24
+    for i in range(24):
+        assert state.arrays[f"f{i}"].to_global()[0, 0] == float(i)
+    assert len(bd.per_array) == 24
+
+
+def test_high_rank_array(pfs):
+    shape = (3, 4, 2, 3, 2)
+    g = np.arange(np.prod(shape), dtype=np.float64).reshape(shape)
+    arr = DistributedArray("u", shape, np.float64, block_distribution(shape, 4))
+    arr.set_global(g)
+    drms_checkpoint(pfs, "hr", seg(), [arr])
+    state, _ = drms_restart(pfs, "hr", 6)
+    assert np.array_equal(state.arrays["u"].to_global(), g)
+
+
+def test_unicode_and_nested_replicated_state(pfs):
+    s = DataSegment(
+        profile=SegmentProfile(100, 0, 0),
+        replicated={
+            "title": "schrödinger-säule",
+            "nested": {"tuple": (1, 2.5, "x"), "list": [None, True]},
+        },
+    )
+    arr = DistributedArray("u", (2,), np.float64, block_distribution((2,), 1))
+    arr.set_global(np.zeros(2))
+    drms_checkpoint(pfs, "u8", s, [arr])
+    state, _ = drms_restart(pfs, "u8", 2)
+    assert state.segment.replicated["title"] == "schrödinger-säule"
+    assert state.segment.replicated["nested"]["tuple"] == (1, 2.5, "x")

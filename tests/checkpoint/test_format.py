@@ -1,0 +1,101 @@
+"""Unit tests for checkpoint file formats and distribution specs."""
+
+import pytest
+
+from repro.arrays.distributions import (
+    Block,
+    BlockCyclic,
+    Cyclic,
+    Distribution,
+    GenBlock,
+    Indexed,
+    Replicated,
+)
+from repro.arrays.ranges import Range
+from repro.checkpoint.format import (
+    CHECKPOINT_VERSION,
+    array_name,
+    distribution_to_spec,
+    manifest_name,
+    read_manifest,
+    segment_name,
+    spec_to_distribution,
+    task_segment_name,
+    write_manifest,
+)
+from repro.errors import CheckpointError
+from repro.pfs.piofs import PIOFS
+
+
+def test_names():
+    assert manifest_name("ck") == "ck.manifest"
+    assert segment_name("ck") == "ck.segment"
+    assert array_name("ck", "u") == "ck.array.u"
+    assert task_segment_name("ck", 3) == "ck.task3"
+
+
+@pytest.mark.parametrize(
+    "axes",
+    [
+        [Block(), Block()],
+        [Cyclic(), Block()],
+        [BlockCyclic(3), Block()],
+        [Replicated(), Block()],
+    ],
+)
+def test_distribution_spec_roundtrip(axes):
+    d = Distribution((12, 18), axes, 6, shadow=(1, 0))
+    spec = distribution_to_spec(d)
+    back = spec_to_distribution(spec)
+    assert back == d
+
+
+def test_genblock_indexed_roundtrip():
+    d = Distribution((10,), [GenBlock([7, 3])], 2)
+    assert spec_to_distribution(distribution_to_spec(d)) == d
+    di = Distribution((10,), [Indexed([Range([0, 2, 4]), Range([1, 3])])], 2)
+    assert spec_to_distribution(distribution_to_spec(di)) == di
+
+
+def test_spec_adjusts_to_new_ntasks():
+    d = Distribution((12, 12), [Block(), Block()], 4, shadow=(2, 2))
+    spec = distribution_to_spec(d)
+    d6 = spec_to_distribution(spec, ntasks=6)
+    assert d6.ntasks == 6
+    assert d6.shadow == (2, 2)
+    d6.validate()
+
+
+def test_manifest_roundtrip():
+    pfs = PIOFS()
+    write_manifest(pfs, "ck", {"kind": "drms", "ntasks": 8, "arrays": []})
+    m = read_manifest(pfs, "ck")
+    assert m["kind"] == "drms"
+    assert m["version"] == CHECKPOINT_VERSION
+
+
+def test_manifest_missing():
+    with pytest.raises(CheckpointError):
+        read_manifest(PIOFS(), "ghost")
+
+
+def test_manifest_corrupt():
+    pfs = PIOFS()
+    pfs.create("bad.manifest")
+    pfs.write_at("bad.manifest", 0, b"{not json")
+    with pytest.raises(CheckpointError):
+        read_manifest(pfs, "bad")
+
+
+def test_manifest_version_checked():
+    pfs = PIOFS()
+    write_manifest(pfs, "ck", {"kind": "drms"})
+    raw = pfs.read_at("ck.manifest", 0, pfs.file_size("ck.manifest"))
+    import json
+
+    doc = json.loads(raw)
+    doc["version"] = 999
+    pfs.create("ck.manifest")
+    pfs.write_at("ck.manifest", 0, json.dumps(doc).encode())
+    with pytest.raises(CheckpointError, match="version"):
+        read_manifest(pfs, "ck")

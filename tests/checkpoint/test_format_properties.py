@@ -1,0 +1,71 @@
+"""Property-based: any constructible distribution round-trips through
+the checkpoint manifest spec, and its adjusted form stays legal."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arrays.distributions import (
+    Block,
+    BlockCyclic,
+    Cyclic,
+    Distribution,
+    GenBlock,
+)
+from repro.checkpoint.format import distribution_to_spec, spec_to_distribution
+
+
+@st.composite
+def distributions(draw):
+    rank = draw(st.integers(1, 3))
+    shape = tuple(draw(st.integers(2, 16)) for _ in range(rank))
+    ntasks = draw(st.integers(1, 6))
+    axes = []
+    for _ in range(rank):
+        kind = draw(st.sampled_from(["block", "cyclic", "bc"]))
+        axes.append(
+            Block() if kind == "block"
+            else Cyclic() if kind == "cyclic"
+            else BlockCyclic(draw(st.integers(1, 4)))
+        )
+    shadow = tuple(draw(st.integers(0, 2)) for _ in range(rank))
+    return Distribution(shape, axes, ntasks, shadow=shadow)
+
+
+@given(distributions())
+@settings(max_examples=60, deadline=None)
+def test_spec_roundtrip_identity(d):
+    spec = distribution_to_spec(d)
+    back = spec_to_distribution(spec)
+    assert back == d
+    # json-serializable (what the manifest requires)
+    import json
+
+    json.dumps(spec)
+
+
+@given(distributions(), st.integers(1, 8))
+@settings(max_examples=60, deadline=None)
+def test_spec_adjusts_to_any_ntasks(d, new_ntasks):
+    spec = distribution_to_spec(d)
+    adjusted = spec_to_distribution(spec, ntasks=new_ntasks)
+    assert adjusted.ntasks == new_ntasks
+    assert adjusted.shape == d.shape
+    assert adjusted.shadow == d.shadow
+    adjusted.validate()
+    # coverage: every element still assigned exactly once
+    total = sum(adjusted.assigned(t).size for t in range(new_ntasks))
+    import math
+
+    assert total == math.prod(d.shape)
+
+
+@given(distributions())
+@settings(max_examples=40, deadline=None)
+def test_genblock_spec_roundtrip(d):
+    """GenBlock with sizes derived from a legal Block split also
+    round-trips (irregular explicit sizes)."""
+    sizes = [d.assigned(t)[0].size for t in range(d.ntasks)] if d.grid[0] == d.ntasks else None
+    if sizes is None or sum(sizes) != d.shape[0]:
+        return
+    g = Distribution((d.shape[0],), [GenBlock(sizes)], d.ntasks, grid=(d.ntasks,))
+    assert spec_to_distribution(distribution_to_spec(g)) == g

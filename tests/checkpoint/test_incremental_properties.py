@@ -1,0 +1,74 @@
+"""Property-based: for any random sequence of partial updates, the
+incremental chain restores exactly the latest state on any task count."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arrays.darray import DistributedArray
+from repro.arrays.distributions import block_distribution
+from repro.checkpoint.incremental import IncrementalCheckpointer
+from repro.checkpoint.segment import DataSegment, SegmentProfile
+from repro.pfs.piofs import PIOFS
+from repro.runtime.machine import Machine, MachineParams
+
+
+@st.composite
+def update_sequences(draw):
+    n = draw(st.integers(6, 14))
+    nupdates = draw(st.integers(1, 4))
+    updates = []
+    for _ in range(nupdates):
+        r0 = draw(st.integers(0, n - 1))
+        r1 = draw(st.integers(r0, n - 1))
+        c0 = draw(st.integers(0, n - 1))
+        c1 = draw(st.integers(c0, n - 1))
+        val = draw(st.floats(-100, 100, allow_nan=False))
+        updates.append((r0, r1 + 1, c0, c1 + 1, val))
+    t1 = draw(st.integers(1, 5))
+    t2 = draw(st.integers(1, 5))
+    return n, t1, t2, updates
+
+
+@given(update_sequences())
+@settings(max_examples=25, deadline=None)
+def test_chain_restores_latest_state(seq):
+    n, t1, t2, updates = seq
+    pfs = PIOFS(machine=Machine(MachineParams(num_nodes=16)))
+    g = np.arange(n * n, dtype=np.float64).reshape(n, n)
+    arr = DistributedArray("u", (n, n), np.float64, block_distribution((n, n), t1))
+    arr.set_global(g)
+    seg = DataSegment(profile=SegmentProfile(500, 0, 0), replicated={"v": 0})
+    ck = IncrementalCheckpointer(pfs, "p", target_bytes=64)
+    ck.full(seg, [arr])
+    current = g.copy()
+    for k, (r0, r1, c0, c1, val) in enumerate(updates):
+        current[r0:r1, c0:c1] = val
+        arr.set_global(current)
+        seg.replicated["v"] = k + 1
+        ck.incremental(seg, [arr])
+    state, _ = ck.restore(t2)
+    assert np.array_equal(state.arrays["u"].to_global(), current)
+    assert state.segment.replicated["v"] == len(updates)
+
+
+@given(update_sequences())
+@settings(max_examples=15, deadline=None)
+def test_delta_bytes_bounded_by_change(seq):
+    """A delta never writes more than a full checkpoint's arrays, and a
+    no-op delta writes nothing."""
+    n, t1, _, updates = seq
+    pfs = PIOFS(machine=Machine(MachineParams(num_nodes=16)))
+    g = np.zeros((n, n))
+    arr = DistributedArray("u", (n, n), np.float64, block_distribution((n, n), t1))
+    arr.set_global(g)
+    seg = DataSegment(profile=SegmentProfile(500, 0, 0))
+    ck = IncrementalCheckpointer(pfs, "p", target_bytes=64)
+    ck.full(seg, [arr])
+    assert ck.incremental(seg, [arr]).arrays_bytes == 0  # nothing changed
+    r0, r1, c0, c1, val = updates[0]
+    h = g.copy()
+    h[r0:r1, c0:c1] = abs(val) + 1.0  # guaranteed different from zeros
+    arr.set_global(h)
+    bd = ck.incremental(seg, [arr])
+    assert 0 < bd.arrays_bytes <= arr.nbytes_global

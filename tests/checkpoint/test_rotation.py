@@ -1,0 +1,129 @@
+"""Tests for rotating checkpoint prefixes and retention."""
+
+import numpy as np
+import pytest
+
+from repro.arrays.darray import DistributedArray
+from repro.arrays.distributions import block_distribution
+from repro.checkpoint.drms import drms_checkpoint, drms_restart
+from repro.checkpoint.rotation import (
+    CheckpointRotation,
+    generations,
+    latest_checkpoint,
+)
+from repro.checkpoint.segment import DataSegment, SegmentProfile
+from repro.errors import CheckpointError
+from repro.pfs.piofs import PIOFS
+
+
+@pytest.fixture
+def env():
+    pfs = PIOFS()
+    arr = DistributedArray("u", (8, 8), np.float64, block_distribution((8, 8), 2))
+    arr.set_global(np.zeros((8, 8)))
+    seg = DataSegment(profile=SegmentProfile(1000, 0, 0), replicated={"it": 0})
+    return pfs, arr, seg
+
+
+def take(pfs, rot, arr, seg, it):
+    arr.set_global(np.full((8, 8), float(it)))
+    seg.replicated["it"] = it
+    prefix = rot.next_prefix()
+    drms_checkpoint(pfs, prefix, seg, [arr])
+    rot.commit(prefix)
+    return prefix
+
+
+class TestAllocation:
+    def test_prefixes_monotone(self, env):
+        pfs, arr, seg = env
+        rot = CheckpointRotation(pfs, "job", keep=10)
+        p1 = take(pfs, rot, arr, seg, 1)
+        p2 = take(pfs, rot, arr, seg, 2)
+        assert p1 == "job.000001"
+        assert p2 == "job.000002"
+
+    def test_numbers_never_reused_after_incomplete_state(self, env):
+        pfs, arr, seg = env
+        rot = CheckpointRotation(pfs, "job", keep=10)
+        take(pfs, rot, arr, seg, 1)
+        # simulate a crash mid-checkpoint: files exist, no manifest
+        pfs.create("job.000002.segment")
+        assert rot.next_prefix() == "job.000003"
+
+    def test_base_cannot_look_like_generation(self, env):
+        pfs, *_ = env
+        with pytest.raises(CheckpointError):
+            CheckpointRotation(pfs, "job.000001")
+
+    def test_keep_validated(self, env):
+        pfs, *_ = env
+        with pytest.raises(CheckpointError):
+            CheckpointRotation(pfs, "job", keep=0)
+
+
+class TestLatest:
+    def test_latest_is_newest_complete(self, env):
+        pfs, arr, seg = env
+        rot = CheckpointRotation(pfs, "job", keep=10)
+        take(pfs, rot, arr, seg, 1)
+        take(pfs, rot, arr, seg, 2)
+        assert latest_checkpoint(pfs, "job") == "job.000002"
+
+    def test_incomplete_state_invisible(self, env):
+        """The crash-mid-checkpoint scenario: the newest complete state
+        remains restorable."""
+        pfs, arr, seg = env
+        rot = CheckpointRotation(pfs, "job", keep=10)
+        good = take(pfs, rot, arr, seg, 5)
+        # crash while writing generation 2: array file exists, manifest
+        # missing
+        pfs.create("job.000002.segment")
+        pfs.create("job.000002.array.u")
+        assert latest_checkpoint(pfs, "job") == good
+        state, _ = drms_restart(pfs, good, 3)
+        assert state.segment.replicated["it"] == 5
+        assert np.all(state.arrays["u"].to_global() == 5.0)
+
+    def test_none_when_empty(self, env):
+        pfs, *_ = env
+        assert latest_checkpoint(pfs, "job") is None
+        assert generations(pfs, "job") == []
+
+
+class TestRetention:
+    def test_prune_keeps_newest_k(self, env):
+        pfs, arr, seg = env
+        rot = CheckpointRotation(pfs, "job", keep=2)
+        for it in range(1, 6):
+            take(pfs, rot, arr, seg, it)
+        gens = generations(pfs, "job")
+        assert gens == ["job.000004", "job.000005"]
+        # pruned states are fully gone
+        assert not pfs.exists("job.000001.manifest")
+        assert not pfs.exists("job.000001.array.u")
+
+    def test_survivors_restorable(self, env):
+        pfs, arr, seg = env
+        rot = CheckpointRotation(pfs, "job", keep=2)
+        for it in range(1, 5):
+            take(pfs, rot, arr, seg, it)
+        for prefix, expect in [("job.000003", 3.0), ("job.000004", 4.0)]:
+            state, _ = drms_restart(pfs, prefix, 4)
+            assert np.all(state.arrays["u"].to_global() == expect)
+
+    def test_commit_refuses_stale_prefix(self, env):
+        pfs, arr, seg = env
+        rot = CheckpointRotation(pfs, "job", keep=2)
+        p1 = take(pfs, rot, arr, seg, 1)
+        take(pfs, rot, arr, seg, 2)
+        with pytest.raises(CheckpointError):
+            rot.commit(p1)
+
+    def test_unrelated_prefixes_untouched(self, env):
+        pfs, arr, seg = env
+        drms_checkpoint(pfs, "other", seg, [arr])
+        rot = CheckpointRotation(pfs, "job", keep=1)
+        for it in (1, 2, 3):
+            take(pfs, rot, arr, seg, it)
+        assert pfs.exists("other.manifest")

@@ -1,0 +1,67 @@
+"""Unit tests for the data-segment model."""
+
+import pytest
+
+from repro.checkpoint.segment import (
+    SYSTEM_SEGMENT_BYTES,
+    DataSegment,
+    ExecutionContext,
+    SegmentProfile,
+)
+from repro.errors import CheckpointError
+
+
+def test_profile_total():
+    p = SegmentProfile(100, 200, 300)
+    assert p.total_bytes == 600
+
+
+def test_profile_rejects_negative():
+    with pytest.raises(CheckpointError):
+        SegmentProfile(-1, 0, 0)
+
+
+def test_system_constant_matches_table4():
+    assert SYSTEM_SEGMENT_BYTES == 34_972_228
+
+
+def test_serialize_pads_to_profile():
+    seg = DataSegment(profile=SegmentProfile(10_000, 0, 0))
+    header, pad = seg.serialize()
+    assert len(header) + pad == 10_000
+    assert seg.file_bytes == 10_000
+
+
+def test_small_profile_header_dominates():
+    seg = DataSegment(
+        profile=SegmentProfile(1, 1, 1),
+        replicated={"big": list(range(100))},
+    )
+    header, pad = seg.serialize()
+    assert pad == 0
+    assert seg.file_bytes == len(header)
+
+
+def test_roundtrip_preserves_exact_state():
+    seg = DataSegment(
+        profile=SegmentProfile(5000, 100, 20),
+        replicated={"dt": 0.01, "name": "bt"},
+        context=ExecutionContext(sop_id=3, iteration=41, control={"ce": 10}),
+    )
+    header, pad = seg.serialize()
+    back = DataSegment.deserialize(header + b"\x00" * pad)
+    assert back.replicated == seg.replicated
+    assert back.context.iteration == 41
+    assert back.context.sop_id == 3
+    assert back.context.control == {"ce": 10}
+    assert back.profile == seg.profile
+
+
+def test_deserialize_rejects_garbage():
+    with pytest.raises(CheckpointError):
+        DataSegment.deserialize(b"abc")
+    with pytest.raises(CheckpointError):
+        DataSegment.deserialize((999).to_bytes(8, "little") + b"short")
+    bad = (4).to_bytes(8, "little") + b"\xff\xff\xff\xff"
+    with pytest.raises(CheckpointError):
+        DataSegment.deserialize(bad)

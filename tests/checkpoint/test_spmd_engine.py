@@ -1,0 +1,74 @@
+"""Unit tests for the conventional (SPMD) checkpoint engine."""
+
+import pytest
+
+from repro.checkpoint.restart import checkpoint_kind, saved_state_bytes
+from repro.checkpoint.spmd import spmd_checkpoint, spmd_restart
+from repro.errors import CheckpointError, RestartError
+from repro.pfs.phase import IOKind
+from repro.pfs.piofs import PIOFS
+from repro.runtime.machine import Machine, MachineParams
+
+
+@pytest.fixture
+def pfs():
+    m = Machine(MachineParams(num_nodes=16))
+    m.place_tasks(8)
+    return PIOFS(machine=m)
+
+
+def test_one_file_per_task(pfs):
+    bd = spmd_checkpoint(pfs, "sp", ntasks=8, segment_bytes=10_000)
+    for t in range(8):
+        assert pfs.file_size(f"sp.task{t}") == 10_000
+    assert bd.segment_bytes == 80_000
+    assert bd.kind == "spmd"
+
+
+def test_state_grows_linearly_with_tasks(pfs):
+    spmd_checkpoint(pfs, "a", ntasks=4, segment_bytes=10_000)
+    spmd_checkpoint(pfs, "b", ntasks=8, segment_bytes=10_000)
+    assert saved_state_bytes(pfs, "b")["total"] == 2 * saved_state_bytes(pfs, "a")["total"]
+
+
+def test_payload_roundtrip(pfs):
+    payloads = [{"rank": t, "data": [t] * 3} for t in range(4)]
+    spmd_checkpoint(pfs, "sp", ntasks=4, segment_bytes=5_000, payloads=payloads)
+    state, bd = spmd_restart(pfs, "sp", 4)
+    assert state.payloads == payloads
+    assert bd.segment_bytes == sum(state.segment_bytes)
+
+
+def test_payload_count_checked(pfs):
+    with pytest.raises(CheckpointError):
+        spmd_checkpoint(pfs, "sp", ntasks=4, segment_bytes=100, payloads=[1, 2])
+
+
+def test_reconfigured_restart_impossible(pfs):
+    spmd_checkpoint(pfs, "sp", ntasks=8, segment_bytes=1000)
+    for bad in (4, 7, 9, 16):
+        with pytest.raises(RestartError, match="Reconfigured restart"):
+            spmd_restart(pfs, "sp", bad)
+    # same count works
+    spmd_restart(pfs, "sp", 8)
+
+
+def test_kind_dispatch(pfs):
+    spmd_checkpoint(pfs, "sp", ntasks=2, segment_bytes=100)
+    assert checkpoint_kind(pfs, "sp") == "spmd"
+    with pytest.raises(RestartError):
+        from repro.checkpoint.drms import drms_restart
+
+        drms_restart(pfs, "sp", 2)
+
+
+def test_phase_kinds(pfs):
+    spmd_checkpoint(pfs, "sp", ntasks=4, segment_bytes=1000)
+    pfs.phase_log.clear()
+    spmd_restart(pfs, "sp", 4)
+    assert [p.kind for p in pfs.phase_log] == [IOKind.READ_DISTINCT]
+
+
+def test_zero_tasks_rejected(pfs):
+    with pytest.raises(CheckpointError):
+        spmd_checkpoint(pfs, "sp", ntasks=0, segment_bytes=100)

@@ -1,0 +1,29 @@
+"""Shared fixtures."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.pfs.piofs import PIOFS
+from repro.runtime.machine import Machine, MachineParams
+
+
+@pytest.fixture
+def machine16():
+    return Machine(MachineParams(num_nodes=16))
+
+
+@pytest.fixture
+def machine8():
+    return Machine(MachineParams(num_nodes=8))
+
+
+@pytest.fixture
+def pfs(machine16):
+    return PIOFS(machine=machine16)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(20260707)

@@ -1,0 +1,143 @@
+"""Unit tests for DRMSContext details: control variables, the enabling
+checkpoint, shadows, and the iteration/replay protocol."""
+
+import numpy as np
+import pytest
+
+from repro.drms import CheckpointStatus, DRMSApplication
+
+N = 10
+
+
+def test_control_variables_checkpointed_and_restored():
+    def main(ctx, prefix):
+        ctx.initialize()
+        d = ctx.create_distribution((N, N))
+        ctx.distribute("u", d, init_global=np.zeros((N, N)))
+        ctx.set_control("phase", "warmup")
+        for it in ctx.iterations(1, 3):
+            ctx.reconfig_checkpoint(prefix)
+            ctx.barrier()
+        return ctx.get_control("phase")
+
+    app = DRMSApplication(main)
+    app.start(2, args=("ck",))
+    rep = app.restart("ck", 3, args=("ck",))
+    assert rep.returns == ["warmup"] * 3
+
+
+def test_replicated_variables_restored():
+    def main(ctx, prefix):
+        ctx.initialize()
+        d = ctx.create_distribution((N,))
+        ctx.distribute("u", d, init_global=np.zeros(N))
+        ctx.set_replicated("alpha", 2.5)
+        for it in ctx.iterations(1, 2):
+            ctx.reconfig_checkpoint(prefix)
+        return ctx.get_replicated("alpha")
+
+    app = DRMSApplication(main)
+    app.start(2, args=("ck",))
+    assert app.restart("ck", 4, args=("ck",)).returns == [2.5] * 4
+
+
+def test_chkenable_skipped_without_signal():
+    def main(ctx, prefix):
+        ctx.initialize()
+        d = ctx.create_distribution((N,))
+        ctx.distribute("u", d, init_global=np.ones(N))
+        for it in ctx.iterations(1, 4):
+            status, delta = ctx.reconfig_chkenable(prefix)
+            if ctx.rank == 0:
+                results.append(status)
+        return None
+
+    results = []
+    app = DRMSApplication(main)
+    rep = app.start(2, args=("en",))
+    assert results == [CheckpointStatus.SKIPPED] * 3
+    assert rep.checkpoints == []
+
+
+def test_chkenable_fires_once_when_enabled():
+    statuses = []
+
+    def main(ctx, prefix):
+        ctx.initialize()
+        d = ctx.create_distribution((N,))
+        ctx.distribute("u", d, init_global=np.ones(N))
+        for it in ctx.iterations(1, 4):
+            status, _ = ctx.reconfig_chkenable(prefix)
+            if ctx.rank == 0:
+                statuses.append(status)
+
+    app = DRMSApplication(main)
+    app.enable_checkpoint()
+    rep = app.start(2, args=("en",))
+    assert statuses[0] is CheckpointStatus.TAKEN
+    assert statuses[1:] == [CheckpointStatus.SKIPPED] * 2
+    assert len(rep.checkpoints) == 1  # the signal is one-shot
+
+
+def test_update_shadows_collective():
+    def main(ctx):
+        ctx.initialize()
+        d = ctx.create_distribution((N, N), shadow=(1, 1))
+        u = ctx.distribute("u", d, init_global=np.zeros((N, N)))
+        u.set_assigned(u.assigned + ctx.rank + 1.0)
+        ctx.update_shadows("u")
+        return bool(u.array.is_consistent()) if ctx.rank == 0 else True
+
+    rep = DRMSApplication(main).start(4)
+    assert all(rep.returns)
+
+
+def test_iteration_property_tracks_loop():
+    seen = []
+
+    def main(ctx):
+        ctx.initialize()
+        for it in ctx.iterations(3, 6):
+            if ctx.rank == 0:
+                seen.append((it, ctx.iteration))
+
+    DRMSApplication(main).start(2)
+    assert seen == [(3, 3), (4, 4), (5, 5)]
+
+
+def test_init_local_per_task_initialization():
+    def main(ctx):
+        ctx.initialize()
+        d = ctx.create_distribution((N, N))
+        u = ctx.distribute(
+            "u", d, init_local=lambda rank, a: np.full(a.shape, float(rank)),
+        )
+        ctx.barrier()
+        return float(u.assigned.mean())
+
+    rep = DRMSApplication(main).start(4)
+    assert rep.returns == [0.0, 1.0, 2.0, 3.0]
+
+
+def test_adjust_unknown_array():
+    def main(ctx):
+        ctx.initialize()
+        ctx.adjust("ghost")
+
+    from repro.errors import CheckpointError
+
+    with pytest.raises(CheckpointError):
+        DRMSApplication(main).start(2)
+
+
+def test_array_view_accessors():
+    def main(ctx):
+        ctx.initialize()
+        d = ctx.create_distribution((N, N), shadow=(1, 1))
+        u = ctx.distribute("u", d, init_global=np.ones((N, N)))
+        assert u.name == "u"
+        assert u.local.shape == u.mapped_slice.shape
+        assert u.assigned_slice.issubset(u.mapped_slice)
+        return u.assigned.shape == u.assigned_slice.shape
+
+    assert all(DRMSApplication(main).start(4).returns)

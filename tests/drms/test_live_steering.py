@@ -1,0 +1,94 @@
+"""Live steering of a *running* application at steering points."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.arrays.ranges import Range
+from repro.arrays.slices import Slice
+from repro.drms import DRMSApplication
+from repro.errors import ArrayError
+
+N = 12
+
+
+def steered_main(ctx, niter, gate):
+    """Increments the field each iteration; services steering requests
+    at a per-iteration steering point.  ``gate`` releases the client
+    once the run is underway."""
+    ctx.initialize()
+    d = ctx.create_distribution((N, N))
+    u = ctx.distribute("u", d, init_global=np.zeros((N, N)))
+    if ctx.rank == 0:
+        gate.set()
+    for it in ctx.iterations(1, niter + 1):
+        ctx.steering_point()
+        u.set_assigned(u.assigned + 1.0)
+        ctx.barrier()
+    ctx.steering_point()  # final service so late requests complete
+    return None
+
+
+def run_in_thread(app, ntasks, args):
+    box = {}
+
+    def runner():
+        box["report"] = app.start(ntasks, args=args)
+
+    t = threading.Thread(target=runner)
+    t.start()
+    return t, box
+
+
+def test_read_write_while_running():
+    gate = threading.Event()
+    app = DRMSApplication(steered_main)
+    t, box = run_in_thread(app, 4, (400, gate))
+    assert gate.wait(timeout=30)
+
+    # live read: a consistent snapshot of the whole field
+    snap = app.steering.read_async("u").result()
+    assert snap.shape == (N, N)
+    assert len(np.unique(snap)) == 1  # consistent (between iterations)
+
+    # live write: poke a window and read it back
+    window = Slice([Range.regular(0, 2, 1), Range.regular(0, 2, 1)])
+    app.steering.write_async("u", np.full((3, 3), 1000.0), window).result()
+    snap2 = app.steering.read_async("u", window).result()
+    assert snap2.min() >= 1000.0  # the poke landed (then keeps growing)
+
+    t.join(timeout=60)
+    assert not t.is_alive()
+    final = box["report"].arrays["u"].to_global()
+    # the steered window stayed ahead of the untouched area
+    assert final[0, 0] > final[6, 6]
+
+
+def test_unknown_array_completes_with_error():
+    gate = threading.Event()
+    app = DRMSApplication(steered_main)
+    t, box = run_in_thread(app, 2, (200, gate))
+    assert gate.wait(timeout=30)
+    fut = app.steering.read_async("ghost")
+    with pytest.raises(ArrayError):
+        fut.result()
+    t.join(timeout=60)
+
+
+def test_unserviced_request_times_out():
+    app = DRMSApplication(steered_main)  # never started
+    fut = app.steering.read_async("u")
+    assert not fut.done()
+    with pytest.raises(ArrayError, match="not serviced"):
+        fut.result(timeout=0.2)
+
+
+def test_no_client_costs_nothing():
+    """steering_point with an empty queue is a plain barrier."""
+    gate = threading.Event()
+    app = DRMSApplication(steered_main)
+    rep = app.start(3, args=(5, gate))
+    assert rep.sim_elapsed >= 0
+    final = rep.arrays["u"].to_global()
+    assert np.all(final == 5.0)

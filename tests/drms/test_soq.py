@@ -1,0 +1,35 @@
+"""Tests for the SOQ resource-section spec."""
+
+import pytest
+
+from repro.drms.soq import SOQSpec
+from repro.errors import ReconfigurationError
+
+
+def test_defaults_accept_anything_positive():
+    s = SOQSpec()
+    s.check(1)
+    s.check(10_000)
+
+
+def test_min_max_enforced():
+    s = SOQSpec(min_tasks=4, max_tasks=16)
+    with pytest.raises(ReconfigurationError):
+        s.check(3)
+    with pytest.raises(ReconfigurationError):
+        s.check(17)
+    s.check(4)
+    s.check(16)
+
+
+def test_custom_validator():
+    square = SOQSpec(min_tasks=1, validator=lambda n: int(n ** 0.5) ** 2 == n)
+    square.check(4)
+    square.check(9)
+    with pytest.raises(ReconfigurationError):
+        square.check(8)
+
+
+def test_valid_predicate():
+    s = SOQSpec(min_tasks=2, max_tasks=4)
+    assert [n for n in range(1, 6) if s.valid(n)] == [2, 3, 4]

@@ -1,0 +1,71 @@
+"""Coverage for the event log and the exception hierarchy."""
+
+import pytest
+
+from repro import errors
+from repro.infra.events import Event, EventLog
+
+
+class TestEventLog:
+    def test_emit_and_iter(self):
+        log = EventLog()
+        log.emit(1.0, "a", x=1)
+        log.emit(2.0, "b")
+        log.emit(3.0, "a", x=2)
+        assert len(log) == 3
+        assert [e.kind for e in log] == ["a", "b", "a"]
+
+    def test_of_kind_and_last(self):
+        log = EventLog()
+        assert log.last() is None
+        log.emit(1.0, "a", x=1)
+        log.emit(2.0, "b")
+        assert log.last().kind == "b"
+        assert log.last("a").detail == {"x": 1}
+        assert log.of_kind("c") == []
+
+    def test_repr_compact(self):
+        ev = Event(1.5, "boom", {"node": 3})
+        assert "boom" in repr(ev)
+        assert "node=3" in repr(ev)
+
+    def test_empty_log_is_falsy_but_usable(self):
+        # regression guard for the `events or EventLog()` bug: daemons
+        # must share an injected (possibly still-empty) log
+        log = EventLog()
+        assert not len(log)
+        picked = log if log is not None else EventLog()
+        assert picked is log
+
+
+class TestErrorHierarchy:
+    def test_all_derive_from_repro_error(self):
+        leaves = [
+            errors.RangeError,
+            errors.SliceError,
+            errors.DistributionError,
+            errors.ArrayError,
+            errors.StreamingError,
+            errors.CheckpointError,
+            errors.RestartError,
+            errors.ReconfigurationError,
+            errors.CommunicationError,
+            errors.TaskFailure,
+            errors.MachineError,
+            errors.PFSError,
+            errors.SchedulerError,
+        ]
+        for cls in leaves:
+            assert issubclass(cls, errors.ReproError)
+
+    def test_restart_error_is_checkpoint_error(self):
+        assert issubclass(errors.RestartError, errors.CheckpointError)
+
+    def test_node_failure_is_task_failure(self):
+        from repro.infra.failure import NodeFailure
+
+        assert issubclass(NodeFailure, errors.TaskFailure)
+
+    def test_catch_all(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.PFSError("x")

@@ -1,0 +1,117 @@
+"""Unit tests for the JSA scheduler and the UIC facade."""
+
+import numpy as np
+import pytest
+
+from repro.drms import DRMSApplication, SOQSpec
+from repro.errors import SchedulerError
+from repro.infra.cluster import DRMSCluster
+from repro.infra.jsa import JobState
+from repro.runtime.machine import Machine, MachineParams
+
+N = 8
+
+
+def simple_main(ctx, prefix):
+    ctx.initialize()
+    d = ctx.create_distribution((N, N))
+    u = ctx.distribute("u", d, init_global=np.ones((N, N)))
+    for it in ctx.iterations(1, 4):
+        if it == 1:
+            status, delta = ctx.reconfig_checkpoint(prefix)
+            if delta != 0:
+                u = ctx.distribute("u", ctx.adjust("u"))
+        u.set_assigned(u.assigned + 1)
+        ctx.barrier()
+    return float(u.assigned.sum())
+
+
+@pytest.fixture
+def cluster():
+    return DRMSCluster(machine=Machine(MachineParams(num_nodes=8)))
+
+
+class TestJSA:
+    def test_submit_run_complete(self, cluster):
+        app = cluster.build_app(simple_main)
+        cluster.jsa.submit("j1", app, args=("ck",), prefix="ck")
+        rep = cluster.jsa.run("j1", ntasks=4)
+        assert rep.ntasks == 4
+        assert cluster.jsa.jobs["j1"].state is JobState.COMPLETED
+        assert cluster.rc.clock >= rep.sim_elapsed
+
+    def test_duplicate_job_id(self, cluster):
+        app = cluster.build_app(simple_main)
+        cluster.jsa.submit("j1", app, args=("ck",))
+        with pytest.raises(SchedulerError):
+            cluster.jsa.submit("j1", app, args=("ck",))
+
+    def test_pick_ntasks_fits_availability(self, cluster):
+        app = cluster.build_app(simple_main, soq=SOQSpec(min_tasks=1, max_tasks=6))
+        job = cluster.jsa.submit("j1", app, args=("ck",))
+        assert cluster.jsa.pick_ntasks(job) == 6  # capped by SOQ max
+        assert cluster.jsa.pick_ntasks(job, want=3) == 3
+
+    def test_pick_ntasks_infeasible(self, cluster):
+        app = cluster.build_app(simple_main, soq=SOQSpec(min_tasks=20))
+        job = cluster.jsa.submit("j1", app, args=("ck",))
+        with pytest.raises(SchedulerError):
+            cluster.jsa.pick_ntasks(job)
+
+    def test_restart_without_checkpoint_rejected(self, cluster):
+        app = cluster.build_app(simple_main)
+        cluster.jsa.submit("j1", app, args=("ck",), prefix="nope")
+        with pytest.raises(SchedulerError):
+            cluster.jsa.restart("j1")
+
+    def test_checkpoint_then_restart_on_fewer_nodes(self, cluster):
+        app = cluster.build_app(simple_main)
+        cluster.jsa.submit("j1", app, args=("ck",), prefix="ck")
+        ref = cluster.jsa.run("j1", ntasks=6)
+        cluster.machine.fail_node(6)
+        cluster.machine.fail_node(7)
+        rep = cluster.jsa.restart("j1", ntasks=6)
+        assert rep.ntasks == 6  # 6 healthy nodes still suffice
+        assert np.allclose(
+            rep.arrays["u"].to_global(), ref.arrays["u"].to_global()
+        )
+
+    def test_enable_system_checkpoint_hook(self, cluster):
+        statuses = []
+
+        def enb_main(ctx, prefix):
+            ctx.initialize()
+            d = ctx.create_distribution((N,))
+            ctx.distribute("u", d, init_global=np.ones(N))
+            for it in ctx.iterations(1, 3):
+                s, _ = ctx.reconfig_chkenable(prefix)
+                if ctx.rank == 0:
+                    statuses.append(s.value)
+
+        app = cluster.build_app(enb_main)
+        cluster.jsa.submit("j1", app, args=("ck",), prefix="ck")
+        cluster.jsa.enable_system_checkpoint("j1")
+        cluster.jsa.run("j1", ntasks=2)
+        assert statuses == ["taken", "skipped"]
+
+
+class TestUIC:
+    def test_submit_run_via_uic(self, cluster):
+        app = cluster.build_app(simple_main)
+        cluster.uic.submit("j1", app, args=("ck",), prefix="ck")
+        cluster.uic.run("j1", ntasks=2)
+        assert cluster.uic.job_status("j1") is JobState.COMPLETED
+
+    def test_system_status(self, cluster):
+        status = cluster.uic.system_status()
+        assert status["nodes_total"] == 8
+        assert status["nodes_up"] == 8
+        assert status["jobs"] == {}
+
+    def test_notifications_filtered(self, cluster):
+        app = cluster.build_app(simple_main)
+        cluster.uic.submit("j1", app, args=("ck",), prefix="ck")
+        cluster.uic.run("j1", ntasks=2)
+        notes = cluster.uic.notifications("j1")
+        assert any(e.kind == "job_completed" for e in notes)
+        assert cluster.uic.notifications("other") == []

@@ -1,0 +1,82 @@
+"""Unit tests for the Resource Coordinator's recovery protocol."""
+
+import pytest
+
+from repro.errors import MachineError, SchedulerError
+from repro.infra.rc import ResourceCoordinator
+from repro.infra.tc import TCState
+from repro.runtime.machine import Machine, MachineParams
+
+
+@pytest.fixture
+def rc():
+    return ResourceCoordinator(
+        Machine(MachineParams(num_nodes=8)), tc_restart_s=5.0, node_repair_s=100.0
+    )
+
+
+class TestPools:
+    def test_form_and_release(self, rc):
+        nodes = rc.form_pool("j1", 4)
+        assert nodes == [0, 1, 2, 3]
+        assert rc.available_nodes() == [4, 5, 6, 7]
+        rc.release_pool("j1")
+        assert len(rc.available_nodes()) == 8
+
+    def test_insufficient_nodes(self, rc):
+        rc.form_pool("j1", 6)
+        with pytest.raises(SchedulerError):
+            rc.form_pool("j2", 4)
+
+    def test_two_pools_disjoint(self, rc):
+        a = rc.form_pool("a", 3)
+        b = rc.form_pool("b", 3)
+        assert not set(a) & set(b)
+
+
+class TestFailureProtocol:
+    def test_idle_node_failure_schedules_repair(self, rc):
+        assert rc.handle_processor_failure(5) is None
+        assert 5 not in rc.available_nodes()
+        rc.advance(100.0)
+        assert 5 in rc.available_nodes()
+        assert rc.events.of_kind("node_repaired")
+
+    def test_pool_node_failure_runs_five_steps(self, rc):
+        rc.form_pool("job", 4)
+        killed = rc.handle_processor_failure(2)
+        assert killed == "job"
+        kinds = [e.kind for e in rc.events]
+        for expected in (
+            "tc_disconnected",
+            "application_killed",
+            "user_informed",
+            "node_repair_started",
+            "tcs_restarted",
+        ):
+            assert expected in kinds
+
+    def test_healthy_pool_nodes_return_immediately(self, rc):
+        rc.form_pool("job", 4)
+        rc.handle_processor_failure(1)
+        # nodes 0,2,3 back; node 1 out for repair
+        assert set(rc.available_nodes()) == {0, 2, 3, 4, 5, 6, 7}
+
+    def test_restart_does_not_wait_for_repair(self, rc):
+        rc.form_pool("job", 4)
+        rc.handle_processor_failure(0)
+        t_after_recovery = rc.clock
+        assert t_after_recovery == pytest.approx(rc.tc_restart_s)
+        # repair completes much later
+        assert rc.repair_done_at[0] > t_after_recovery + 90
+
+    def test_failed_node_eventually_repaired(self, rc):
+        rc.form_pool("job", 2)
+        rc.handle_processor_failure(0)
+        rc.advance(200.0)
+        assert 0 in rc.available_nodes()
+        assert rc.tcs[0].state is TCState.CONNECTED
+
+    def test_unknown_node(self, rc):
+        with pytest.raises(MachineError):
+            rc.handle_processor_failure(99)

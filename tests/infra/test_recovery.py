@@ -1,0 +1,140 @@
+"""End-to-end failure/recovery scenarios (paper Section 4, item 3)."""
+
+import numpy as np
+import pytest
+
+from repro.drms import DRMSApplication
+from repro.drms.api import (
+    drms_adjust,
+    drms_create_distribution,
+    drms_distribute,
+    drms_initialize,
+    drms_reconfig_checkpoint,
+)
+from repro.drms.context import CheckpointStatus
+from repro.infra import DRMSCluster, FailurePlan
+from repro.infra.failure import NodeFailure
+from repro.runtime.machine import Machine, MachineParams
+
+N = 10
+NITER = 12
+
+
+def main(ctx, prefix):
+    drms_initialize(ctx)
+    dist = drms_create_distribution(ctx, (N, N), shadow=(1, 1))
+    u = drms_distribute(ctx, "u", dist, init_global=np.ones((N, N)))
+    for it in ctx.iterations(1, NITER + 1):
+        if it % 4 == 1:
+            status, delta = drms_reconfig_checkpoint(ctx, prefix)
+            if status is CheckpointStatus.RESTARTED and delta != 0:
+                u = drms_distribute(ctx, "u", drms_adjust(ctx, "u"))
+        u.set_assigned(u.assigned + 1.0)
+        ctx.barrier()
+    return float(u.assigned.sum())
+
+
+@pytest.fixture
+def cluster():
+    return DRMSCluster(
+        machine=Machine(MachineParams(num_nodes=8)), node_repair_s=600.0
+    )
+
+
+def test_no_failure_plain_run(cluster):
+    app = cluster.build_app(main)
+    out = cluster.run_with_recovery("j", app, 6, args=("ck",), prefix="ck")
+    assert out.failed_node is None
+    assert out.tasks_after == 6
+    g = out.final_report.arrays["u"].to_global()
+    assert np.all(g == 1.0 + NITER)
+
+
+def test_failure_recovers_on_surviving_nodes(cluster):
+    app = cluster.build_app(main)
+    out = cluster.run_with_recovery(
+        "j", app, 8, args=("ck",), prefix="ck",
+        failure=FailurePlan(iteration=7, node_id=3),
+    )
+    assert out.failed_node == 3
+    assert out.tasks_before == 8
+    assert out.tasks_after == 7  # one node lost
+    g = out.final_report.arrays["u"].to_global()
+    assert np.all(g == 1.0 + NITER)  # correct final state despite failure
+
+
+def test_recovery_does_not_wait_for_repair(cluster):
+    app = cluster.build_app(main)
+    out = cluster.run_with_recovery(
+        "j", app, 8, args=("ck",), prefix="ck",
+        failure=FailurePlan(iteration=6, node_id=0),
+    )
+    assert out.recovered_without_repair
+    assert out.recovery_latency_s < 60.0
+    assert out.node_repair_s == 600.0
+
+
+def test_explicit_restart_size(cluster):
+    app = cluster.build_app(main)
+    out = cluster.run_with_recovery(
+        "j", app, 8, args=("ck",), prefix="ck",
+        failure=FailurePlan(iteration=7, node_id=2),
+        restart_ntasks=4,
+    )
+    assert out.tasks_after == 4
+    g = out.final_report.arrays["u"].to_global()
+    assert np.all(g == 1.0 + NITER)
+
+
+def test_events_tell_the_story(cluster):
+    app = cluster.build_app(main)
+    cluster.run_with_recovery(
+        "j", app, 6, args=("ck",), prefix="ck",
+        failure=FailurePlan(iteration=5, node_id=1),
+    )
+    kinds = [e.kind for e in cluster.events]
+    for expected in (
+        "job_submitted",
+        "pool_formed",
+        "tc_disconnected",
+        "application_killed",
+        "user_informed",
+        "recovery_started",
+        "job_restarted",
+    ):
+        assert expected in kinds, expected
+    # failure precedes recovery precedes restart
+    assert kinds.index("application_killed") < kinds.index("recovery_started")
+    assert kinds.index("recovery_started") < kinds.index("job_restarted")
+
+
+def test_failure_without_checkpoint_cannot_recover(cluster):
+    def no_ckpt_main(ctx, prefix):
+        drms_initialize(ctx)
+        d = drms_create_distribution(ctx, (N,))
+        drms_distribute(ctx, "u", d, init_global=np.ones(N))
+        for it in ctx.iterations(1, 6):
+            ctx.barrier()
+
+    app = cluster.build_app(no_ckpt_main)
+    from repro.errors import SchedulerError
+
+    with pytest.raises(SchedulerError, match="no checkpoint"):
+        cluster.run_with_recovery(
+            "j", app, 4, args=("ck",), prefix="ck",
+            failure=FailurePlan(iteration=3, node_id=1),
+        )
+
+
+def test_failure_plan_one_shot():
+    plan = FailurePlan(iteration=2, node_id=0)
+    assert plan.should_fire(2)
+    plan.fire()
+    assert not plan.should_fire(2)
+    assert plan.fired
+
+
+def test_node_failure_exception_carries_node():
+    exc = NodeFailure(7)
+    assert exc.node_id == 7
+    assert "7" in str(exc)

@@ -1,0 +1,96 @@
+"""Tests for the scheduling-flexibility study (§8 future work)."""
+
+import pytest
+
+from repro.errors import SchedulerError
+from repro.infra.study import JobSpec, SchedulingStudy
+
+
+def make_stream():
+    return [
+        JobSpec("big", work=16_000.0, max_tasks=16, min_tasks=4, arrival=0.0),
+        JobSpec("mid", work=4_000.0, max_tasks=8, min_tasks=2, arrival=100.0),
+        JobSpec("small", work=800.0, max_tasks=4, min_tasks=1, arrival=200.0),
+    ]
+
+
+class TestSpecs:
+    def test_bad_specs_rejected(self):
+        with pytest.raises(SchedulerError):
+            JobSpec("x", work=-1, max_tasks=2)
+        with pytest.raises(SchedulerError):
+            JobSpec("x", work=1, max_tasks=2, min_tasks=3)
+        with pytest.raises(SchedulerError):
+            SchedulingStudy(4, [JobSpec("x", work=1, max_tasks=9, min_tasks=8)])
+
+    def test_unknown_policy(self):
+        s = SchedulingStudy(4, make_stream()[:1])
+        with pytest.raises(SchedulerError):
+            s.run("elastic")
+
+
+class TestSingleJob:
+    def test_rigid_runtime_is_work_over_tasks(self):
+        s = SchedulingStudy(16, [JobSpec("j", work=1600.0, max_tasks=8)])
+        r = s.run("rigid")
+        assert r.makespan == pytest.approx(200.0)
+        assert r.reconfigurations == 0
+
+    def test_reconfigurable_single_job_no_reconfig_needed(self):
+        s = SchedulingStudy(16, [JobSpec("j", work=1600.0, max_tasks=8, min_tasks=2)])
+        r = s.run("reconfigurable")
+        assert r.makespan == pytest.approx(200.0)
+        assert r.reconfigurations == 0
+
+    def test_utilization_bound(self):
+        s = SchedulingStudy(8, [JobSpec("j", work=800.0, max_tasks=8)])
+        r = s.run("rigid")
+        assert r.utilization == pytest.approx(1.0)
+
+
+class TestPolicies:
+    def test_reconfigurable_beats_rigid_on_contended_stream(self):
+        s = SchedulingStudy(16, make_stream(), reconfig_cost_s=60.0)
+        res = s.compare()
+        assert res["reconfigurable"].makespan < res["rigid"].makespan
+        assert res["reconfigurable"].utilization > res["rigid"].utilization
+        assert res["reconfigurable"].reconfigurations >= 1
+
+    def test_rigid_head_of_line_blocking(self):
+        """A rigid 16-task job blocks everything; the malleable variant
+        starts small and grows."""
+        jobs = [
+            JobSpec("hog", work=3200.0, max_tasks=16, min_tasks=4, arrival=0.0),
+            JobSpec("quick", work=100.0, max_tasks=2, min_tasks=1, arrival=1.0),
+        ]
+        s = SchedulingStudy(16, jobs, reconfig_cost_s=30.0)
+        rigid = s.run("rigid")
+        flex = s.run("reconfigurable")
+        # rigid: quick waits for the hog to finish
+        assert rigid.completions["quick"] > rigid.completions["hog"] - 1e-6
+        # reconfigurable: quick finishes way earlier
+        assert flex.completions["quick"] < 0.5 * rigid.completions["quick"]
+
+    def test_reconfig_cost_tempers_the_gain(self):
+        cheap = SchedulingStudy(16, make_stream(), reconfig_cost_s=1.0).run(
+            "reconfigurable"
+        )
+        pricey = SchedulingStudy(16, make_stream(), reconfig_cost_s=500.0).run(
+            "reconfigurable"
+        )
+        assert cheap.makespan <= pricey.makespan
+
+    def test_work_conservation(self):
+        """Both policies complete the same total work; utilization x
+        nodes x makespan == total work + idle."""
+        s = SchedulingStudy(16, make_stream())
+        for policy in ("rigid", "reconfigurable"):
+            r = s.run(policy)
+            total_work = sum(j.work for j in make_stream())
+            assert r.utilization * 16 * r.makespan == pytest.approx(total_work)
+
+    def test_arrivals_respected(self):
+        jobs = [JobSpec("late", work=100.0, max_tasks=4, arrival=1000.0)]
+        r = SchedulingStudy(8, jobs).run("rigid")
+        assert r.completions["late"] == pytest.approx(1025.0)
+        assert r.mean_response == pytest.approx(25.0)

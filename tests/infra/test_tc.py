@@ -1,0 +1,29 @@
+"""Unit tests for Task Coordinators."""
+
+from repro.infra.tc import TaskCoordinator, TCState
+
+
+def test_initial_state_idle():
+    tc = TaskCoordinator(3)
+    assert tc.connected and tc.idle
+
+
+def test_attach_detach():
+    tc = TaskCoordinator(0)
+    tc.attach("job", [2])
+    assert not tc.idle
+    assert tc.job_id == "job"
+    tc.detach()
+    assert tc.idle
+
+
+def test_disconnect_and_reconnect_cycle():
+    tc = TaskCoordinator(0)
+    tc.attach("job", [0])
+    tc.disconnect()
+    assert tc.state is TCState.DISCONNECTED
+    assert not tc.connected
+    tc.begin_restart()
+    assert tc.state is TCState.RESTARTING
+    tc.reconnect()
+    assert tc.connected and tc.idle  # reconnect clears the job binding

@@ -1,0 +1,70 @@
+"""Property-based checkpoint/restart invariants across the full stack."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arrays.darray import DistributedArray
+from repro.arrays.distributions import block_distribution
+from repro.checkpoint.drms import drms_checkpoint, drms_restart
+from repro.checkpoint.segment import DataSegment, SegmentProfile
+from repro.pfs.piofs import PIOFS
+from repro.runtime.machine import Machine, MachineParams
+
+
+@given(
+    st.tuples(st.integers(2, 10), st.integers(2, 10), st.integers(1, 6)),
+    st.integers(1, 8),
+    st.integers(1, 8),
+    st.integers(0, 2),
+    st.dictionaries(
+        st.sampled_from(["dt", "niter", "alpha", "name"]),
+        st.one_of(st.integers(), st.floats(allow_nan=False), st.text(max_size=8)),
+        max_size=4,
+    ),
+)
+@settings(max_examples=30, deadline=None)
+def test_checkpoint_restart_identity(shape, t1, t2, shadow, replicated):
+    """For any shape, task counts, shadow width, and replicated-variable
+    set: DRMS checkpoint at t1 + restart at t2 reproduces the arrays
+    bitwise and the replicated variables exactly."""
+    machine = Machine(MachineParams(num_nodes=16))
+    machine.place_tasks(min(t1, 16))
+    pfs = PIOFS(machine=machine)
+    g = np.random.default_rng(hash(shape) % 2**32).normal(size=shape)
+    arr = DistributedArray(
+        "u", shape, np.float64,
+        block_distribution(shape, t1, shadow=(shadow,) * len(shape)),
+    )
+    arr.set_global(g)
+    seg = DataSegment(
+        profile=SegmentProfile(10_000, 1_000, 500), replicated=dict(replicated)
+    )
+    drms_checkpoint(pfs, "p", seg, [arr])
+    state, _ = drms_restart(pfs, "p", t2)
+    back = state.arrays["u"]
+    assert back.ntasks == t2
+    assert np.array_equal(back.to_global(), g)  # bitwise
+    assert back.is_consistent()
+    assert state.segment.replicated == replicated
+
+
+@given(st.integers(1, 8), st.integers(1, 8), st.integers(1, 4))
+@settings(max_examples=20, deadline=None)
+def test_double_hop_identity(t1, t2, t3):
+    """checkpoint@t1 -> restart@t2 -> checkpoint -> restart@t3 is still
+    the identity (re-checkpointed state is as good as the original)."""
+    machine = Machine(MachineParams(num_nodes=16))
+    pfs = PIOFS(machine=machine)
+    g = np.arange(6 * 8 * 4, dtype=np.float64).reshape(6, 8, 4)
+    arr = DistributedArray(
+        "u", (6, 8, 4), np.float64, block_distribution((6, 8, 4), t1)
+    )
+    arr.set_global(g)
+    seg = DataSegment(profile=SegmentProfile(1000, 0, 0), replicated={"k": 1})
+    drms_checkpoint(pfs, "a", seg, [arr])
+    s1, _ = drms_restart(pfs, "a", t2)
+    drms_checkpoint(pfs, "b", s1.segment, [s1.arrays["u"]])
+    s2, _ = drms_restart(pfs, "b", t3)
+    assert np.array_equal(s2.arrays["u"].to_global(), g)
+    assert s2.segment.replicated == {"k": 1}

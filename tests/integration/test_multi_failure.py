@@ -1,0 +1,108 @@
+"""Repeated failures: the cluster keeps recovering as nodes keep dying,
+shrinking the pool each time — the long-running mission-critical
+scenario of the paper's introduction."""
+
+import numpy as np
+import pytest
+
+from repro.drms.api import (
+    drms_adjust,
+    drms_create_distribution,
+    drms_distribute,
+    drms_initialize,
+    drms_reconfig_checkpoint,
+)
+from repro.drms.context import CheckpointStatus
+from repro.infra import DRMSCluster, FailurePlan
+from repro.runtime.machine import Machine, MachineParams
+
+N = 10
+NITER = 16
+
+
+def main(ctx, prefix):
+    drms_initialize(ctx)
+    dist = drms_create_distribution(ctx, (N, N), shadow=(1, 1))
+    u = drms_distribute(ctx, "u", dist, init_global=np.ones((N, N)))
+    for it in ctx.iterations(1, NITER + 1):
+        if it % 4 == 1:
+            status, delta = drms_reconfig_checkpoint(ctx, prefix)
+            if status is CheckpointStatus.RESTARTED and delta != 0:
+                u = drms_distribute(ctx, "u", drms_adjust(ctx, "u"))
+        u.set_assigned(u.assigned + 1.0)
+        ctx.barrier()
+    return float(u.assigned.sum())
+
+
+def test_two_sequential_failures():
+    cluster = DRMSCluster(
+        machine=Machine(MachineParams(num_nodes=8)), node_repair_s=10_000.0
+    )
+    app = cluster.build_app(main)
+
+    # First failure at iteration 7, node 2: recover on 7 nodes.
+    out1 = cluster.run_with_recovery(
+        "job", app, ntasks=8, args=("ck",), prefix="ck",
+        failure=FailurePlan(iteration=7, node_id=2),
+    )
+    assert out1.tasks_after == 7
+    assert np.all(out1.final_report.arrays["u"].to_global() == 1.0 + NITER)
+
+    # Second run: the job runs again (fresh prefix) on the degraded
+    # 7-node machine, and another node dies.
+    app2 = cluster.build_app(main)
+    out2 = cluster.run_with_recovery(
+        "job2", app2, ntasks=7, args=("ck2",), prefix="ck2",
+        failure=FailurePlan(iteration=10, node_id=5),
+    )
+    assert out2.tasks_after == 6
+    assert np.all(out2.final_report.arrays["u"].to_global() == 1.0 + NITER)
+
+    # both dead nodes are still out for repair
+    assert len(cluster.machine.up_nodes()) == 6
+    assert len(cluster.rc.repair_done_at) == 2
+
+
+def test_failure_in_restarted_run():
+    """A node dies *during the recovery run* too; the cluster recovers
+    again from the checkpoint the restarted run wrote."""
+    cluster = DRMSCluster(
+        machine=Machine(MachineParams(num_nodes=8)), node_repair_s=10_000.0
+    )
+    app = cluster.build_app(main)
+    out1 = cluster.run_with_recovery(
+        "job", app, ntasks=8, args=("ck",), prefix="ck",
+        failure=FailurePlan(iteration=6, node_id=1),
+    )
+    assert out1.tasks_after == 7
+
+    # arm a second failure and drive the JSA recovery path directly
+    app.failure_plan = FailurePlan(iteration=14, node_id=3)
+    from repro.errors import TaskFailure
+
+    # replay: restart from the latest checkpoint; it dies mid-run...
+    with pytest.raises(TaskFailure):
+        cluster.jsa.restart("job")
+    app.failure_plan = None
+    cluster.rc.handle_processor_failure(3)
+    report = cluster.jsa.recover("job")
+    assert report.ntasks == 6
+    assert np.all(report.arrays["u"].to_global() == 1.0 + NITER)
+
+
+def test_repair_returns_capacity_for_future_runs():
+    cluster = DRMSCluster(
+        machine=Machine(MachineParams(num_nodes=4)), node_repair_s=50.0
+    )
+    app = cluster.build_app(main)
+    out = cluster.run_with_recovery(
+        "job", app, ntasks=4, args=("ck",), prefix="ck",
+        failure=FailurePlan(iteration=5, node_id=0),
+    )
+    assert out.tasks_after == 3
+    # time passes; the node comes back and a full-width run is possible
+    cluster.rc.advance(100.0)
+    assert len(cluster.rc.available_nodes()) == 4
+    app3 = cluster.build_app(main)
+    rep = cluster.jsa.submit("job3", app3, args=("ck3",), prefix="ck3")
+    assert cluster.jsa.run("job3", ntasks=4).ntasks == 4

@@ -1,0 +1,154 @@
+"""Calibration: the simulated I/O model reproduces the paper's Tables
+5 and 6 — quantitatively within tolerance for the cells the paper
+prints, and qualitatively for every ordering/crossover the evaluation
+narrative relies on.
+
+Known deviation (documented in EXPERIMENTS.md): the paper's LU/16 PE
+DRMS checkpoint reports a *faster* segment write at 16 PEs than at 8
+(8.4 vs 6.6 MB/s), contradicting its own interference explanation; our
+model follows the mechanism, so that one cell is ~33% high and is
+checked with a wider band.
+"""
+
+import pytest
+
+from repro.perfmodel.experiments import measure_checkpoint_restart
+from repro.perfmodel.paper_data import PAPER_TABLE5, PAPER_TABLE6
+
+APPS = ("bt", "lu", "sp")
+WIDE_CELLS = {("lu", 16, "checkpoint", "drms")}
+
+
+@pytest.fixture(scope="module")
+def cells():
+    return {
+        (b, p): measure_checkpoint_restart(b, p)
+        for b in APPS
+        for p in (8, 16)
+    }
+
+
+class TestQuantitative:
+    @pytest.mark.parametrize("bench", APPS)
+    @pytest.mark.parametrize("pes", [8, 16])
+    @pytest.mark.parametrize("op", ["checkpoint", "restart"])
+    @pytest.mark.parametrize("kind", ["drms", "spmd"])
+    def test_within_tolerance_of_paper(self, cells, bench, pes, op, kind):
+        paper = PAPER_TABLE5[bench][(op, pes, kind)]
+        if paper.reconstructed:
+            pytest.skip("cell garbled in the paper's text (reconstructed)")
+        measured = cells[(bench, pes)].seconds()[(op, kind)]
+        tol = 0.40 if (bench, pes, op, kind) in WIDE_CELLS else 0.25
+        assert measured == pytest.approx(paper.mean, rel=tol)
+
+    @pytest.mark.parametrize("bench", APPS)
+    @pytest.mark.parametrize("pes", [8, 16])
+    def test_table6_component_rates(self, cells, bench, pes):
+        cell = cells[(bench, pes)]
+        ck = PAPER_TABLE6[bench][(pes, "checkpoint")]
+        rs = PAPER_TABLE6[bench][(pes, "restart")]
+        seg_tol = 0.55 if (bench, pes) == ("lu", 16) else 0.45
+        assert cell.drms_ckpt.segment_rate_mbps == pytest.approx(
+            ck.segment_rate, rel=seg_tol
+        )
+        assert cell.drms_restart.segment_rate_mbps == pytest.approx(
+            rs.segment_rate, rel=0.35
+        )
+        assert cell.drms_restart.arrays_rate_mbps == pytest.approx(
+            rs.arrays_rate, rel=0.35
+        )
+
+
+class TestShapes:
+    """The orderings and crossovers the paper's narrative asserts."""
+
+    @pytest.mark.parametrize("bench", APPS)
+    @pytest.mark.parametrize("pes", [8, 16])
+    def test_drms_checkpoint_always_beats_spmd(self, cells, bench, pes):
+        c = cells[(bench, pes)]
+        assert c.drms_ckpt.total_seconds < c.spmd_ckpt.total_seconds
+
+    @pytest.mark.parametrize("bench", ["bt", "sp"])
+    def test_drms_advantage_grows_with_pes(self, cells, bench):
+        """For BT and SP the DRMS/SPMD checkpoint ratio widens with the
+        processor count.  LU is excluded: its paper-measured 16-PE DRMS
+        checkpoint is internally anomalous (its segment write *sped up*
+        under interference), so the model keeps LU's advantage large
+        (see test below) without asserting growth."""
+        r8 = (
+            cells[(bench, 8)].spmd_ckpt.total_seconds
+            / cells[(bench, 8)].drms_ckpt.total_seconds
+        )
+        r16 = (
+            cells[(bench, 16)].spmd_ckpt.total_seconds
+            / cells[(bench, 16)].drms_ckpt.total_seconds
+        )
+        assert r16 > r8
+
+    def test_lu_drms_advantage_stays_large(self, cells):
+        for pes in (8, 16):
+            cell = cells[("lu", pes)]
+            assert cell.spmd_ckpt.total_seconds > 4 * cell.drms_ckpt.total_seconds
+
+    @pytest.mark.parametrize("bench", APPS)
+    def test_drms_restart_improves_with_pes(self, cells, bench):
+        """More clients read faster (prefetch): restart is quicker on 16
+        than on 8 processors."""
+        assert (
+            cells[(bench, 16)].drms_restart.total_seconds
+            < cells[(bench, 8)].drms_restart.total_seconds
+        )
+
+    @pytest.mark.parametrize("bench", ["bt", "sp"])
+    def test_spmd_restart_degrades_with_pes(self, cells, bench):
+        """BT/SP cross the buffer threshold between 8 and 16 PEs, so
+        their SPMD restart collapses; LU is over the threshold at both
+        sizes (covered by test_lu_already_over_threshold_at_8)."""
+        assert (
+            cells[(bench, 16)].spmd_restart.total_seconds
+            > 1.5 * cells[(bench, 8)].spmd_restart.total_seconds
+        )
+
+    def test_crossover_spmd_restart_wins_below_threshold(self, cells):
+        """BT and SP on 8 PEs sit below the buffer-memory threshold, so
+        the conventional restart actually beats the DRMS restart there;
+        LU is over the threshold already at 8 PEs."""
+        for bench in ("bt", "sp"):
+            c = cells[(bench, 8)]
+            assert c.spmd_restart.total_seconds < c.drms_restart.total_seconds
+        lu = cells[("lu", 8)]
+        assert lu.spmd_restart.total_seconds > lu.drms_restart.total_seconds
+
+    def test_crossover_flips_at_16(self, cells):
+        for bench in APPS:
+            c = cells[(bench, 16)]
+            assert c.drms_restart.total_seconds < c.spmd_restart.total_seconds
+
+    def test_bt_restart_blowup_about_5x(self, cells):
+        """Paper: BT's SPMD restart suffers a five-fold increase from 8
+        to 16 processors (the threshold crossing)."""
+        ratio = (
+            cells[("bt", 16)].spmd_restart.total_seconds
+            / cells[("bt", 8)].spmd_restart.total_seconds
+        )
+        assert 3.0 < ratio < 7.0
+
+    def test_lu_already_over_threshold_at_8(self, cells):
+        """Paper: LU is so large it crosses the threshold even on 8,
+        so going to 16 adds only minimal degradation."""
+        ratio = (
+            cells[("lu", 16)].spmd_restart.total_seconds
+            / cells[("lu", 8)].spmd_restart.total_seconds
+        )
+        assert ratio < 1.5
+
+    @pytest.mark.parametrize("bench", APPS)
+    def test_write_server_limited_read_client_limited(self, cells, bench):
+        """Table 6: segment read rates rise with clients; segment write
+        rates fall (or stay flat) with interference."""
+        c8, c16 = cells[(bench, 8)], cells[(bench, 16)]
+        assert (
+            c16.drms_restart.segment_rate_mbps
+            > 1.5 * c8.drms_restart.segment_rate_mbps
+        )
+        assert c16.drms_ckpt.segment_rate_mbps <= c8.drms_ckpt.segment_rate_mbps

@@ -1,0 +1,71 @@
+"""Tests for the analytic restart-crossover predictor."""
+
+import pytest
+
+from repro.apps import make_proxy
+from repro.perfmodel.crossover import (
+    AppProfile,
+    crossover_pes,
+    drms_restart_s,
+    spmd_restart_s,
+    threshold_pes,
+)
+from repro.perfmodel.experiments import measure_checkpoint_restart
+
+
+@pytest.fixture(params=["bt", "lu", "sp"])
+def profile(request):
+    return request.param, AppProfile.of(make_proxy(request.param, "A"))
+
+
+class TestThreshold:
+    def test_lu_crosses_before_bt_and_sp(self):
+        t = {b: threshold_pes(AppProfile.of(make_proxy(b, "A"))) for b in ("bt", "lu", "sp")}
+        # the paper: LU is over the threshold already at 8 PEs; BT/SP
+        # cross between 8 and 16
+        assert t["lu"] <= 8
+        assert 8 < t["bt"] <= 16
+        assert 8 < t["sp"] <= 16
+
+    def test_tiny_app_never_crosses(self):
+        small = AppProfile(segment_bytes=int(1e6), array_bytes=int(1e6))
+        assert threshold_pes(small) > 16
+
+
+class TestFormulasMatchEngine:
+    def test_analytic_matches_simulated_within_tolerance(self, profile):
+        name, prof = profile
+        for pes in (8, 16):
+            cell = measure_checkpoint_restart(name, pes)
+            assert drms_restart_s(prof, pes) == pytest.approx(
+                cell.drms_restart.total_seconds, rel=0.05
+            )
+            assert spmd_restart_s(prof, pes) == pytest.approx(
+                cell.spmd_restart.total_seconds, rel=0.05
+            )
+
+
+class TestCrossover:
+    def test_paper_pattern(self):
+        """LU: DRMS wins everywhere interesting; BT/SP: SPMD wins at 8,
+        DRMS from the threshold onward."""
+        xo = {b: crossover_pes(AppProfile.of(make_proxy(b, "A"))) for b in ("bt", "lu", "sp")}
+        assert xo["lu"] is not None and xo["lu"] <= 8
+        for b in ("bt", "sp"):
+            assert xo[b] is not None
+            assert 8 < xo[b] <= 16  # consistent with the Table 5 story
+
+    def test_crossover_consistent_with_formulas(self, profile):
+        name, prof = profile
+        xo = crossover_pes(prof)
+        if xo is None:
+            return
+        assert drms_restart_s(prof, xo) < spmd_restart_s(prof, xo)
+        if xo > 1:
+            assert drms_restart_s(prof, xo - 1) >= spmd_restart_s(prof, xo - 1)
+
+    def test_none_when_drms_never_wins(self):
+        # arrays so large that the DRMS array-read phase dominates at
+        # every machine size, while segments stay under the threshold
+        prof = AppProfile(segment_bytes=int(5e6), array_bytes=int(900e6), n_arrays=3)
+        assert crossover_pes(prof) is None

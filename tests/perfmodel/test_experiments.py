@@ -1,0 +1,92 @@
+"""Tests for the experiment drivers and paper-data transcription."""
+
+import pytest
+
+from repro.perfmodel.experiments import (
+    build_state,
+    measure_checkpoint_restart,
+    repeat_with_noise,
+)
+from repro.perfmodel.paper_data import (
+    PAPER_TABLE1,
+    PAPER_TABLE3,
+    PAPER_TABLE4,
+    PAPER_TABLE5,
+    PAPER_TABLE6,
+)
+
+
+class TestPaperData:
+    def test_tables_cover_all_apps(self):
+        for table in (PAPER_TABLE1, PAPER_TABLE3, PAPER_TABLE4, PAPER_TABLE5, PAPER_TABLE6):
+            assert set(table) == {"bt", "lu", "sp"}
+
+    def test_table4_components_sum(self):
+        for app, (total, local, system, private) in PAPER_TABLE4.items():
+            assert local + system + private == total
+
+    def test_table3_spmd_linear(self):
+        for app, row in PAPER_TABLE3.items():
+            spmd = row["spmd"]
+            assert spmd[8] == pytest.approx(2 * spmd[4], rel=0.02)
+            assert spmd[16] == pytest.approx(4 * spmd[4], rel=0.02)
+
+    def test_table3_drms_components_sum(self):
+        for app, row in PAPER_TABLE3.items():
+            d = row["drms"]
+            assert d["data"] + d["array"] == d["total"]
+
+    def test_only_sp_spmd_cells_reconstructed(self):
+        flags = {
+            (app, key): cell.reconstructed
+            for app, cells in PAPER_TABLE5.items()
+            for key, cell in cells.items()
+        }
+        recon = {k for k, v in flags.items() if v}
+        assert recon == {
+            ("sp", ("checkpoint", 8, "spmd")),
+            ("sp", ("checkpoint", 16, "spmd")),
+            ("sp", ("restart", 8, "spmd")),
+            ("sp", ("restart", 16, "spmd")),
+        }
+
+    def test_table6_percentages_reasonable(self):
+        for app, rows in PAPER_TABLE6.items():
+            for row in rows.values():
+                assert 80 <= row.segment_pct + row.arrays_pct <= 100
+
+
+class TestDrivers:
+    def test_build_state_matches_inventory(self):
+        from repro.apps import make_proxy
+
+        proxy = make_proxy("lu", "A", store_data=False)
+        arrays = build_state(proxy, 8)
+        assert [a.name for a in arrays] == [f.name for f in proxy.fields]
+        assert sum(a.nbytes_global for a in arrays) == proxy.array_bytes_total
+
+    def test_measure_is_deterministic(self):
+        a = measure_checkpoint_restart("sp", 8)
+        b = measure_checkpoint_restart("sp", 8)
+        assert a.seconds() == b.seconds()
+
+    def test_restart_on_different_pes(self):
+        cell = measure_checkpoint_restart("bt", 8, restart_pes=16)
+        assert cell.drms_restart.ntasks == 16
+
+    def test_machine_left_clean(self):
+        from repro.runtime.machine import Machine, MachineParams
+
+        m = Machine(MachineParams(num_nodes=16))
+        measure_checkpoint_restart("bt", 8, machine=m)
+        assert m.busy_fraction() == 0.0
+
+
+class TestNoiseModel:
+    def test_mean_preserved(self):
+        mean, sigma = repeat_with_noise(100.0, runs=4000, cv=0.1, seed=3)
+        assert mean == pytest.approx(100.0, rel=0.02)
+        assert sigma == pytest.approx(10.0, rel=0.2)
+
+    def test_seeded_reproducible(self):
+        assert repeat_with_noise(50.0, seed=9) == repeat_with_noise(50.0, seed=9)

@@ -1,0 +1,74 @@
+"""Tests for the ASCII reporting helpers."""
+
+import pytest
+
+from repro.reporting.compare import Comparison, fmt_mb, fmt_s
+from repro.reporting.tables import Table, bar_chart
+
+
+class TestTable:
+    def test_render_alignment(self):
+        t = Table(["a", "long header"], title="T")
+        t.add_row(1, 2.5)
+        t.add_row("xx", 123456.0)
+        out = t.render()
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "long header" in lines[2]
+        widths = {len(l) for l in lines[2:]}
+        assert len(widths) == 1  # all rows equally wide
+
+    def test_row_arity_checked(self):
+        t = Table(["a", "b"])
+        with pytest.raises(ValueError):
+            t.add_row(1)
+
+    def test_float_formatting(self):
+        t = Table(["v"])
+        for v, expect in [(0.0, "0"), (0.1234, "0.123"), (5.67, "5.7"), (250.4, "250")]:
+            t.add_row(v)
+        body = t.render().splitlines()[2:]  # no title: header, sep, rows
+        assert [b.strip() for b in body] == ["0", "0.123", "5.7", "250"]
+
+    def test_empty_table_renders_header(self):
+        out = Table(["only"]).render()
+        assert "only" in out
+
+
+class TestBarChart:
+    def test_components_and_legend(self):
+        chart = bar_chart(
+            {"run A": {"x": 2.0, "y": 1.0}, "run B": {"x": 1.0}},
+            width=10, title="demo",
+        )
+        assert "demo" in chart
+        assert "legend:" in chart
+        assert "#=x" in chart and "==y" in chart
+
+    def test_bars_scale_to_peak(self):
+        chart = bar_chart({"big": {"x": 10.0}, "small": {"x": 1.0}}, width=20)
+        big_line = next(l for l in chart.splitlines() if l.startswith("big"))
+        small_line = next(l for l in chart.splitlines() if l.startswith("small"))
+        assert big_line.count("#") > 5 * small_line.count("#")
+
+
+class TestComparison:
+    def test_ratio_and_within(self):
+        c = Comparison("x", paper=10.0, measured=11.0)
+        assert c.ratio == pytest.approx(1.1)
+        assert c.within(0.15)
+        assert not c.within(0.05)
+
+    def test_zero_paper(self):
+        assert Comparison("x", 0.0, 0.0).ratio == 1.0
+        assert Comparison("x", 0.0, 5.0).ratio == float("inf")
+
+    def test_row_flags_reconstructed(self):
+        c = Comparison("cell", 42, 83.4, unit="s", reconstructed=True)
+        row = c.row()
+        assert "(reconstructed)" in row[0]
+        assert row[1] == "42s"
+
+    def test_formatters(self):
+        assert fmt_mb(84e6) == "84.0"
+        assert fmt_s(15.94) == "15.9"

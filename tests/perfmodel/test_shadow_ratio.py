@@ -1,0 +1,72 @@
+"""Tests for the Section 6 shadow-ratio analysis."""
+
+import pytest
+
+from repro.perfmodel.shadow_ratio import (
+    extra_task_based_bytes,
+    shadow_ratio,
+    shadow_ratio_for_grid,
+)
+
+
+def test_formula():
+    assert shadow_ratio(32, s=2, d=3) == pytest.approx((36 / 32) ** 3)
+
+
+def test_no_shadow_means_no_overhead():
+    assert shadow_ratio(10, s=0, d=3) == 1.0
+
+
+def test_paper_example_band():
+    """The paper reports r = 1.38 for 'reasonable CFD values' n = 32,
+    d = 3 (the shadow width is garbled in the source text; s = 2, BT's
+    width, gives 1.42)."""
+    r = shadow_ratio(32, s=2, d=3)
+    assert 1.3 < r < 1.5
+
+
+def test_ratio_grows_with_tasks_at_fixed_grid():
+    """Paper: r increases with P if N remains constant."""
+    rs = [shadow_ratio_for_grid(162, p ** 3, s=2) for p in (2, 3, 5, 6)]
+    assert rs == sorted(rs)
+
+
+def test_ratio_grows_with_dimension_and_shadow():
+    assert shadow_ratio(32, 1, 3) > shadow_ratio(32, 1, 2)
+    assert shadow_ratio(32, 2, 3) > shadow_ratio(32, 1, 3)
+
+
+def test_bt_class_c_on_125_procs_500mb():
+    """Paper: NPB BT Class C on 125 processors => ~500 MB of extra
+    task-based data (BT's ~40 grid scalars = 320 B/point)."""
+    extra = extra_task_based_bytes(162, 125, s=2, d=3, bytes_per_point=320)
+    assert extra == pytest.approx(500e6, rel=0.2)
+
+
+def test_grid_requires_perfect_power():
+    with pytest.raises(ValueError):
+        shadow_ratio_for_grid(64, 10, d=3)
+
+
+def test_invalid_inputs():
+    with pytest.raises(ValueError):
+        shadow_ratio(0)
+    with pytest.raises(ValueError):
+        shadow_ratio(8, s=-1)
+    with pytest.raises(ValueError):
+        shadow_ratio(8, d=0)
+
+
+def test_matches_actual_distribution_overhead():
+    """The analytic r matches the measured local-vs-global element
+    ratio of a real block distribution with shadows (away from edges
+    the match is approximate because real shadows clip at the array
+    boundary, so the analytic r is an upper bound)."""
+    from repro.arrays.distributions import block_distribution
+
+    N, p, s = 60, 3, 1
+    d = block_distribution((N, N, N), p ** 3, shadow=(s, s, s))
+    measured = d.total_local_elements() / d.global_elements()
+    analytic = shadow_ratio(N / p, s=s, d=3)
+    assert measured <= analytic
+    assert measured == pytest.approx(analytic, rel=0.12)

@@ -1,0 +1,84 @@
+"""Tests for the Wong-Franklin degradation model (ref [19])."""
+
+import math
+
+import pytest
+
+from repro.perfmodel.wong_franklin import WongFranklinModel
+
+
+def make(procs=64, mtbf_node_s=30 * 24 * 3600.0, C=20.0, R=60.0, D=3600.0):
+    return WongFranklinModel(
+        procs=procs,
+        lam=1.0 / mtbf_node_s,
+        checkpoint_overhead_s=C,
+        restart_overhead_s=R,
+        repair_time_s=D,
+    )
+
+
+def test_no_failures_degradation_is_checkpoint_overhead():
+    m = make(mtbf_node_s=1e18)
+    assert m.degradation(1000.0, redistribute=True) == pytest.approx(1.02)
+
+
+def test_redistribution_beats_waiting():
+    m = make()
+    tau = m.optimal_interval()
+    assert m.degradation(tau, True) < m.degradation(tau, False)
+
+
+def test_redistribution_negligible_small_overheads():
+    """The [19] conclusion the paper cites: with redistribution,
+    degradation stays negligible when C and R are small."""
+    m = make(procs=256, C=5.0, R=10.0)
+    assert m.degradation(m.optimal_interval(), True) < 1.1
+
+
+def test_without_redistribution_limited_use_at_scale():
+    """...while without redistribution large machines stop making
+    progress (degradation diverges)."""
+    m = make(procs=4096, mtbf_node_s=5 * 24 * 3600.0, C=5.0, R=10.0, D=12 * 3600.0)
+    tau = m.optimal_interval()
+    assert m.degradation(tau, True) < 2.0
+    assert m.degradation(tau, False) == math.inf
+
+
+def test_degradation_monotone_in_procs_without_redistribution():
+    taus = 600.0
+    degs = [make(procs=p).degradation(taus, False) for p in (16, 64, 256, 1024)]
+    finite = [d for d in degs if d != math.inf]
+    assert finite == sorted(finite)
+
+
+def test_optimal_interval_is_youngs_formula():
+    m = make()
+    expect = math.sqrt(2 * m.checkpoint_overhead_s / m.system_rate)
+    assert m.optimal_interval() == pytest.approx(expect)
+
+
+def test_interval_tradeoff_has_interior_minimum():
+    m = make(procs=512, mtbf_node_s=7 * 24 * 3600.0)
+    tau_star = m.optimal_interval()
+    d_star = m.degradation(tau_star, True)
+    assert d_star < m.degradation(tau_star / 8, True)
+    assert d_star < m.degradation(tau_star * 8, True)
+
+
+def test_bad_interval_rejected():
+    with pytest.raises(ValueError):
+        make().degradation(0.0, True)
+
+
+def test_monte_carlo_validates_analytic():
+    m = make(procs=128, mtbf_node_s=2 * 24 * 3600.0, C=30.0, R=30.0, D=1800.0)
+    tau = m.optimal_interval()
+    work = 8 * 3600.0
+    analytic = m.expected_runtime(work, tau, redistribute=True)
+    simulated = m.simulate(work, tau, redistribute=True, runs=120, seed=42)
+    assert simulated == pytest.approx(analytic, rel=0.15)
+
+
+def test_expected_runtime_scales_with_work():
+    m = make()
+    assert m.expected_runtime(2000.0) == pytest.approx(2 * m.expected_runtime(1000.0))

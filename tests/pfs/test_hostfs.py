@@ -1,0 +1,122 @@
+"""Tests for the host-directory-backed PIOFS (durable checkpoints)."""
+
+import numpy as np
+import pytest
+
+from repro.arrays.darray import DistributedArray
+from repro.arrays.distributions import block_distribution
+from repro.checkpoint.drms import drms_checkpoint, drms_restart
+from repro.checkpoint.segment import DataSegment, SegmentProfile
+from repro.errors import PFSError
+from repro.pfs.hostfs import HostFS
+from repro.runtime.machine import Machine, MachineParams
+
+
+@pytest.fixture
+def fs(tmp_path):
+    return HostFS(tmp_path / "pfs", machine=Machine(MachineParams(num_nodes=16)))
+
+
+class TestBasics:
+    def test_write_read_on_disk(self, fs, tmp_path):
+        fs.create("f")
+        fs.write_at("f", 0, b"hello")
+        assert fs.read_at("f", 0, 5) == b"hello"
+        assert (tmp_path / "pfs" / "f").read_bytes() == b"hello"
+
+    def test_sparse_extension(self, fs):
+        fs.create("f")
+        fs.write_at("f", 0, b"ab")
+        fs.write_at("f", 2, None, nbytes=1000)
+        assert fs.file_size("f") == 1002
+        assert fs.read_at("f", 1000, 2) == b"\x00\x00"
+
+    def test_virtual_files_metadata_only(self, fs, tmp_path):
+        fs.create("v", virtual=True)
+        fs.write_at("v", 0, None, nbytes=12345)
+        assert fs.file_size("v") == 12345
+        with pytest.raises(PFSError):
+            fs.read_at("v", 0, 1)
+
+    def test_unlink_removes_from_disk(self, fs, tmp_path):
+        fs.create("f")
+        fs.write_at("f", 0, b"x")
+        fs.unlink("f")
+        assert not (tmp_path / "pfs" / "f").exists()
+        assert not fs.exists("f")
+
+    def test_path_separators_rejected(self, fs):
+        with pytest.raises(PFSError):
+            fs.create("../escape")
+
+    def test_phases_still_timed(self, fs):
+        from repro.pfs.phase import IOKind
+
+        fs.machine.place_tasks(8)
+        fs.create("f")
+        fs.begin_phase(IOKind.WRITE_SERIAL)
+        fs.write_at("f", 0, None, nbytes=int(10e6), client=0)
+        res = fs.end_phase()
+        assert res.seconds > 0
+
+
+class TestDurability:
+    def test_namespace_survives_reopen(self, fs, tmp_path):
+        fs.create("real")
+        fs.write_at("real", 0, b"data")
+        fs.create("virt", virtual=True)
+        fs.write_at("virt", 0, None, nbytes=777)
+        again = HostFS(tmp_path / "pfs")
+        assert again.read_at("real", 0, 4) == b"data"
+        assert again.open("virt").virtual
+        assert again.file_size("virt") == 777
+
+    def test_checkpoint_survives_process_boundary(self, tmp_path):
+        """Checkpoint through one HostFS instance; restart through a
+        fresh one on the same directory — the cross-process story."""
+        root = tmp_path / "ck"
+        g = np.arange(12 * 12, dtype=np.float64).reshape(12, 12)
+        arr = DistributedArray(
+            "u", (12, 12), np.float64, block_distribution((12, 12), 4)
+        )
+        arr.set_global(g)
+        seg = DataSegment(
+            profile=SegmentProfile(20_000, 0, 0), replicated={"it": 9}
+        )
+        fs1 = HostFS(root)
+        drms_checkpoint(fs1, "job", seg, [arr])
+        del fs1
+
+        fs2 = HostFS(root)
+        state, _ = drms_restart(fs2, "job", 7)
+        assert np.array_equal(state.arrays["u"].to_global(), g)
+        assert state.segment.replicated["it"] == 9
+        assert state.ntasks == 7
+
+    def test_application_restart_across_instances(self, tmp_path):
+        from repro.apps.stencil import StencilApp
+
+        root = tmp_path / "app"
+        stencil = StencilApp(shape=(16, 16), checkpoint_every=3)
+        app1 = stencil.build_application(pfs=HostFS(root))
+        ref = app1.start(4, args=(7, "st"))
+
+        app2 = stencil.build_application(pfs=HostFS(root))
+        rep = app2.restart("st", 2, args=(7, "st"))
+        assert np.allclose(
+            ref.arrays["grid"].to_global(), rep.arrays["grid"].to_global()
+        )
+
+    def test_migration_to_host_archive(self, fs, tmp_path):
+        """Archive a checkpoint from the in-memory PFS to a durable
+        host directory (the paper's migration-to-permanent-storage)."""
+        from repro.checkpoint.archive import copy_checkpoint
+        from repro.pfs.piofs import PIOFS
+
+        mem = PIOFS()
+        arr = DistributedArray("u", (8,), np.float64, block_distribution((8,), 2))
+        arr.set_global(np.arange(8.0))
+        drms_checkpoint(mem, "m", DataSegment(profile=SegmentProfile(100, 0, 0)), [arr])
+        copy_checkpoint(mem, fs, "m")
+        state, _ = drms_restart(fs, "m", 3)
+        assert np.array_equal(state.arrays["u"].to_global(), np.arange(8.0))

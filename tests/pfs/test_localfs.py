@@ -1,0 +1,35 @@
+"""Unit tests for the serial (single-channel) file system baseline."""
+
+import pytest
+
+from repro.errors import PFSError
+from repro.pfs.localfs import SerialFS
+from repro.pfs.phase import IOKind
+
+
+def test_single_rate_regardless_of_clients():
+    fs = SerialFS(sequential_mbps=10.0)
+    fs.create("f")
+    fs.begin_phase(IOKind.WRITE_PARALLEL)
+    for c in range(8):
+        fs.write_at("f", c * int(1e6), None, nbytes=int(1e6), client=c)
+    res = fs.end_phase()
+    # 8 MB through one 10 MB/s channel plus one open
+    assert res.seconds == pytest.approx(0.8 + fs.params.file_open_overhead_s)
+
+
+def test_seekability_flag():
+    assert not SerialFS().supports_parallel_streaming()
+    assert SerialFS(seekable=True).supports_parallel_streaming()
+
+
+def test_end_phase_requires_begin():
+    with pytest.raises(PFSError):
+        SerialFS().end_phase()
+
+
+def test_is_piofs_compatible():
+    fs = SerialFS()
+    fs.create("x")
+    fs.write_at("x", 0, b"ab")
+    assert fs.read_at("x", 0, 2) == b"ab"

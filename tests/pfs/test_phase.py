@@ -1,0 +1,146 @@
+"""Unit tests for the I/O phase timing model — each of the paper's
+mechanisms in isolation."""
+
+import pytest
+
+from repro.errors import PFSError
+from repro.pfs.params import PIOFSParams
+from repro.pfs.phase import IOKind, PhaseTransfer, solve_phase
+
+P = PIOFSParams()
+MB = int(1e6)
+
+
+def tr(client, filename, mb, offset=0):
+    return PhaseTransfer(client, filename, offset, int(mb * MB))
+
+
+class TestBasics:
+    def test_empty_phase_is_free(self):
+        r = solve_phase(IOKind.WRITE_SERIAL, [], P, busy_nodes=8)
+        assert r.seconds == 0.0
+        assert r.total_bytes == 0
+
+    def test_rate_property(self):
+        r = solve_phase(IOKind.WRITE_SERIAL, [tr(0, "f", 63)], P, busy_nodes=8)
+        assert r.rate_mbps == pytest.approx(63 / r.seconds)
+
+    def test_is_write_classification(self):
+        assert IOKind.WRITE_PARALLEL.is_write
+        assert not IOKind.READ_SHARED.is_write
+
+
+class TestWriteSerial:
+    def test_interference_slows_single_writer(self):
+        t8 = solve_phase(IOKind.WRITE_SERIAL, [tr(0, "f", 63)], P, busy_nodes=8)
+        t16 = solve_phase(IOKind.WRITE_SERIAL, [tr(0, "f", 63)], P, busy_nodes=16)
+        assert t16.seconds > t8.seconds
+
+    def test_bt_segment_rate_matches_paper(self):
+        # Table 6: BT data segment writes at 12.4 MB/s on 8 PEs, 8.4 on 16
+        r8 = solve_phase(IOKind.WRITE_SERIAL, [tr(0, "f", 63)], P, busy_nodes=8)
+        r16 = solve_phase(IOKind.WRITE_SERIAL, [tr(0, "f", 63)], P, busy_nodes=16)
+        assert r8.rate_mbps == pytest.approx(12.4, rel=0.1)
+        assert r16.rate_mbps == pytest.approx(8.4, rel=0.1)
+
+    def test_large_segment_pressured(self):
+        # LU's ~89 MB segment exceeds the writer's free memory
+        r = solve_phase(IOKind.WRITE_SERIAL, [tr(0, "f", 89)], P, busy_nodes=8)
+        assert r.pressured
+        small = solve_phase(IOKind.WRITE_SERIAL, [tr(0, "f", 63)], P, busy_nodes=8)
+        assert not small.pressured
+        assert r.rate_mbps < small.rate_mbps
+
+
+class TestWriteParallel:
+    def test_server_limited_aggregate(self):
+        transfers = [tr(c, "arr", 10, offset=c * 10 * MB) for c in range(8)]
+        r = solve_phase(IOKind.WRITE_PARALLEL, transfers, P, busy_nodes=8)
+        assert r.rate_mbps <= P.array_write_agg_mbps
+
+    def test_more_tasks_mildly_slower(self):
+        t8 = solve_phase(IOKind.WRITE_PARALLEL, [tr(c, "a", 10) for c in range(8)], P, 8)
+        t16 = solve_phase(IOKind.WRITE_PARALLEL, [tr(c, "a", 5) for c in range(16)], P, 16)
+        assert t16.rate_mbps < t8.rate_mbps
+
+    def test_single_client_injection_bound(self):
+        # one straggler holding the whole array cannot beat its own link
+        r = solve_phase(IOKind.WRITE_PARALLEL, [tr(0, "a", 200)], P, busy_nodes=1)
+        assert r.seconds >= 200 / P.client_write_mbps
+
+
+class TestWriteDistinct:
+    def test_pressured_when_segments_exceed_threshold(self):
+        transfers = [tr(c, f"seg{c}", 89) for c in range(8)]
+        r = solve_phase(IOKind.WRITE_DISTINCT, transfers, P, busy_nodes=8)
+        assert r.pressured
+        # thrash-limited: aggregate capped near nclients * thrash rate
+        assert r.rate_mbps == pytest.approx(
+            min(
+                P.distinct_write_agg_mbps * P.write_eff(0.5),
+                8 * P.write_thrash_per_client_mbps,
+            ),
+            rel=0.15,
+        )
+
+    def test_unpressured_server_limited(self):
+        transfers = [tr(c, f"seg{c}", 63) for c in range(8)]
+        r = solve_phase(IOKind.WRITE_DISTINCT, transfers, P, busy_nodes=8)
+        assert not r.pressured
+        assert r.rate_mbps == pytest.approx(
+            P.distinct_write_agg_mbps * P.write_eff(0.5), rel=0.1
+        )
+
+
+class TestReadShared:
+    def test_client_limited_scales_with_clients(self):
+        t8 = solve_phase(
+            IOKind.READ_SHARED, [tr(c, "seg", 63) for c in range(8)], P, 8
+        )
+        t16 = solve_phase(
+            IOKind.READ_SHARED, [tr(c, "seg", 63) for c in range(16)], P, 16
+        )
+        # same per-client bytes => ~same duration; aggregate rate doubles
+        assert t16.seconds == pytest.approx(t8.seconds, rel=0.05)
+        assert t16.rate_mbps == pytest.approx(2 * t8.rate_mbps, rel=0.05)
+
+    def test_requires_single_file(self):
+        with pytest.raises(PFSError):
+            solve_phase(
+                IOKind.READ_SHARED, [tr(0, "a", 1), tr(1, "b", 1)], P, 8
+            )
+
+
+class TestReadDistinct:
+    def _phase(self, seg_mb, clients, busy):
+        transfers = [tr(c, f"seg{c}", seg_mb) for c in range(clients)]
+        sizes = {f"seg{c}": int(seg_mb * MB) for c in range(clients)}
+        return solve_phase(
+            IOKind.READ_DISTINCT, transfers, P, busy, file_sizes=sizes
+        )
+
+    def test_below_threshold_fast(self):
+        # BT on 8 PEs: 8 x 63 MB = 504 MB < buffer => fast
+        r = self._phase(63, 8, 8)
+        assert not r.pressured
+        assert r.seconds == pytest.approx(63 / P.distinct_read_fast_mbps, rel=0.1)
+
+    def test_above_threshold_collapses(self):
+        # BT on 16 PEs: 16 x 63 MB > buffer => the paper's restart blow-up
+        r = self._phase(63, 16, 16)
+        assert r.pressured
+        assert r.seconds > 4 * self._phase(63, 8, 8).seconds
+
+    def test_lu_pressured_even_on_8(self):
+        # LU: 8 x 89 MB = 712 MB crosses the threshold already at 8 PEs
+        assert self._phase(89, 8, 8).pressured
+
+    def test_buffer_depends_on_free_nodes(self):
+        assert P.buffer_total_mb(8) > P.buffer_total_mb(16)
+
+
+class TestReadParallel:
+    def test_aggregate_scales_with_clients(self):
+        t8 = solve_phase(IOKind.READ_PARALLEL, [tr(c, "a", 10) for c in range(8)], P, 8)
+        t16 = solve_phase(IOKind.READ_PARALLEL, [tr(c, "a", 5) for c in range(16)], P, 16)
+        assert t16.seconds < t8.seconds

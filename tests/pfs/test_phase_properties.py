@@ -1,0 +1,86 @@
+"""Property-based sanity of the I/O phase model: monotonicity and
+scaling laws that must hold for any workload the engines produce."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pfs.params import PIOFSParams
+from repro.pfs.phase import IOKind, PhaseTransfer, solve_phase
+
+P = PIOFSParams()
+MB = int(1e6)
+
+
+def _write_phase(kind, per_client_mb, clients, busy):
+    transfers = [
+        PhaseTransfer(c, f"f{c}" if "DISTINCT" in kind.name else "f",
+                      0 if "DISTINCT" in kind.name else c * per_client_mb * MB,
+                      per_client_mb * MB)
+        for c in range(clients)
+    ]
+    sizes = {t.filename: per_client_mb * MB for t in transfers}
+    return solve_phase(kind, transfers, P, busy, file_sizes=sizes)
+
+
+@given(st.integers(1, 200), st.integers(0, 16))
+def test_serial_write_monotone_in_bytes(mb, busy):
+    t1 = solve_phase(IOKind.WRITE_SERIAL, [PhaseTransfer(0, "f", 0, mb * MB)], P, busy)
+    t2 = solve_phase(IOKind.WRITE_SERIAL, [PhaseTransfer(0, "f", 0, 2 * mb * MB)], P, busy)
+    assert t2.seconds > t1.seconds
+
+
+@given(st.integers(1, 100), st.integers(1, 16))
+def test_more_interference_never_speeds_writes(mb, clients):
+    for kind in (IOKind.WRITE_SERIAL, IOKind.WRITE_PARALLEL, IOKind.WRITE_DISTINCT):
+        slow = _write_phase(kind, mb, clients, busy=16)
+        fast = _write_phase(kind, mb, clients, busy=0)
+        assert slow.seconds >= fast.seconds
+
+
+@given(st.integers(1, 60), st.integers(1, 15))
+def test_shared_reads_scale_with_clients(mb, clients):
+    """Same per-client bytes: adding clients never lengthens the phase
+    (client-limited), and aggregate throughput grows."""
+    transfers = lambda n: [PhaseTransfer(c, "seg", 0, mb * MB) for c in range(n)]
+    t1 = solve_phase(IOKind.READ_SHARED, transfers(clients), P, clients)
+    t2 = solve_phase(IOKind.READ_SHARED, transfers(clients + 1), P, clients + 1)
+    assert t2.seconds <= t1.seconds * 1.001
+    assert t2.rate_mbps > t1.rate_mbps
+
+
+@given(st.integers(1, 40), st.integers(1, 16), st.integers(1, 16))
+@settings(max_examples=50)
+def test_rate_consistency(mb, clients, busy):
+    """seconds * rate == bytes for every kind (internal consistency)."""
+    for kind in (
+        IOKind.WRITE_SERIAL,
+        IOKind.WRITE_PARALLEL,
+        IOKind.WRITE_DISTINCT,
+        IOKind.READ_DISTINCT,
+        IOKind.READ_PARALLEL,
+    ):
+        res = _write_phase(kind, mb, clients, busy)
+        assert res.seconds > 0
+        assert abs(res.rate_mbps * res.seconds - res.total_bytes / 1e6) < 1e-6
+
+
+@given(st.integers(30, 120))
+def test_pressure_threshold_is_sharp(seg_mb):
+    """Crossing the buffer threshold from below must never make the
+    distinct-read phase faster."""
+    below = _write_phase(IOKind.READ_DISTINCT, seg_mb, 4, busy=4)
+    above = _write_phase(IOKind.READ_DISTINCT, seg_mb, 16, busy=16)
+    assert above.seconds >= below.seconds
+
+
+def test_buffer_total_monotone_in_free_nodes():
+    vals = [P.buffer_total_mb(b) for b in range(17)]
+    assert vals == sorted(vals, reverse=True)
+    assert vals[0] == 16 * P.buffer_free_node_mb
+    assert vals[16] == 16 * P.buffer_busy_node_mb
+
+
+def test_write_eff_bounds():
+    assert P.write_eff(0.0) == 1.0
+    assert 0.05 <= P.write_eff(1.0) < 1.0
+    assert P.array_write_eff(1.0) > P.write_eff(1.0)  # milder interference

@@ -1,0 +1,53 @@
+"""Tests for the PIOFS statistics readout."""
+
+import numpy as np
+import pytest
+
+from repro.arrays.darray import DistributedArray
+from repro.arrays.distributions import block_distribution
+from repro.checkpoint.drms import drms_checkpoint, drms_restart
+from repro.checkpoint.segment import DataSegment, SegmentProfile
+from repro.pfs.piofs import PIOFS
+from repro.runtime.machine import Machine, MachineParams
+
+
+def test_empty_stats():
+    pfs = PIOFS()
+    s = pfs.stats()
+    assert s == {
+        "files": 0,
+        "bytes_stored": 0,
+        "phases": 0,
+        "pressured_phases": 0,
+        "by_kind": {},
+    }
+
+
+def test_stats_after_checkpoint_restart():
+    machine = Machine(MachineParams(num_nodes=16))
+    machine.place_tasks(8)
+    pfs = PIOFS(machine=machine)
+    arr = DistributedArray("u", (8, 8), np.float64, block_distribution((8, 8), 4))
+    arr.set_global(np.ones((8, 8)))
+    seg = DataSegment(profile=SegmentProfile(10_000, 0, 0))
+    drms_checkpoint(pfs, "ck", seg, [arr])
+    drms_restart(pfs, "ck", 4)
+    s = pfs.stats()
+    assert s["phases"] == 4
+    assert set(s["by_kind"]) == {
+        "write_serial", "write_parallel", "read_shared", "read_parallel",
+    }
+    assert s["by_kind"]["write_parallel"]["bytes"] == arr.nbytes_global
+    assert s["files"] == 3
+    assert s["pressured_phases"] == 0
+
+
+def test_pressured_phases_counted():
+    from repro.checkpoint.spmd import spmd_checkpoint
+
+    machine = Machine(MachineParams(num_nodes=16))
+    machine.place_tasks(8)
+    pfs = PIOFS(machine=machine)
+    # LU-sized segments: over the write-pressure threshold
+    spmd_checkpoint(pfs, "sp", ntasks=8, segment_bytes=int(89e6))
+    assert pfs.stats()["pressured_phases"] == 1

@@ -1,0 +1,33 @@
+"""Unit tests for the simulated clock."""
+
+import pytest
+
+from repro.runtime.clock import SimClock
+
+
+def test_starts_at_zero():
+    assert SimClock().now == 0.0
+
+
+def test_advance_accumulates():
+    c = SimClock()
+    c.advance(1.5)
+    c.advance(0.5)
+    assert c.now == 2.0
+
+
+def test_advance_rejects_negative():
+    with pytest.raises(ValueError):
+        SimClock().advance(-1)
+
+
+def test_merge_is_monotone():
+    c = SimClock(5.0)
+    assert c.merge(3.0) == 5.0  # never goes backward
+    assert c.merge(7.0) == 7.0
+
+
+def test_reset():
+    c = SimClock(9.0)
+    c.reset()
+    assert c.now == 0.0

@@ -1,0 +1,67 @@
+"""Unit tests for the simulated machine."""
+
+import pytest
+
+from repro.errors import MachineError
+from repro.runtime.machine import Machine, MachineParams
+
+
+def test_default_is_paper_testbed():
+    m = Machine()
+    p = m.params
+    assert m.num_nodes == 16
+    assert p.mem_mb_per_node == 128.0
+    assert p.cpu_mhz == 67.0
+
+
+def test_params_validated():
+    with pytest.raises(MachineError):
+        MachineParams(num_nodes=0)
+    with pytest.raises(MachineError):
+        MachineParams(mem_mb_per_node=-1)
+
+
+def test_place_tasks_one_to_one():
+    m = Machine(MachineParams(num_nodes=8))
+    placement = m.place_tasks(4)
+    assert placement == {0: 0, 1: 1, 2: 2, 3: 3}
+    assert m.busy_fraction() == 0.5
+
+
+def test_place_on_named_nodes():
+    m = Machine(MachineParams(num_nodes=8))
+    placement = m.place_tasks(2, nodes=[5, 7])
+    assert placement == {0: 5, 1: 7}
+    assert m.node(5).tasks == [0]
+
+
+def test_place_requires_enough_up_nodes():
+    m = Machine(MachineParams(num_nodes=4))
+    m.fail_node(0)
+    with pytest.raises(MachineError):
+        m.place_tasks(4)
+    # but 3 still fit, skipping the failed node
+    placement = m.place_tasks(3)
+    assert 0 not in placement.values()
+
+
+def test_cannot_place_on_failed_node():
+    m = Machine(MachineParams(num_nodes=4))
+    m.fail_node(2)
+    with pytest.raises(MachineError):
+        m.place_tasks(1, nodes=[2])
+
+
+def test_fail_and_repair():
+    m = Machine(MachineParams(num_nodes=4))
+    m.fail_node(1)
+    assert m.up_nodes() == [0, 2, 3]
+    m.repair_node(1)
+    assert len(m.up_nodes()) == 4
+
+
+def test_clear_tasks():
+    m = Machine(MachineParams(num_nodes=4))
+    m.place_tasks(4)
+    m.clear_tasks()
+    assert m.busy_fraction() == 0.0

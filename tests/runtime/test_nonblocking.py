@@ -1,0 +1,94 @@
+"""Tests for non-blocking communication (isend/irecv + Request)."""
+
+import numpy as np
+import pytest
+
+from repro.runtime.executor import run_spmd
+
+
+def test_isend_completes_immediately():
+    def prog(comm):
+        if comm.rank == 0:
+            req = comm.isend({"x": 1}, dest=1)
+            assert req.completed
+            assert req.wait() is None
+        else:
+            assert comm.recv(source=0) == {"x": 1}
+
+    run_spmd(prog, 2)
+
+
+def test_irecv_wait():
+    def prog(comm):
+        if comm.rank == 0:
+            comm.send("hello", dest=1, tag=4)
+        else:
+            req = comm.irecv(source=0, tag=4)
+            return req.wait()
+
+    assert run_spmd(prog, 2).returns[1] == "hello"
+
+
+def test_irecv_test_polls():
+    def prog(comm):
+        if comm.rank == 1:
+            req = comm.irecv(source=0, tag=9)
+            # nothing sent yet: poll must not block or match
+            done, _ = req.test()
+            first = done
+            comm.barrier()  # rank 0 sends before this barrier
+            comm.send(None, dest=0, tag=1)  # handshake
+            payload = req.wait()
+            return (first, payload)
+        comm.send(42, dest=1, tag=9)
+        comm.barrier()
+        comm.recv(source=1, tag=1)
+
+    first, payload = run_spmd(prog, 2).returns[1]
+    assert payload == 42
+
+
+def test_overlapping_irecvs_match_by_tag():
+    def prog(comm):
+        if comm.rank == 0:
+            comm.send("a", dest=1, tag=1)
+            comm.send("b", dest=1, tag=2)
+        else:
+            r2 = comm.irecv(source=0, tag=2)
+            r1 = comm.irecv(source=0, tag=1)
+            return (r1.wait(), r2.wait())
+
+    assert run_spmd(prog, 2).returns[1] == ("a", "b")
+
+
+def test_halo_exchange_with_nonblocking():
+    """The classic irecv/isend/wait halo pattern."""
+
+    def prog(comm):
+        left = (comm.rank - 1) % comm.size
+        right = (comm.rank + 1) % comm.size
+        r_from_left = comm.irecv(source=left, tag=10)
+        r_from_right = comm.irecv(source=right, tag=11)
+        comm.isend(np.full(4, comm.rank), dest=right, tag=10)
+        comm.isend(np.full(4, comm.rank), dest=left, tag=11)
+        lo = r_from_left.wait()
+        hi = r_from_right.wait()
+        return (int(lo[0]), int(hi[0]))
+
+    res = run_spmd(prog, 5)
+    for r, (lo, hi) in enumerate(res.returns):
+        assert lo == (r - 1) % 5
+        assert hi == (r + 1) % 5
+
+
+def test_wait_twice_is_idempotent():
+    def prog(comm):
+        if comm.rank == 0:
+            comm.send(7, dest=1)
+        else:
+            req = comm.irecv(source=0)
+            assert req.wait() == 7
+            assert req.wait() == 7  # cached, does not re-receive
+            assert req.test() == (True, 7)
+
+    run_spmd(prog, 2)

@@ -1,0 +1,67 @@
+"""Tests for the MPI-style reduction operators."""
+
+import numpy as np
+import pytest
+
+from repro.runtime import reducer
+from repro.runtime.executor import run_spmd
+
+
+class TestScalarOps:
+    def test_arithmetic(self):
+        assert reducer.SUM(2, 3) == 5
+        assert reducer.PROD(2, 3) == 6
+        assert reducer.MAX(2, 3) == 3
+        assert reducer.MIN(2, 3) == 2
+
+    def test_logical(self):
+        assert reducer.LAND(True, False) is False
+        assert reducer.LOR(True, False) is True
+
+    def test_bitwise(self):
+        assert reducer.BAND(0b1100, 0b1010) == 0b1000
+        assert reducer.BOR(0b1100, 0b1010) == 0b1110
+        assert reducer.BXOR(0b1100, 0b1010) == 0b0110
+
+
+class TestArrayOps:
+    def test_elementwise(self):
+        a, b = np.array([1.0, 5.0]), np.array([4.0, 2.0])
+        assert np.array_equal(reducer.SUM(a, b), [5.0, 7.0])
+        assert np.array_equal(reducer.MAX(a, b), [4.0, 5.0])
+        assert np.array_equal(reducer.MIN(a, b), [1.0, 2.0])
+        assert np.array_equal(reducer.PROD(a, b), [4.0, 10.0])
+
+    def test_mixed_scalar_array(self):
+        assert np.array_equal(reducer.MAX(np.array([1, 9]), 5), [5, 9])
+
+
+class TestLocOps:
+    def test_maxloc_picks_value_then_lowest_rank(self):
+        assert reducer.MAXLOC((3.0, 1), (5.0, 0)) == (5.0, 0)
+        assert reducer.MAXLOC((5.0, 2), (5.0, 1)) == (5.0, 1)
+
+    def test_minloc(self):
+        assert reducer.MINLOC((3.0, 4), (5.0, 0)) == (3.0, 4)
+        assert reducer.MINLOC((3.0, 4), (3.0, 2)) == (3.0, 2)
+
+
+class TestInCollectives:
+    def test_allreduce_with_standard_ops(self):
+        def prog(comm):
+            vec = np.array([float(comm.rank), 1.0])
+            total = comm.allreduce(vec, op=reducer.SUM)
+            peak = comm.allreduce(comm.rank, op=reducer.MAX)
+            return float(total[0]), peak
+
+        res = run_spmd(prog, 6)
+        assert all(r == (15.0, 5) for r in res.returns)
+
+    def test_maxloc_finds_owner_of_peak_residual(self):
+        def prog(comm):
+            residual = [0.4, 9.5, 0.1, 3.0][comm.rank]
+            value, owner = comm.allreduce((residual, comm.rank), op=reducer.MAXLOC)
+            return value, owner
+
+        res = run_spmd(prog, 4)
+        assert all(r == (9.5, 1) for r in res.returns)

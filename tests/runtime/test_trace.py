@@ -1,0 +1,94 @@
+"""Tests for the communication tracer."""
+
+import numpy as np
+import pytest
+
+from repro.runtime.comm import CommWorld, TaskComm
+from repro.runtime.trace import CommTracer
+
+
+def run_pattern(world):
+    a, b = TaskComm(world, 0), TaskComm(world, 1)
+    a.send(np.zeros(100, dtype=np.uint8), dest=1, tag=1)
+    b.recv(source=0, tag=1)
+    b.send(np.zeros(50, dtype=np.uint8), dest=0, tag=2)
+    a.recv(source=1, tag=2)
+    a.send(np.zeros(25, dtype=np.uint8), dest=1, tag=3)
+    b.recv(source=0, tag=3)
+
+
+def test_records_every_message():
+    world = CommWorld(2)
+    with CommTracer(world) as tr:
+        run_pattern(world)
+    assert tr.total_messages == 3
+    assert tr.total_bytes == 175
+
+
+def test_pair_matrix_and_hot_pairs():
+    world = CommWorld(2)
+    with CommTracer(world) as tr:
+        run_pattern(world)
+    assert tr.pair_matrix() == {(0, 1): 125, (1, 0): 50}
+    assert tr.hottest_pairs(1) == [((0, 1), 125)]
+    assert tr.per_rank_sent() == {0: 125, 1: 50}
+
+
+def test_detach_restores_world():
+    world = CommWorld(2)
+    tr = CommTracer(world).attach()
+    run_pattern(world)
+    tr.detach()
+    run_pattern(world)  # untraced
+    assert tr.total_messages == 3
+    assert world.total_messages == 6  # ledger still counts everything
+
+
+def test_attach_idempotent():
+    world = CommWorld(2)
+    tr = CommTracer(world)
+    tr.attach()
+    tr.attach()
+    run_pattern(world)
+    tr.detach()
+    assert tr.total_messages == 3
+
+
+def test_summary_renders():
+    world = CommWorld(2)
+    with CommTracer(world) as tr:
+        run_pattern(world)
+    text = tr.summary()
+    assert "3 messages" in text
+    assert "175 bytes" in text
+
+
+def test_timeline_bins_sum_to_total():
+    world = CommWorld(2)
+    with CommTracer(world) as tr:
+        run_pattern(world)
+    bins = tr.timeline(bins=4)
+    assert sum(bins) == tr.total_bytes
+    assert len(bins) == 4
+
+
+def test_empty_timeline():
+    assert CommTracer(CommWorld(2)).timeline(bins=3) == [0, 0, 0]
+
+
+def test_traces_collectives_in_spmd_run():
+    from repro.runtime.executor import run_spmd
+
+    traced = {}
+
+    def prog(comm):
+        if comm.rank == 0 and "tracer" not in traced:
+            traced["tracer"] = CommTracer(comm.world).attach()
+        comm.barrier()
+        comm.allgather(np.zeros(10))
+        comm.barrier()
+
+    run_spmd(prog, 4)
+    tr = traced["tracer"]
+    # allgather = gather to 0 (3 msgs) + bcast of the list (3 msgs)
+    assert tr.total_messages >= 6

@@ -1,0 +1,97 @@
+"""Tests for serial streaming over real socket channels (§3.2: 'a
+sequential channel, such as a UNIX socket')."""
+
+import numpy as np
+import pytest
+
+from repro.arrays.darray import DistributedArray
+from repro.arrays.distributions import block_distribution
+from repro.errors import StreamingError
+from repro.streaming.channel import SocketChannel
+from repro.streaming.parallel import stream_out_parallel
+from repro.streaming.serial import stream_in_serial, stream_out_serial
+
+
+@pytest.fixture
+def arr():
+    g = np.arange(16 * 12, dtype=np.float64).reshape(16, 12)
+    a = DistributedArray(
+        "u", (16, 12), np.float64, block_distribution((16, 12), 4, shadow=(1, 1))
+    )
+    a.set_global(g)
+    return a, g
+
+
+def test_raw_bytes_roundtrip():
+    with SocketChannel() as ch:
+        def produce(sink):
+            sink.append(b"hello ")
+            sink.append(b"world")
+
+        def consume(source):
+            return source.read_at(0, 11)
+
+        assert ch.pump(produce, consume) == b"hello world"
+
+
+def test_array_streams_app_to_app_through_socket(arr):
+    """One application streams out serially; a second, with a different
+    distribution and task count, streams in from the live pipe."""
+    a, g = arr
+    b = DistributedArray(
+        "v", (16, 12), np.float64, block_distribution((16, 12), 6)
+    )
+    with SocketChannel() as ch:
+        ch.pump(
+            lambda sink: stream_out_serial(a, sink, target_bytes=256),
+            lambda source: stream_in_serial(b, source, target_bytes=256),
+        )
+    assert np.array_equal(b.to_global(), g)
+    assert b.is_consistent()
+
+
+def test_parallel_streaming_rejected_on_channel(arr):
+    a, _ = arr
+    with SocketChannel() as ch:
+        with pytest.raises(StreamingError, match="seekable"):
+            stream_out_parallel(a, ch.sink, P=4)
+
+
+def test_seek_rejected():
+    with SocketChannel() as ch:
+        ch.sink.append(b"ab")
+        with pytest.raises(StreamingError, match="seek"):
+            ch.sink.write_at(9, b"x")
+        # sequential write_at at the current position is fine
+        ch.sink.write_at(2, b"cd")
+        assert ch.source.read_at(0, 4) == b"abcd"
+        with pytest.raises(StreamingError, match="sequential"):
+            ch.source.read_at(0, 1)
+
+
+def test_short_stream_detected(arr):
+    a, _ = arr
+    b = DistributedArray(
+        "v", (16, 12), np.float64, block_distribution((16, 12), 2)
+    )
+    with SocketChannel() as ch:
+        def produce(sink):
+            sink.append(b"\x00" * 64)  # far too short, then EOF
+
+        with pytest.raises(StreamingError, match="closed|short"):
+            ch.pump(produce, lambda src: stream_in_serial(b, src))
+
+
+def test_producer_exception_propagates():
+    with SocketChannel() as ch:
+        def produce(sink):
+            raise ValueError("producer died")
+
+        with pytest.raises((ValueError, StreamingError)):
+            ch.pump(produce, lambda src: src.read_at(0, 4))
+
+
+def test_live_channel_has_no_size():
+    with SocketChannel() as ch:
+        with pytest.raises(StreamingError):
+            ch.source.size

@@ -1,0 +1,123 @@
+"""Tests for compressed serial streams (§6 data-compression option)."""
+
+import numpy as np
+import pytest
+
+from repro.arrays.darray import DistributedArray
+from repro.arrays.distributions import block_distribution
+from repro.errors import StreamingError
+from repro.streaming.compressed import CompressedSink, CompressedSource
+from repro.streaming.serial import stream_in_serial, stream_out_serial
+from repro.streaming.streams import MemorySink, MemorySource
+
+
+@pytest.fixture
+def arr():
+    # smooth data compresses well
+    g = np.zeros((24, 24))
+    g[:12, :] = 7.0
+    a = DistributedArray(
+        "u", (24, 24), np.float64, block_distribution((24, 24), 4)
+    )
+    a.set_global(g)
+    return a, g
+
+
+def test_round_trip_across_distributions(arr):
+    a, g = arr
+    inner = MemorySink()
+    sink = CompressedSink(inner)
+    stream_out_serial(a, sink, target_bytes=512)
+    b = DistributedArray(
+        "v", (24, 24), np.float64, block_distribution((24, 24), 6, shadow=(1, 1))
+    )
+    source = CompressedSource(MemorySource(inner.getvalue()))
+    stream_in_serial(b, source, target_bytes=512)
+    assert np.array_equal(b.to_global(), g)
+    assert b.is_consistent()
+
+
+def test_compression_actually_shrinks(arr):
+    a, g = arr
+    inner = MemorySink()
+    sink = CompressedSink(inner)
+    stream_out_serial(a, sink, target_bytes=1024)
+    assert sink.raw_bytes == g.nbytes
+    assert sink.compressed_bytes < 0.3 * sink.raw_bytes  # smooth data
+    assert sink.ratio > 3.0
+
+
+def test_incompressible_data_still_correct():
+    rng = np.random.default_rng(5)
+    g = rng.normal(size=(16, 16))
+    a = DistributedArray("u", (16, 16), np.float64, block_distribution((16, 16), 2))
+    a.set_global(g)
+    inner = MemorySink()
+    sink = CompressedSink(inner)
+    stream_out_serial(a, sink)
+    b = DistributedArray("v", (16, 16), np.float64, block_distribution((16, 16), 3))
+    stream_in_serial(b, CompressedSource(MemorySource(inner.getvalue())))
+    assert np.array_equal(b.to_global(), g)
+
+
+def test_reads_may_straddle_frames(arr):
+    a, g = arr
+    inner = MemorySink()
+    sink = CompressedSink(inner)
+    stream_out_serial(a, sink, target_bytes=256)  # many small frames
+    src = CompressedSource(MemorySource(inner.getvalue()))
+    # read the logical stream in odd-sized chunks
+    chunks = []
+    pos = 0
+    for n in (100, 300, 77, 1000):
+        chunks.append(src.read_at(pos, n))
+        pos += n
+    data = b"".join(chunks)
+    assert data == g.flatten(order="F").tobytes()[: len(data)]
+
+
+def test_sequential_access_enforced():
+    inner = MemorySink()
+    sink = CompressedSink(inner)
+    sink.append(b"abc")
+    with pytest.raises(StreamingError, match="sequential"):
+        sink.write_at(99, b"x")
+    src = CompressedSource(MemorySource(inner.getvalue()))
+    src.read_at(0, 2)
+    with pytest.raises(StreamingError, match="sequential"):
+        src.read_at(0, 1)
+
+
+def test_corruption_detected():
+    inner = MemorySink()
+    sink = CompressedSink(inner)
+    sink.append(b"hello world")
+    blob = bytearray(inner.getvalue())
+    blob[10] ^= 0xFF  # flip a bit inside the deflate payload
+    src = CompressedSource(MemorySource(bytes(blob)))
+    with pytest.raises(StreamingError):
+        src.read_at(0, 11)
+
+
+def test_level_validated():
+    with pytest.raises(StreamingError):
+        CompressedSink(MemorySink(), level=11)
+
+
+def test_none_bytes_rejected():
+    with pytest.raises(StreamingError):
+        CompressedSink(MemorySink()).append(None, nbytes=8)
+
+
+def test_works_over_a_real_socket(arr):
+    """Compression composes with the live socket channel."""
+    from repro.streaming.channel import SocketChannel
+
+    a, g = arr
+    b = DistributedArray("v", (24, 24), np.float64, block_distribution((24, 24), 5))
+    with SocketChannel() as ch:
+        ch.pump(
+            lambda sink: stream_out_serial(a, CompressedSink(sink), target_bytes=512),
+            lambda source: stream_in_serial(b, CompressedSource(source), target_bytes=512),
+        )
+    assert np.array_equal(b.to_global(), g)

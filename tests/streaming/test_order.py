@@ -1,0 +1,69 @@
+"""Unit tests for stream orderings."""
+
+import numpy as np
+import pytest
+
+from repro.arrays.ranges import Range
+from repro.arrays.slices import Slice
+from repro.errors import StreamingError
+from repro.streaming.order import (
+    bytes_to_section,
+    check_order,
+    section_stream_positions,
+    stream_order_bytes,
+)
+
+
+def test_check_order():
+    assert check_order("F") == "F"
+    assert check_order("C") == "C"
+    with pytest.raises(StreamingError):
+        check_order("Z")
+
+
+def test_stream_order_bytes_roundtrip():
+    a = np.arange(24.0).reshape(2, 3, 4)
+    for order in ("F", "C"):
+        data = stream_order_bytes(a, order)
+        back = bytes_to_section(data, (2, 3, 4), np.float64, order)
+        assert np.array_equal(back, a)
+
+
+def test_f_vs_c_differ():
+    a = np.arange(6.0).reshape(2, 3)
+    assert stream_order_bytes(a, "F") != stream_order_bytes(a, "C")
+
+
+def test_bytes_to_section_size_checked():
+    with pytest.raises(StreamingError):
+        bytes_to_section(b"\x00" * 8, (2, 2), np.float64, "F")
+
+
+def test_stream_positions_identity():
+    s = Slice([Range([3, 5]), Range([0, 9])])
+    pos = section_stream_positions(s, s, "F")
+    assert pos.tolist() == [0, 1, 2, 3]
+
+
+def test_stream_positions_of_subsection():
+    s = Slice.full((3, 4))
+    sub = Slice([Range([1]), Range([0, 3])])
+    # F order positions: (1,0) -> 1; (1,3) -> 1 + 3*3 = 10
+    assert section_stream_positions(s, sub, "F").tolist() == [1, 10]
+    # C order: (1,0) -> 4; (1,3) -> 7
+    assert section_stream_positions(s, sub, "C").tolist() == [4, 7]
+
+
+def test_stream_positions_requires_subset():
+    s = Slice.full((3, 3))
+    with pytest.raises(StreamingError):
+        section_stream_positions(s, Slice([Range([5]), Range([0])]), "F")
+
+
+def test_positions_match_enumerate_stream():
+    s = Slice([Range([0, 2, 5]), Range.regular(1, 7, 3)])
+    pts = [tuple(p) for p in s.enumerate_stream("F").tolist()]
+    sub = Slice([Range([2, 5]), Range([4])])
+    pos = section_stream_positions(s, sub, "F")
+    for p, point in zip(pos, sub.enumerate_stream("F").tolist()):
+        assert pts[p] == tuple(point)

@@ -1,0 +1,89 @@
+"""Unit tests for the Fig. 5a recursive stream-order partition."""
+
+import numpy as np
+import pytest
+
+from repro.arrays.ranges import Range
+from repro.arrays.slices import Slice
+from repro.errors import StreamingError
+from repro.streaming.partition import partition, partition_for_target, piece_offsets
+
+
+class TestPartition:
+    def test_power_of_two_required(self):
+        with pytest.raises(StreamingError):
+            partition(Slice.full((4, 4)), 3)
+        with pytest.raises(StreamingError):
+            partition(Slice.full((4, 4)), 0)
+
+    def test_m1_is_identity(self):
+        s = Slice.full((4, 4))
+        assert partition(s, 1) == [s]
+
+    @pytest.mark.parametrize("m", [2, 4, 8, 16])
+    def test_pieces_tile_in_stream_order(self, m):
+        s = Slice([Range([0, 2, 3]), Range.regular(1, 9, 2)])
+        pieces = partition(s, m)
+        assert len(pieces) == m
+        streamed = [
+            tuple(p) for piece in pieces if not piece.is_empty
+            for p in piece.enumerate_stream("F").tolist()
+        ]
+        expect = [tuple(p) for p in s.enumerate_stream("F").tolist()]
+        assert streamed == expect
+
+    def test_c_order_partition(self):
+        s = Slice.full((4, 6))
+        pieces = partition(s, 4, order="C")
+        streamed = [
+            tuple(p) for piece in pieces if not piece.is_empty
+            for p in piece.enumerate_stream("C").tolist()
+        ]
+        assert streamed == [tuple(p) for p in s.enumerate_stream("C").tolist()]
+
+    def test_oversplit_produces_empties(self):
+        s = Slice([Range([5])])  # one element
+        pieces = partition(s, 4)
+        sizes = [p.size for p in pieces]
+        assert sum(sizes) == 1
+        assert sizes.count(0) == 3
+
+
+class TestTargetSizing:
+    def test_pieces_near_target(self):
+        s = Slice.full((64, 64))  # 4096 elements
+        pieces = partition_for_target(s, itemsize=8, target_bytes=8 * 512)
+        assert len(pieces) == 8
+        assert max(p.size for p in pieces) * 8 <= 8 * 512
+
+    def test_min_pieces_for_parallelism(self):
+        s = Slice.full((4,))
+        pieces = partition_for_target(s, itemsize=8, target_bytes=1 << 20, min_pieces=4)
+        assert len(pieces) >= 4
+
+    def test_paper_rule_1mb_default(self):
+        # a 10.5 MB field partitions into ~1 MB pieces
+        s = Slice.full((5, 64, 64, 64))
+        pieces = partition_for_target(s, itemsize=8)
+        assert len(pieces) == 16
+        assert max(p.size * 8 for p in pieces) <= 1 << 20
+
+    def test_invalid_args(self):
+        s = Slice.full((4,))
+        with pytest.raises(StreamingError):
+            partition_for_target(s, itemsize=0)
+        with pytest.raises(StreamingError):
+            partition_for_target(s, itemsize=8, target_bytes=0)
+
+
+class TestOffsets:
+    def test_prefix_sums(self):
+        s = Slice.full((8,))
+        pieces = partition(s, 4)
+        offs = piece_offsets(pieces, itemsize=8)
+        assert offs == [0, 16, 32, 48]
+
+    def test_offsets_skip_empty_pieces(self):
+        s = Slice([Range([7])])
+        pieces = partition(s, 2)
+        assert piece_offsets(pieces, 8) == [0, 8]  # empty piece adds 0

@@ -1,0 +1,136 @@
+"""Unit tests for serial and parallel section streaming."""
+
+import numpy as np
+import pytest
+
+from repro.arrays.darray import DistributedArray
+from repro.arrays.distributions import Cyclic, Distribution, block_distribution
+from repro.arrays.ranges import Range
+from repro.arrays.slices import Slice
+from repro.errors import StreamingError
+from repro.streaming.parallel import stream_in_parallel, stream_out_parallel
+from repro.streaming.serial import stream_in_serial, stream_out_serial
+from repro.streaming.streams import MemorySink, MemorySource
+
+
+@pytest.fixture
+def grid():
+    return np.arange(6 * 7 * 5, dtype=np.float64).reshape(6, 7, 5)
+
+
+@pytest.fixture
+def arr(grid):
+    d = block_distribution((6, 7, 5), 4, shadow=(1, 1, 0))
+    a = DistributedArray("A", (6, 7, 5), np.float64, d)
+    a.set_global(grid)
+    return a
+
+
+class TestSerial:
+    def test_full_array_column_major(self, arr, grid):
+        sink = MemorySink(seekable=False)
+        st = stream_out_serial(arr, sink, target_bytes=64)
+        assert sink.getvalue() == grid.flatten(order="F").tobytes()
+        assert st.bytes_streamed == grid.nbytes
+        assert st.io_tasks == 1
+
+    def test_row_major(self, arr, grid):
+        sink = MemorySink()
+        stream_out_serial(arr, sink, order="C", target_bytes=128)
+        assert sink.getvalue() == grid.flatten(order="C").tobytes()
+
+    def test_section_stream_is_distribution_independent(self, arr, grid):
+        sec = Slice([Range([0, 2, 3]), Range.regular(1, 6, 2), Range([0, 4])])
+        sinks = []
+        for nt in (1, 3, 4):
+            b = arr.redistributed(block_distribution((6, 7, 5), nt))
+            s = MemorySink()
+            stream_out_serial(b, s, section=sec, target_bytes=40)
+            sinks.append(s.getvalue())
+        expect = grid[sec.np_index()].flatten(order="F").tobytes()
+        assert all(v == expect for v in sinks)
+
+    def test_stream_in_restores(self, arr, grid):
+        sink = MemorySink()
+        stream_out_serial(arr, sink)
+        d2 = block_distribution((6, 7, 5), 5, shadow=(0, 1, 1))
+        b = DistributedArray("B", (6, 7, 5), np.float64, d2)
+        stream_in_serial(b, MemorySource(sink.getvalue()))
+        assert np.array_equal(b.to_global(), grid)
+        assert b.is_consistent()
+
+    def test_works_on_non_seekable_sink(self, arr):
+        stream_out_serial(arr, MemorySink(seekable=False))
+
+    def test_short_read_detected(self, arr):
+        bad = MemorySource(b"\x00" * 10)
+        with pytest.raises(StreamingError):
+            stream_in_serial(arr, bad)
+
+
+class TestParallel:
+    @pytest.mark.parametrize("P", [1, 2, 3, 4])
+    def test_byte_identical_to_serial(self, arr, grid, P):
+        sink = MemorySink()
+        st = stream_out_parallel(arr, sink, P=P, target_bytes=64)
+        assert sink.getvalue() == grid.flatten(order="F").tobytes()
+        assert st.io_tasks == P
+
+    def test_requires_seekable_sink(self, arr):
+        with pytest.raises(StreamingError, match="seekable"):
+            stream_out_parallel(arr, MemorySink(seekable=False), P=2)
+
+    def test_p1_allowed_on_non_seekable_path(self, arr):
+        # P=1 parallel streaming degenerates to serial order but still
+        # uses write_at; the explicit guard is about P>1
+        sink = MemorySink()
+        stream_out_parallel(arr, sink, P=1, target_bytes=64)
+
+    def test_p_bounds_checked(self, arr):
+        with pytest.raises(StreamingError):
+            stream_out_parallel(arr, MemorySink(), P=5)
+        with pytest.raises(StreamingError):
+            stream_out_parallel(arr, MemorySink(), P=0)
+
+    def test_round_trip_across_distributions(self, arr, grid):
+        sink = MemorySink()
+        stream_out_parallel(arr, sink, P=4, target_bytes=32)
+        d2 = Distribution((6, 7, 5), [Cyclic(), Cyclic(), Cyclic()], 6)
+        b = DistributedArray("B", (6, 7, 5), np.float64, d2)
+        stream_in_parallel(b, MemorySource(sink.getvalue()), P=2, target_bytes=48)
+        assert np.array_equal(b.to_global(), grid)
+        assert b.is_consistent()
+
+    def test_source_offset(self, arr, grid):
+        sink = MemorySink()
+        sink.append(b"HDR!" * 4)  # 16-byte header before the stream
+        stream_out_parallel(arr, sink, P=2, target_bytes=64)
+        # NB: parallel offsets are absolute; re-stream at offset instead
+        sink2 = MemorySink()
+        stream_out_serial(arr, sink2)
+        data = b"HDR!" * 4 + sink2.getvalue()
+        b2 = DistributedArray("B", (6, 7, 5), np.float64, block_distribution((6, 7, 5), 2))
+        stream_in_parallel(b2, MemorySource(data), source_offset=16)
+        assert np.array_equal(b2.to_global(), grid)
+
+    def test_redistribution_bytes_drop_when_owner_writes(self):
+        # 1-task array: the only task owns everything, so P=1 streaming
+        # moves nothing between tasks
+        g = np.arange(16.0).reshape(4, 4)
+        a = DistributedArray("A", (4, 4), np.float64, block_distribution((4, 4), 1))
+        a.set_global(g)
+        st = stream_out_parallel(a, MemorySink(), P=1, target_bytes=32)
+        assert st.redistribution_bytes == 0
+
+    def test_virtual_array_accounts_bytes(self):
+        d = block_distribution((8, 8), 4)
+        a = DistributedArray("V", (8, 8), np.float64, d, store_data=False)
+        sink = MemorySink()
+        # MemorySink requires real bytes; use PFS sink for virtual
+        from repro.pfs.piofs import PIOFS
+        from repro.streaming.streams import PFSSink
+
+        pfs = PIOFS()
+        st = stream_out_parallel(a, PFSSink(pfs, "v", virtual=True), P=2)
+        assert st.bytes_streamed == 8 * 8 * 8
+        assert pfs.file_size("v") == 8 * 8 * 8
