@@ -1,12 +1,15 @@
 PYTHON ?= python
 
-.PHONY: install test bench report examples all clean
+.PHONY: install test verify-checkpoints bench report examples all clean
 
 install:
 	$(PYTHON) setup.py develop
 
 test:
 	$(PYTHON) -m pytest tests/
+
+verify-checkpoints:
+	PYTHONPATH=src $(PYTHON) -m pytest -m crash_consistency tests/
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s

@@ -61,12 +61,14 @@ from repro.checkpoint import (
     SegmentProfile,
     drms_checkpoint,
     drms_restart,
+    select_restart_state,
     spmd_checkpoint,
     spmd_restart,
+    validate_checkpoint,
 )
 from repro.drms import CheckpointStatus, DRMSApplication, DRMSContext, SOQSpec
 from repro.infra import DRMSCluster, FailurePlan
-from repro.pfs import PIOFS, PIOFSParams
+from repro.pfs import PIOFS, PIOFSParams, FaultInjector
 from repro.runtime import Machine, MachineParams
 
 __version__ = "1.0.0"
@@ -87,8 +89,11 @@ __all__ = [
     "SegmentProfile",
     "drms_checkpoint",
     "drms_restart",
+    "select_restart_state",
     "spmd_checkpoint",
     "spmd_restart",
+    "validate_checkpoint",
+    "FaultInjector",
     "CheckpointStatus",
     "DRMSApplication",
     "DRMSContext",

@@ -18,9 +18,23 @@ from repro.checkpoint.format import (
     distribution_to_spec,
     spec_to_distribution,
     manifest_name,
+    manifest_tmp_name,
     segment_name,
     array_name,
     task_segment_name,
+    sha1_hex,
+)
+from repro.checkpoint.validate import (
+    ValidationReport,
+    validate_checkpoint,
+    verify_checkpoint,
+    verify_stored_sha1,
+)
+from repro.checkpoint.recover import (
+    RecoveryDecision,
+    restart_candidates,
+    restart_latest_valid,
+    select_restart_state,
 )
 from repro.checkpoint.drms import (
     CheckpointBreakdown,
@@ -43,9 +57,19 @@ __all__ = [
     "distribution_to_spec",
     "spec_to_distribution",
     "manifest_name",
+    "manifest_tmp_name",
     "segment_name",
     "array_name",
     "task_segment_name",
+    "sha1_hex",
+    "ValidationReport",
+    "validate_checkpoint",
+    "verify_checkpoint",
+    "verify_stored_sha1",
+    "RecoveryDecision",
+    "restart_candidates",
+    "restart_latest_valid",
+    "select_restart_state",
     "CheckpointBreakdown",
     "RestartBreakdown",
     "RestoredState",

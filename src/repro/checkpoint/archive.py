@@ -24,9 +24,20 @@ __all__ = ["checkpoint_files", "copy_checkpoint", "delete_checkpoint"]
 _COPY_CHUNK = 4 << 20
 
 
-def checkpoint_files(pfs: PIOFS, prefix: str) -> List[str]:
+def checkpoint_files(
+    pfs: PIOFS, prefix: str, _seen: Optional[set] = None
+) -> List[str]:
     """Every file belonging to the checkpointed state under ``prefix``
-    (manifest included)."""
+    (manifest included).  A chain manifest whose base/delta references
+    loop back on themselves (a corrupt or hostile manifest) raises
+    :class:`~repro.errors.CheckpointError` instead of recursing
+    forever."""
+    seen = _seen if _seen is not None else set()
+    if prefix in seen:
+        raise CheckpointError(
+            f"checkpoint chain cycle: {prefix!r} references itself"
+        )
+    seen.add(prefix)
     manifest = read_manifest(pfs, prefix)
     files = [manifest_name(prefix)]
     kind = manifest.get("kind")
@@ -36,9 +47,9 @@ def checkpoint_files(pfs: PIOFS, prefix: str) -> List[str]:
     elif kind == "spmd":
         files.extend(manifest["task_files"])
     elif kind == "drms-chain":
-        files.extend(checkpoint_files(pfs, manifest["base"]))
+        files.extend(checkpoint_files(pfs, manifest["base"], _seen=seen))
         for delta in manifest["deltas"]:
-            files.extend(checkpoint_files(pfs, delta))
+            files.extend(checkpoint_files(pfs, delta, _seen=seen))
     elif kind == "drms-delta":
         files.append(manifest["segment_file"])
         files.extend(a["file"] for a in manifest["arrays"])

@@ -28,13 +28,16 @@ from repro.checkpoint.format import (
     np_dtype_name,
     read_manifest,
     segment_name,
+    sha1_hex,
     spec_to_distribution,
     write_manifest,
 )
 from repro.checkpoint.segment import DataSegment
-from repro.errors import CheckpointError, RestartError
+from repro.checkpoint.validate import verify_stored_sha1
+from repro.errors import CheckpointError, CheckpointIntegrityError, RestartError
 from repro.pfs.phase import IOKind
 from repro.pfs.piofs import PIOFS
+from repro.streaming.order import stream_order_bytes
 from repro.streaming.parallel import stream_in_parallel, stream_out_parallel
 from repro.streaming.streams import PFSSink, PFSSource
 
@@ -167,6 +170,14 @@ def drms_checkpoint(
         bd.arrays_seconds += res.seconds
         bd.arrays_bytes += stats.bytes_streamed
         bd.per_array.append((a.name, res.seconds, stats.bytes_streamed))
+        # Integrity record: SHA-1 over the *intended* canonical stream
+        # bytes (not the file content), so a torn or short write that
+        # corrupted the stored file is caught at restart.
+        sha = (
+            sha1_hex(stream_order_bytes(a.to_global(), order))
+            if a.store_data
+            else None
+        )
         manifest_arrays.append(
             {
                 "name": a.name,
@@ -174,6 +185,7 @@ def drms_checkpoint(
                 "dtype": np_dtype_name(a.dtype),
                 "file": fname,
                 "nbytes": stats.bytes_streamed,
+                "sha1": sha,
                 "virtual": not a.store_data,
                 "distribution": distribution_to_spec(a.distribution),
             }
@@ -189,6 +201,8 @@ def drms_checkpoint(
             "order": order,
             "segment_file": seg,
             "segment_bytes": bd.segment_bytes,
+            "segment_sha1": sha1_hex(header),
+            "segment_sha1_bytes": len(header),
             "arrays": manifest_arrays,
         },
     )
@@ -203,6 +217,7 @@ def drms_restart(
     io_tasks: Optional[int] = None,
     target_bytes: int = 1 << 20,
     distribution_overrides: Optional[Dict[str, object]] = None,
+    verify: bool = True,
 ) -> Tuple[RestoredState, RestartBreakdown]:
     """Restore a DRMS checkpoint onto ``ntasks`` tasks (any count >= 1).
 
@@ -211,6 +226,14 @@ def drms_restart(
     callers that specify their own post-reconfiguration distributions
     (the Fig. 1 ``drms_adjust``/``drms_distribute`` path); everything
     else is auto-adjusted from the stored spec.
+
+    With ``verify`` (the default) the manifest's SHA-1 checksums are
+    checked — the segment header after its read phase, each stored
+    array file before it is streamed in — raising
+    :class:`~repro.errors.CheckpointIntegrityError` on any mismatch or
+    size disagreement, *before* corrupt data reaches the application.
+    Verification reads are untimed (they model a background scrub, not
+    the restart's I/O phases).
     """
     manifest = read_manifest(pfs, prefix)
     if manifest.get("kind") != "drms":
@@ -234,6 +257,14 @@ def drms_restart(
     for t in range(1, ntasks):
         pfs.read_virtual(seg, 0, seg_size, client=t)
     res = pfs.end_phase()
+    if verify:
+        verify_stored_sha1(
+            pfs,
+            seg,
+            manifest.get("segment_sha1"),
+            manifest.get("segment_sha1_bytes"),
+            head=head,
+        )
     segment = DataSegment.deserialize(head)
     bd.segment_seconds = res.seconds
     bd.segment_bytes = seg_size * ntasks  # every task reads the file
@@ -258,6 +289,15 @@ def drms_restart(
             dist,
             store_data=not spec["virtual"],
         )
+        if verify and not spec["virtual"]:
+            expected = spec.get("nbytes")
+            if expected is not None and pfs.file_size(spec["file"]) != expected:
+                raise CheckpointIntegrityError(
+                    f"array file {spec['file']!r} is "
+                    f"{pfs.file_size(spec['file'])} bytes; manifest "
+                    f"records {expected} (torn or short write)"
+                )
+            verify_stored_sha1(pfs, spec["file"], spec.get("sha1"), expected)
         source = PFSSource(pfs, spec["file"])
         pfs.begin_phase(IOKind.READ_PARALLEL)
         stats = stream_in_parallel(

@@ -13,10 +13,21 @@ shape, dtype, and a declarative distribution spec that
 :func:`spec_to_distribution` can re-instantiate and ``adjust`` to a new
 task count.  Different prefixes coexist, so an application can keep
 multiple checkpointed states concurrently (paper Section 3).
+
+Crash consistency: a manifest is committed in **two phases** — the JSON
+is written to ``<prefix>.manifest.tmp``, read back and validated, and
+only then atomically renamed to ``<prefix>.manifest``.  Since the
+manifest is written last and its presence marks a complete state, a
+crash (or injected I/O fault) at *any* point of a checkpoint leaves
+either the previous committed manifest or none — never a zero-byte or
+half-written one.  Format version 3 additionally records SHA-1
+checksums (segment header, per-array stream bytes) that restart and
+:func:`~repro.checkpoint.validate.validate_checkpoint` verify.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 from typing import Any, Dict, List, Optional
 
@@ -33,12 +44,13 @@ from repro.arrays.distributions import (
     Replicated,
 )
 from repro.arrays.ranges import Range
-from repro.errors import CheckpointError
+from repro.errors import CheckpointError, CheckpointIntegrityError
 from repro.pfs.piofs import PIOFS
 
 __all__ = [
     "CHECKPOINT_VERSION",
     "manifest_name",
+    "manifest_tmp_name",
     "segment_name",
     "array_name",
     "task_segment_name",
@@ -46,16 +58,23 @@ __all__ = [
     "spec_to_axis",
     "distribution_to_spec",
     "spec_to_distribution",
+    "sha1_hex",
     "write_manifest",
     "read_manifest",
 ]
 
-CHECKPOINT_VERSION = 2
+CHECKPOINT_VERSION = 3
 
 
 def manifest_name(prefix: str) -> str:
     """Manifest file name for a checkpoint prefix."""
     return f"{prefix}.manifest"
+
+
+def manifest_tmp_name(prefix: str) -> str:
+    """Staging name of an uncommitted manifest (phase one of the
+    two-phase commit); never matches the ``.manifest`` suffix scans."""
+    return f"{prefix}.manifest.tmp"
 
 
 def segment_name(prefix: str) -> str:
@@ -180,13 +199,38 @@ def spec_to_distribution(
 # -- manifests ------------------------------------------------------------------
 
 
+def sha1_hex(data: bytes) -> str:
+    """SHA-1 hex digest — the checksum recorded in manifests (matching
+    the content hashing of :mod:`repro.checkpoint.incremental`)."""
+    return hashlib.sha1(data).hexdigest()
+
+
 def write_manifest(pfs: PIOFS, prefix: str, manifest: Dict[str, Any]) -> None:
-    """Write a checkpoint manifest (stamps the format version)."""
+    """Commit a checkpoint manifest atomically (stamps the format
+    version).
+
+    Two-phase protocol: the JSON is staged to ``<prefix>.manifest.tmp``,
+    read back and compared byte-for-byte (catching torn and short
+    writes), then renamed onto the final ``.manifest`` name.  A crash —
+    or an injected I/O fault — anywhere before the rename leaves no
+    ``.manifest`` file at all, so the half-written state is invisible to
+    :func:`~repro.checkpoint.rotation.latest_checkpoint`; the stale
+    ``.tmp`` still reserves the generation number against reuse.
+    """
     manifest = dict(manifest)
     manifest["version"] = CHECKPOINT_VERSION
     data = json.dumps(manifest, sort_keys=True).encode()
-    pfs.create(manifest_name(prefix), virtual=False)
-    pfs.write_at(manifest_name(prefix), 0, data)
+    name = manifest_name(prefix)
+    tmp = manifest_tmp_name(prefix)
+    pfs.create(tmp, virtual=False)
+    pfs.write_at(tmp, 0, data)
+    back = pfs.read_at(tmp, 0, pfs.file_size(tmp))
+    if back != data:
+        raise CheckpointIntegrityError(
+            f"manifest {name!r} failed write validation: staged "
+            f"{len(back)} bytes, expected {len(data)} (torn write?)"
+        )
+    pfs.rename(tmp, name)
 
 
 def read_manifest(pfs: PIOFS, prefix: str) -> Dict[str, Any]:
@@ -202,8 +246,12 @@ def read_manifest(pfs: PIOFS, prefix: str) -> Dict[str, Any]:
     version = manifest.get("version")
     if version != CHECKPOINT_VERSION:
         raise CheckpointError(
-            f"manifest {name!r} has version {version}; "
-            f"this library reads version {CHECKPOINT_VERSION}"
+            f"manifest {name!r} has version {version}; this library "
+            f"reads version {CHECKPOINT_VERSION}.  Older states cannot "
+            "be read in place: restart them under the library version "
+            "that wrote them, take a fresh checkpoint, and migrate it "
+            "with repro.checkpoint.archive.copy_checkpoint (see "
+            "DESIGN.md, 'Checkpoint on-disk format')."
         )
     return manifest
 

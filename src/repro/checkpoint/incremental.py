@@ -42,10 +42,12 @@ from repro.checkpoint.drms import (
 from repro.checkpoint.format import (
     distribution_to_spec,
     read_manifest,
+    sha1_hex,
     spec_to_distribution,
     write_manifest,
 )
 from repro.checkpoint.segment import DataSegment
+from repro.checkpoint.validate import verify_stored_sha1
 from repro.errors import CheckpointError, RestartError
 from repro.pfs.phase import IOKind
 from repro.pfs.piofs import PIOFS
@@ -199,6 +201,7 @@ class IncrementalCheckpointer:
             self.pfs.begin_phase(IOKind.WRITE_PARALLEL)
             pos = 0
             written = 0
+            file_hash = hashlib.sha1()  # intended bytes, in file order
             P = self.io_tasks or arr.ntasks
             for j in dirty:
                 piece = plan.pieces[j]
@@ -209,6 +212,7 @@ class IncrementalCheckpointer:
                     )
                     self.pfs.write_at(fname, pos, data, client=j % P)
                     plan.hashes[j] = _piece_hash(data)
+                    file_hash.update(data)
                 else:
                     self.pfs.write_at(fname, pos, None, nbytes=nbytes, client=j % P)
                 entries.append({"piece": j, "offset": pos, "nbytes": nbytes})
@@ -219,7 +223,13 @@ class IncrementalCheckpointer:
             bd.arrays_bytes += written
             bd.per_array.append((arr.name, res.seconds, written))
             delta_arrays.append(
-                {"name": arr.name, "file": fname, "entries": entries}
+                {
+                    "name": arr.name,
+                    "file": fname,
+                    "entries": entries,
+                    "nbytes": written,
+                    "sha1": file_hash.hexdigest() if arr.store_data else None,
+                }
             )
 
         write_manifest(
@@ -231,6 +241,8 @@ class IncrementalCheckpointer:
                 "base": f"{self.prefix}.base",
                 "delta_index": k,
                 "segment_file": seg_name,
+                "segment_bytes": len(header),
+                "segment_sha1": sha1_hex(header),
                 "arrays": delta_arrays,
             },
         )
@@ -302,8 +314,15 @@ class IncrementalCheckpointer:
             head = self.pfs.read_at(
                 seg_file, 0, self.pfs.file_size(seg_file), client=0
             )
+            verify_stored_sha1(
+                self.pfs, seg_file, dm.get("segment_sha1"),
+                dm.get("segment_bytes"), head=head,
+            )
             state.segment = DataSegment.deserialize(head)
             for spec in dm["arrays"]:
+                verify_stored_sha1(
+                    self.pfs, spec["file"], spec.get("sha1"), spec.get("nbytes")
+                )
                 arr = state.arrays[spec["name"]]
                 plan = self._plan_for(arr)
                 self.pfs.begin_phase(IOKind.READ_PARALLEL)

@@ -1,0 +1,118 @@
+"""Recovery policy: restart from the newest checkpoint that verifies.
+
+The paper (Section 3) keeps multiple checkpointed states under rotating
+prefixes precisely so that "the application can be restarted from any
+of them".  This module turns that flexibility into an automatic
+policy: walk the candidate states newest-to-oldest, audit each with
+:func:`~repro.checkpoint.validate.validate_checkpoint`, and restart
+from the first sound one — so a state corrupted by a torn write or a
+flipped bit costs one generation of progress instead of a failed
+recovery.
+
+Every decision is observable: when an :class:`~repro.infra.events.EventLog`
+is supplied, the walk emits ``checkpoint_rejected`` for each corrupt
+candidate, ``checkpoint_verified`` for the chosen one, and
+``restart_fallback`` whenever the chosen state is not the newest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.checkpoint.format import manifest_name
+from repro.checkpoint.rotation import generations
+from repro.checkpoint.validate import ValidationReport, validate_checkpoint
+from repro.errors import RestartError
+from repro.pfs.piofs import PIOFS
+
+__all__ = [
+    "RecoveryDecision",
+    "restart_candidates",
+    "restart_latest_valid",
+    "select_restart_state",
+]
+
+
+@dataclass
+class RecoveryDecision:
+    """Outcome of a recovery walk over the states under ``base``."""
+
+    base: str
+    #: the chosen state, or None when no candidate verified
+    prefix: Optional[str]
+    #: (prefix, errors) for every newer candidate that failed the audit
+    rejected: List[Tuple[str, List[str]]] = field(default_factory=list)
+
+    @property
+    def fell_back(self) -> bool:
+        """True when the chosen state is not the newest candidate."""
+        return self.prefix is not None and bool(self.rejected)
+
+
+def restart_candidates(pfs: PIOFS, base: str) -> List[str]:
+    """Restartable prefixes under ``base``, newest first: the rotation
+    generations (``base.NNNNNN``) in reverse order, then ``base``
+    itself when a plain un-rotated state exists under that name."""
+    out = list(reversed(generations(pfs, base)))
+    if pfs.exists(manifest_name(base)):
+        out.append(base)
+    return out
+
+
+def select_restart_state(
+    pfs: PIOFS,
+    base: str,
+    events=None,
+    clock: float = 0.0,
+    job: Optional[str] = None,
+) -> RecoveryDecision:
+    """Pick the newest checkpointed state under ``base`` that passes
+    validation, recording (and optionally emitting as events) each
+    rejected newer state.  ``events``/``clock``/``job`` hook the walk
+    into a cluster's :class:`~repro.infra.events.EventLog`."""
+    decision = RecoveryDecision(base=base, prefix=None)
+    for candidate in restart_candidates(pfs, base):
+        report = validate_checkpoint(pfs, candidate)
+        if report.ok:
+            decision.prefix = candidate
+            if events is not None:
+                events.emit(
+                    clock, "checkpoint_verified",
+                    job=job, prefix=candidate, files=report.files,
+                    bytes_hashed=report.bytes_hashed,
+                )
+                if decision.rejected:
+                    events.emit(
+                        clock, "restart_fallback",
+                        job=job, prefix=candidate,
+                        skipped=[p for p, _ in decision.rejected],
+                    )
+            return decision
+        decision.rejected.append((candidate, report.errors))
+        if events is not None:
+            events.emit(
+                clock, "checkpoint_rejected",
+                job=job, prefix=candidate, errors=list(report.errors),
+            )
+    return decision
+
+
+def restart_latest_valid(pfs: PIOFS, base: str, ntasks: int, **kwargs):
+    """Convenience engine entry point: :func:`select_restart_state`
+    followed by :func:`~repro.checkpoint.drms.drms_restart` of the
+    chosen state.  Raises :class:`~repro.errors.RestartError` when no
+    checkpoint under ``base`` verifies."""
+    from repro.checkpoint.drms import drms_restart
+
+    decision = select_restart_state(pfs, base)
+    if decision.prefix is None:
+        detail = "; ".join(
+            f"{p}: {errs[0]}" for p, errs in decision.rejected[:3]
+        )
+        raise RestartError(
+            f"no checkpoint under {base!r} passes validation"
+            + (f" ({detail})" if detail else "")
+        )
+    state, bd = drms_restart(pfs, decision.prefix, ntasks, **kwargs)
+    return state, bd, decision

@@ -21,10 +21,12 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 from repro.checkpoint.drms import CheckpointBreakdown, RestartBreakdown
 from repro.checkpoint.format import (
     read_manifest,
+    sha1_hex,
     task_segment_name,
     write_manifest,
 )
 from repro.checkpoint.segment import DataSegment, SegmentProfile
+from repro.checkpoint.validate import verify_stored_sha1
 from repro.errors import CheckpointError, RestartError
 from repro.pfs.phase import IOKind
 from repro.pfs.piofs import PIOFS
@@ -83,6 +85,8 @@ def spmd_checkpoint(
     bd = CheckpointBreakdown(kind="spmd", prefix=prefix, ntasks=ntasks)
     pfs.begin_phase(IOKind.WRITE_DISTINCT)
     sizes = []
+    shas: List[str] = []
+    sha_bytes: List[int] = []
     for t in range(ntasks):
         fname = task_segment_name(prefix, t)
         pfs.create(fname, virtual=False)
@@ -92,6 +96,10 @@ def spmd_checkpoint(
         if pad:
             pfs.write_at(fname, len(header), None, nbytes=pad, client=t)
         sizes.append(len(header) + pad)
+        # hash the *intended* exact header (the sparse bulk is sized,
+        # not stored), so a torn write of the file is caught at restart
+        shas.append(sha1_hex(header))
+        sha_bytes.append(len(header))
     res = pfs.end_phase()
     bd.segment_seconds = res.seconds
     bd.segment_bytes = sum(sizes)
@@ -104,6 +112,8 @@ def spmd_checkpoint(
             "ntasks": ntasks,
             "task_files": [task_segment_name(prefix, t) for t in range(ntasks)],
             "segment_bytes": sizes,
+            "task_sha1": shas,
+            "task_sha1_bytes": sha_bytes,
         },
     )
     return bd
@@ -113,11 +123,17 @@ def spmd_restart(
     pfs: PIOFS,
     prefix: str,
     ntasks: int,
+    verify: bool = True,
 ) -> Tuple[SPMDRestoredState, RestartBreakdown]:
     """Restore an SPMD checkpoint.  ``ntasks`` must equal the
     checkpointing task count — the defining limitation of conventional
     checkpointing (paper Section 2.2): the application state lives in
-    per-task segments, so no reconfiguration is possible."""
+    per-task segments, so no reconfiguration is possible.
+
+    With ``verify`` (the default), each task file's header is checked
+    against the manifest's recorded SHA-1 before the payload is
+    decoded, raising
+    :class:`~repro.errors.CheckpointIntegrityError` on corruption."""
     manifest = read_manifest(pfs, prefix)
     if manifest.get("kind") != "spmd":
         raise RestartError(
@@ -134,15 +150,26 @@ def spmd_restart(
     bd.other_seconds = pfs.params.restart_init_s
     payloads: List[Any] = []
     sizes: List[int] = []
+    heads: List[bytes] = []
     pfs.begin_phase(IOKind.READ_DISTINCT)
     for t, fname in enumerate(manifest["task_files"]):
         size = pfs.file_size(fname)
         head = pfs.read_at(fname, 0, min(size, DataSegment.header_prefix_bytes()), client=t)
         if size > len(head):
             pfs.read_virtual(fname, len(head), size - len(head), client=t)
-        payloads.append(_decode_task_file(head))
+        heads.append(head)
         sizes.append(size)
     res = pfs.end_phase()
+    shas = manifest.get("task_sha1") or []
+    sha_bytes = manifest.get("task_sha1_bytes") or []
+    for t, (fname, head) in enumerate(zip(manifest["task_files"], heads)):
+        if verify and t < len(shas):
+            verify_stored_sha1(
+                pfs, fname, shas[t],
+                sha_bytes[t] if t < len(sha_bytes) else None,
+                head=head,
+            )
+        payloads.append(_decode_task_file(head))
     bd.segment_seconds = res.seconds
     bd.segment_bytes = sum(sizes)
     return (

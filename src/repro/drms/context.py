@@ -330,10 +330,13 @@ class DRMSContext:
         if plan is None or not plan.should_fire(iteration):
             return
         my_node = self.comm.world.placement.get(self.rank)
-        if my_node == plan.node_id:
+        # claim() is the atomic check-and-disarm: with several tasks
+        # placed on the doomed node, exactly one wins the claim and
+        # dies as the failing processor (the rest die as collateral
+        # when the SPMD engine tears the task group down).
+        if my_node == plan.node_id and plan.claim(iteration):
             from repro.infra.failure import NodeFailure
 
-            plan.fire()
             self.runtime.app.machine.fail_node(plan.node_id)
             raise NodeFailure(plan.node_id)
 

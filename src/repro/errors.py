@@ -38,6 +38,12 @@ class CheckpointError(ReproError):
     """Checkpoint could not be taken or is malformed on disk."""
 
 
+class CheckpointIntegrityError(CheckpointError):
+    """A checkpointed state failed integrity validation: a checksum
+    mismatch, a truncated file, or a component whose size disagrees
+    with the manifest."""
+
+
 class RestartError(CheckpointError):
     """Restart from a checkpointed state failed (missing files, version
     mismatch, incompatible task count for SPMD checkpoints)."""
@@ -64,6 +70,11 @@ class MachineError(ReproError):
 class PFSError(ReproError):
     """Parallel-file-system failure: unknown file, bad offset, write to
     a read-only handle."""
+
+
+class IOFaultError(PFSError):
+    """An *injected* I/O fault fired (see :mod:`repro.pfs.faults`):
+    a failed or torn write produced by the fault-injection harness."""
 
 
 class SchedulerError(ReproError):

@@ -11,7 +11,8 @@ protocol takes over.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import threading
+from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.errors import TaskFailure
@@ -33,21 +34,42 @@ class FailurePlan:
 
     ``one_shot``: the plan disarms after firing so the restarted run
     survives (the standard recovery experiment).
+
+    Task threads check the plan concurrently — several tasks may share
+    the doomed node — so disarming must be atomic: :meth:`claim` is the
+    check-and-fire used by the runtime, guaranteeing a one-shot plan
+    fires on exactly one task even under racing threads.
     """
 
     iteration: int
     node_id: int
     one_shot: bool = True
     _fired: bool = False
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     def should_fire(self, iteration: int) -> bool:
-        """True when the plan triggers at this iteration."""
+        """True when the plan triggers at this iteration (advisory: the
+        authoritative check-and-disarm is :meth:`claim`)."""
         if self._fired and self.one_shot:
             return False
         return iteration == self.iteration
 
+    def claim(self, iteration: int) -> bool:
+        """Atomically check and fire: True for exactly one caller per
+        arming of a one-shot plan, False for every other racer."""
+        with self._lock:
+            if not self.should_fire(iteration):
+                return False
+            self._fired = True
+            return True
+
     def fire(self) -> None:
-        self._fired = True
+        """Mark the plan fired (kept for callers that did their own
+        check; racing callers should use :meth:`claim`)."""
+        with self._lock:
+            self._fired = True
 
     @property
     def fired(self) -> bool:

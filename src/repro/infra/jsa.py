@@ -18,7 +18,7 @@ import enum
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
-from repro.checkpoint.restart import list_checkpoints
+from repro.checkpoint.recover import RecoveryDecision, select_restart_state
 from repro.drms.app import DRMSApplication, RunReport
 from repro.errors import SchedulerError, TaskFailure
 from repro.infra.events import EventLog
@@ -134,12 +134,17 @@ class JobSchedulerAnalyzer:
         return report
 
     def restart(self, job_id: str, ntasks: Optional[int] = None) -> RunReport:
-        """Restart a job from its latest checkpoint on a (possibly
-        different-sized) pool of currently available processors."""
+        """Restart a job from the newest checkpointed state under its
+        prefix that passes integrity validation, on a (possibly
+        different-sized) pool of currently available processors.
+        Corrupt newer states are skipped — each rejection and the
+        eventual fallback are recorded in the event log."""
         job = self._job(job_id)
-        if not self._has_checkpoint(job):
+        decision = self._select_state(job)
+        if decision.prefix is None:
             raise SchedulerError(
-                f"job {job_id!r} has no checkpoint under prefix {job.prefix!r}"
+                f"job {job_id!r} has no checkpoint under prefix "
+                f"{job.prefix!r} that passes validation"
             )
         n = self.pick_ntasks(job, ntasks)
         nodes = self.rc.form_pool(job_id, n)
@@ -147,7 +152,7 @@ class JobSchedulerAnalyzer:
         job.ntasks = n
         try:
             report = job.app.restart(
-                job.prefix, n, args=job.args, kwargs=job.kwargs, nodes=nodes
+                decision.prefix, n, args=job.args, kwargs=job.kwargs, nodes=nodes
             )
         except TaskFailure:
             job.state = JobState.KILLED
@@ -183,8 +188,17 @@ class JobSchedulerAnalyzer:
         self._job(job_id).app.enable_checkpoint()
         self.events.emit(self.rc.clock, "checkpoint_enabled", job=job_id)
 
-    def _has_checkpoint(self, job: Job) -> bool:
-        return job.prefix in list_checkpoints(job.app.pfs)
+    def _select_state(self, job: Job) -> RecoveryDecision:
+        # Walk the rotation generations (then the bare prefix) newest
+        # first, validating each; emits checkpoint_verified /
+        # checkpoint_rejected / restart_fallback events.
+        return select_restart_state(
+            job.app.pfs,
+            job.prefix,
+            events=self.events,
+            clock=self.rc.clock,
+            job=job.job_id,
+        )
 
     def _job(self, job_id: str) -> Job:
         try:

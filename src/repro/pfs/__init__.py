@@ -15,6 +15,7 @@ from repro.pfs.phase import IOKind, IOPhaseResult
 from repro.pfs.piofs import PIOFS
 from repro.pfs.localfs import SerialFS
 from repro.pfs.hostfs import HostFS
+from repro.pfs.faults import FaultInjector, ReadFault, WriteFault, flip_stored_bit
 
 __all__ = [
     "PIOFSParams",
@@ -24,4 +25,8 @@ __all__ = [
     "PIOFS",
     "SerialFS",
     "HostFS",
+    "FaultInjector",
+    "WriteFault",
+    "ReadFault",
+    "flip_stored_bit",
 ]

@@ -1,0 +1,188 @@
+"""I/O fault injection for the simulated parallel file system.
+
+The node-failure plans of :mod:`repro.infra.failure` model *processor*
+faults; this module models the *storage* faults that motivate
+checkpoint rotation and restart-time validation: a checkpoint is only
+useful if it survives the failure it guards against, and a failure may
+strike the I/O path itself while the checkpoint is being written.
+
+Three fault families, all deterministic:
+
+* **fail-at-Nth-write** — the Nth write touching a matching file raises
+  :class:`~repro.errors.IOFaultError` before any byte lands (a node
+  crash between ``create`` and ``write``);
+* **torn / short writes** — the write persists only a prefix of its
+  payload, then either raises (*torn*: the crash is observed) or
+  silently reports success (*short*: latent corruption only a checksum
+  can catch);
+* **bit-flip on read** — the Nth matching read returns data with one
+  bit flipped (media/transfer corruption on the restart path).
+
+An armed :class:`FaultInjector` is attached to a PIOFS instance with
+:meth:`~repro.pfs.piofs.PIOFS.attach_faults`; the hooks run under the
+file-system lock, so counting is exact even under concurrent SPMD task
+threads.  :func:`flip_stored_bit` complements the transient read fault
+with *persistent* corruption of a stored byte.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.errors import IOFaultError, PFSError
+
+__all__ = ["WriteFault", "ReadFault", "FaultInjector", "flip_stored_bit"]
+
+_WRITE_MODES = ("fail", "torn", "short")
+
+
+@dataclass
+class WriteFault:
+    """One armed write fault: fires on the ``nth`` write whose file name
+    contains ``match`` (every write matches an empty pattern).
+
+    ``mode``:
+
+    * ``"fail"``  — raise :class:`IOFaultError`; nothing is written;
+    * ``"torn"``  — persist ``keep_bytes`` of the payload, then raise;
+    * ``"short"`` — persist ``keep_bytes`` and silently return the short
+      count (POSIX short write; no exception).
+
+    ``keep_bytes`` defaults to half of the write's payload.
+    """
+
+    nth: int = 1
+    match: str = ""
+    mode: str = "fail"
+    keep_bytes: Optional[int] = None
+    #: matching writes seen so far / whether this fault already fired
+    seen: int = 0
+    fired: bool = False
+
+    def __post_init__(self) -> None:
+        if self.mode not in _WRITE_MODES:
+            raise PFSError(f"unknown write-fault mode {self.mode!r}")
+        if self.nth < 1:
+            raise PFSError("write fault must target the 1st or later write")
+
+
+@dataclass
+class ReadFault:
+    """One armed read fault: the ``nth`` read whose file name contains
+    ``match`` has bit ``bit`` of buffer byte ``offset`` flipped in the
+    returned data (the stored file is untouched)."""
+
+    nth: int = 1
+    match: str = ""
+    offset: int = 0
+    bit: int = 0
+    seen: int = 0
+    fired: bool = False
+
+    def __post_init__(self) -> None:
+        if self.nth < 1:
+            raise PFSError("read fault must target the 1st or later read")
+        if not 0 <= self.bit <= 7:
+            raise PFSError("bit index must be within 0..7")
+
+
+class FaultInjector:
+    """Deterministic I/O fault plans for one PIOFS instance.
+
+    The injector is passive until attached
+    (:meth:`~repro.pfs.piofs.PIOFS.attach_faults`); each plan fires at
+    most once.  ``log`` records every fired fault as
+    ``(kind, file, detail)`` so tests can assert what actually
+    happened.
+    """
+
+    def __init__(self):
+        self.write_faults: List[WriteFault] = []
+        self.read_faults: List[ReadFault] = []
+        #: fired faults, as (kind, filename, human detail)
+        self.log: List[Tuple[str, str, str]] = []
+        self._lock = threading.Lock()
+
+    # -- arming -----------------------------------------------------------
+
+    def fail_write(
+        self,
+        nth: int = 1,
+        match: str = "",
+        mode: str = "fail",
+        keep_bytes: Optional[int] = None,
+    ) -> WriteFault:
+        """Arm a write fault; returns the plan for later inspection."""
+        plan = WriteFault(nth=nth, match=match, mode=mode, keep_bytes=keep_bytes)
+        with self._lock:
+            self.write_faults.append(plan)
+        return plan
+
+    def flip_read(
+        self, nth: int = 1, match: str = "", offset: int = 0, bit: int = 0
+    ) -> ReadFault:
+        """Arm a bit-flip-on-read fault; returns the plan."""
+        plan = ReadFault(nth=nth, match=match, offset=offset, bit=bit)
+        with self._lock:
+            self.read_faults.append(plan)
+        return plan
+
+    @property
+    def pending(self) -> int:
+        """Armed plans that have not fired yet."""
+        with self._lock:
+            return sum(
+                1
+                for p in self.write_faults + self.read_faults
+                if not p.fired
+            )
+
+    # -- hooks (called by PIOFS under its namespace lock) ------------------
+
+    def match_write(self, name: str) -> Optional[WriteFault]:
+        """Count one write against every armed plan; return the plan
+        that fires on it (or None)."""
+        with self._lock:
+            for plan in self.write_faults:
+                if plan.fired or plan.match not in name:
+                    continue
+                plan.seen += 1
+                if plan.seen == plan.nth:
+                    plan.fired = True
+                    self.log.append(("write", name, plan.mode))
+                    return plan
+        return None
+
+    def apply_read(self, name: str, data: bytes) -> bytes:
+        """Count one read against every armed plan; corrupt and return
+        the buffer if a plan fires on it."""
+        if not data:
+            return data
+        with self._lock:
+            for plan in self.read_faults:
+                if plan.fired or plan.match not in name:
+                    continue
+                plan.seen += 1
+                if plan.seen == plan.nth:
+                    plan.fired = True
+                    pos = min(plan.offset, len(data) - 1)
+                    self.log.append(
+                        ("read", name, f"bit {plan.bit} of byte {pos} flipped")
+                    )
+                    buf = bytearray(data)
+                    buf[pos] ^= 1 << plan.bit
+                    return bytes(buf)
+        return data
+
+
+def flip_stored_bit(pfs, name: str, offset: int, bit: int = 0) -> None:
+    """Persistently flip one bit of a *stored* byte of ``name`` — silent
+    media corruption that every subsequent read observes.  Raises
+    :class:`PFSError` for virtual files or offsets past the stored
+    content (there is no byte to corrupt there)."""
+    if not 0 <= bit <= 7:
+        raise PFSError("bit index must be within 0..7")
+    f = pfs.open(name)
+    f.flip_bit(offset, bit)

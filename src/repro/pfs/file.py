@@ -107,6 +107,20 @@ class PFSFile:
             out += b"\x00" * (nbytes - len(out))
         return out
 
+    def flip_bit(self, offset: int, bit: int = 0) -> None:
+        """Flip one bit of a stored byte in place — the fault-injection
+        model of silent media corruption (see :mod:`repro.pfs.faults`).
+        Only materialized bytes can be corrupted: virtual files and
+        sparse tails have no stored byte to flip."""
+        if self.virtual or self._data is None:
+            raise PFSError(f"file {self.name!r} is virtual; nothing stored to corrupt")
+        if not 0 <= offset < len(self._data):
+            raise PFSError(
+                f"offset {offset} outside the {len(self._data)} stored "
+                f"bytes of {self.name!r}"
+            )
+        self._data[offset] ^= 1 << (bit & 7)
+
     def read_all(self) -> bytes:
         return self.read_at(0, self._size)
 

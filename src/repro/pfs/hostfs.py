@@ -79,6 +79,20 @@ class HostFile(PFSFile):
         self._size = max(self._size, offset + len(data))
         return len(data)
 
+    def flip_bit(self, offset: int, bit: int = 0) -> None:
+        """Flip one bit of the on-disk file (fault-injection support)."""
+        if self.virtual:
+            raise PFSError(f"file {self.name!r} is virtual; nothing stored to corrupt")
+        if not 0 <= offset < self._size:
+            raise PFSError(
+                f"offset {offset} outside file {self.name!r} of size {self._size}"
+            )
+        with open(self._path, "r+b") as fh:
+            fh.seek(offset)
+            b = fh.read(1)
+            fh.seek(offset)
+            fh.write(bytes([(b[0] if b else 0) ^ (1 << (bit & 7))]))
+
     def read_at(self, offset: int, nbytes: int) -> bytes:
         """Read from the on-disk file; sparse tails read as zeros."""
         if self.virtual:
@@ -170,6 +184,23 @@ class HostFS(PIOFS):
             path.unlink()
         if f.virtual:
             self._save_meta()
+
+    def rename(self, old: str, new: str) -> None:
+        """Atomic rename via ``os.replace`` plus namespace update."""
+        with self._lock:
+            f = self._files.get(old)
+            if f is None:
+                raise PFSError(f"no such file: {old!r}")
+            newpath = self.root / new
+            if not f.virtual:
+                os.replace(f._path, newpath)
+            elif newpath.exists():
+                newpath.unlink()
+            f._path = newpath
+            del self._files[old]
+            f.name = new
+            self._files[new] = f
+        self._save_meta()
 
     def write_at(self, name, offset, data, nbytes=None, client=0):
         n = super().write_at(name, offset, data, nbytes=nbytes, client=client)

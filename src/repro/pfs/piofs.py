@@ -17,7 +17,7 @@ from __future__ import annotations
 import threading
 from typing import Dict, List, Optional
 
-from repro.errors import PFSError
+from repro.errors import IOFaultError, PFSError
 from repro.pfs.file import PFSFile
 from repro.pfs.params import PIOFSParams
 from repro.pfs.phase import IOKind, IOPhaseResult, PhaseTransfer, solve_phase
@@ -42,6 +42,8 @@ class PIOFS:
         self._phase_transfers: List[PhaseTransfer] = []
         self._phase_server_bytes: Dict[int, int] = {}
         self.phase_log: List[IOPhaseResult] = []
+        #: armed I/O fault injector (see repro.pfs.faults); None = healthy
+        self.faults = None
 
     # -- namespace ---------------------------------------------------------
 
@@ -82,6 +84,19 @@ class PIOFS:
                 raise PFSError(f"no such file: {name!r}")
             del self._files[name]
 
+    def rename(self, old: str, new: str) -> None:
+        """Atomically rename ``old`` to ``new``, replacing any existing
+        ``new`` (POSIX rename).  This is the primitive behind the
+        two-phase manifest commit: ``new`` observably holds either its
+        previous content or the complete new content, never a prefix."""
+        with self._lock:
+            f = self._files.get(old)
+            if f is None:
+                raise PFSError(f"no such file: {old!r}")
+            del self._files[old]
+            f.name = new
+            self._files[new] = f
+
     def file_size(self, name: str) -> int:
         return self.open(name).size
 
@@ -89,6 +104,39 @@ class PIOFS:
         """Sum of file sizes under a name prefix (checkpoint state size)."""
         with self._lock:
             return sum(f.size for n, f in self._files.items() if n.startswith(prefix))
+
+    # -- fault injection ----------------------------------------------------
+
+    def attach_faults(self, injector) -> None:
+        """Arm a :class:`~repro.pfs.faults.FaultInjector` on this file
+        system (pass ``None`` to disarm).  Hooks run under the namespace
+        lock, so fault counting is exact under concurrent task threads."""
+        with self._lock:
+            self.faults = injector
+
+    def _faulted_write(self, name, data, nbytes):
+        # caller holds the lock; returns (data, nbytes, deferred_error)
+        if self.faults is None:
+            return data, nbytes, None
+        plan = self.faults.match_write(name)
+        if plan is None:
+            return data, nbytes, None
+        if plan.mode == "fail":
+            raise IOFaultError(f"injected write failure on {name!r}")
+        intended = len(data) if data is not None else int(nbytes or 0)
+        keep = plan.keep_bytes if plan.keep_bytes is not None else intended // 2
+        keep = max(0, min(int(keep), intended))
+        if data is not None:
+            data = data[:keep]
+            nbytes = None
+        else:
+            nbytes = keep
+        err = None
+        if plan.mode == "torn":
+            err = IOFaultError(
+                f"injected torn write on {name!r} ({keep}/{intended} bytes)"
+            )
+        return data, nbytes, err
 
     # -- timed I/O ----------------------------------------------------------
 
@@ -131,6 +179,15 @@ class PIOFS:
         self.phase_log.append(result)
         return result
 
+    def abort_phase(self) -> None:
+        """Discard an open phase without timing it — cleanup after an
+        I/O fault aborted the operation that opened the phase.  A no-op
+        when no phase is open."""
+        with self._lock:
+            self._phase_kind = None
+            self._phase_transfers = []
+            self._phase_server_bytes = {}
+
     def _record(self, client: int, f: PFSFile, offset: int, nbytes: int) -> None:
         # caller holds the lock
         if self._phase_kind is not None:
@@ -155,8 +212,11 @@ class PIOFS:
             f = self._files.get(name)
             if f is None:
                 raise PFSError(f"no such file: {name!r}")
+            data, nbytes, fault = self._faulted_write(name, data, nbytes)
             n = f.write_at(offset, data, nbytes)
             self._record(client, f, offset, n)
+            if fault is not None:
+                raise fault
             return n
 
     def append(
@@ -172,8 +232,11 @@ class PIOFS:
             if f is None:
                 raise PFSError(f"no such file: {name!r}")
             offset = f.size
+            data, nbytes, fault = self._faulted_write(name, data, nbytes)
             n = f.write_at(offset, data, nbytes)
             self._record(client, f, offset, n)
+            if fault is not None:
+                raise fault
             return n
 
     def read_at(self, name: str, offset: int, nbytes: int, client: int = 0) -> bytes:
@@ -183,6 +246,8 @@ class PIOFS:
             if f is None:
                 raise PFSError(f"no such file: {name!r}")
             out = f.read_at(offset, nbytes)
+            if self.faults is not None:
+                out = self.faults.apply_read(name, out)
             self._record(client, f, offset, nbytes)
             return out
 

@@ -56,6 +56,27 @@ class TestFileEnumeration:
         assert any(f.startswith("inc.d1.array.") for f in files)
         assert len(files) == len(set(files))  # no duplicates
 
+    def test_cyclic_chain_manifest_raises(self, env):
+        """Regression: a chain manifest whose references loop (corrupt
+        or hand-edited metadata) used to recurse without bound."""
+        from repro.checkpoint.format import write_manifest
+
+        src, *_ = env
+        write_manifest(src, "c1", {"kind": "drms-chain", "base": "c2", "deltas": []})
+        write_manifest(src, "c2", {"kind": "drms-chain", "base": "c1", "deltas": []})
+        with pytest.raises(CheckpointError, match="cycle"):
+            checkpoint_files(src, "c1")
+
+    def test_self_referencing_chain_raises(self, env):
+        from repro.checkpoint.format import write_manifest
+
+        src, *_ = env
+        write_manifest(
+            src, "loop", {"kind": "drms-chain", "base": "loop", "deltas": []}
+        )
+        with pytest.raises(CheckpointError, match="cycle"):
+            checkpoint_files(src, "loop")
+
     def test_unknown_prefix(self, env):
         src, *_ = env
         with pytest.raises(CheckpointError):

@@ -127,3 +127,45 @@ class TestRetention:
         for it in (1, 2, 3):
             take(pfs, rot, arr, seg, it)
         assert pfs.exists("other.manifest")
+
+    def test_commit_and_prune_with_newer_incomplete_generation(self, env):
+        """A crash mid-write of generation 3 must not confuse commit(2):
+        the incomplete state is not 'newest', is never pruned, and its
+        number is not reused."""
+        pfs, arr, seg = env
+        rot = CheckpointRotation(pfs, "job", keep=1)
+        for it in (1, 2):  # two complete generations, no pruning yet
+            prefix = rot.next_prefix()
+            seg.replicated["it"] = it
+            drms_checkpoint(pfs, prefix, seg, [arr])
+        p2 = "job.000002"
+        # crash mid-generation-3: data files exist, manifest does not
+        pfs.create("job.000003.segment")
+        pfs.create("job.000003.array.u")
+        doomed = rot.commit(p2)
+        assert doomed == ["job.000001"]
+        assert generations(pfs, "job") == [p2]
+        assert pfs.exists("job.000003.segment")  # partial state untouched
+        assert rot.next_prefix() == "job.000004"
+
+
+class TestCorruptManifests:
+    def test_latest_skips_corrupt_json_manifest(self, env):
+        """A manifest holding garbage bytes (a torn write that slipped
+        through, media corruption) must not break the scan: the state is
+        treated as incomplete and the previous good state stays latest."""
+        pfs, arr, seg = env
+        rot = CheckpointRotation(pfs, "job", keep=10)
+        good = take(pfs, rot, arr, seg, 1)
+        pfs.create("job.000002.manifest")
+        pfs.write_at("job.000002.manifest", 0, b'{"version": 3, truncated...')
+        assert generations(pfs, "job") == [good]
+        assert latest_checkpoint(pfs, "job") == good
+
+    def test_wrong_version_manifest_skipped(self, env):
+        pfs, arr, seg = env
+        rot = CheckpointRotation(pfs, "job", keep=10)
+        good = take(pfs, rot, arr, seg, 1)
+        pfs.create("job.000002.manifest")
+        pfs.write_at("job.000002.manifest", 0, b'{"version": 1, "kind": "drms"}')
+        assert latest_checkpoint(pfs, "job") == good

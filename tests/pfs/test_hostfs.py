@@ -107,6 +107,41 @@ class TestDurability:
             ref.arrays["grid"].to_global(), rep.arrays["grid"].to_global()
         )
 
+    def test_rename_is_atomic_on_disk(self, fs, tmp_path):
+        """rename() maps to os.replace: the destination is overwritten,
+        the source name is gone, and the result survives a reopen."""
+        fs.create("stage")
+        fs.write_at("stage", 0, b"new contents")
+        fs.create("final")
+        fs.write_at("final", 0, b"old")
+        fs.rename("stage", "final")
+        assert not fs.exists("stage")
+        assert fs.read_at("final", 0, 12) == b"new contents"
+        assert not (tmp_path / "pfs" / "stage").exists()
+        again = HostFS(tmp_path / "pfs")
+        assert again.read_at("final", 0, 12) == b"new contents"
+
+    def test_stored_bit_flip_detected_after_reopen(self, tmp_path):
+        """Corrupt one on-disk bit of a checkpoint; a fresh HostFS on the
+        same directory must fail validation (the durable media-rot story)."""
+        from repro.checkpoint.validate import validate_checkpoint
+        from repro.pfs.faults import flip_stored_bit
+
+        root = tmp_path / "ck"
+        arr = DistributedArray("u", (8,), np.float64, block_distribution((8,), 2))
+        arr.set_global(np.arange(8.0))
+        seg = DataSegment(profile=SegmentProfile(100, 0, 0))
+        fs1 = HostFS(root)
+        drms_checkpoint(fs1, "job", seg, [arr])
+        assert validate_checkpoint(fs1, "job").ok
+        flip_stored_bit(fs1, "job.array.u", 5, bit=3)
+        del fs1
+
+        fs2 = HostFS(root)
+        report = validate_checkpoint(fs2, "job")
+        assert not report.ok
+        assert any("checksum mismatch" in e for e in report.errors)
+
     def test_migration_to_host_archive(self, fs, tmp_path):
         """Archive a checkpoint from the in-memory PFS to a durable
         host directory (the paper's migration-to-permanent-storage)."""
