@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: install test verify-checkpoints bench report examples all clean
+.PHONY: install test verify-checkpoints bench report trace obs-report examples all clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -17,11 +17,20 @@ bench:
 report:
 	$(PYTHON) -m repro.tools.report --out benchmarks/out
 
+# one traced checkpoint/restart lifecycle: Chrome trace (load trace_out/
+# trace.json at https://ui.perfetto.dev), metrics dump, phase breakdown
+trace:
+	PYTHONPATH=src $(PYTHON) -m repro.tools.trace --out trace_out
+
+# the full paper report plus the traced-lifecycle artifacts
+obs-report:
+	PYTHONPATH=src $(PYTHON) -m repro.tools.report --out benchmarks/out --trace trace_out
+
 examples:
 	@for s in examples/*.py; do echo "== $$s"; $(PYTHON) $$s || exit 1; done
 
 all: test bench examples
 
 clean:
-	rm -rf benchmarks/out .pytest_cache .hypothesis
+	rm -rf benchmarks/out trace_out .pytest_cache .hypothesis
 	find . -name __pycache__ -type d -exec rm -rf {} +

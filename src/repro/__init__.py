@@ -20,7 +20,10 @@ The package builds every layer of the paper's system in Python:
   injection and recovery;
 * :mod:`repro.apps`      — NPB BT/LU/SP proxy applications;
 * :mod:`repro.perfmodel` — the paper's reference numbers plus the
-  Section 6 and Wong–Franklin analytic models.
+  Section 6 and Wong–Franklin analytic models;
+* :mod:`repro.obs`       — unified tracing + metrics: hierarchical
+  spans over the whole pipeline, a metrics registry, and Chrome-trace /
+  JSON / Table 6-style exporters (``python -m repro.tools.trace``).
 
 Quickstart::
 
@@ -68,6 +71,15 @@ from repro.checkpoint import (
 )
 from repro.drms import CheckpointStatus, DRMSApplication, DRMSContext, SOQSpec
 from repro.infra import DRMSCluster, FailurePlan
+from repro.obs import (
+    MetricsRegistry,
+    Tracer,
+    breakdown_report,
+    chrome_trace,
+    get_tracer,
+    set_tracer,
+    use_tracer,
+)
 from repro.pfs import PIOFS, PIOFSParams, FaultInjector
 from repro.runtime import Machine, MachineParams
 
@@ -104,5 +116,12 @@ __all__ = [
     "PIOFSParams",
     "Machine",
     "MachineParams",
+    "Tracer",
+    "MetricsRegistry",
+    "get_tracer",
+    "set_tracer",
+    "use_tracer",
+    "chrome_trace",
+    "breakdown_report",
     "__version__",
 ]

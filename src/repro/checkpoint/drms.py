@@ -35,6 +35,7 @@ from repro.checkpoint.format import (
 from repro.checkpoint.segment import DataSegment
 from repro.checkpoint.validate import verify_stored_sha1
 from repro.errors import CheckpointError, CheckpointIntegrityError, RestartError
+from repro.obs import get_tracer
 from repro.pfs.phase import IOKind
 from repro.pfs.piofs import PIOFS
 from repro.streaming.order import stream_order_bytes
@@ -50,6 +51,24 @@ __all__ = [
 ]
 
 _MB = 1e6  # the paper reports decimal MB/s
+
+
+def _publish_breakdown(op: str, bd: "CheckpointBreakdown") -> None:
+    """Feed one operation's component breakdown into the active metrics
+    registry under ``<op>.<kind>.*`` (e.g. ``checkpoint.drms.segment.seconds``).
+    These are the series :mod:`repro.perfmodel` benchmarks read back."""
+    m = get_tracer().metrics
+    root = f"{op}.{bd.kind}"
+    m.counter(f"{root}.count").inc()
+    m.counter(f"{root}.segment.seconds").inc(bd.segment_seconds)
+    m.counter(f"{root}.segment.bytes").inc(bd.segment_bytes)
+    m.counter(f"{root}.arrays.seconds").inc(bd.arrays_seconds)
+    m.counter(f"{root}.arrays.bytes").inc(bd.arrays_bytes)
+    other = getattr(bd, "other_seconds", None)
+    if other is not None:
+        m.counter(f"{root}.other.seconds").inc(other)
+    m.counter(f"{root}.total.seconds").inc(bd.total_seconds)
+    m.counter(f"{root}.total.bytes").inc(bd.total_bytes)
 
 
 @dataclass
@@ -142,70 +161,87 @@ def drms_checkpoint(
                 f"array {a.name!r} has {a.ntasks} tasks; expected {ntasks}"
             )
     bd = CheckpointBreakdown(kind="drms", prefix=prefix, ntasks=ntasks)
+    obs = get_tracer()
 
-    # Phase 1: the representative task writes its data segment.
-    header, pad = segment.serialize()
-    seg = segment_name(prefix)
-    pfs.create(seg, virtual=False)
-    pfs.begin_phase(IOKind.WRITE_SERIAL)
-    pfs.write_at(seg, 0, header, client=0)
-    if pad:
-        # The bulk segment components are sized payloads (see
-        # DataSegment): a sparse span past the exact header.
-        pfs.write_at(seg, len(header), None, nbytes=pad, client=0)
-    res = pfs.end_phase()
-    bd.segment_seconds = res.seconds
-    bd.segment_bytes = len(header) + pad
+    with obs.span(
+        "checkpoint", kind="drms", prefix=prefix, ntasks=ntasks, app=app_name
+    ) as op:
+        # Phase 1: the representative task writes its data segment.
+        header, pad = segment.serialize()
+        seg = segment_name(prefix)
+        pfs.create(seg, virtual=False)
+        with obs.span("segment_write", file=seg) as sp:
+            pfs.begin_phase(IOKind.WRITE_SERIAL)
+            pfs.write_at(seg, 0, header, client=0)
+            if pad:
+                # The bulk segment components are sized payloads (see
+                # DataSegment): a sparse span past the exact header.
+                pfs.write_at(seg, len(header), None, nbytes=pad, client=0)
+            res = pfs.end_phase()
+            obs.advance(res.seconds)
+            sp.set(nbytes=len(header) + pad, seconds=res.seconds)
+        bd.segment_seconds = res.seconds
+        bd.segment_bytes = len(header) + pad
 
-    # Phase 2..N+1: each distributed array in sequence, via parstream.
-    manifest_arrays = []
-    for a in arrays:
-        fname = array_name(prefix, a.name)
-        sink = PFSSink(pfs, fname, virtual=not a.store_data, create=True)
-        pfs.begin_phase(IOKind.WRITE_PARALLEL)
-        stats = stream_out_parallel(
-            a, sink, P=io_tasks, order=order, target_bytes=target_bytes
-        )
-        res = pfs.end_phase()
-        bd.arrays_seconds += res.seconds
-        bd.arrays_bytes += stats.bytes_streamed
-        bd.per_array.append((a.name, res.seconds, stats.bytes_streamed))
-        # Integrity record: SHA-1 over the *intended* canonical stream
-        # bytes (not the file content), so a torn or short write that
-        # corrupted the stored file is caught at restart.
-        sha = (
-            sha1_hex(stream_order_bytes(a.to_global(), order))
-            if a.store_data
-            else None
-        )
-        manifest_arrays.append(
+        # Phase 2..N+1: each distributed array in sequence, via parstream.
+        manifest_arrays = []
+        for a in arrays:
+            fname = array_name(prefix, a.name)
+            sink = PFSSink(pfs, fname, virtual=not a.store_data, create=True)
+            with obs.span(f"parstream:{a.name}", file=fname) as sp:
+                pfs.begin_phase(IOKind.WRITE_PARALLEL)
+                stats = stream_out_parallel(
+                    a, sink, P=io_tasks, order=order, target_bytes=target_bytes
+                )
+                res = pfs.end_phase()
+                obs.advance(res.seconds)
+                sp.set(
+                    nbytes=stats.bytes_streamed,
+                    pieces=stats.pieces,
+                    redistribution_bytes=stats.redistribution_bytes,
+                    seconds=res.seconds,
+                )
+            bd.arrays_seconds += res.seconds
+            bd.arrays_bytes += stats.bytes_streamed
+            bd.per_array.append((a.name, res.seconds, stats.bytes_streamed))
+            # Integrity record: SHA-1 over the *intended* canonical stream
+            # bytes (not the file content), so a torn or short write that
+            # corrupted the stored file is caught at restart.
+            sha = (
+                sha1_hex(stream_order_bytes(a.to_global(), order))
+                if a.store_data
+                else None
+            )
+            manifest_arrays.append(
+                {
+                    "name": a.name,
+                    "shape": list(a.shape),
+                    "dtype": np_dtype_name(a.dtype),
+                    "file": fname,
+                    "nbytes": stats.bytes_streamed,
+                    "sha1": sha,
+                    "virtual": not a.store_data,
+                    "distribution": distribution_to_spec(a.distribution),
+                }
+            )
+
+        write_manifest(
+            pfs,
+            prefix,
             {
-                "name": a.name,
-                "shape": list(a.shape),
-                "dtype": np_dtype_name(a.dtype),
-                "file": fname,
-                "nbytes": stats.bytes_streamed,
-                "sha1": sha,
-                "virtual": not a.store_data,
-                "distribution": distribution_to_spec(a.distribution),
-            }
+                "kind": "drms",
+                "app_name": app_name,
+                "ntasks": ntasks,
+                "order": order,
+                "segment_file": seg,
+                "segment_bytes": bd.segment_bytes,
+                "segment_sha1": sha1_hex(header),
+                "segment_sha1_bytes": len(header),
+                "arrays": manifest_arrays,
+            },
         )
-
-    write_manifest(
-        pfs,
-        prefix,
-        {
-            "kind": "drms",
-            "app_name": app_name,
-            "ntasks": ntasks,
-            "order": order,
-            "segment_file": seg,
-            "segment_bytes": bd.segment_bytes,
-            "segment_sha1": sha1_hex(header),
-            "segment_sha1_bytes": len(header),
-            "arrays": manifest_arrays,
-        },
-    )
+        op.set(nbytes=bd.total_bytes, seconds=bd.total_seconds)
+    _publish_breakdown("checkpoint", bd)
     return bd
 
 
@@ -246,69 +282,103 @@ def drms_restart(
     order = order or manifest.get("order", "F")
     bd = RestartBreakdown(kind="drms", prefix=prefix, ntasks=ntasks)
     bd.other_seconds = pfs.params.restart_init_s
+    obs = get_tracer()
 
-    # Phase 1: every task reads the single saved data segment.
-    seg = manifest["segment_file"]
-    seg_size = pfs.file_size(seg)
-    pfs.begin_phase(IOKind.READ_SHARED)
-    head = pfs.read_at(seg, 0, min(seg_size, DataSegment.header_prefix_bytes()), client=0)
-    if seg_size > len(head):
-        pfs.read_virtual(seg, len(head), seg_size - len(head), client=0)
-    for t in range(1, ntasks):
-        pfs.read_virtual(seg, 0, seg_size, client=t)
-    res = pfs.end_phase()
-    if verify:
-        verify_stored_sha1(
-            pfs,
-            seg,
-            manifest.get("segment_sha1"),
-            manifest.get("segment_sha1_bytes"),
-            head=head,
-        )
-    segment = DataSegment.deserialize(head)
-    bd.segment_seconds = res.seconds
-    bd.segment_bytes = seg_size * ntasks  # every task reads the file
+    with obs.span(
+        "restart",
+        kind="drms",
+        prefix=prefix,
+        ntasks=ntasks,
+        checkpoint_ntasks=manifest["ntasks"],
+    ) as op:
+        # Fixed initialization (text-segment load) happens before any
+        # checkpoint I/O; its simulated cost is a machine parameter.
+        with obs.span("restart_init") as sp:
+            obs.advance(bd.other_seconds)
+            sp.set(seconds=bd.other_seconds)
 
-    # Phase 2..N+1: arrays under the (possibly adjusted) distributions.
-    arrays: Dict[str, DistributedArray] = {}
-    overrides = distribution_overrides or {}
-    for spec in manifest["arrays"]:
-        name = spec["name"]
-        dist = overrides.get(name) or spec_to_distribution(
-            spec["distribution"], ntasks=ntasks
-        )
-        if dist.ntasks != ntasks:
-            raise RestartError(
-                f"override distribution for {name!r} targets {dist.ntasks} "
-                f"tasks; restart uses {ntasks}"
+        # Phase 1: every task reads the single saved data segment.
+        seg = manifest["segment_file"]
+        seg_size = pfs.file_size(seg)
+        with obs.span("segment_read", file=seg) as sp:
+            pfs.begin_phase(IOKind.READ_SHARED)
+            head = pfs.read_at(
+                seg, 0, min(seg_size, DataSegment.header_prefix_bytes()), client=0
             )
-        arr = DistributedArray(
-            name,
-            spec["shape"],
-            np.dtype(spec["dtype"]),
-            dist,
-            store_data=not spec["virtual"],
-        )
-        if verify and not spec["virtual"]:
-            expected = spec.get("nbytes")
-            if expected is not None and pfs.file_size(spec["file"]) != expected:
-                raise CheckpointIntegrityError(
-                    f"array file {spec['file']!r} is "
-                    f"{pfs.file_size(spec['file'])} bytes; manifest "
-                    f"records {expected} (torn or short write)"
+            if seg_size > len(head):
+                pfs.read_virtual(seg, len(head), seg_size - len(head), client=0)
+            for t in range(1, ntasks):
+                pfs.read_virtual(seg, 0, seg_size, client=t)
+            res = pfs.end_phase()
+            obs.advance(res.seconds)
+            sp.set(nbytes=seg_size * ntasks, seconds=res.seconds)
+        if verify:
+            with obs.span("validate:segment", file=seg):
+                verify_stored_sha1(
+                    pfs,
+                    seg,
+                    manifest.get("segment_sha1"),
+                    manifest.get("segment_sha1_bytes"),
+                    head=head,
                 )
-            verify_stored_sha1(pfs, spec["file"], spec.get("sha1"), expected)
-        source = PFSSource(pfs, spec["file"])
-        pfs.begin_phase(IOKind.READ_PARALLEL)
-        stats = stream_in_parallel(
-            arr, source, P=io_tasks, order=order, target_bytes=target_bytes
-        )
-        res = pfs.end_phase()
-        bd.arrays_seconds += res.seconds
-        bd.arrays_bytes += stats.bytes_streamed
-        bd.per_array.append((name, res.seconds, stats.bytes_streamed))
-        arrays[name] = arr
+        segment = DataSegment.deserialize(head)
+        bd.segment_seconds = res.seconds
+        bd.segment_bytes = seg_size * ntasks  # every task reads the file
 
+        # Phase 2..N+1: arrays under the (possibly adjusted) distributions.
+        arrays: Dict[str, DistributedArray] = {}
+        overrides = distribution_overrides or {}
+        for spec in manifest["arrays"]:
+            name = spec["name"]
+            dist = overrides.get(name) or spec_to_distribution(
+                spec["distribution"], ntasks=ntasks
+            )
+            if dist.ntasks != ntasks:
+                raise RestartError(
+                    f"override distribution for {name!r} targets {dist.ntasks} "
+                    f"tasks; restart uses {ntasks}"
+                )
+            arr = DistributedArray(
+                name,
+                spec["shape"],
+                np.dtype(spec["dtype"]),
+                dist,
+                store_data=not spec["virtual"],
+            )
+            if verify and not spec["virtual"]:
+                with obs.span(f"validate:{name}", file=spec["file"]):
+                    expected = spec.get("nbytes")
+                    if (
+                        expected is not None
+                        and pfs.file_size(spec["file"]) != expected
+                    ):
+                        raise CheckpointIntegrityError(
+                            f"array file {spec['file']!r} is "
+                            f"{pfs.file_size(spec['file'])} bytes; manifest "
+                            f"records {expected} (torn or short write)"
+                        )
+                    verify_stored_sha1(pfs, spec["file"], spec.get("sha1"), expected)
+            source = PFSSource(pfs, spec["file"])
+            with obs.span(f"parstream:{name}", file=spec["file"]) as sp:
+                pfs.begin_phase(IOKind.READ_PARALLEL)
+                stats = stream_in_parallel(
+                    arr, source, P=io_tasks, order=order, target_bytes=target_bytes
+                )
+                res = pfs.end_phase()
+                obs.advance(res.seconds)
+                sp.set(
+                    nbytes=stats.bytes_streamed,
+                    pieces=stats.pieces,
+                    redistribution_bytes=stats.redistribution_bytes,
+                    seconds=res.seconds,
+                )
+            bd.arrays_seconds += res.seconds
+            bd.arrays_bytes += stats.bytes_streamed
+            bd.per_array.append((name, res.seconds, stats.bytes_streamed))
+            arrays[name] = arr
+        op.set(nbytes=bd.total_bytes, seconds=bd.total_seconds)
+
+    _publish_breakdown("restart", bd)
     state = RestoredState(
         segment=segment,
         arrays=arrays,

@@ -45,6 +45,7 @@ from repro.arrays.distributions import (
 )
 from repro.arrays.ranges import Range
 from repro.errors import CheckpointError, CheckpointIntegrityError
+from repro.obs import get_tracer
 from repro.pfs.piofs import PIOFS
 
 __all__ = [
@@ -222,15 +223,16 @@ def write_manifest(pfs: PIOFS, prefix: str, manifest: Dict[str, Any]) -> None:
     data = json.dumps(manifest, sort_keys=True).encode()
     name = manifest_name(prefix)
     tmp = manifest_tmp_name(prefix)
-    pfs.create(tmp, virtual=False)
-    pfs.write_at(tmp, 0, data)
-    back = pfs.read_at(tmp, 0, pfs.file_size(tmp))
-    if back != data:
-        raise CheckpointIntegrityError(
-            f"manifest {name!r} failed write validation: staged "
-            f"{len(back)} bytes, expected {len(data)} (torn write?)"
-        )
-    pfs.rename(tmp, name)
+    with get_tracer().span("manifest_commit", file=name, nbytes=len(data)):
+        pfs.create(tmp, virtual=False)
+        pfs.write_at(tmp, 0, data)
+        back = pfs.read_at(tmp, 0, pfs.file_size(tmp))
+        if back != data:
+            raise CheckpointIntegrityError(
+                f"manifest {name!r} failed write validation: staged "
+                f"{len(back)} bytes, expected {len(data)} (torn write?)"
+            )
+        pfs.rename(tmp, name)
 
 
 def read_manifest(pfs: PIOFS, prefix: str) -> Dict[str, Any]:

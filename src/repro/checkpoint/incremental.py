@@ -36,6 +36,7 @@ from repro.checkpoint.drms import (
     CheckpointBreakdown,
     RestartBreakdown,
     RestoredState,
+    _publish_breakdown,
     drms_checkpoint,
     drms_restart,
 )
@@ -49,6 +50,7 @@ from repro.checkpoint.format import (
 from repro.checkpoint.segment import DataSegment
 from repro.checkpoint.validate import verify_stored_sha1
 from repro.errors import CheckpointError, RestartError
+from repro.obs import get_tracer
 from repro.pfs.phase import IOKind
 from repro.pfs.piofs import PIOFS
 from repro.streaming.order import bytes_to_section, stream_order_bytes
@@ -176,62 +178,82 @@ class IncrementalCheckpointer:
         self.version += 1
         k = self.version
         bd = CheckpointBreakdown(kind="drms-delta", prefix=f"{self.prefix}.d{k}", ntasks=arrays[0].ntasks if arrays else 1)
+        obs = get_tracer()
+        with obs.span(
+            "checkpoint",
+            kind="drms-delta",
+            prefix=bd.prefix,
+            ntasks=bd.ntasks,
+            delta_index=k,
+        ) as op:
+            # Segment header (exact state: replicated vars, context).
+            header, _pad = segment.serialize()
+            seg_name = f"{self.prefix}.d{k}.segment"
+            self.pfs.create(seg_name)
+            with obs.span("segment_write", file=seg_name) as sp:
+                self.pfs.begin_phase(IOKind.WRITE_SERIAL)
+                self.pfs.write_at(seg_name, 0, header, client=0)
+                res = self.pfs.end_phase()
+                obs.advance(res.seconds)
+                sp.set(nbytes=len(header), seconds=res.seconds)
+            bd.segment_seconds = res.seconds
+            bd.segment_bytes = len(header)
 
-        # Segment header (exact state: replicated vars, context).
-        header, _pad = segment.serialize()
-        seg_name = f"{self.prefix}.d{k}.segment"
-        self.pfs.create(seg_name)
-        self.pfs.begin_phase(IOKind.WRITE_SERIAL)
-        self.pfs.write_at(seg_name, 0, header, client=0)
-        res = self.pfs.end_phase()
-        bd.segment_seconds = res.seconds
-        bd.segment_bytes = len(header)
-
-        delta_arrays = []
-        for arr in arrays:
-            plan = self._plans.get(arr.name)
-            if plan is None:
-                raise CheckpointError(
-                    f"array {arr.name!r} was not part of the base checkpoint"
-                )
-            dirty = self._dirty_pieces(arr, plan)
-            fname = f"{self.prefix}.d{k}.array.{arr.name}"
-            self.pfs.create(fname, virtual=not arr.store_data)
-            entries = []
-            self.pfs.begin_phase(IOKind.WRITE_PARALLEL)
-            pos = 0
-            written = 0
-            file_hash = hashlib.sha1()  # intended bytes, in file order
-            P = self.io_tasks or arr.ntasks
-            for j in dirty:
-                piece = plan.pieces[j]
-                nbytes = piece.size * arr.itemsize
-                if arr.store_data:
-                    data = stream_order_bytes(
-                        gather_piece(arr, piece, self.order), self.order
+            delta_arrays = []
+            for arr in arrays:
+                plan = self._plans.get(arr.name)
+                if plan is None:
+                    raise CheckpointError(
+                        f"array {arr.name!r} was not part of the base checkpoint"
                     )
-                    self.pfs.write_at(fname, pos, data, client=j % P)
-                    plan.hashes[j] = _piece_hash(data)
-                    file_hash.update(data)
-                else:
-                    self.pfs.write_at(fname, pos, None, nbytes=nbytes, client=j % P)
-                entries.append({"piece": j, "offset": pos, "nbytes": nbytes})
-                pos += nbytes
-                written += nbytes
-            res = self.pfs.end_phase()
-            bd.arrays_seconds += res.seconds
-            bd.arrays_bytes += written
-            bd.per_array.append((arr.name, res.seconds, written))
-            delta_arrays.append(
-                {
-                    "name": arr.name,
-                    "file": fname,
-                    "entries": entries,
-                    "nbytes": written,
-                    "sha1": file_hash.hexdigest() if arr.store_data else None,
-                }
-            )
+                dirty = self._dirty_pieces(arr, plan)
+                fname = f"{self.prefix}.d{k}.array.{arr.name}"
+                self.pfs.create(fname, virtual=not arr.store_data)
+                entries = []
+                with obs.span(f"delta:{arr.name}", file=fname) as sp:
+                    self.pfs.begin_phase(IOKind.WRITE_PARALLEL)
+                    pos = 0
+                    written = 0
+                    file_hash = hashlib.sha1()  # intended bytes, in file order
+                    P = self.io_tasks or arr.ntasks
+                    for j in dirty:
+                        piece = plan.pieces[j]
+                        nbytes = piece.size * arr.itemsize
+                        if arr.store_data:
+                            data = stream_order_bytes(
+                                gather_piece(arr, piece, self.order), self.order
+                            )
+                            self.pfs.write_at(fname, pos, data, client=j % P)
+                            plan.hashes[j] = _piece_hash(data)
+                            file_hash.update(data)
+                        else:
+                            self.pfs.write_at(fname, pos, None, nbytes=nbytes, client=j % P)
+                        entries.append({"piece": j, "offset": pos, "nbytes": nbytes})
+                        pos += nbytes
+                        written += nbytes
+                    res = self.pfs.end_phase()
+                    obs.advance(res.seconds)
+                    sp.set(
+                        nbytes=written,
+                        dirty_pieces=len(dirty),
+                        total_pieces=len(plan.pieces),
+                        seconds=res.seconds,
+                    )
+                bd.arrays_seconds += res.seconds
+                bd.arrays_bytes += written
+                bd.per_array.append((arr.name, res.seconds, written))
+                delta_arrays.append(
+                    {
+                        "name": arr.name,
+                        "file": fname,
+                        "entries": entries,
+                        "nbytes": written,
+                        "sha1": file_hash.hexdigest() if arr.store_data else None,
+                    }
+                )
+            op.set(nbytes=bd.total_bytes, seconds=bd.total_seconds)
 
+        _publish_breakdown("checkpoint", bd)
         write_manifest(
             self.pfs,
             f"{self.prefix}.d{k}",
@@ -299,56 +321,70 @@ class IncrementalCheckpointer:
         """Rebuild from base + delta chain on ``ntasks`` tasks (any
         count): restore the base, then overlay each delta's pieces."""
         chain = read_manifest(self.pfs, f"{self.prefix}.chain")
-        state, bd = drms_restart(
-            self.pfs,
-            chain["base"],
-            ntasks,
-            order=self.order,
-            io_tasks=self.io_tasks,
-            target_bytes=self.target_bytes,
-        )
-        for delta_prefix in chain["deltas"]:
-            dm = read_manifest(self.pfs, delta_prefix)
-            # the most recent segment header wins (exact state)
-            seg_file = dm["segment_file"]
-            head = self.pfs.read_at(
-                seg_file, 0, self.pfs.file_size(seg_file), client=0
+        obs = get_tracer()
+        with obs.span(
+            "restart",
+            kind="drms-chain",
+            prefix=f"{self.prefix}.chain",
+            ntasks=ntasks,
+            deltas=len(chain["deltas"]),
+        ) as op:
+            state, bd = drms_restart(
+                self.pfs,
+                chain["base"],
+                ntasks,
+                order=self.order,
+                io_tasks=self.io_tasks,
+                target_bytes=self.target_bytes,
             )
-            verify_stored_sha1(
-                self.pfs, seg_file, dm.get("segment_sha1"),
-                dm.get("segment_bytes"), head=head,
-            )
-            state.segment = DataSegment.deserialize(head)
-            for spec in dm["arrays"]:
-                verify_stored_sha1(
-                    self.pfs, spec["file"], spec.get("sha1"), spec.get("nbytes")
-                )
-                arr = state.arrays[spec["name"]]
-                plan = self._plan_for(arr)
-                self.pfs.begin_phase(IOKind.READ_PARALLEL)
-                P = self.io_tasks or ntasks
-                applied = 0
-                for e in spec["entries"]:
-                    piece = plan.pieces[e["piece"]]
-                    if arr.store_data:
-                        data = self.pfs.read_at(
-                            spec["file"], e["offset"], e["nbytes"],
-                            client=e["piece"] % P,
+            for delta_prefix in chain["deltas"]:
+                dm = read_manifest(self.pfs, delta_prefix)
+                with obs.span(f"overlay:{delta_prefix}") as dsp:
+                    # the most recent segment header wins (exact state)
+                    seg_file = dm["segment_file"]
+                    head = self.pfs.read_at(
+                        seg_file, 0, self.pfs.file_size(seg_file), client=0
+                    )
+                    verify_stored_sha1(
+                        self.pfs, seg_file, dm.get("segment_sha1"),
+                        dm.get("segment_bytes"), head=head,
+                    )
+                    state.segment = DataSegment.deserialize(head)
+                    overlay_bytes = 0
+                    for spec in dm["arrays"]:
+                        verify_stored_sha1(
+                            self.pfs, spec["file"], spec.get("sha1"), spec.get("nbytes")
                         )
-                        scatter_piece(
-                            arr,
-                            piece,
-                            bytes_to_section(data, piece.shape, arr.dtype, self.order),
-                        )
-                    else:
-                        self.pfs.read_virtual(
-                            spec["file"], e["offset"], e["nbytes"],
-                            client=e["piece"] % P,
-                        )
-                    applied += e["nbytes"]
-                res = self.pfs.end_phase()
-                bd.arrays_seconds += res.seconds
-                bd.arrays_bytes += applied
+                        arr = state.arrays[spec["name"]]
+                        plan = self._plan_for(arr)
+                        self.pfs.begin_phase(IOKind.READ_PARALLEL)
+                        P = self.io_tasks or ntasks
+                        applied = 0
+                        for e in spec["entries"]:
+                            piece = plan.pieces[e["piece"]]
+                            if arr.store_data:
+                                data = self.pfs.read_at(
+                                    spec["file"], e["offset"], e["nbytes"],
+                                    client=e["piece"] % P,
+                                )
+                                scatter_piece(
+                                    arr,
+                                    piece,
+                                    bytes_to_section(data, piece.shape, arr.dtype, self.order),
+                                )
+                            else:
+                                self.pfs.read_virtual(
+                                    spec["file"], e["offset"], e["nbytes"],
+                                    client=e["piece"] % P,
+                                )
+                            applied += e["nbytes"]
+                        res = self.pfs.end_phase()
+                        obs.advance(res.seconds)
+                        bd.arrays_seconds += res.seconds
+                        bd.arrays_bytes += applied
+                        overlay_bytes += applied
+                    dsp.set(nbytes=overlay_bytes)
+            op.set(nbytes=bd.total_bytes, seconds=bd.total_seconds)
         return state, bd
 
     # -- accounting ---------------------------------------------------------------

@@ -24,6 +24,7 @@ from repro.checkpoint.format import manifest_name
 from repro.checkpoint.rotation import generations
 from repro.checkpoint.validate import ValidationReport, validate_checkpoint
 from repro.errors import RestartError
+from repro.obs import get_tracer
 from repro.pfs.piofs import PIOFS
 
 __all__ = [
@@ -72,29 +73,49 @@ def select_restart_state(
     rejected newer state.  ``events``/``clock``/``job`` hook the walk
     into a cluster's :class:`~repro.infra.events.EventLog`."""
     decision = RecoveryDecision(base=base, prefix=None)
-    for candidate in restart_candidates(pfs, base):
-        report = validate_checkpoint(pfs, candidate)
-        if report.ok:
-            decision.prefix = candidate
-            if events is not None:
-                events.emit(
-                    clock, "checkpoint_verified",
-                    job=job, prefix=candidate, files=report.files,
-                    bytes_hashed=report.bytes_hashed,
-                )
-                if decision.rejected:
+    obs = get_tracer()
+    with obs.span("recovery_walk", base=base, job=job) as sp:
+        candidates = restart_candidates(pfs, base)
+        for candidate in candidates:
+            report = validate_checkpoint(pfs, candidate)
+            if report.ok:
+                decision.prefix = candidate
+                obs.metrics.counter("recover.verified").inc()
+                if events is not None:
                     events.emit(
-                        clock, "restart_fallback",
-                        job=job, prefix=candidate,
+                        clock, "checkpoint_verified",
+                        job=job, prefix=candidate, files=report.files,
+                        bytes_hashed=report.bytes_hashed,
+                    )
+                    if decision.rejected:
+                        events.emit(
+                            clock, "restart_fallback",
+                            job=job, prefix=candidate,
+                            skipped=[p for p, _ in decision.rejected],
+                        )
+                if decision.rejected:
+                    obs.mark(
+                        "restart_fallback",
+                        chosen=candidate,
                         skipped=[p for p, _ in decision.rejected],
                     )
-            return decision
-        decision.rejected.append((candidate, report.errors))
-        if events is not None:
-            events.emit(
-                clock, "checkpoint_rejected",
-                job=job, prefix=candidate, errors=list(report.errors),
+                    obs.metrics.counter("recover.fallback").inc()
+                break
+            decision.rejected.append((candidate, report.errors))
+            obs.mark(
+                "checkpoint_rejected", prefix=candidate, errors=len(report.errors)
             )
+            obs.metrics.counter("recover.rejected").inc()
+            if events is not None:
+                events.emit(
+                    clock, "checkpoint_rejected",
+                    job=job, prefix=candidate, errors=list(report.errors),
+                )
+        sp.set(
+            candidates=len(candidates),
+            rejected=len(decision.rejected),
+            chosen=decision.prefix,
+        )
     return decision
 
 

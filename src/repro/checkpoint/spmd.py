@@ -18,7 +18,11 @@ import pickle
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
-from repro.checkpoint.drms import CheckpointBreakdown, RestartBreakdown
+from repro.checkpoint.drms import (
+    CheckpointBreakdown,
+    RestartBreakdown,
+    _publish_breakdown,
+)
 from repro.checkpoint.format import (
     read_manifest,
     sha1_hex,
@@ -28,6 +32,7 @@ from repro.checkpoint.format import (
 from repro.checkpoint.segment import DataSegment, SegmentProfile
 from repro.checkpoint.validate import verify_stored_sha1
 from repro.errors import CheckpointError, RestartError
+from repro.obs import get_tracer
 from repro.pfs.phase import IOKind
 from repro.pfs.piofs import PIOFS
 
@@ -83,39 +88,48 @@ def spmd_checkpoint(
             f"{len(payloads)} payloads for {ntasks} tasks"
         )
     bd = CheckpointBreakdown(kind="spmd", prefix=prefix, ntasks=ntasks)
-    pfs.begin_phase(IOKind.WRITE_DISTINCT)
-    sizes = []
-    shas: List[str] = []
-    sha_bytes: List[int] = []
-    for t in range(ntasks):
-        fname = task_segment_name(prefix, t)
-        pfs.create(fname, virtual=False)
-        payload = payloads[t] if payloads is not None else None
-        header, pad = _encode_task_file(payload, segment_bytes)
-        pfs.write_at(fname, 0, header, client=t)
-        if pad:
-            pfs.write_at(fname, len(header), None, nbytes=pad, client=t)
-        sizes.append(len(header) + pad)
-        # hash the *intended* exact header (the sparse bulk is sized,
-        # not stored), so a torn write of the file is caught at restart
-        shas.append(sha1_hex(header))
-        sha_bytes.append(len(header))
-    res = pfs.end_phase()
-    bd.segment_seconds = res.seconds
-    bd.segment_bytes = sum(sizes)
-    write_manifest(
-        pfs,
-        prefix,
-        {
-            "kind": "spmd",
-            "app_name": app_name,
-            "ntasks": ntasks,
-            "task_files": [task_segment_name(prefix, t) for t in range(ntasks)],
-            "segment_bytes": sizes,
-            "task_sha1": shas,
-            "task_sha1_bytes": sha_bytes,
-        },
-    )
+    obs = get_tracer()
+    with obs.span(
+        "checkpoint", kind="spmd", prefix=prefix, ntasks=ntasks, app=app_name
+    ) as op:
+        sizes = []
+        shas: List[str] = []
+        sha_bytes: List[int] = []
+        with obs.span("segment_write", files=ntasks) as sp:
+            pfs.begin_phase(IOKind.WRITE_DISTINCT)
+            for t in range(ntasks):
+                fname = task_segment_name(prefix, t)
+                pfs.create(fname, virtual=False)
+                payload = payloads[t] if payloads is not None else None
+                header, pad = _encode_task_file(payload, segment_bytes)
+                pfs.write_at(fname, 0, header, client=t)
+                if pad:
+                    pfs.write_at(fname, len(header), None, nbytes=pad, client=t)
+                sizes.append(len(header) + pad)
+                # hash the *intended* exact header (the sparse bulk is sized,
+                # not stored), so a torn write of the file is caught at restart
+                shas.append(sha1_hex(header))
+                sha_bytes.append(len(header))
+            res = pfs.end_phase()
+            obs.advance(res.seconds)
+            sp.set(nbytes=sum(sizes), seconds=res.seconds)
+        bd.segment_seconds = res.seconds
+        bd.segment_bytes = sum(sizes)
+        write_manifest(
+            pfs,
+            prefix,
+            {
+                "kind": "spmd",
+                "app_name": app_name,
+                "ntasks": ntasks,
+                "task_files": [task_segment_name(prefix, t) for t in range(ntasks)],
+                "segment_bytes": sizes,
+                "task_sha1": shas,
+                "task_sha1_bytes": sha_bytes,
+            },
+        )
+        op.set(nbytes=bd.total_bytes, seconds=bd.total_seconds)
+    _publish_breakdown("checkpoint", bd)
     return bd
 
 
@@ -148,30 +162,44 @@ def spmd_restart(
         )
     bd = RestartBreakdown(kind="spmd", prefix=prefix, ntasks=ntasks)
     bd.other_seconds = pfs.params.restart_init_s
+    obs = get_tracer()
     payloads: List[Any] = []
     sizes: List[int] = []
     heads: List[bytes] = []
-    pfs.begin_phase(IOKind.READ_DISTINCT)
-    for t, fname in enumerate(manifest["task_files"]):
-        size = pfs.file_size(fname)
-        head = pfs.read_at(fname, 0, min(size, DataSegment.header_prefix_bytes()), client=t)
-        if size > len(head):
-            pfs.read_virtual(fname, len(head), size - len(head), client=t)
-        heads.append(head)
-        sizes.append(size)
-    res = pfs.end_phase()
-    shas = manifest.get("task_sha1") or []
-    sha_bytes = manifest.get("task_sha1_bytes") or []
-    for t, (fname, head) in enumerate(zip(manifest["task_files"], heads)):
-        if verify and t < len(shas):
-            verify_stored_sha1(
-                pfs, fname, shas[t],
-                sha_bytes[t] if t < len(sha_bytes) else None,
-                head=head,
-            )
-        payloads.append(_decode_task_file(head))
-    bd.segment_seconds = res.seconds
-    bd.segment_bytes = sum(sizes)
+    with obs.span(
+        "restart", kind="spmd", prefix=prefix, ntasks=ntasks,
+        checkpoint_ntasks=saved,
+    ) as op:
+        with obs.span("restart_init") as sp:
+            obs.advance(bd.other_seconds)
+            sp.set(seconds=bd.other_seconds)
+        with obs.span("segment_read", files=ntasks) as sp:
+            pfs.begin_phase(IOKind.READ_DISTINCT)
+            for t, fname in enumerate(manifest["task_files"]):
+                size = pfs.file_size(fname)
+                head = pfs.read_at(fname, 0, min(size, DataSegment.header_prefix_bytes()), client=t)
+                if size > len(head):
+                    pfs.read_virtual(fname, len(head), size - len(head), client=t)
+                heads.append(head)
+                sizes.append(size)
+            res = pfs.end_phase()
+            obs.advance(res.seconds)
+            sp.set(nbytes=sum(sizes), seconds=res.seconds)
+        shas = manifest.get("task_sha1") or []
+        sha_bytes = manifest.get("task_sha1_bytes") or []
+        with obs.span("validate:task_files", files=len(heads)):
+            for t, (fname, head) in enumerate(zip(manifest["task_files"], heads)):
+                if verify and t < len(shas):
+                    verify_stored_sha1(
+                        pfs, fname, shas[t],
+                        sha_bytes[t] if t < len(sha_bytes) else None,
+                        head=head,
+                    )
+                payloads.append(_decode_task_file(head))
+        bd.segment_seconds = res.seconds
+        bd.segment_bytes = sum(sizes)
+        op.set(nbytes=bd.total_bytes, seconds=bd.total_seconds)
+    _publish_breakdown("restart", bd)
     return (
         SPMDRestoredState(
             ntasks=ntasks, payloads=payloads, segment_bytes=sizes, manifest=manifest

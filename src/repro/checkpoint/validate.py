@@ -29,6 +29,7 @@ from typing import List, Optional, Set
 
 from repro.checkpoint.format import manifest_name, read_manifest, sha1_hex
 from repro.errors import CheckpointError, CheckpointIntegrityError, PFSError
+from repro.obs import get_tracer
 from repro.pfs.piofs import PIOFS
 
 __all__ = [
@@ -140,8 +141,26 @@ def validate_checkpoint(
     exactly when the state is sound — so callers can rank candidate
     states rather than stop at the first bad one.
     """
+    if _seen is None:
+        # Top-level audit: one span covering the whole walk (chain
+        # recursion folds into it rather than nesting per member).
+        obs = get_tracer()
+        with obs.span("validate", prefix=prefix) as sp:
+            report = validate_checkpoint(pfs, prefix, _seen=set())
+            sp.set(
+                files=report.files,
+                bytes_hashed=report.bytes_hashed,
+                ok=report.ok,
+            )
+        m = obs.metrics
+        m.counter("validate.count").inc()
+        m.counter("validate.files").inc(report.files)
+        m.counter("validate.bytes_hashed").inc(report.bytes_hashed)
+        if not report.ok:
+            m.counter("validate.failed").inc()
+        return report
     report = ValidationReport(prefix=prefix)
-    seen = _seen if _seen is not None else set()
+    seen = _seen
     if prefix in seen:
         report.errors.append(f"checkpoint chain cycles back to {prefix!r}")
         return report

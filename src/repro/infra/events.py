@@ -2,8 +2,9 @@
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 __all__ = ["Event", "EventLog"]
 
@@ -20,25 +21,85 @@ class Event:
         items = ", ".join(f"{k}={v!r}" for k, v in self.detail.items())
         return f"[{self.time:9.3f}s] {self.kind}({items})"
 
+    def to_dict(self) -> Dict[str, Any]:
+        return {"time": self.time, "kind": self.kind, "detail": dict(self.detail)}
+
 
 class EventLog:
-    """Append-only event record shared by RC/TCs/JSA/UIC."""
+    """Append-only event record shared by RC/TCs/JSA/UIC.
+
+    Consumers query it (:meth:`of_kind`, :meth:`between`,
+    :meth:`where`) instead of re-filtering ``events`` by hand, export it
+    (:meth:`to_json`), or subscribe live (:meth:`subscribe`) — the obs
+    bridge mirrors every emit onto a span timeline that way.
+    """
 
     def __init__(self):
         self.events: List[Event] = []
+        self._listeners: List[Callable[[Event], None]] = []
 
     def emit(self, time: float, kind: str, **detail: Any) -> Event:
-        """Append one timestamped event."""
+        """Append one timestamped event (and notify subscribers)."""
         ev = Event(time=time, kind=kind, detail=detail)
         self.events.append(ev)
+        for listener in list(self._listeners):
+            listener(ev)
         return ev
 
-    def of_kind(self, kind: str) -> List[Event]:
-        return [e for e in self.events if e.kind == kind]
+    # -- live consumers -----------------------------------------------------
+
+    def subscribe(self, listener: Callable[[Event], None]) -> Callable[[Event], None]:
+        """Call ``listener(event)`` on every future emit; returns the
+        listener so callers can hold it for :meth:`unsubscribe`."""
+        self._listeners.append(listener)
+        return listener
+
+    def unsubscribe(self, listener: Callable[[Event], None]) -> None:
+        """Stop notifying ``listener`` (no-op when not subscribed)."""
+        try:
+            self._listeners.remove(listener)
+        except ValueError:
+            pass
+
+    # -- queries ------------------------------------------------------------
+
+    def of_kind(self, kind: str, **detail_filter: Any) -> List[Event]:
+        """Events of ``kind`` whose detail matches every given key
+        exactly — ``log.of_kind("checkpoint_rejected", job="bt")``."""
+        return [
+            e
+            for e in self.events
+            if e.kind == kind
+            and all(e.detail.get(k) == v for k, v in detail_filter.items())
+        ]
+
+    def between(
+        self, t0: float, t1: float, kind: Optional[str] = None
+    ) -> List[Event]:
+        """Events in the closed time window ``[t0, t1]``, optionally of
+        one kind."""
+        return [
+            e
+            for e in self.events
+            if t0 <= e.time <= t1 and (kind is None or e.kind == kind)
+        ]
+
+    def where(self, predicate: Callable[[Event], bool]) -> List[Event]:
+        """Events satisfying an arbitrary predicate."""
+        return [e for e in self.events if predicate(e)]
 
     def last(self, kind: Optional[str] = None) -> Optional[Event]:
         seq = self.events if kind is None else self.of_kind(kind)
         return seq[-1] if seq else None
+
+    # -- export -------------------------------------------------------------
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        """The full log as a JSON array of ``{time, kind, detail}``
+        objects (non-JSON detail values fall back to ``repr``)."""
+        return json.dumps(
+            [e.to_dict() for e in self.events], indent=indent, default=repr
+        )
 
     def __len__(self) -> int:
         return len(self.events)

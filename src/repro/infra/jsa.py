@@ -23,6 +23,7 @@ from repro.drms.app import DRMSApplication, RunReport
 from repro.errors import SchedulerError, TaskFailure
 from repro.infra.events import EventLog
 from repro.infra.rc import ResourceCoordinator
+from repro.obs import get_tracer
 
 __all__ = ["JobState", "Job", "JobSchedulerAnalyzer"]
 
@@ -107,26 +108,30 @@ class JobSchedulerAnalyzer:
         """Start a queued job from the beginning."""
         job = self._job(job_id)
         n = self.pick_ntasks(job, ntasks)
-        nodes = self.rc.form_pool(job_id, n)
-        job.state = JobState.RUNNING
-        job.ntasks = n
-        try:
-            report = job.app.start(
-                n, args=job.args, kwargs=job.kwargs, nodes=nodes
-            )
-        except TaskFailure:
-            # Pool stays attached: the RC's failure protocol owns the
-            # cleanup (it must see which pool the dead TC belonged to).
-            job.state = JobState.KILLED
-            raise
-        except Exception:
-            job.state = JobState.KILLED
+        obs = get_tracer()
+        obs.sync(self.rc.clock)
+        with obs.span("job.run", job=job_id, ntasks=n):
+            nodes = self.rc.form_pool(job_id, n)
+            job.state = JobState.RUNNING
+            job.ntasks = n
+            try:
+                report = job.app.start(
+                    n, args=job.args, kwargs=job.kwargs, nodes=nodes
+                )
+            except TaskFailure:
+                # Pool stays attached: the RC's failure protocol owns the
+                # cleanup (it must see which pool the dead TC belonged to).
+                job.state = JobState.KILLED
+                raise
+            except Exception:
+                job.state = JobState.KILLED
+                self.rc.release_pool(job_id)
+                raise
             self.rc.release_pool(job_id)
-            raise
-        self.rc.release_pool(job_id)
-        job.state = JobState.COMPLETED
-        job.reports.append(report)
-        self.rc.advance(report.sim_elapsed)
+            job.state = JobState.COMPLETED
+            job.reports.append(report)
+            self.rc.advance(report.sim_elapsed)
+            obs.sync(self.rc.clock)
         self.events.emit(
             self.rc.clock, "job_completed", job=job_id, ntasks=n,
             sim_elapsed=report.sim_elapsed,
@@ -140,31 +145,36 @@ class JobSchedulerAnalyzer:
         Corrupt newer states are skipped — each rejection and the
         eventual fallback are recorded in the event log."""
         job = self._job(job_id)
-        decision = self._select_state(job)
-        if decision.prefix is None:
-            raise SchedulerError(
-                f"job {job_id!r} has no checkpoint under prefix "
-                f"{job.prefix!r} that passes validation"
-            )
-        n = self.pick_ntasks(job, ntasks)
-        nodes = self.rc.form_pool(job_id, n)
-        job.state = JobState.RUNNING
-        job.ntasks = n
-        try:
-            report = job.app.restart(
-                decision.prefix, n, args=job.args, kwargs=job.kwargs, nodes=nodes
-            )
-        except TaskFailure:
-            job.state = JobState.KILLED
-            raise
-        except Exception:
-            job.state = JobState.KILLED
+        obs = get_tracer()
+        obs.sync(self.rc.clock)
+        with obs.span("job.restart", job=job_id) as sp:
+            decision = self._select_state(job)
+            if decision.prefix is None:
+                raise SchedulerError(
+                    f"job {job_id!r} has no checkpoint under prefix "
+                    f"{job.prefix!r} that passes validation"
+                )
+            n = self.pick_ntasks(job, ntasks)
+            sp.set(ntasks=n, prefix=decision.prefix)
+            nodes = self.rc.form_pool(job_id, n)
+            job.state = JobState.RUNNING
+            job.ntasks = n
+            try:
+                report = job.app.restart(
+                    decision.prefix, n, args=job.args, kwargs=job.kwargs, nodes=nodes
+                )
+            except TaskFailure:
+                job.state = JobState.KILLED
+                raise
+            except Exception:
+                job.state = JobState.KILLED
+                self.rc.release_pool(job_id)
+                raise
             self.rc.release_pool(job_id)
-            raise
-        self.rc.release_pool(job_id)
-        job.state = JobState.COMPLETED
-        job.reports.append(report)
-        self.rc.advance(report.sim_elapsed)
+            job.state = JobState.COMPLETED
+            job.reports.append(report)
+            self.rc.advance(report.sim_elapsed)
+            obs.sync(self.rc.clock)
         self.events.emit(
             self.rc.clock, "job_restarted", job=job_id, ntasks=n,
             sim_elapsed=report.sim_elapsed,
@@ -179,7 +189,11 @@ class JobSchedulerAnalyzer:
         smaller (failed node out for repair), equal, or larger."""
         job = self._job(job_id)
         self.events.emit(self.rc.clock, "recovery_started", job=job_id)
-        return self.restart(job_id, ntasks=ntasks)
+        obs = get_tracer()
+        obs.sync(self.rc.clock)
+        with obs.span("job.recover", job=job_id):
+            obs.metrics.counter("jsa.recoveries").inc()
+            return self.restart(job_id, ntasks=ntasks)
 
     def enable_system_checkpoint(self, job_id: str) -> None:
         """Arm a system-initiated checkpoint: the job's next

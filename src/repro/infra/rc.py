@@ -23,6 +23,7 @@ from typing import Dict, List, Optional
 from repro.errors import MachineError, SchedulerError
 from repro.infra.events import EventLog
 from repro.infra.tc import TaskCoordinator, TCState
+from repro.obs import get_tracer
 from repro.runtime.machine import Machine
 
 __all__ = ["ResourceCoordinator"]
@@ -108,50 +109,57 @@ class ResourceCoordinator:
         pool) so the scheduler can restart it."""
         if node_id not in self.tcs:
             raise MachineError(f"no TC for node {node_id}")
-        tc = self.tcs[node_id]
-        tc.disconnect()
-        if self.machine.node(node_id).up:
-            self.machine.fail_node(node_id)
-        self.events.emit(self.clock, "tc_disconnected", node=node_id)
+        obs = get_tracer()
+        obs.sync(self.clock)
+        obs.metrics.counter("rc.failures").inc()
+        with obs.span("rc.failure_protocol", node=node_id) as sp:
+            tc = self.tcs[node_id]
+            tc.disconnect()
+            if self.machine.node(node_id).up:
+                self.machine.fail_node(node_id)
+            self.events.emit(self.clock, "tc_disconnected", node=node_id)
 
-        # Step 1: which application/TC pool?
-        job_id = tc.job_id
-        if job_id is None:
-            # Idle node failed: just schedule its repair.
-            tc.begin_restart()
-            self.repair_done_at[node_id] = self.clock + self.node_repair_s
-            self.events.emit(self.clock, "idle_node_failed", node=node_id)
-            return None
+            # Step 1: which application/TC pool?
+            job_id = tc.job_id
+            if job_id is None:
+                # Idle node failed: just schedule its repair.
+                tc.begin_restart()
+                self.repair_done_at[node_id] = self.clock + self.node_repair_s
+                self.events.emit(self.clock, "idle_node_failed", node=node_id)
+                sp.set(job=None, idle=True)
+                return None
 
-        # Step 2: kill the application's processes and the pool's TCs.
-        pool = self.pool_of(job_id)
-        self.events.emit(self.clock, "application_killed", job=job_id, pool=pool)
+            # Step 2: kill the application's processes and the pool's TCs.
+            pool = self.pool_of(job_id)
+            self.events.emit(self.clock, "application_killed", job=job_id, pool=pool)
 
-        # Step 3: application considered terminated; user informed.
-        self.events.emit(self.clock, "user_informed", job=job_id, reason="node failure")
+            # Step 3: application considered terminated; user informed.
+            self.events.emit(self.clock, "user_informed", job=job_id, reason="node failure")
 
-        # Step 4: restart the killed TCs.  Healthy nodes reconnect after
-        # a TC restart; the failed node needs repair first.
-        for nid in pool:
-            self.tcs[nid].begin_restart()
-        self.pools.pop(job_id, None)
-        for nid in pool:
-            if nid == node_id:
-                self.repair_done_at[nid] = self.clock + self.node_repair_s
-                self.events.emit(
-                    self.clock,
-                    "node_repair_started",
-                    node=nid,
-                    eta=self.clock + self.node_repair_s,
-                )
-            else:
-                # Step 5: reactivated TC returns its node to the pool.
-                self.tcs[nid].reconnect()
-        self.advance(self.tc_restart_s)
-        self.events.emit(
-            self.clock,
-            "tcs_restarted",
-            job=job_id,
-            healthy=[n for n in pool if n != node_id],
-        )
+            # Step 4: restart the killed TCs.  Healthy nodes reconnect after
+            # a TC restart; the failed node needs repair first.
+            for nid in pool:
+                self.tcs[nid].begin_restart()
+            self.pools.pop(job_id, None)
+            for nid in pool:
+                if nid == node_id:
+                    self.repair_done_at[nid] = self.clock + self.node_repair_s
+                    self.events.emit(
+                        self.clock,
+                        "node_repair_started",
+                        node=nid,
+                        eta=self.clock + self.node_repair_s,
+                    )
+                else:
+                    # Step 5: reactivated TC returns its node to the pool.
+                    self.tcs[nid].reconnect()
+            self.advance(self.tc_restart_s)
+            obs.sync(self.clock)
+            self.events.emit(
+                self.clock,
+                "tcs_restarted",
+                job=job_id,
+                healthy=[n for n in pool if n != node_id],
+            )
+            sp.set(job=job_id, pool=pool)
         return job_id

@@ -12,6 +12,8 @@ import enum
 from dataclasses import dataclass, field
 from typing import List, Optional
 
+from repro.obs import get_tracer
+
 __all__ = ["TCState", "TaskCoordinator"]
 
 
@@ -55,10 +57,15 @@ class TaskCoordinator:
     def disconnect(self) -> None:
         """The node died under this TC."""
         self.state = TCState.DISCONNECTED
+        get_tracer().mark("tc.disconnect", node=self.node_id, job=self.job_id)
 
     def begin_restart(self) -> None:
+        """The RC began bringing this TC back up."""
         self.state = TCState.RESTARTING
+        get_tracer().mark("tc.restart", node=self.node_id)
 
     def reconnect(self) -> None:
+        """The TC reactivated; its processor rejoins the available pool."""
         self.state = TCState.CONNECTED
         self.detach()
+        get_tracer().mark("tc.reconnect", node=self.node_id)

@@ -1,0 +1,81 @@
+"""repro.obs — unified tracing and metrics for the whole pipeline.
+
+The paper's evidence is cost accounting (Tables 5-6 break checkpoint
+and restart into their phases); this package is the measurement
+substrate that produces such breakdowns from the live system:
+
+* :mod:`repro.obs.spans`   — hierarchical spans over the simulated and
+  wall clocks, with a cheap :class:`NullTracer` default;
+* :mod:`repro.obs.metrics` — counters, gauges, histograms in one
+  registry shared by every producer (checkpoint engines, streaming,
+  PIOFS, fault injection, comm tracing, daemon events);
+* :mod:`repro.obs.export`  — Chrome trace-event JSON (``about:tracing``
+  / Perfetto) and flat metrics dumps;
+* :mod:`repro.obs.report`  — Table 6-style phase breakdown tables;
+* :mod:`repro.obs.bridge`  — mirror the infra EventLog onto the span
+  timeline.
+
+Tracing is off by default (the null tracer); scope it on with::
+
+    from repro.obs import Tracer, use_tracer, breakdown_report
+
+    with use_tracer(Tracer()) as tracer:
+        drms_checkpoint(pfs, "ckpt", segment, arrays)
+        drms_restart(pfs, "ckpt", ntasks=12)
+    print(breakdown_report(tracer))
+
+or run ``python -m repro.tools.trace`` for a full traced
+checkpoint/restart cycle of a NAS proxy application.
+"""
+
+from repro.obs.bridge import bind_event_log
+from repro.obs.export import (
+    chrome_trace,
+    metrics_dump,
+    write_chrome_trace,
+    write_metrics,
+)
+from repro.obs.metrics import (
+    NULL_METRICS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullMetricsRegistry,
+)
+from repro.obs.report import breakdown_report, op_summary, phase_rows
+from repro.obs.spans import (
+    NULL_TRACER,
+    Mark,
+    NullTracer,
+    Span,
+    Tracer,
+    get_tracer,
+    set_tracer,
+    use_tracer,
+)
+
+__all__ = [
+    "Span",
+    "Mark",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "get_tracer",
+    "set_tracer",
+    "use_tracer",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullMetricsRegistry",
+    "NULL_METRICS",
+    "chrome_trace",
+    "write_chrome_trace",
+    "metrics_dump",
+    "write_metrics",
+    "breakdown_report",
+    "op_summary",
+    "phase_rows",
+    "bind_event_log",
+]

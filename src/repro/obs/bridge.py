@@ -1,0 +1,39 @@
+"""Bridge the infra :class:`~repro.infra.events.EventLog` into a tracer.
+
+The DRMS daemons (RC, TCs, JSA, UIC) narrate through the event log on
+the *cluster* clock; checkpoint and streaming phases narrate through
+spans on the tracer's cursor.  :func:`bind_event_log` subscribes a
+listener that mirrors every emitted event as an instant mark at the
+event's own cluster time (and tallies ``events.<kind>`` counters), so
+daemon decisions — ``pool_formed``, ``checkpoint_rejected``,
+``restart_fallback`` — land on the same exported timeline as the
+application's I/O phases.  The JSA and RC keep the two clocks aligned by
+:meth:`~repro.obs.spans.Tracer.sync`-ing the cursor to the cluster clock
+around their operations.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+from repro.obs.spans import Tracer
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.infra.events import Event, EventLog
+
+__all__ = ["bind_event_log"]
+
+
+def bind_event_log(
+    tracer: Tracer, events: "EventLog", prefix: str = "event"
+) -> Callable[[], None]:
+    """Mirror every future ``events.emit`` into ``tracer`` as a mark
+    named ``<prefix>.<kind>`` plus an ``events.<kind>`` counter.
+    Returns an unbind callable that unsubscribes the listener."""
+
+    def _mirror(ev: "Event") -> None:
+        tracer.mark(f"{prefix}.{ev.kind}", sim_time=ev.time, **ev.detail)
+        tracer.metrics.counter(f"events.{ev.kind}").inc()
+
+    events.subscribe(_mirror)
+    return lambda: events.unsubscribe(_mirror)

@@ -1,0 +1,136 @@
+"""Exporters: Chrome trace-event JSON and flat metrics dumps.
+
+:func:`chrome_trace` renders a tracer's spans and marks in the Chrome
+trace-event format — drop the file onto ``about:tracing`` or
+https://ui.perfetto.dev and the checkpoint/restart phase hierarchy shows
+up as nested slices on the simulated timeline.  Durations are simulated
+seconds (the paper's currency), exported in microseconds as the format
+requires; each slice's ``args`` carries the span attributes plus the
+wall-clock seconds the phase actually took.
+
+:func:`metrics_dump` / :func:`write_metrics` emit the registry as flat
+``name -> number`` JSON (the ``BENCH_*.json`` shape the benchmark
+harness consumes).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Dict, List, Optional
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.spans import Tracer
+
+__all__ = [
+    "chrome_trace",
+    "write_chrome_trace",
+    "metrics_dump",
+    "write_metrics",
+]
+
+_US = 1e6  # trace-event timestamps are microseconds
+
+
+def _category(name: str) -> str:
+    """Slice category from the span/mark name's first dotted component."""
+    head = name.split(".", 1)[0].split(":", 1)[0].split("[", 1)[0]
+    return head or "span"
+
+
+def _jsonable(value):
+    try:
+        json.dumps(value)
+        return value
+    except (TypeError, ValueError):
+        return repr(value)
+
+
+def chrome_trace(tracer: Tracer, process_name: str = "repro") -> Dict:
+    """The tracer's record as a Chrome trace-event object.
+
+    Complete ``X`` (duration) events for finished spans, ``i`` (instant)
+    events for marks, plus process/thread-name metadata.  Open spans are
+    skipped — the export is a snapshot of completed work.
+    """
+    events: List[Dict] = [
+        {
+            "ph": "M",
+            "name": "process_name",
+            "pid": 0,
+            "tid": 0,
+            "args": {"name": process_name},
+        }
+    ]
+    # stable small thread ids, in order of first appearance
+    tids: Dict[int, int] = {}
+
+    def tid_of(ident: int) -> int:
+        if ident not in tids:
+            tids[ident] = len(tids)
+            events.append(
+                {
+                    "ph": "M",
+                    "name": "thread_name",
+                    "pid": 0,
+                    "tid": tids[ident],
+                    "args": {"name": f"task-thread-{tids[ident]}"},
+                }
+            )
+        return tids[ident]
+
+    for span in tracer.spans:
+        if not span.done:
+            continue
+        args = {k: _jsonable(v) for k, v in span.attrs.items()}
+        args["wall_seconds"] = span.wall_seconds
+        args["span_id"] = span.span_id
+        if span.parent_id is not None:
+            args["parent_id"] = span.parent_id
+        events.append(
+            {
+                "name": span.name,
+                "cat": _category(span.name),
+                "ph": "X",
+                "ts": span.sim_start * _US,
+                "dur": span.sim_seconds * _US,
+                "pid": 0,
+                "tid": tid_of(span.thread),
+                "args": args,
+            }
+        )
+    for mark in tracer.marks:
+        events.append(
+            {
+                "name": mark.name,
+                "cat": _category(mark.name),
+                "ph": "i",
+                "s": "p",  # process-scoped instant
+                "ts": mark.sim_time * _US,
+                "pid": 0,
+                "tid": 0,
+                "args": {k: _jsonable(v) for k, v in mark.attrs.items()},
+            }
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(path, tracer: Tracer, process_name: str = "repro") -> pathlib.Path:
+    """Serialize :func:`chrome_trace` to ``path``; returns the path."""
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(chrome_trace(tracer, process_name), indent=1))
+    return path
+
+
+def metrics_dump(metrics: MetricsRegistry) -> Dict[str, float]:
+    """Flat ``name -> number`` dump of the registry."""
+    return metrics.flat()
+
+
+def write_metrics(path, metrics: MetricsRegistry) -> pathlib.Path:
+    """Write the flat metrics dump as JSON; returns the path."""
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(metrics_dump(metrics), indent=1, sort_keys=True))
+    return path

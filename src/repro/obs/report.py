@@ -1,0 +1,98 @@
+"""Human-readable phase reports from a span tree.
+
+:func:`breakdown_report` reproduces the paper's Table 6-style cost
+accounting from live spans instead of hand-threaded breakdown objects:
+for every top-level ``checkpoint`` / ``restart`` span it renders one
+table of the operation's phases — simulated seconds, bytes, achieved
+MB/s, and the share of the operation total — and the phase rows sum to
+the root span by construction (the engine advances the trace clock only
+inside phase spans).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.obs.spans import Span, Tracer
+from repro.reporting.tables import Table
+
+__all__ = ["phase_rows", "breakdown_report", "op_summary"]
+
+_MB = 1e6  # the paper reports decimal MB/s
+
+#: root-span names the report treats as operations
+_OP_NAMES = ("checkpoint", "restart", "recover")
+
+
+def phase_rows(tracer: Tracer, root: Span) -> List[Dict]:
+    """One dict per direct child phase of ``root``: name, simulated
+    seconds, bytes (from the ``nbytes`` attribute), rate, share."""
+    total = root.sim_seconds
+    rows = []
+    for child in tracer.children(root):
+        seconds = child.sim_seconds
+        nbytes = int(child.attrs.get("nbytes", 0))
+        rows.append(
+            {
+                "phase": child.name,
+                "seconds": seconds,
+                "nbytes": nbytes,
+                "rate_mbps": nbytes / _MB / seconds if seconds else 0.0,
+                "share": seconds / total if total else 0.0,
+            }
+        )
+    return rows
+
+
+def op_summary(tracer: Tracer, root: Span) -> Dict:
+    """Totals for one operation root: seconds, bytes, phase sum —
+    ``phase_seconds`` equals ``seconds`` by construction (the
+    integration tests assert it)."""
+    rows = phase_rows(tracer, root)
+    return {
+        "name": root.name,
+        "kind": root.attrs.get("kind"),
+        "prefix": root.attrs.get("prefix"),
+        "ntasks": root.attrs.get("ntasks"),
+        "seconds": root.sim_seconds,
+        "phase_seconds": sum(r["seconds"] for r in rows),
+        "nbytes": sum(r["nbytes"] for r in rows),
+        "phases": rows,
+    }
+
+
+def breakdown_report(
+    tracer: Tracer, ops: Sequence[str] = _OP_NAMES
+) -> str:
+    """Render every top-level operation span named in ``ops`` as a
+    Table 6-style phase breakdown; empty string when none recorded."""
+    blocks = []
+    for root in tracer.roots():
+        if root.name not in ops or not root.done:
+            continue
+        kind = root.attrs.get("kind", "?")
+        title = (
+            f"{root.name} [{kind}] prefix={root.attrs.get('prefix', '?')} "
+            f"ntasks={root.attrs.get('ntasks', '?')}"
+        )
+        t = Table(["phase", "seconds", "MB", "MB/s", "% of op"], title=title)
+        for row in phase_rows(tracer, root):
+            t.add_row(
+                row["phase"],
+                row["seconds"],
+                row["nbytes"] / _MB,
+                row["rate_mbps"],
+                f"{100 * row['share']:.0f}%",
+            )
+        summary = op_summary(tracer, root)
+        t.add_row(
+            "TOTAL",
+            summary["seconds"],
+            summary["nbytes"] / _MB,
+            summary["nbytes"] / _MB / summary["seconds"]
+            if summary["seconds"]
+            else 0.0,
+            "100%",
+        )
+        blocks.append(t.render())
+    return "\n\n".join(blocks)

@@ -32,6 +32,7 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
 from repro.errors import IOFaultError, PFSError
+from repro.obs import get_tracer
 
 __all__ = ["WriteFault", "ReadFault", "FaultInjector", "flip_stored_bit"]
 
@@ -152,6 +153,9 @@ class FaultInjector:
                 if plan.seen == plan.nth:
                     plan.fired = True
                     self.log.append(("write", name, plan.mode))
+                    get_tracer().metrics.counter(
+                        f"pfs.faults.write.{plan.mode}"
+                    ).inc()
                     return plan
         return None
 
@@ -171,6 +175,7 @@ class FaultInjector:
                     self.log.append(
                         ("read", name, f"bit {plan.bit} of byte {pos} flipped")
                     )
+                    get_tracer().metrics.counter("pfs.faults.read.bitflip").inc()
                     buf = bytearray(data)
                     buf[pos] ^= 1 << plan.bit
                     return bytes(buf)
@@ -186,3 +191,4 @@ def flip_stored_bit(pfs, name: str, offset: int, bit: int = 0) -> None:
         raise PFSError("bit index must be within 0..7")
     f = pfs.open(name)
     f.flip_bit(offset, bit)
+    get_tracer().metrics.counter("pfs.faults.stored_bitflip").inc()

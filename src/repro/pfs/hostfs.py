@@ -17,6 +17,7 @@ import pathlib
 from typing import Optional
 
 from repro.errors import PFSError
+from repro.obs import get_tracer
 from repro.pfs.file import PFSFile
 from repro.pfs.params import PIOFSParams
 from repro.pfs.piofs import PIOFS
@@ -169,6 +170,7 @@ class HostFS(PIOFS):
                 virtual=virtual, path=path,
             )
             self._files[name] = f
+        get_tracer().metrics.counter("pfs.create.count").inc()
         if virtual:
             self._save_meta()
         return f
@@ -182,6 +184,7 @@ class HostFS(PIOFS):
         path = self.root / name
         if path.exists():
             path.unlink()
+        get_tracer().metrics.counter("pfs.unlink.count").inc()
         if f.virtual:
             self._save_meta()
 
@@ -200,6 +203,7 @@ class HostFS(PIOFS):
             del self._files[old]
             f.name = new
             self._files[new] = f
+        get_tracer().metrics.counter("pfs.rename.count").inc()
         self._save_meta()
 
     def write_at(self, name, offset, data, nbytes=None, client=0):

@@ -15,9 +15,11 @@ threads of an SPMD run may call concurrently.
 from __future__ import annotations
 
 import threading
+import time
 from typing import Dict, List, Optional
 
 from repro.errors import IOFaultError, PFSError
+from repro.obs import get_tracer
 from repro.pfs.file import PFSFile
 from repro.pfs.params import PIOFSParams
 from repro.pfs.phase import IOKind, IOPhaseResult, PhaseTransfer, solve_phase
@@ -59,6 +61,7 @@ class PIOFS:
                 virtual=virtual,
             )
             self._files[name] = f
+            get_tracer().metrics.counter("pfs.create.count").inc()
             return f
 
     def open(self, name: str) -> PFSFile:
@@ -83,6 +86,7 @@ class PIOFS:
             if name not in self._files:
                 raise PFSError(f"no such file: {name!r}")
             del self._files[name]
+        get_tracer().metrics.counter("pfs.unlink.count").inc()
 
     def rename(self, old: str, new: str) -> None:
         """Atomically rename ``old`` to ``new``, replacing any existing
@@ -96,6 +100,7 @@ class PIOFS:
             del self._files[old]
             f.name = new
             self._files[new] = f
+        get_tracer().metrics.counter("pfs.rename.count").inc()
 
     def file_size(self, name: str) -> int:
         return self.open(name).size
@@ -177,6 +182,13 @@ class PIOFS:
             file_sizes=file_sizes,
         )
         self.phase_log.append(result)
+        m = get_tracer().metrics
+        m.counter("pfs.phase.count").inc()
+        m.counter("pfs.phase.bytes").inc(result.total_bytes)
+        m.counter("pfs.phase.seconds").inc(result.seconds)
+        m.histogram(f"pfs.phase.seconds.{kind.value}").observe(result.seconds)
+        if result.pressured:
+            m.counter("pfs.phase.pressured").inc()
         return result
 
     def abort_phase(self) -> None:
@@ -187,6 +199,23 @@ class PIOFS:
             self._phase_kind = None
             self._phase_transfers = []
             self._phase_server_bytes = {}
+
+    def _meter(self, op: str, fname: str, nbytes: int, t0: Optional[float]) -> None:
+        """Per-operation observability: global and per-file counters
+        plus a wall-clock latency histogram (real I/O shows up for
+        HostFS; the in-memory PIOFS measures bookkeeping cost).  The
+        per-file series and latency histogram only exist when a real
+        tracer is active."""
+        m = get_tracer().metrics
+        m.counter(f"pfs.{op}.count").inc()
+        m.counter(f"pfs.{op}.bytes").inc(nbytes)
+        if m.enabled:
+            m.counter(f"pfs.{op}.count[{fname}]").inc()
+            m.counter(f"pfs.{op}.bytes[{fname}]").inc(nbytes)
+            if t0 is not None:
+                m.histogram(f"pfs.{op}.wall_seconds").observe(
+                    time.perf_counter() - t0
+                )
 
     def _record(self, client: int, f: PFSFile, offset: int, nbytes: int) -> None:
         # caller holds the lock
@@ -208,6 +237,7 @@ class PIOFS:
         client: int = 0,
     ) -> int:
         """Write into a file (recorded against the open phase, if any)."""
+        t0 = time.perf_counter() if get_tracer().enabled else None
         with self._lock:
             f = self._files.get(name)
             if f is None:
@@ -215,6 +245,7 @@ class PIOFS:
             data, nbytes, fault = self._faulted_write(name, data, nbytes)
             n = f.write_at(offset, data, nbytes)
             self._record(client, f, offset, n)
+            self._meter("write", name, n, t0)
             if fault is not None:
                 raise fault
             return n
@@ -227,6 +258,7 @@ class PIOFS:
         client: int = 0,
     ) -> int:
         """Sequential write at EOF (recorded against the open phase)."""
+        t0 = time.perf_counter() if get_tracer().enabled else None
         with self._lock:
             f = self._files.get(name)
             if f is None:
@@ -235,12 +267,14 @@ class PIOFS:
             data, nbytes, fault = self._faulted_write(name, data, nbytes)
             n = f.write_at(offset, data, nbytes)
             self._record(client, f, offset, n)
+            self._meter("write", name, n, t0)
             if fault is not None:
                 raise fault
             return n
 
     def read_at(self, name: str, offset: int, nbytes: int, client: int = 0) -> bytes:
         """Read from a file (recorded against the open phase, if any)."""
+        t0 = time.perf_counter() if get_tracer().enabled else None
         with self._lock:
             f = self._files.get(name)
             if f is None:
@@ -249,6 +283,7 @@ class PIOFS:
             if self.faults is not None:
                 out = self.faults.apply_read(name, out)
             self._record(client, f, offset, nbytes)
+            self._meter("read", name, nbytes, t0)
             return out
 
     def read_virtual(self, name: str, offset: int, nbytes: int, client: int = 0) -> None:
@@ -258,6 +293,7 @@ class PIOFS:
             if f is None:
                 raise PFSError(f"no such file: {name!r}")
             self._record(client, f, offset, nbytes)
+            self._meter("read", name, nbytes, None)
 
     # -- statistics ------------------------------------------------------------
 

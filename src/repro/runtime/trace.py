@@ -6,6 +6,16 @@ by wrapping the world after the run) to record every message with its
 simulated send time.  The summary answers the debugging questions a
 communication-heavy reproduction raises: per-pair traffic matrices,
 hot ranks, and a compact timeline.
+
+The tracer is a producer for the unified observability layer: every
+recorded message also increments ``comm.messages`` / ``comm.bytes`` in
+the active :class:`~repro.obs.metrics.MetricsRegistry` (a no-op under
+the default null tracer), so communication volume lands in the same
+dump as checkpoint and PFS accounting.
+
+Tracers stack: two tracers may attach to one world (an inner scoped
+tracer inside an outer run-wide one) and detach in any order — each
+detach unlinks only its own wrapper from the interception chain.
 """
 
 from __future__ import annotations
@@ -13,6 +23,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+from repro.obs import get_tracer
+from repro.obs.metrics import MetricsRegistry
 from repro.reporting.tables import Table
 from repro.runtime.comm import CommWorld
 
@@ -39,43 +51,75 @@ class CommTracer:
         with CommTracer(world) as tracer:
             ...  # run the tasks
         print(tracer.summary())
+
+    ``metrics`` routes the byte/message counters to an explicit
+    registry; by default they go to the active tracer's registry
+    (resolved at attach time).
     """
 
-    def __init__(self, world: CommWorld):
+    def __init__(self, world: CommWorld, metrics: Optional[MetricsRegistry] = None):
         self.world = world
         self.records: List[TraceRecord] = []
+        self.metrics = metrics
+        self._traced_send = None
         self._orig_send = None
 
     # -- lifecycle ---------------------------------------------------------
 
     def attach(self) -> "CommTracer":
         """Start recording (idempotent)."""
-        if self._orig_send is not None:
+        if self._traced_send is not None:
             return self
         self._orig_send = self.world.send
+        metrics = self.metrics if self.metrics is not None else get_tracer().metrics
 
         def traced_send(src, dst, tag, payload):
-            self._orig_send(src, dst, tag, payload)
+            # call through the (relinkable) chain link, not a closed-over
+            # reference: an inner tracer detaching mid-stack rewrites it
+            traced_send.inner(src, dst, tag, payload)
             from repro.runtime.message import payload_nbytes
 
+            nbytes = payload_nbytes(payload)
             self.records.append(
                 TraceRecord(
                     time=self.world.clocks[src].now,
                     src=src,
                     dst=dst,
                     tag=tag,
-                    nbytes=payload_nbytes(payload),
+                    nbytes=nbytes,
                 )
             )
+            metrics.counter("comm.messages").inc()
+            metrics.counter("comm.bytes").inc(nbytes)
 
+        traced_send.inner = self._orig_send
+        traced_send.tracer = self
+        self._traced_send = traced_send
         self.world.send = traced_send
         return self
 
     def detach(self) -> None:
-        """Stop recording and restore the world."""
-        if self._orig_send is not None:
-            self.world.send = self._orig_send
-            self._orig_send = None
+        """Stop recording and unlink this tracer's wrapper.
+
+        Safe under nesting: when another tracer attached on top of this
+        one, the wrapper is removed from the middle of the chain (the
+        outer tracer keeps recording) instead of clobbering
+        ``world.send`` with a stale function."""
+        wrapper = self._traced_send
+        if wrapper is None:
+            return
+        if self.world.send is wrapper:
+            self.world.send = wrapper.inner
+        else:
+            cur = self.world.send
+            while getattr(cur, "inner", None) is not None and cur.inner is not wrapper:
+                cur = cur.inner
+            if getattr(cur, "inner", None) is wrapper:
+                cur.inner = wrapper.inner
+            # else: send was replaced wholesale behind our back; nothing
+            # of ours is installed any more, so there is nothing to undo
+        self._traced_send = None
+        self._orig_send = None
 
     def __enter__(self) -> "CommTracer":
         return self.attach()
@@ -123,12 +167,21 @@ class CommTracer:
         return t.render()
 
     def timeline(self, bins: int = 10) -> List[int]:
-        """Bytes per simulated-time bin (message send times)."""
+        """Bytes per simulated-time bin over ``[t_min, t_max]``.
+
+        When every record shares one send time (e.g. all at 0.0 under a
+        fresh clock) there is no span to subdivide: the result is a
+        single bin holding all traffic, rather than an arbitrary
+        rescaled spread."""
         if not self.records:
             return [0] * bins
-        t_max = max(r.time for r in self.records) or 1.0
+        t_min = min(r.time for r in self.records)
+        t_max = max(r.time for r in self.records)
+        if t_max == t_min:
+            return [self.total_bytes]
+        span = t_max - t_min
         out = [0] * bins
         for r in self.records:
-            i = min(bins - 1, int(bins * r.time / t_max))
+            i = min(bins - 1, int(bins * (r.time - t_min) / span))
             out[i] += r.nbytes
         return out

@@ -23,6 +23,7 @@ from typing import Optional
 from repro.arrays.darray import DistributedArray
 from repro.arrays.slices import Slice
 from repro.errors import StreamingError
+from repro.obs import get_tracer
 from repro.streaming.order import bytes_to_section, check_order, stream_order_bytes
 from repro.streaming.partition import partition_for_target, piece_offsets
 from repro.streaming.serial import (
@@ -74,26 +75,38 @@ def stream_out_parallel(
             "streaming for sequential channels"
         )
     section, P, pieces, offsets = _plan(darray, section, P, order, target_bytes)
+    obs = get_tracer()
     total = 0
     redis = 0
-    for j, piece in enumerate(pieces):
-        if piece.is_empty:
-            continue
-        p = j % P  # I/O task for this piece (round-robin rounds of P)
-        nbytes = piece.size * darray.itemsize
-        if darray.store_data:
-            buf = gather_piece(darray, piece, order)
-            sink.write_at(offsets[j], stream_order_bytes(buf, order), client=p)
-        else:
-            sink.write_at(offsets[j], None, nbytes=nbytes, client=p)
-        redis += _piece_redistribution_bytes(darray, piece, p)
-        total += nbytes
+    with obs.span(
+        "stream.out.parallel", array=darray.name, io_tasks=P
+    ) as op:
+        for j, piece in enumerate(pieces):
+            if piece.is_empty:
+                continue
+            p = j % P  # I/O task for this piece (round-robin rounds of P)
+            nbytes = piece.size * darray.itemsize
+            piece_redis = _piece_redistribution_bytes(darray, piece, p)
+            with obs.span(
+                f"piece[{j}]",
+                nbytes=nbytes,
+                io_task=p,
+                redistribution_bytes=piece_redis,
+            ):
+                if darray.store_data:
+                    buf = gather_piece(darray, piece, order)
+                    sink.write_at(offsets[j], stream_order_bytes(buf, order), client=p)
+                else:
+                    sink.write_at(offsets[j], None, nbytes=nbytes, client=p)
+            redis += piece_redis
+            total += nbytes
+        op.set(pieces=len(pieces), nbytes=total, redistribution_bytes=redis)
     return StreamStats(
         pieces=len(pieces),
         bytes_streamed=total,
         redistribution_bytes=redis,
         io_tasks=P,
-    )
+    ).publish("out")
 
 
 def stream_in_parallel(
@@ -110,26 +123,38 @@ def stream_in_parallel(
     pieces at their stream offsets, then the canonical redistribution
     delivers each piece to every task mapping part of it."""
     section, P, pieces, offsets = _plan(darray, section, P, order, target_bytes)
+    obs = get_tracer()
     total = 0
     redis = 0
-    for j, piece in enumerate(pieces):
-        if piece.is_empty:
-            continue
-        p = j % P
-        nbytes = piece.size * darray.itemsize
-        data = source.read_at(source_offset + offsets[j], nbytes, client=p)
-        if darray.store_data:
-            if len(data) != nbytes:
-                raise StreamingError(
-                    f"short read: wanted {nbytes} bytes, got {len(data)}"
-                )
-            values = bytes_to_section(data, piece.shape, darray.dtype, order)
-            scatter_piece(darray, piece, values)
-        redis += _piece_redistribution_bytes(darray, piece, p)
-        total += nbytes
+    with obs.span(
+        "stream.in.parallel", array=darray.name, io_tasks=P
+    ) as op:
+        for j, piece in enumerate(pieces):
+            if piece.is_empty:
+                continue
+            p = j % P
+            nbytes = piece.size * darray.itemsize
+            piece_redis = _piece_redistribution_bytes(darray, piece, p)
+            with obs.span(
+                f"piece[{j}]",
+                nbytes=nbytes,
+                io_task=p,
+                redistribution_bytes=piece_redis,
+            ):
+                data = source.read_at(source_offset + offsets[j], nbytes, client=p)
+                if darray.store_data:
+                    if len(data) != nbytes:
+                        raise StreamingError(
+                            f"short read: wanted {nbytes} bytes, got {len(data)}"
+                        )
+                    values = bytes_to_section(data, piece.shape, darray.dtype, order)
+                    scatter_piece(darray, piece, values)
+            redis += piece_redis
+            total += nbytes
+        op.set(pieces=len(pieces), nbytes=total, redistribution_bytes=redis)
     return StreamStats(
         pieces=len(pieces),
         bytes_streamed=total,
         redistribution_bytes=redis,
         io_tasks=P,
-    )
+    ).publish("in")

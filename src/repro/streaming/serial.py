@@ -16,6 +16,7 @@ import numpy as np
 from repro.arrays.darray import DistributedArray
 from repro.arrays.slices import Slice
 from repro.errors import StreamingError
+from repro.obs import get_tracer
 from repro.streaming.order import bytes_to_section, check_order, stream_order_bytes
 from repro.streaming.partition import partition_for_target
 from repro.streaming.streams import ByteSink, ByteSource
@@ -32,6 +33,16 @@ class StreamStats:
     #: bytes moved between distinct tasks to marshal pieces
     redistribution_bytes: int
     io_tasks: int
+
+    def publish(self, direction: str) -> "StreamStats":
+        """Feed this operation's accounting into the active metrics
+        registry (``direction`` is ``"out"`` or ``"in"``) — StreamStats
+        stays the return value, the registry carries the totals."""
+        m = get_tracer().metrics
+        m.counter(f"stream.{direction}.bytes").inc(self.bytes_streamed)
+        m.counter(f"stream.{direction}.pieces").inc(self.pieces)
+        m.counter("stream.redistribution.bytes").inc(self.redistribution_bytes)
+        return self
 
 
 def gather_piece(darray: DistributedArray, piece: Slice, order: str = "F") -> np.ndarray:
@@ -86,22 +97,31 @@ def stream_out_serial(
     pieces = partition_for_target(
         section, darray.itemsize, target_bytes=target_bytes, min_pieces=1, order=order
     )
+    obs = get_tracer()
     total = 0
     redis = 0
-    for piece in pieces:
-        if piece.is_empty:
-            continue
-        nbytes = piece.size * darray.itemsize
-        if darray.store_data:
-            buf = gather_piece(darray, piece, order)
-            sink.append(stream_order_bytes(buf, order), client=io_task)
-        else:
-            sink.append(None, nbytes=nbytes, client=io_task)
-        redis += _piece_redistribution_bytes(darray, piece, io_task)
-        total += nbytes
+    with obs.span(
+        "stream.out.serial", array=darray.name, io_task=io_task
+    ) as op:
+        for j, piece in enumerate(pieces):
+            if piece.is_empty:
+                continue
+            nbytes = piece.size * darray.itemsize
+            piece_redis = _piece_redistribution_bytes(darray, piece, io_task)
+            with obs.span(
+                f"piece[{j}]", nbytes=nbytes, redistribution_bytes=piece_redis
+            ):
+                if darray.store_data:
+                    buf = gather_piece(darray, piece, order)
+                    sink.append(stream_order_bytes(buf, order), client=io_task)
+                else:
+                    sink.append(None, nbytes=nbytes, client=io_task)
+            redis += piece_redis
+            total += nbytes
+        op.set(pieces=len(pieces), nbytes=total, redistribution_bytes=redis)
     return StreamStats(
         pieces=len(pieces), bytes_streamed=total, redistribution_bytes=redis, io_tasks=1
-    )
+    ).publish("out")
 
 
 def stream_in_serial(
@@ -120,24 +140,33 @@ def stream_in_serial(
     pieces = partition_for_target(
         section, darray.itemsize, target_bytes=target_bytes, min_pieces=1, order=order
     )
+    obs = get_tracer()
     pos = source_offset
     total = 0
     redis = 0
-    for piece in pieces:
-        if piece.is_empty:
-            continue
-        nbytes = piece.size * darray.itemsize
-        data = source.read_at(pos, nbytes, client=io_task)
-        if darray.store_data:
-            if len(data) != nbytes:
-                raise StreamingError(
-                    f"short read: wanted {nbytes} bytes, got {len(data)}"
-                )
-            values = bytes_to_section(data, piece.shape, darray.dtype, order)
-            scatter_piece(darray, piece, values)
-        redis += _piece_redistribution_bytes(darray, piece, io_task)
-        pos += nbytes
-        total += nbytes
+    with obs.span(
+        "stream.in.serial", array=darray.name, io_task=io_task
+    ) as op:
+        for j, piece in enumerate(pieces):
+            if piece.is_empty:
+                continue
+            nbytes = piece.size * darray.itemsize
+            piece_redis = _piece_redistribution_bytes(darray, piece, io_task)
+            with obs.span(
+                f"piece[{j}]", nbytes=nbytes, redistribution_bytes=piece_redis
+            ):
+                data = source.read_at(pos, nbytes, client=io_task)
+                if darray.store_data:
+                    if len(data) != nbytes:
+                        raise StreamingError(
+                            f"short read: wanted {nbytes} bytes, got {len(data)}"
+                        )
+                    values = bytes_to_section(data, piece.shape, darray.dtype, order)
+                    scatter_piece(darray, piece, values)
+            redis += piece_redis
+            pos += nbytes
+            total += nbytes
+        op.set(pieces=len(pieces), nbytes=total, redistribution_bytes=redis)
     return StreamStats(
         pieces=len(pieces), bytes_streamed=total, redistribution_bytes=redis, io_tasks=1
-    )
+    ).publish("in")

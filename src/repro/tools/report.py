@@ -2,10 +2,13 @@
 
 Usage::
 
-    python -m repro.tools.report [--out DIR]
+    python -m repro.tools.report [--out DIR] [--trace TRACE_DIR]
 
 Prints the full reproduction report (Tables 1, 3, 4, 5, 6 and
-Figure 7) and, with ``--out``, writes each artifact to a file.
+Figure 7) and, with ``--out``, writes each artifact to a file.  With
+``--trace``, additionally runs one traced checkpoint/restart lifecycle
+(see :mod:`repro.tools.trace`) and writes its Chrome trace, metrics
+dump, and phase breakdown under ``TRACE_DIR``.
 """
 
 from __future__ import annotations
@@ -51,8 +54,19 @@ def main(argv=None) -> int:
         prog="repro.tools.report", description=__doc__
     )
     parser.add_argument("--out", default=None, help="directory for .txt artifacts")
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="TRACE_DIR",
+        help="also run one traced checkpoint/restart lifecycle and write "
+        "trace.json / metrics.json / breakdown.txt here",
+    )
     args = parser.parse_args(argv)
     generate_report(args.out)
+    if args.trace:
+        from repro.tools.trace import export_all, trace_lifecycle
+
+        export_all(trace_lifecycle(), args.trace)
     return 0
 
 

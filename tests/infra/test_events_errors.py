@@ -24,6 +24,55 @@ class TestEventLog:
         assert log.last("a").detail == {"x": 1}
         assert log.of_kind("c") == []
 
+    def test_of_kind_detail_filter(self):
+        log = EventLog()
+        log.emit(1.0, "checkpoint_rejected", prefix="ck.3", job="bt")
+        log.emit(2.0, "checkpoint_rejected", prefix="ck.2", job="lu")
+        hits = log.of_kind("checkpoint_rejected", prefix="ck.2")
+        assert [e.time for e in hits] == [2.0]
+        assert log.of_kind("checkpoint_rejected", prefix="ck.2", job="bt") == []
+        # filtering on an absent key matches nothing
+        assert log.of_kind("checkpoint_rejected", node=7) == []
+
+    def test_between_window_is_closed(self):
+        log = EventLog()
+        for t in (0.0, 1.0, 2.0, 3.0):
+            log.emit(t, "tick")
+        log.emit(2.5, "tock")
+        assert [e.time for e in log.between(1.0, 2.5)] == [1.0, 2.0, 2.5]
+        assert [e.time for e in log.between(1.0, 2.5, kind="tick")] == [1.0, 2.0]
+        assert log.between(10.0, 20.0) == []
+
+    def test_where_predicate(self):
+        log = EventLog()
+        log.emit(1.0, "a", node=1)
+        log.emit(2.0, "b", node=2)
+        assert [e.kind for e in log.where(lambda e: e.detail.get("node") == 2)] == ["b"]
+
+    def test_to_json_round_trips(self):
+        import json
+
+        log = EventLog()
+        log.emit(1.5, "pool_formed", pool=[0, 1], job="bt")
+        log.emit(2.0, "odd_detail", payload=object())  # falls back to repr
+        doc = json.loads(log.to_json(indent=2))
+        assert doc[0] == {
+            "time": 1.5,
+            "kind": "pool_formed",
+            "detail": {"pool": [0, 1], "job": "bt"},
+        }
+        assert isinstance(doc[1]["detail"]["payload"], str)
+
+    def test_subscribe_and_unsubscribe(self):
+        log = EventLog()
+        seen = []
+        listener = log.subscribe(seen.append)
+        log.emit(1.0, "a")
+        log.unsubscribe(listener)
+        log.emit(2.0, "b")
+        assert [e.kind for e in seen] == ["a"]
+        log.unsubscribe(listener)  # second unsubscribe is a no-op
+
     def test_repr_compact(self):
         ev = Event(1.5, "boom", {"node": 3})
         assert "boom" in repr(ev)

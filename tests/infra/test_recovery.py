@@ -246,10 +246,8 @@ def test_recovery_falls_back_past_corrupt_newest_checkpoint(cluster):
     assert "checkpoint_rejected" in kinds
     assert "checkpoint_verified" in kinds
     assert "restart_fallback" in kinds
-    rejected = cluster.events.of_kind("checkpoint_rejected")[0]
-    assert rejected.detail["prefix"] == "ck.000003"
-    fallback = cluster.events.of_kind("restart_fallback")[0]
-    assert fallback.detail["prefix"] == "ck.000002"
+    assert cluster.events.of_kind("checkpoint_rejected", prefix="ck.000003")
+    (fallback,) = cluster.events.of_kind("restart_fallback", prefix="ck.000002")
     assert fallback.detail["skipped"] == ["ck.000003"]
 
 
@@ -276,8 +274,8 @@ def test_bit_flip_in_newest_generation_falls_back_automatically(cluster):
     assert report.restarted_from == "ck.000002"
     g = report.arrays["u"].to_global()
     assert np.all(g == 1.0 + NITER)
-    rejected = cluster.events.of_kind("checkpoint_rejected")
-    assert rejected and rejected[0].detail["prefix"] == "ck.000003"
+    rejected = cluster.events.of_kind("checkpoint_rejected", prefix="ck.000003")
+    assert rejected
     assert any("checksum mismatch" in e for e in rejected[0].detail["errors"])
     assert cluster.events.of_kind("restart_fallback")
     kinds = [e.kind for e in cluster.events]
@@ -292,6 +290,5 @@ def test_recovery_event_log_records_verification(cluster):
         "j", app, 6, args=("ck",), prefix="ck",
         failure=FailurePlan(iteration=7, node_id=1),
     )
-    verified = cluster.events.of_kind("checkpoint_verified")
-    assert verified and verified[0].detail["prefix"] == "ck.000002"
+    assert cluster.events.of_kind("checkpoint_verified", prefix="ck.000002")
     assert not cluster.events.of_kind("restart_fallback")

@@ -1,0 +1,44 @@
+"""EventLog -> tracer bridge."""
+
+from repro.infra.events import EventLog
+from repro.obs import Tracer, bind_event_log
+
+
+def test_emits_become_marks_and_counters():
+    tr = Tracer()
+    log = EventLog()
+    unbind = bind_event_log(tr, log)
+    log.emit(10.0, "pool_formed", job="bt", pool=(0, 1, 2))
+    log.emit(12.5, "checkpoint_rejected", prefix="ck")
+    assert [m.name for m in tr.marks] == [
+        "event.pool_formed",
+        "event.checkpoint_rejected",
+    ]
+    # marks land at the event's own cluster time, not the cursor
+    assert tr.marks[0].sim_time == 10.0
+    assert tr.marks[0].attrs == {"job": "bt", "pool": (0, 1, 2)}
+    assert tr.metrics.flat() == {
+        "events.pool_formed": 1.0,
+        "events.checkpoint_rejected": 1.0,
+    }
+    unbind()
+
+
+def test_unbind_stops_mirroring():
+    tr = Tracer()
+    log = EventLog()
+    unbind = bind_event_log(tr, log)
+    log.emit(1.0, "disconnect", node=3)
+    unbind()
+    log.emit(2.0, "disconnect", node=4)
+    assert len(tr.marks) == 1
+    assert tr.metrics.counter("events.disconnect").value == 1.0
+    unbind()  # second unbind is a no-op
+
+
+def test_custom_prefix():
+    tr = Tracer()
+    log = EventLog()
+    bind_event_log(tr, log, prefix="rc")
+    log.emit(0.0, "node_failed", node=1)
+    assert tr.marks[0].name == "rc.node_failed"

@@ -1,0 +1,96 @@
+"""Chrome trace-event export: schema and JSON round-trip."""
+
+import json
+
+from repro.obs import Tracer, chrome_trace, metrics_dump, write_chrome_trace
+
+
+def _sample_tracer() -> Tracer:
+    tr = Tracer()
+    with tr.span("checkpoint", kind="drms", prefix="ck") as op:
+        with tr.span("segment_write", nbytes=1000):
+            tr.advance(2.0)
+        with tr.span("parstream:u", nbytes=4000):
+            tr.advance(1.5)
+        op.set(nbytes=5000)
+    tr.mark("restart_fallback", chosen="ck")
+    return tr
+
+
+class TestChromeTrace:
+    def test_round_trips_through_json(self):
+        doc = chrome_trace(_sample_tracer())
+        restored = json.loads(json.dumps(doc))
+        assert restored == doc
+        assert restored["displayTimeUnit"] == "ms"
+
+    def test_event_schema(self):
+        doc = chrome_trace(_sample_tracer(), process_name="proc")
+        events = doc["traceEvents"]
+        phases = {e["ph"] for e in events}
+        assert phases == {"M", "X", "i"}
+
+        meta = [e for e in events if e["ph"] == "M"]
+        assert {"name": "proc"} in [m["args"] for m in meta if m["name"] == "process_name"]
+
+        slices = {e["name"]: e for e in events if e["ph"] == "X"}
+        assert set(slices) == {"checkpoint", "segment_write", "parstream:u"}
+        op = slices["checkpoint"]
+        # simulated seconds exported as microseconds
+        assert op["dur"] == 3.5e6
+        assert slices["segment_write"]["ts"] == 0.0
+        assert slices["parstream:u"]["ts"] == 2.0e6
+        # children tile the parent slice
+        assert op["dur"] == slices["segment_write"]["dur"] + slices["parstream:u"]["dur"]
+        # attrs ride along in args, plus the wall clock and span links
+        assert op["args"]["kind"] == "drms"
+        assert op["args"]["nbytes"] == 5000
+        assert "wall_seconds" in op["args"]
+        assert slices["segment_write"]["args"]["parent_id"] == op["args"]["span_id"]
+        # category comes from the name's first component
+        assert slices["parstream:u"]["cat"] == "parstream"
+
+        instants = [e for e in events if e["ph"] == "i"]
+        assert instants[0]["name"] == "restart_fallback"
+        assert instants[0]["s"] == "p"
+        assert instants[0]["args"] == {"chosen": "ck"}
+
+    def test_open_spans_are_skipped(self):
+        tr = Tracer()
+        tr.start("never-closed")
+        names = [e["name"] for e in chrome_trace(tr)["traceEvents"] if e["ph"] == "X"]
+        assert "never-closed" not in names
+
+    def test_non_json_attrs_fall_back_to_repr(self):
+        tr = Tracer()
+        with tr.span("op", payload=object()) as sp:
+            pass
+        doc = json.loads(json.dumps(chrome_trace(tr)))
+        (ev,) = [e for e in doc["traceEvents"] if e["name"] == "op"]
+        assert isinstance(ev["args"]["payload"], str)
+
+    def test_write_chrome_trace_creates_loadable_file(self, tmp_path):
+        path = write_chrome_trace(tmp_path / "deep" / "trace.json", _sample_tracer())
+        doc = json.loads(path.read_text())
+        assert doc["traceEvents"]
+
+    def test_spans_on_two_threads_get_distinct_tids(self):
+        import threading
+
+        tr = Tracer()
+        with tr.span("main-op"):
+            tr.advance(1.0)
+        t = threading.Thread(target=lambda: tr.end(tr.start("worker-op")))
+        t.start()
+        t.join()
+        events = chrome_trace(tr)["traceEvents"]
+        tids = {e["name"]: e["tid"] for e in events if e["ph"] == "X"}
+        assert tids["main-op"] != tids["worker-op"]
+        thread_names = [e for e in events if e["ph"] == "M" and e["name"] == "thread_name"]
+        assert len(thread_names) == 2
+
+
+def test_metrics_dump_is_the_flat_registry():
+    tr = Tracer()
+    tr.metrics.counter("stream.out.bytes").inc(512)
+    assert metrics_dump(tr.metrics) == {"stream.out.bytes": 512.0}

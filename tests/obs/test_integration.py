@@ -1,0 +1,106 @@
+"""End-to-end: a traced checkpoint + reconfigured restart.
+
+The ISSUE's acceptance test: under a live tracer, the engine spans'
+phase breakdown sums to the end-to-end operation span, and the metrics
+registry's I/O and redistribution byte counters agree with the
+engines' own accounting (breakdowns / StreamStats)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.arrays.darray import DistributedArray
+from repro.arrays.distributions import block_distribution
+from repro.checkpoint.drms import drms_checkpoint, drms_restart
+from repro.checkpoint.segment import DataSegment, SegmentProfile
+from repro.obs import Tracer, breakdown_report, chrome_trace, use_tracer
+from repro.obs.report import op_summary
+from repro.pfs.piofs import PIOFS
+from repro.runtime.machine import Machine, MachineParams
+
+
+@pytest.fixture()
+def traced_lifecycle():
+    """One checkpoint on 8 tasks + restart on 6, under a fresh tracer."""
+    machine = Machine(MachineParams(num_nodes=16))
+    machine.place_tasks(8)
+    pfs = PIOFS(machine=machine)
+    arr = DistributedArray("u", (32, 32), np.float64, block_distribution((32, 32), 8))
+    arr.set_global(np.arange(32 * 32, dtype=np.float64).reshape(32, 32))
+    seg = DataSegment(profile=SegmentProfile(50_000, 0, 0))
+    tracer = Tracer()
+    with use_tracer(tracer):
+        ck_bd = drms_checkpoint(pfs, "ck", seg, [arr])
+        state, rs_bd = drms_restart(pfs, "ck", 6)
+    return tracer, ck_bd, rs_bd, state, arr
+
+
+def test_phase_breakdown_sums_to_total(traced_lifecycle):
+    tracer, ck_bd, rs_bd, _, _ = traced_lifecycle
+    roots = {r.name: r for r in tracer.roots()}
+    assert set(roots) == {"checkpoint", "restart"}
+    for name, bd in (("checkpoint", ck_bd), ("restart", rs_bd)):
+        summary = op_summary(tracer, roots[name])
+        # phases tile the operation span exactly
+        assert summary["phase_seconds"] == pytest.approx(summary["seconds"])
+        # and the span tree agrees with the engine's own breakdown
+        assert summary["seconds"] == pytest.approx(bd.total_seconds)
+
+
+def test_span_bytes_match_engine_breakdowns(traced_lifecycle):
+    tracer, ck_bd, rs_bd, _, arr = traced_lifecycle
+    roots = {r.name: r for r in tracer.roots()}
+    ck = op_summary(tracer, roots["checkpoint"])
+    # phases = segment + arrays + the (tiny) manifest commit
+    (manifest_row,) = [r for r in ck["phases"] if r["phase"] == "manifest_commit"]
+    assert ck["nbytes"] == ck_bd.total_bytes + manifest_row["nbytes"]
+    seg_rows = [r for r in ck["phases"] if r["phase"] == "segment_write"]
+    assert seg_rows[0]["nbytes"] == ck_bd.segment_bytes
+    (ps_row,) = [r for r in ck["phases"] if r["phase"] == "parstream:u"]
+    assert ps_row["nbytes"] == arr.nbytes_global == ck_bd.arrays_bytes
+
+    rs = op_summary(tracer, roots["restart"])
+    assert rs["kind"] == "drms"
+    assert roots["restart"].attrs["ntasks"] == 6
+    assert roots["restart"].attrs["checkpoint_ntasks"] == 8
+
+
+def test_stream_counters_match_checkpoint_bytes(traced_lifecycle):
+    tracer, ck_bd, _, _, arr = traced_lifecycle
+    flat = tracer.metrics.flat()
+    # every array byte left through the out-streamer and came back in
+    assert flat["stream.out.bytes"] == arr.nbytes_global == ck_bd.arrays_bytes
+    assert flat["stream.in.bytes"] == arr.nbytes_global
+    # redistribution traffic is recorded (8-task layout -> 6-task layout
+    # forces off-task pieces on restart)
+    assert flat["stream.redistribution.bytes"] > 0
+
+
+def test_breakdown_metrics_match_breakdown_objects(traced_lifecycle):
+    tracer, ck_bd, rs_bd, _, _ = traced_lifecycle
+    flat = tracer.metrics.flat()
+    assert flat["checkpoint.drms.count"] == 1.0
+    assert flat["checkpoint.drms.segment.bytes"] == ck_bd.segment_bytes
+    assert flat["checkpoint.drms.arrays.seconds"] == pytest.approx(ck_bd.arrays_seconds)
+    assert flat["checkpoint.drms.total.seconds"] == pytest.approx(ck_bd.total_seconds)
+    assert flat["restart.drms.other.seconds"] == pytest.approx(rs_bd.other_seconds)
+    assert flat["restart.drms.total.seconds"] == pytest.approx(rs_bd.total_seconds)
+
+
+def test_restart_restores_data_on_new_task_count(traced_lifecycle):
+    _, _, _, state, arr = traced_lifecycle
+    restored = state.arrays["u"]
+    assert restored.ntasks == 6
+    np.testing.assert_array_equal(restored.to_global(), arr.to_global())
+
+
+def test_report_and_chrome_trace_render(traced_lifecycle):
+    tracer, _, _, _, _ = traced_lifecycle
+    report = breakdown_report(tracer)
+    assert "checkpoint [drms]" in report
+    assert "restart [drms]" in report
+    assert "TOTAL" in report
+    doc = json.loads(json.dumps(chrome_trace(tracer)))
+    names = {e["name"] for e in doc["traceEvents"] if e["ph"] == "X"}
+    assert {"checkpoint", "restart", "segment_write", "parstream:u"} <= names

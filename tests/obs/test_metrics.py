@@ -1,0 +1,88 @@
+"""Counters, gauges, histograms, and the registry dumps."""
+
+import pytest
+
+from repro.obs import NULL_METRICS, MetricsRegistry, NullMetricsRegistry
+
+
+class TestInstruments:
+    def test_counter_accumulates_and_is_monotone(self):
+        reg = MetricsRegistry()
+        c = reg.counter("pfs.write.bytes")
+        c.inc(100)
+        c.inc(0.5)
+        assert c.value == pytest.approx(100.5)
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_get_or_create_returns_same_instrument(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.gauge("g") is reg.gauge("g")
+        assert reg.histogram("h") is reg.histogram("h")
+
+    def test_gauge_last_write_wins(self):
+        g = MetricsRegistry().gauge("depth")
+        g.set(3)
+        g.set(7)
+        assert g.value == 7.0
+
+    def test_histogram_summary_and_percentiles(self):
+        h = MetricsRegistry().histogram("lat")
+        for v in range(1, 101):  # 1..100
+            h.observe(v)
+        s = h.summary()
+        assert s["count"] == 100
+        assert s["sum"] == pytest.approx(5050)
+        assert s["mean"] == pytest.approx(50.5)
+        assert s["min"] == 1 and s["max"] == 100
+        assert s["p50"] == pytest.approx(50, abs=1)
+        assert s["p90"] == pytest.approx(90, abs=1)
+        assert s["p99"] == pytest.approx(99, abs=1)
+
+    def test_empty_histogram_summary_is_zeroed(self):
+        s = MetricsRegistry().histogram("never").summary()
+        assert s["count"] == 0
+        assert s["p99"] == 0.0
+
+    def test_percentile_range_checked(self):
+        h = MetricsRegistry().histogram("x")
+        with pytest.raises(ValueError):
+            h.percentile(101)
+
+
+class TestDumps:
+    def test_flat_expands_histograms(self):
+        reg = MetricsRegistry()
+        reg.counter("stream.out.bytes").inc(1000)
+        reg.gauge("pool.size").set(4)
+        reg.histogram("pfs.phase.seconds.write_serial").observe(2.0)
+        flat = reg.flat()
+        assert flat["stream.out.bytes"] == 1000.0
+        assert flat["pool.size"] == 4.0
+        assert flat["pfs.phase.seconds.write_serial.count"] == 1
+        assert flat["pfs.phase.seconds.write_serial.mean"] == pytest.approx(2.0)
+        assert flat["pfs.phase.seconds.write_serial.p50"] == pytest.approx(2.0)
+        # flat dump is sorted by name
+        assert list(flat) == sorted(flat)
+
+    def test_to_dict_structured(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        d = reg.to_dict()
+        assert d["counters"] == {"c": 1.0}
+        assert d["gauges"] == {} and d["histograms"] == {}
+
+
+class TestNullRegistry:
+    def test_all_lookups_share_one_inert_instrument(self):
+        reg = NullMetricsRegistry()
+        assert reg.counter("a") is reg.counter("b") is reg.histogram("c")
+        reg.counter("a").inc(5)
+        reg.histogram("c").observe(1.0)
+        assert reg.flat() == {}
+        assert NULL_METRICS.to_dict() == {
+            "counters": {},
+            "gauges": {},
+            "histograms": {},
+        }

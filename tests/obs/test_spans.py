@@ -1,0 +1,152 @@
+"""Span nesting, clock semantics, and the null tracer."""
+
+import threading
+import time
+
+import pytest
+
+from repro.obs import (
+    NULL_TRACER,
+    NullTracer,
+    Tracer,
+    get_tracer,
+    set_tracer,
+    use_tracer,
+)
+
+
+class TestSpanNesting:
+    def test_parent_child_links(self):
+        tr = Tracer()
+        with tr.span("outer") as outer:
+            with tr.span("inner") as inner:
+                pass
+        assert inner.parent_id == outer.span_id
+        assert tr.roots() == [outer]
+        assert tr.children(outer) == [inner]
+
+    def test_siblings_tile_the_sim_timeline(self):
+        tr = Tracer()
+        with tr.span("op") as op:
+            with tr.span("a"):
+                tr.advance(2.0)
+            with tr.span("b"):
+                tr.advance(3.0)
+        assert op.sim_seconds == pytest.approx(5.0)
+        a, b = tr.find("a")[0], tr.find("b")[0]
+        assert a.sim_seconds == pytest.approx(2.0)
+        assert b.sim_seconds == pytest.approx(3.0)
+        # sibling b starts exactly where a ended: the phases tile
+        assert b.sim_start == pytest.approx(a.sim_end)
+        assert op.sim_seconds == pytest.approx(a.sim_seconds + b.sim_seconds)
+
+    def test_wall_clock_advances_even_without_sim_time(self):
+        tr = Tracer()
+        with tr.span("idle"):
+            time.sleep(0.002)
+        s = tr.find("idle")[0]
+        assert s.sim_seconds == 0.0
+        assert s.wall_seconds > 0.0
+
+    def test_exception_records_error_attr_and_closes(self):
+        tr = Tracer()
+        with pytest.raises(ValueError):
+            with tr.span("doomed"):
+                raise ValueError("boom")
+        s = tr.find("doomed")[0]
+        assert s.done
+        assert "ValueError" in s.attrs["error"]
+
+    def test_per_thread_stacks_are_independent(self):
+        tr = Tracer()
+        started = threading.Event()
+        release = threading.Event()
+
+        def worker():
+            with tr.span("worker-root"):
+                started.set()
+                release.wait(timeout=5)
+
+        t = threading.Thread(target=worker)
+        with tr.span("main-root"):
+            t.start()
+            started.wait(timeout=5)
+            release.set()
+            t.join()
+        w = tr.find("worker-root")[0]
+        # the worker's span is a root of its own thread, not a child of
+        # the span open on the main thread
+        assert w.parent_id is None
+        assert len(tr.roots()) == 2
+
+    def test_advance_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Tracer().advance(-1.0)
+
+    def test_sync_is_forward_only(self):
+        tr = Tracer()
+        tr.sync(10.0)
+        assert tr.sim_now == 10.0
+        tr.sync(5.0)  # never backward
+        assert tr.sim_now == 10.0
+
+    def test_marks_record_cursor_or_explicit_time(self):
+        tr = Tracer()
+        tr.advance(4.0)
+        m1 = tr.mark("at-cursor")
+        m2 = tr.mark("explicit", sim_time=1.5, node=3)
+        assert m1.sim_time == pytest.approx(4.0)
+        assert m2.sim_time == pytest.approx(1.5)
+        assert m2.attrs == {"node": 3}
+
+
+class TestCurrentTracer:
+    def test_default_is_the_shared_null(self):
+        assert get_tracer() is NULL_TRACER
+
+    def test_use_tracer_scopes_and_restores(self):
+        tr = Tracer()
+        with use_tracer(tr) as active:
+            assert active is tr
+            assert get_tracer() is tr
+        assert get_tracer() is NULL_TRACER
+
+    def test_set_tracer_none_restores_null(self):
+        set_tracer(Tracer())
+        try:
+            assert get_tracer() is not NULL_TRACER
+        finally:
+            set_tracer(None)
+        assert get_tracer() is NULL_TRACER
+
+
+class TestNullTracer:
+    def test_records_nothing(self):
+        nt = NullTracer()
+        with nt.span("x", a=1) as s:
+            nt.advance(5.0)
+            nt.mark("m")
+            s.set(b=2)
+        assert nt.spans == []
+        assert nt.marks == []
+        assert nt.sim_now == 0.0
+        assert not nt.enabled
+        assert not nt.metrics.enabled
+
+    def test_span_context_is_shared_and_reusable(self):
+        nt = NullTracer()
+        assert nt.span("a") is nt.span("b")
+
+    def test_null_overhead_smoke(self):
+        """Instrumented hot paths under the null tracer stay cheap: one
+        global read + no-op calls.  Loose bound — this is a smoke test
+        against accidental allocation, not a benchmark."""
+        n = 20_000
+        t0 = time.perf_counter()
+        for _ in range(n):
+            obs = get_tracer()
+            with obs.span("piece", nbytes=4096):
+                pass
+            obs.metrics.counter("x.bytes").inc(4096)
+        per_op = (time.perf_counter() - t0) / n
+        assert per_op < 50e-6  # 50 microseconds per fully-null operation

@@ -54,6 +54,36 @@ def test_attach_idempotent():
     assert tr.total_messages == 3
 
 
+def test_nested_tracers_detach_inner_first():
+    world = CommWorld(2)
+    outer = CommTracer(world).attach()
+    inner = CommTracer(world).attach()
+    run_pattern(world)  # both see 3
+    inner.detach()
+    run_pattern(world)  # only outer sees these
+    outer.detach()
+    run_pattern(world)  # untraced
+    assert inner.total_messages == 3
+    assert outer.total_messages == 6
+    assert world.total_messages == 9
+
+
+def test_nested_tracers_detach_outer_first():
+    """Regression: detaching the outer tracer while an inner one is
+    still attached must unlink only the outer wrapper from the middle
+    of the chain, not clobber world.send with a stale function."""
+    world = CommWorld(2)
+    outer = CommTracer(world).attach()
+    inner = CommTracer(world).attach()
+    outer.detach()
+    run_pattern(world)  # inner keeps recording
+    inner.detach()
+    run_pattern(world)  # untraced
+    assert outer.total_messages == 0
+    assert inner.total_messages == 3
+    assert world.total_messages == 6
+
+
 def test_summary_renders():
     world = CommWorld(2)
     with CommTracer(world) as tr:
@@ -74,6 +104,39 @@ def test_timeline_bins_sum_to_total():
 
 def test_empty_timeline():
     assert CommTracer(CommWorld(2)).timeline(bins=3) == [0, 0, 0]
+
+
+def test_degenerate_timeline_is_a_single_bin():
+    """Regression: when every record shares one send time there is no
+    span to subdivide — all traffic lands in one bin instead of an
+    arbitrary rescaled spread."""
+    from repro.runtime.trace import TraceRecord
+
+    tr = CommTracer(CommWorld(2))
+    for nbytes in (100, 50, 25):
+        tr.records.append(TraceRecord(time=0.0, src=0, dst=1, tag=1, nbytes=nbytes))
+    assert tr.timeline(bins=10) == [tr.total_bytes] == [175]
+
+
+def test_messages_publish_to_active_metrics_registry():
+    from repro.obs import Tracer, use_tracer
+
+    world = CommWorld(2)
+    with use_tracer(Tracer()) as obs:
+        with CommTracer(world) as tr:
+            run_pattern(world)
+    assert obs.metrics.counter("comm.messages").value == tr.total_messages
+    assert obs.metrics.counter("comm.bytes").value == tr.total_bytes
+
+
+def test_explicit_registry_overrides_active_tracer():
+    from repro.obs.metrics import MetricsRegistry
+
+    world = CommWorld(2)
+    reg = MetricsRegistry()
+    with CommTracer(world, metrics=reg):
+        run_pattern(world)
+    assert reg.counter("comm.bytes").value == 175
 
 
 def test_traces_collectives_in_spmd_run():
