@@ -1,6 +1,10 @@
 PYTHON ?= python
 
-.PHONY: install test verify-checkpoints bench report trace obs-report examples all clean
+.PHONY: install test verify-checkpoints verify-reconfig verify-reconfig-deep bench report trace obs-report examples all clean
+
+# fixed seed so the gate is fully deterministic; DEEP_SEED rotates daily
+VERIFY_SEED ?= 20260806
+DEEP_SEED ?= $(shell date +%Y%m%d)
 
 install:
 	$(PYTHON) setup.py develop
@@ -10,6 +14,22 @@ test:
 
 verify-checkpoints:
 	PYTHONPATH=src $(PYTHON) -m pytest -m crash_consistency tests/
+
+# the differential reconfiguration harness (DESIGN.md section 10):
+# 220 seeded (t1,p1)->(t2,p2) cases across all three engines plus 40
+# fault-schedule recovery cases, the known-bad shrinker demo, and the
+# property/corpus tests
+verify-reconfig:
+	PYTHONPATH=src $(PYTHON) -m repro.verify run --seed $(VERIFY_SEED) \
+		--cases 220 --fault-cases 40 --out verify_out
+	PYTHONPATH=src $(PYTHON) -m repro.verify known-bad
+	PYTHONPATH=src $(PYTHON) -m pytest -m verify tests/
+
+# fresh seed every day, 10x the case volume; failures shrink to
+# replayable JSON reproducers under verify_out/
+verify-reconfig-deep:
+	PYTHONPATH=src $(PYTHON) -m repro.verify run --seed $(DEEP_SEED) \
+		--cases 2000 --fault-cases 400 --out verify_out
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
@@ -32,5 +52,5 @@ examples:
 all: test bench examples
 
 clean:
-	rm -rf benchmarks/out trace_out .pytest_cache .hypothesis
+	rm -rf benchmarks/out trace_out verify_out .pytest_cache .hypothesis
 	find . -name __pycache__ -type d -exec rm -rf {} +

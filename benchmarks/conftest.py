@@ -4,15 +4,61 @@ Every bench regenerates one table or figure of the paper's evaluation,
 prints it (visible with ``pytest benchmarks/ --benchmark-only -s``) and
 persists it under ``benchmarks/out/`` so the reproduction artifacts
 survive the run.
+
+``benchmarks/out/`` ships seed artifacts from a prior run (committed
+with epoch mtimes); nothing reads them back, so a stale or unwritable
+``out/`` must never *fail* a bench — a bench that cannot persist its
+artifact skips cleanly and points at ``make clean``.
 """
 
 from __future__ import annotations
 
 import pathlib
+from typing import List, Optional
 
 import pytest
 
-OUT_DIR = pathlib.Path(__file__).parent / "out"
+BENCH_DIR = pathlib.Path(__file__).parent
+OUT_DIR = BENCH_DIR / "out"
+
+
+def stale_artifacts(
+    out_dir: Optional[pathlib.Path] = None,
+    src_dir: Optional[pathlib.Path] = None,
+) -> List[pathlib.Path]:
+    """Artifacts older than every benchmark source: leftovers of a
+    previous run (or the committed seed set), not products of this
+    tree."""
+    out = pathlib.Path(out_dir) if out_dir is not None else OUT_DIR
+    src = pathlib.Path(src_dir) if src_dir is not None else BENCH_DIR
+    if not out.is_dir():
+        return []
+    newest_src = max(
+        (p.stat().st_mtime for p in src.glob("*.py")), default=0.0
+    )
+    return sorted(
+        p for p in out.glob("*.txt") if p.stat().st_mtime < newest_src
+    )
+
+
+def write_artifact(
+    name: str, text: str, out_dir: Optional[pathlib.Path] = None
+) -> pathlib.Path:
+    """Persist one benchmark artifact, or *skip* the calling bench when
+    the artifact directory is stale state this run cannot refresh
+    (``out`` shadowed by a file, unwritable leftovers, ...)."""
+    out = pathlib.Path(out_dir) if out_dir is not None else OUT_DIR
+    path = out / f"{name}.txt"
+    try:
+        out.mkdir(exist_ok=True)
+        path.write_text(text + "\n")
+    except OSError as exc:
+        stale = ", ".join(p.name for p in stale_artifacts(out)) or "none"
+        pytest.skip(
+            f"cannot refresh benchmark artifact {path.name}: {exc} "
+            f"(stale artifacts: {stale}); run `make clean` and retry"
+        )
+    return path
 
 
 @pytest.fixture
@@ -20,8 +66,7 @@ def report():
     """Print a report and persist it under benchmarks/out/."""
 
     def _write(name: str, text: str) -> None:
-        OUT_DIR.mkdir(exist_ok=True)
-        (OUT_DIR / f"{name}.txt").write_text(text + "\n")
+        write_artifact(name, text)
         print("\n" + text)
 
     return _write

@@ -28,7 +28,14 @@ from repro.arrays.distributions import Distribution
 from repro.arrays.slices import Slice
 from repro.errors import ArrayError
 
-__all__ = ["Transfer", "build_schedule", "apply_schedule", "array_assign", "schedule_bytes"]
+__all__ = [
+    "Transfer",
+    "build_schedule",
+    "transfer_schedule",
+    "apply_schedule",
+    "array_assign",
+    "schedule_bytes",
+]
 
 
 @dataclass(frozen=True)
@@ -71,6 +78,12 @@ def build_schedule(src: Distribution, dst: Distribution) -> List[Transfer]:
             if not sec.is_empty:
                 out.append(Transfer(i, j, sec))
     return out
+
+
+#: canonical name for the schedule of an assignment ``dst <- src``; the
+#: verified property (tests/verify) is that for every destination task
+#: the scheduled sections exactly partition its assigned section
+transfer_schedule = build_schedule
 
 
 def schedule_bytes(schedule: List[Transfer], itemsize: int, remote_only: bool = False) -> int:

@@ -313,9 +313,15 @@ class Range:
     def positions_of(self, sub: "Range") -> np.ndarray:
         """Positions (0-based ordinals) of ``sub``'s elements within
         ``self``.  ``sub`` must be a subset of ``self``; this is how a
-        global index subset is translated to local array offsets."""
+        global index subset is translated to local array offsets.
+
+        An empty ``sub`` is a subset of every range (including the empty
+        range) and yields an empty position vector rather than an
+        error."""
         if sub.is_empty:
             return np.empty(0, dtype=np.int64)
+        if self.is_empty:
+            raise RangeError(f"{sub!r} is not a subset of {self!r}")
         if self.is_regular:
             v = sub.indices()
             pos = (v - self._lo) // self._step

@@ -110,12 +110,24 @@ class Slice:
     # -- algebra ---------------------------------------------------------
 
     def intersect(self, other: "Slice") -> "Slice":
-        """Range-wise intersection ``s * t`` (paper's ``*`` operator)."""
+        """Range-wise intersection ``s * t`` (paper's ``*`` operator).
+
+        An empty result is *normalized* to the canonical empty slice
+        (every axis empty).  Without normalization the result of, say,
+        ``(0:1, 5:7) * (0:1, 0:3)`` would keep a non-empty range on
+        axis 0 while axis 1 is empty — a zero-element section whose
+        per-axis ranges are not subsets of either operand's, which
+        breaks downstream local addressing.  Empty slices of equal rank
+        compare equal, so normalizing preserves slice-level semantics.
+        """
         if self.rank != other.rank:
             raise SliceError(
                 f"rank mismatch: {self.rank} vs {other.rank} in intersection"
             )
-        return Slice(a.intersect(b) for a, b in zip(self._ranges, other._ranges))
+        out = Slice(a.intersect(b) for a, b in zip(self._ranges, other._ranges))
+        if out.is_empty:
+            return Slice.empty(self.rank)
+        return out
 
     def __mul__(self, other: "Slice") -> "Slice":
         if not isinstance(other, Slice):
@@ -193,9 +205,15 @@ class Slice:
     def local_index_within(self, outer: "Slice") -> tuple:
         """An ``np.ix_`` index selecting this section from the *local*
         array that stores the ``outer`` section.  ``self`` must be a
-        subset of ``outer``."""
+        subset of ``outer``.
+
+        An empty section selects nothing regardless of its per-axis
+        ranges (a zero-extent slice may carry non-empty ranges on other
+        axes that are not per-axis subsets of ``outer``)."""
         if self.rank != outer.rank:
             raise SliceError("rank mismatch")
+        if self.is_empty:
+            return np.ix_(*[np.empty(0, dtype=np.int64)] * self.rank)
         return np.ix_(
             *[
                 o.positions_of(r)

@@ -29,6 +29,7 @@ checkpoint/restart cycle of a NAS proxy application.
 """
 
 from repro.obs.bridge import bind_event_log
+from repro.obs.invariants import span_tree_violations
 from repro.obs.export import (
     chrome_trace,
     metrics_dump,
@@ -78,4 +79,5 @@ __all__ = [
     "op_summary",
     "phase_rows",
     "bind_event_log",
+    "span_tree_violations",
 ]

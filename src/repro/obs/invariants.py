@@ -1,0 +1,91 @@
+"""Structural invariants over a recorded span tree.
+
+The verification harness (:mod:`repro.verify`) treats the trace itself
+as an oracle output: a checkpoint or restart that produced a malformed
+span tree — a child phase sticking out of its parent, two sibling
+phases on one thread overlapping in simulated time, a span closed
+before it opened — indicates broken phase accounting even when the
+restored bytes are correct.  :func:`span_tree_violations` audits a
+finished :class:`~repro.obs.spans.Tracer` and returns a human-readable
+list of every violation (empty list == sound tree).
+
+The checks, per span:
+
+* the span is closed and ``sim_end >= sim_start``;
+* the span's simulated interval lies inside its parent's
+  (children *tile* their parent, never overhang it);
+* siblings under one parent on one thread are pairwise non-overlapping
+  in simulated time (interior overlap; shared endpoints are fine —
+  zero-duration phases are common for metadata-only steps).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.obs.spans import Span, Tracer
+
+__all__ = ["span_tree_violations"]
+
+#: slack for float comparisons over the simulated clock
+EPS = 1e-9
+
+
+def _interval_violations(span: Span) -> List[str]:
+    out = []
+    if not span.done:
+        out.append(f"span {span.name!r} (id {span.span_id}) was never closed")
+    elif span.sim_end < span.sim_start - EPS:
+        out.append(
+            f"span {span.name!r} (id {span.span_id}) ends at "
+            f"{span.sim_end} before it starts at {span.sim_start}"
+        )
+    return out
+
+
+def _containment_violations(parent: Span, child: Span) -> List[str]:
+    if not (parent.done and child.done):
+        return []
+    out = []
+    if child.sim_start < parent.sim_start - EPS or (
+        child.sim_end > parent.sim_end + EPS
+    ):
+        out.append(
+            f"child span {child.name!r} [{child.sim_start}, {child.sim_end}] "
+            f"overhangs parent {parent.name!r} "
+            f"[{parent.sim_start}, {parent.sim_end}]"
+        )
+    return out
+
+
+def _sibling_violations(parent_name: str, siblings: List[Span]) -> List[str]:
+    """Same-thread siblings must not overlap in simulated time."""
+    out = []
+    by_thread = {}
+    for s in siblings:
+        if s.done:
+            by_thread.setdefault(s.thread, []).append(s)
+    for thread, group in by_thread.items():
+        group = sorted(group, key=lambda s: (s.sim_start, s.sim_end))
+        for a, b in zip(group, group[1:]):
+            if b.sim_start < a.sim_end - EPS:
+                out.append(
+                    f"sibling spans {a.name!r} [{a.sim_start}, {a.sim_end}] "
+                    f"and {b.name!r} [{b.sim_start}, {b.sim_end}] overlap "
+                    f"under {parent_name!r} on thread {thread}"
+                )
+    return out
+
+
+def span_tree_violations(tracer: Tracer) -> List[str]:
+    """Every structural violation in the tracer's span tree (empty list
+    when the tree is sound)."""
+    out: List[str] = []
+    for span in tracer.spans:
+        out.extend(_interval_violations(span))
+        children = tracer.children(span)
+        for child in children:
+            out.extend(_containment_violations(span, child))
+        out.extend(_sibling_violations(span.name, children))
+    out.extend(_sibling_violations("<root>", tracer.roots()))
+    return out

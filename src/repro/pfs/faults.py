@@ -61,6 +61,12 @@ class WriteFault:
     #: matching writes seen so far / whether this fault already fired
     seen: int = 0
     fired: bool = False
+    #: filled in when the fault fires: the write's full payload size and
+    #: how many bytes actually landed (fail: 0) — ground truth for the
+    #: verification harness, which must know whether a short write
+    #: really dropped bytes
+    intended: Optional[int] = None
+    kept: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.mode not in _WRITE_MODES:
@@ -158,6 +164,15 @@ class FaultInjector:
                     ).inc()
                     return plan
         return None
+
+    def record_write_effect(
+        self, plan: WriteFault, intended: int, kept: int
+    ) -> None:
+        """Record what a fired write fault actually did to the payload
+        (called by PIOFS once the torn/short prefix length is known)."""
+        with self._lock:
+            plan.intended = int(intended)
+            plan.kept = int(kept)
 
     def apply_read(self, name: str, data: bytes) -> bytes:
         """Count one read against every armed plan; corrupt and return

@@ -127,10 +127,13 @@ class PIOFS:
         if plan is None:
             return data, nbytes, None
         if plan.mode == "fail":
+            intended = len(data) if data is not None else int(nbytes or 0)
+            self.faults.record_write_effect(plan, intended, 0)
             raise IOFaultError(f"injected write failure on {name!r}")
         intended = len(data) if data is not None else int(nbytes or 0)
         keep = plan.keep_bytes if plan.keep_bytes is not None else intended // 2
         keep = max(0, min(int(keep), intended))
+        self.faults.record_write_effect(plan, intended, keep)
         if data is not None:
             data = data[:keep]
             nbytes = None

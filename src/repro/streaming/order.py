@@ -52,6 +52,10 @@ def section_stream_positions(section: Slice, sub: Slice, order: str = "F") -> np
     check_order(order)
     if not sub.issubset(section):
         raise StreamingError(f"{sub!r} is not a subset of {section!r}")
+    if sub.is_empty:
+        # a zero-extent sub may carry non-empty ranges on other axes
+        # that are not per-axis subsets of ``section``
+        return np.empty(0, dtype=np.int64)
     axis_pos = [
         outer.positions_of(inner)
         for inner, outer in zip(sub.ranges, section.ranges)

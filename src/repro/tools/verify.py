@@ -1,0 +1,17 @@
+"""``python -m repro.tools.verify`` — alias for ``python -m repro.verify``.
+
+Kept under :mod:`repro.tools` so the harness sits next to the other
+operator entry points (``trace``, ``report``); the implementation lives
+in :mod:`repro.verify.__main__`.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.verify.__main__ import main
+
+__all__ = ["main"]
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,149 @@
+"""CLI for the differential reconfiguration harness.
+
+Subcommands::
+
+    python -m repro.verify run     [--seed S] [--cases N] [--fault-cases M]
+                                   [--out DIR]
+    python -m repro.verify replay  CASE.json [CASE.json ...]
+    python -m repro.verify shrink  CASE.json [--out SHRUNK.json]
+    python -m repro.verify known-bad [--out CASE.json]
+
+``run`` is the deterministic gate behind ``make verify-reconfig``: a
+fixed seed generates the same cases forever, failures are shrunk and
+dumped as replayable JSON.  ``known-bad`` demonstrates the shrinker on
+the seeded naive-recovery schedule and writes the minimal reproducer.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.verify.case import Case
+from repro.verify.gen import known_bad_case
+from repro.verify.harness import dump_failures, run_suite
+from repro.verify.oracle import VerifyFailure, replay_case
+from repro.verify.shrink import shrink_case
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    report = run_suite(
+        args.seed,
+        reconfig_cases=args.cases,
+        fault_cases=args.fault_cases,
+    )
+    print(report.summary())
+    if not report.ok:
+        paths = dump_failures(report, args.out)
+        for p in paths:
+            print(f"  reproducer: {p}")
+        return 1
+    return 0
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    bad = 0
+    for path in args.cases:
+        case = Case.load(path)
+        try:
+            result = replay_case(case)
+        except VerifyFailure as exc:
+            print(f"FAIL {path}: {exc.errors[0]}")
+            bad += 1
+            continue
+        verdict = (
+            "failed as recorded"
+            if "failed_as_expected" in result.details
+            else f"{result.checked} invariants hold"
+        )
+        print(f"ok   {path}: {case.label()} — {verdict}")
+    return 1 if bad else 0
+
+
+def _cmd_shrink(args: argparse.Namespace) -> int:
+    case = Case.load(args.case)
+    try:
+        report = shrink_case(case)
+    except ValueError as exc:
+        print(f"error: {exc}")
+        return 1
+    shrunk = report.shrunk
+    shrunk.expect = "fail"
+    print(
+        f"shrunk {len(case.events)} -> {len(shrunk.events)} events, "
+        f"{case.generations} -> {shrunk.generations} generations "
+        f"({report.attempts} attempts, {report.accepted} accepted)"
+    )
+    if args.out:
+        shrunk.save(args.out)
+        print(f"wrote {args.out}")
+    else:
+        print(shrunk.to_json())
+    return 0
+
+
+def _cmd_known_bad(args: argparse.Namespace) -> int:
+    case = known_bad_case(seed=args.seed)
+    report = shrink_case(case)
+    shrunk = report.shrunk
+    shrunk.expect = "fail"
+    print(
+        f"known-bad schedule: {len(case.events)} events -> "
+        f"{len(shrunk.events)} after shrinking "
+        f"({report.attempts} attempts)"
+    )
+    if len(shrunk.events) > 3:
+        print("error: reproducer did not shrink to <= 3 events")
+        return 1
+    replay_case(shrunk)  # must still fail as recorded
+    print("reproducer replays: naive recovery restarts from a silently "
+          "truncated checkpoint")
+    if args.out:
+        shrunk.save(args.out)
+        print(f"wrote {args.out}")
+    return 0
+
+
+def main(argv=None) -> int:
+    """Entry point for ``python -m repro.verify``; returns the exit
+    status (nonzero when any case fails or fails to replay)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.verify", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    sub = parser.add_subparsers(dest="cmd", required=True)
+
+    p = sub.add_parser("run", help="generate + run a seeded suite")
+    p.add_argument("--seed", type=int, default=20260806)
+    p.add_argument("--cases", type=int, default=200,
+                   help="reconfiguration cases across the three engines")
+    p.add_argument("--fault-cases", type=int, default=30,
+                   help="fault-schedule recovery cases")
+    p.add_argument("--out", default="verify_out",
+                   help="directory for shrunk failure reproducers")
+    p.set_defaults(fn=_cmd_run)
+
+    p = sub.add_parser("replay", help="replay saved case files")
+    p.add_argument("cases", nargs="+", metavar="CASE.json")
+    p.set_defaults(fn=_cmd_replay)
+
+    p = sub.add_parser("shrink", help="shrink a failing fault case")
+    p.add_argument("case", metavar="CASE.json")
+    p.add_argument("--out", default=None)
+    p.set_defaults(fn=_cmd_shrink)
+
+    p = sub.add_parser(
+        "known-bad",
+        help="shrink the seeded known-bad schedule to its minimal "
+        "reproducer",
+    )
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--out", default=None)
+    p.set_defaults(fn=_cmd_known_bad)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,231 @@
+"""Replayable case files for the differential reconfiguration harness.
+
+A *case* is the complete, JSON-serializable description of one
+generated experiment:
+
+* a **reconfig** case checkpoints a randomly distributed workload with
+  ``t1`` tasks (``p1`` I/O tasks) through one engine and restarts it
+  with ``t2`` tasks (``p2`` I/O tasks) under an independently drawn
+  destination distribution, asserting bit-identical contents plus the
+  manifest/metrics/span invariants of :mod:`repro.verify.oracle`;
+* a **fault** case additionally runs ``generations`` checkpoint
+  attempts under a schedule of injected I/O faults
+  (:mod:`repro.pfs.faults`) and asserts that the recovery policy lands
+  on the newest checkpoint that is *actually* valid byte-for-byte.
+
+Cases round-trip through JSON (``Case.to_json`` / ``Case.from_json``)
+so a failing case shrunk by :mod:`repro.verify.shrink` can be checked
+in under ``tests/verify/cases/`` and replayed forever with::
+
+    python -m repro.verify replay tests/verify/cases/<case>.json
+
+Distribution geometry is stored in the same axis-spec vocabulary the
+checkpoint manifests use (:func:`repro.checkpoint.format.axis_to_spec`),
+so a case file is readable next to a manifest.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.arrays.distributions import Distribution
+from repro.checkpoint.format import spec_to_axis
+from repro.errors import ReproError
+
+
+class CaseError(ReproError):
+    """A malformed or unreadable case file."""
+
+
+#: bump when the case schema changes incompatibly
+CASE_VERSION = 1
+
+ENGINES = ("drms", "spmd", "incremental")
+POLICIES = ("validated", "naive")
+EXPECTATIONS = ("pass", "fail")
+EVENT_KINDS = ("write", "stored_flip")
+
+
+@dataclass
+class ArrayCase:
+    """One distributed array of a case: its dtype plus the source
+    (checkpoint-time) and destination (restart-time) geometry."""
+
+    name: str
+    dtype: str
+    #: axis specs (manifest vocabulary), one per array axis
+    axes1: List[Dict[str, Any]]
+    axes2: List[Dict[str, Any]]
+    shadow1: List[int]
+    shadow2: List[int]
+
+
+@dataclass
+class FaultEvent:
+    """One scheduled fault, bound to checkpoint generation ``gen``
+    (1-based).  ``kind == "write"`` arms a
+    :class:`~repro.pfs.faults.WriteFault` for that generation's
+    checkpoint; ``kind == "stored_flip"`` persistently flips a stored
+    bit of one of the generation's files after the checkpoint call.
+    Events that never match anything (wrong generation, no stored byte
+    at the offset) are inert — the shrinker removes them."""
+
+    kind: str
+    gen: int = 1
+    # write faults
+    nth: int = 1
+    match: str = ""
+    mode: str = "fail"
+    keep_bytes: Optional[int] = None
+    # stored flips
+    target: str = "array"  # "segment" | "array"
+    array_index: int = 0
+    offset: int = 0
+    bit: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in EVENT_KINDS:
+            raise CaseError(f"unknown fault-event kind {self.kind!r}")
+        if self.gen < 1:
+            raise CaseError("fault events bind to 1-based generations")
+
+
+@dataclass
+class Case:
+    """One replayable harness case (see module docstring)."""
+
+    type: str  # "reconfig" | "fault"
+    engine: str
+    order: str
+    shape: List[int]
+    t1: int
+    p1: int
+    t2: int
+    p2: int
+    grid1: List[int]
+    grid2: List[int]
+    arrays: List[ArrayCase]
+    target_bytes: int
+    data_seed: int
+    #: per-task SPMD segment size (ignored by the other engines)
+    segment_bytes: int = 4096
+    #: the generator seed this case came from (informational)
+    seed: int = 0
+    # -- fault mode ------------------------------------------------------
+    generations: int = 0
+    events: List[FaultEvent] = field(default_factory=list)
+    policy: str = "validated"
+    expect: str = "pass"
+    note: str = ""
+
+    def __post_init__(self) -> None:
+        if self.type not in ("reconfig", "fault"):
+            raise CaseError(f"unknown case type {self.type!r}")
+        if self.engine not in ENGINES:
+            raise CaseError(f"unknown engine {self.engine!r}")
+        if self.policy not in POLICIES:
+            raise CaseError(f"unknown recovery policy {self.policy!r}")
+        if self.expect not in EXPECTATIONS:
+            raise CaseError(f"unknown expectation {self.expect!r}")
+        if self.engine == "spmd" and self.t2 != self.t1:
+            raise CaseError(
+                "SPMD restart is only conforming on the checkpointing "
+                f"task count (t1={self.t1}, t2={self.t2})"
+            )
+        if not 1 <= self.p1 <= self.t1:
+            raise CaseError(f"p1={self.p1} outside 1..t1={self.t1}")
+        if not 1 <= self.p2 <= self.t2:
+            raise CaseError(f"p2={self.p2} outside 1..t2={self.t2}")
+
+    # -- geometry --------------------------------------------------------
+
+    def distribution1(self, arr: ArrayCase) -> Distribution:
+        """The checkpoint-time distribution of ``arr`` (t1 tasks)."""
+        return Distribution(
+            self.shape,
+            [spec_to_axis(s) for s in arr.axes1],
+            ntasks=self.t1,
+            grid=self.grid1,
+            shadow=arr.shadow1,
+        )
+
+    def distribution2(self, arr: ArrayCase) -> Distribution:
+        """The restart-time distribution of ``arr`` (t2 tasks)."""
+        return Distribution(
+            self.shape,
+            [spec_to_axis(s) for s in arr.axes2],
+            ntasks=self.t2,
+            grid=self.grid2,
+            shadow=arr.shadow2,
+        )
+
+    # -- JSON ------------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The case as a version-stamped JSON-able dict."""
+        out = asdict(self)
+        out["version"] = CASE_VERSION
+        return out
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, blob: Dict[str, Any]) -> "Case":
+        blob = dict(blob)
+        version = blob.pop("version", CASE_VERSION)
+        if version != CASE_VERSION:
+            raise CaseError(
+                f"case schema version {version} != supported {CASE_VERSION}"
+            )
+        try:
+            blob["arrays"] = [ArrayCase(**a) for a in blob.get("arrays", [])]
+            blob["events"] = [FaultEvent(**e) for e in blob.get("events", [])]
+            return cls(**blob)
+        except TypeError as exc:
+            raise CaseError(f"malformed case: {exc}") from exc
+
+    @classmethod
+    def from_json(cls, text: str) -> "Case":
+        try:
+            blob = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise CaseError(f"case file is not JSON: {exc}") from exc
+        if not isinstance(blob, dict):
+            raise CaseError("case file must hold a JSON object")
+        return cls.from_dict(blob)
+
+    def save(self, path) -> None:
+        with open(path, "w") as fh:
+            fh.write(self.to_json() + "\n")
+
+    @classmethod
+    def load(cls, path) -> "Case":
+        with open(path) as fh:
+            return cls.from_json(fh.read())
+
+    def label(self) -> str:
+        """One-line human summary for harness output."""
+        core = (
+            f"{self.engine} {tuple(self.shape)} "
+            f"(t1={self.t1},p1={self.p1})->(t2={self.t2},p2={self.p2}) "
+            f"order={self.order}"
+        )
+        if self.type == "fault":
+            core += (
+                f" gens={self.generations} events={len(self.events)} "
+                f"policy={self.policy} expect={self.expect}"
+            )
+        return core
+
+
+__all__ = [
+    "ArrayCase",
+    "Case",
+    "CaseError",
+    "CASE_VERSION",
+    "ENGINES",
+    "FaultEvent",
+]

@@ -1,0 +1,402 @@
+"""Seeded generators for the differential reconfiguration harness.
+
+Hypothesis-style random construction of the paper's geometry vocabulary
+— ranges, slices, per-axis distribution kinds (BLOCK, CYCLIC,
+CYCLIC(k), GENBLOCK, INDEXED, replicated), process grids — and of whole
+:class:`~repro.verify.case.Case` experiments.  Everything is driven by
+one :class:`random.Random` so a suite run is a pure function of its
+seed; a failing case is replayable from its JSON dump alone.
+
+The generators deliberately favor the degenerate corners example-based
+tests skip: 1-element axes, task counts larger than axis extents (empty
+assigned sections), partial INDEXED coverage (undefined elements),
+shadowed mapped sections, and ``t1 > t2`` shrinking reconfigurations as
+well as ``t1 < t2`` growing ones.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence, Tuple
+
+from repro.arrays.distributions import (
+    AxisDistribution,
+    Block,
+    BlockCyclic,
+    Cyclic,
+    Distribution,
+    GenBlock,
+    Indexed,
+    Replicated,
+)
+from repro.arrays.ranges import Range
+from repro.arrays.slices import Slice
+from repro.checkpoint.format import axis_to_spec
+from repro.verify.case import ArrayCase, Case, FaultEvent
+
+__all__ = [
+    "CaseGen",
+    "random_axis",
+    "random_distribution",
+    "random_grid",
+    "random_range",
+    "random_shape",
+    "random_slice",
+]
+
+_DTYPES = ("float64", "float32", "int64", "int32", "int16", "uint8")
+_TARGET_BYTES = (64, 256, 1024, 4096)
+
+
+def random_shape(rng: random.Random, max_rank: int = 3, max_extent: int = 9) -> List[int]:
+    """A small random array shape, biased toward degenerate extents."""
+    rank = rng.randint(1, max_rank)
+    shape = []
+    for _ in range(rank):
+        if rng.random() < 0.2:
+            shape.append(1)  # degenerate 1-element axis
+        else:
+            shape.append(rng.randint(2, max_extent))
+    return shape
+
+
+def random_range(rng: random.Random, extent: int) -> Range:
+    """A random subrange of ``0..extent-1``: regular (any stride),
+    indexed, or empty."""
+    roll = rng.random()
+    if roll < 0.1 or extent == 0:
+        return Range.empty()
+    if roll < 0.75:
+        lo = rng.randrange(extent)
+        hi = rng.randrange(lo, extent)
+        step = rng.choice([1, 1, 1, 2, 3])
+        return Range.regular(lo, hi, step)
+    k = rng.randint(1, extent)
+    return Range(sorted(rng.sample(range(extent), k)))
+
+
+def random_slice(rng: random.Random, shape: Sequence[int]) -> Slice:
+    """A random section of an array of the given shape."""
+    return Slice([random_range(rng, int(n)) for n in shape])
+
+
+def random_grid(rng: random.Random, ntasks: int, rank: int) -> List[int]:
+    """A random process grid: ``rank`` factors multiplying to
+    ``ntasks`` (prime factors thrown onto random axes)."""
+    grid = [1] * rank
+    m = ntasks
+    f = 2
+    while m > 1:
+        while m % f == 0:
+            grid[rng.randrange(rank)] *= f
+            m //= f
+        f += 1 if f == 2 else 2
+        if f * f > m and m > 1:
+            grid[rng.randrange(rank)] *= m
+            m = 1
+    return grid
+
+
+def _composition(rng: random.Random, total: int, parts: int) -> List[int]:
+    """``parts`` non-negative integers summing to ``total``."""
+    cuts = sorted(rng.randint(0, total) for _ in range(parts - 1))
+    bounds = [0] + cuts + [total]
+    return [bounds[i + 1] - bounds[i] for i in range(parts)]
+
+
+def random_axis(
+    rng: random.Random,
+    nprocs: int,
+    extent: int,
+    allow_indexed: bool = True,
+    allow_replicated: bool = True,
+) -> AxisDistribution:
+    """A random per-axis distribution legal for ``nprocs`` grid coords
+    over ``extent`` elements."""
+    if allow_replicated and nprocs == 1 and rng.random() < 0.15:
+        return Replicated()
+    kinds = ["block", "cyclic", "block_cyclic", "gen_block"]
+    weights = [30, 20, 20, 15]
+    if allow_indexed:
+        kinds.append("indexed")
+        weights.append(15)
+    kind = rng.choices(kinds, weights=weights)[0]
+    if kind == "block":
+        return Block()
+    if kind == "cyclic":
+        return Cyclic()
+    if kind == "block_cyclic":
+        return BlockCyclic(block=rng.randint(1, 3))
+    if kind == "gen_block":
+        return GenBlock(_composition(rng, extent, nprocs))
+    # indexed: contiguous chunks with random boundaries; occasionally
+    # partial (a chunk shrunk or dropped — undefined elements)
+    sizes = _composition(rng, extent, nprocs)
+    ranges: List[Range] = []
+    start = 0
+    for size in sizes:
+        if size == 0:
+            ranges.append(Range.empty())
+        else:
+            lo, hi = start, start + size - 1
+            if rng.random() < 0.25:  # partial coverage
+                if rng.random() < 0.5:
+                    ranges.append(Range.empty())
+                else:
+                    hi = rng.randint(lo, hi)
+                    ranges.append(Range.regular(lo, hi, 1))
+            else:
+                ranges.append(Range.regular(lo, hi, 1))
+        start += size
+    return Indexed(ranges)
+
+
+def _random_shadow(
+    rng: random.Random, axes: Sequence[AxisDistribution]
+) -> List[int]:
+    """Shadow widths; nonzero only where assigned ranges are contiguous
+    enough for halo expansion to mean anything."""
+    out = []
+    for ax in axes:
+        if isinstance(ax, (Block, GenBlock)) and rng.random() < 0.3:
+            out.append(rng.randint(1, 2))
+        else:
+            out.append(0)
+    return out
+
+
+def random_distribution(
+    rng: random.Random,
+    shape: Sequence[int],
+    ntasks: int,
+    allow_indexed: bool = True,
+) -> Distribution:
+    """A full random :class:`Distribution` of ``shape`` over
+    ``ntasks`` tasks (random grid, per-axis kinds, shadows)."""
+    grid = random_grid(rng, ntasks, len(shape))
+    axes = [
+        random_axis(rng, grid[i], int(shape[i]), allow_indexed=allow_indexed)
+        for i in range(len(shape))
+    ]
+    return Distribution(
+        shape, axes, ntasks=ntasks, grid=grid, shadow=_random_shadow(rng, axes)
+    )
+
+
+class CaseGen:
+    """Deterministic case factory: one seed → one reproducible stream
+    of reconfiguration and fault cases."""
+
+    def __init__(self, seed: int):
+        self.seed = int(seed)
+        self.rng = random.Random(self.seed)
+
+    # -- geometry for one case ------------------------------------------
+
+    def _array_cases(
+        self,
+        shape: List[int],
+        t1: int,
+        t2: int,
+        grid1: List[int],
+        grid2: List[int],
+        allow_indexed: bool = True,
+        allow_replicated: bool = True,
+    ) -> List[ArrayCase]:
+        rng = self.rng
+        out = []
+        for i in range(rng.choice([1, 1, 2])):
+            axes1 = [
+                random_axis(
+                    rng, grid1[k], shape[k],
+                    allow_indexed=allow_indexed,
+                    allow_replicated=allow_replicated,
+                )
+                for k in range(len(shape))
+            ]
+            axes2 = [
+                random_axis(
+                    rng, grid2[k], shape[k],
+                    allow_indexed=allow_indexed,
+                    allow_replicated=allow_replicated,
+                )
+                for k in range(len(shape))
+            ]
+            out.append(
+                ArrayCase(
+                    name=f"A{i}",
+                    dtype=rng.choice(_DTYPES),
+                    axes1=[axis_to_spec(a) for a in axes1],
+                    axes2=[axis_to_spec(a) for a in axes2],
+                    shadow1=_random_shadow(rng, axes1),
+                    shadow2=_random_shadow(rng, axes2),
+                )
+            )
+        return out
+
+    # -- reconfiguration cases ------------------------------------------
+
+    def reconfig_case(self, engine: Optional[str] = None) -> Case:
+        """One random ``(t1, p1) -> (t2, p2)`` equivalence case."""
+        rng = self.rng
+        engine = engine or rng.choices(
+            ["drms", "spmd", "incremental"], weights=[55, 15, 30]
+        )[0]
+        shape = random_shape(rng)
+        t1 = rng.randint(1, 6)
+        t2 = t1 if engine == "spmd" else rng.randint(1, 6)
+        p1 = rng.randint(1, t1)
+        if engine == "incremental":
+            # restore() streams with the checkpointing I/O task count,
+            # which must fit the restart task pool
+            p1 = rng.randint(1, min(t1, t2))
+        p2 = rng.randint(1, t2)
+        grid1 = random_grid(rng, t1, len(shape))
+        grid2 = random_grid(rng, t2, len(shape))
+        return Case(
+            type="reconfig",
+            engine=engine,
+            order=rng.choice(["F", "C"]),
+            shape=shape,
+            t1=t1,
+            p1=p1,
+            t2=t2,
+            p2=p2,
+            grid1=grid1,
+            grid2=grid2,
+            # the incremental engine restores through the stored spec's
+            # adjust() path (no per-array overrides), which cannot
+            # re-host a fully replicated array on a larger task pool
+            arrays=self._array_cases(
+                shape, t1, t2, grid1, grid2,
+                allow_replicated=(engine != "incremental"),
+            ),
+            target_bytes=rng.choice(_TARGET_BYTES),
+            data_seed=rng.randrange(1 << 30),
+            segment_bytes=rng.choice([256, 1024, 4096]),
+            seed=self.seed,
+        )
+
+    # -- fault cases -----------------------------------------------------
+
+    def _fault_event(self, generations: int) -> FaultEvent:
+        rng = self.rng
+        gen = rng.randint(1, generations)
+        if rng.random() < 0.7:
+            return FaultEvent(
+                kind="write",
+                gen=gen,
+                nth=rng.randint(1, 3),
+                match=rng.choice(["", ".segment", ".array", ".manifest"]),
+                mode=rng.choices(
+                    ["fail", "torn", "short"], weights=[30, 30, 40]
+                )[0],
+                keep_bytes=rng.choice([None, 0, 1, 7]),
+            )
+        return FaultEvent(
+            kind="stored_flip",
+            gen=gen,
+            target=rng.choice(["segment", "array"]),
+            array_index=0,
+            offset=rng.randrange(4096),
+            bit=rng.randrange(8),
+        )
+
+    def fault_case(self) -> Case:
+        """One random fault-schedule case: the validated recovery policy
+        must land on the newest byte-for-byte valid generation."""
+        rng = self.rng
+        shape = random_shape(rng, max_rank=2, max_extent=8)
+        t1 = rng.randint(1, 4)
+        t2 = rng.randint(1, 4)
+        p1 = rng.randint(1, t1)
+        p2 = rng.randint(1, t2)
+        grid1 = random_grid(rng, t1, len(shape))
+        grid2 = random_grid(rng, t2, len(shape))
+        generations = rng.randint(2, 4)
+        events = [
+            self._fault_event(generations)
+            for _ in range(rng.randint(1, 4))
+        ]
+        return Case(
+            type="fault",
+            engine="drms",
+            order=rng.choice(["F", "C"]),
+            shape=shape,
+            t1=t1,
+            p1=p1,
+            t2=t2,
+            p2=p2,
+            grid1=grid1,
+            grid2=grid2,
+            arrays=self._array_cases(shape, t1, t2, grid1, grid2),
+            target_bytes=rng.choice(_TARGET_BYTES),
+            data_seed=rng.randrange(1 << 30),
+            seed=self.seed,
+            generations=generations,
+            events=events,
+            policy="validated",
+            expect="pass",
+        )
+
+
+def known_bad_case(seed: int = 0) -> Case:
+    """The seeded known-bad schedule: a *naive* recovery policy (newest
+    complete manifest, no validation) against a generation whose array
+    file took a silent short write.  The schedule carries deliberately
+    redundant events; :func:`repro.verify.shrink.shrink_case` reduces
+    it to a single-event reproducer."""
+    rng = random.Random(seed)
+    shape = [6, 4]
+    arrays = [
+        ArrayCase(
+            name="A0",
+            dtype="float64",
+            axes1=[{"kind": "block"}, {"kind": "cyclic"}],
+            axes2=[{"kind": "cyclic"}, {"kind": "block"}],
+            shadow1=[0, 0],
+            shadow2=[0, 0],
+        )
+    ]
+    events = [
+        # inert: generation 1's 9th segment write never happens
+        FaultEvent(kind="write", gen=1, nth=9, match=".segment", mode="fail"),
+        # inert: flips a pad byte that is never stored
+        FaultEvent(
+            kind="stored_flip", gen=1, target="segment", offset=4000, bit=1
+        ),
+        # the reproducer: a silent short write truncating the newest
+        # generation's array stream — only a checksum can catch it
+        FaultEvent(
+            kind="write", gen=3, nth=1, match=".array", mode="short",
+            keep_bytes=5,
+        ),
+        # inert: generation 3 has no 7th array write
+        FaultEvent(kind="write", gen=3, nth=7, match=".array", mode="torn"),
+        # inert: matches no file
+        FaultEvent(kind="write", gen=2, nth=1, match=".nosuch", mode="fail"),
+    ]
+    return Case(
+        type="fault",
+        engine="drms",
+        order="F",
+        shape=shape,
+        t1=2,
+        p1=2,
+        t2=3,
+        p2=1,
+        grid1=[2, 1],
+        grid2=[3, 1],
+        arrays=arrays,
+        target_bytes=64,
+        data_seed=rng.randrange(1 << 30),
+        seed=seed,
+        generations=3,
+        events=events,
+        policy="naive",
+        expect="fail",
+        note=(
+            "naive newest-complete-manifest recovery restarts from a "
+            "generation whose array stream was silently truncated"
+        ),
+    )

@@ -1,0 +1,102 @@
+"""Suite driver: generate N cases from one seed, run each oracle,
+shrink and dump anything that fails.
+
+The harness is the standing correctness gate for later performance
+work: ``run_suite(seed, ...)`` is a pure function of its arguments, so
+``make verify-reconfig`` (fixed seed, bounded case count) is fully
+deterministic, while ``make verify-reconfig-deep`` explores a fresh
+seed every run.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.verify.case import Case
+from repro.verify.gen import CaseGen
+from repro.verify.oracle import CaseResult, VerifyFailure, run_case
+from repro.verify.shrink import ShrinkReport, shrink_case
+
+__all__ = ["SuiteReport", "run_suite"]
+
+
+@dataclass
+class SuiteReport:
+    """Aggregate outcome of one harness pass."""
+
+    seed: int
+    passed: int = 0
+    failed: List[Tuple[Case, VerifyFailure]] = field(default_factory=list)
+    engines: Dict[str, int] = field(default_factory=dict)
+    invariants_checked: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.passed + len(self.failed)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failed
+
+    def summary(self) -> str:
+        """One-paragraph human summary (counts, engine mix, first few
+        failures)."""
+        mix = ", ".join(f"{k}={v}" for k, v in sorted(self.engines.items()))
+        line = (
+            f"verify: seed={self.seed} cases={self.total} "
+            f"passed={self.passed} failed={len(self.failed)} "
+            f"invariants={self.invariants_checked} [{mix}]"
+        )
+        for case, failure in self.failed[:5]:
+            line += f"\n  FAIL {case.label()}: {failure.errors[0]}"
+        return line
+
+
+def run_suite(
+    seed: int,
+    reconfig_cases: int = 200,
+    fault_cases: int = 30,
+    on_case: Optional[Callable[[int, Case], None]] = None,
+) -> SuiteReport:
+    """Generate and run ``reconfig_cases`` reconfiguration cases plus
+    ``fault_cases`` fault-schedule cases, all from ``seed``."""
+    gen = CaseGen(seed)
+    report = SuiteReport(seed=seed)
+    cases: List[Case] = [gen.reconfig_case() for _ in range(reconfig_cases)]
+    cases += [gen.fault_case() for _ in range(fault_cases)]
+    for i, case in enumerate(cases):
+        if on_case is not None:
+            on_case(i, case)
+        key = case.engine if case.type == "reconfig" else "fault"
+        report.engines[key] = report.engines.get(key, 0) + 1
+        try:
+            result = run_case(case)
+            report.passed += 1
+            report.invariants_checked += result.checked
+        except VerifyFailure as failure:
+            report.failed.append((case, failure))
+    return report
+
+
+def dump_failures(
+    report: SuiteReport, out_dir: str, shrink: bool = True
+) -> List[str]:
+    """Shrink (fault cases) and save every failure of a suite run as a
+    replayable JSON case file; returns the written paths."""
+    if not report.failed:
+        return []
+    os.makedirs(out_dir, exist_ok=True)
+    paths = []
+    for i, (case, _failure) in enumerate(report.failed):
+        if shrink and case.type == "fault":
+            try:
+                case = shrink_case(case).shrunk
+            except ValueError:
+                pass  # flaky failure; dump the original
+        case.expect = "fail"
+        path = os.path.join(out_dir, f"fail_seed{report.seed}_{i}.json")
+        case.save(path)
+        paths.append(path)
+    return paths

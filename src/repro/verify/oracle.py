@@ -1,0 +1,650 @@
+"""The differential oracle: run one case, check every invariant.
+
+For **reconfig** cases the oracle runs checkpoint → restart through the
+case's engine and checks, against independently computed references:
+
+* *bit-identical contents*: the restored global array equals the
+  checkpointed one byte-for-byte on the restored distribution's defined
+  mask (raw-byte comparison, so NaN payloads and signaling bit patterns
+  count too);
+* *stream order*: every stored array file equals the serial reference
+  stream ``stream_order_bytes(global, order)`` — the
+  distribution-independent linear order of paper Section 3.2 — and the
+  manifest's recorded size equals both the file size and the sum of the
+  Fig. 5a partition's piece sizes;
+* *metrics*: the published ``checkpoint.<kind>.*`` / ``stream.*``
+  counters agree with the manifest byte totals;
+* *span tree*: the recorded trace satisfies
+  :func:`repro.obs.span_tree_violations` (phases tile, nothing
+  overhangs);
+* *segment round trip*: replicated variables and execution context
+  serialize back identically;
+* for SPMD, additionally that a *non-conforming* restart (``t2 != t1``)
+  raises — the defining limitation the DRMS scheme removes.
+
+For **fault** cases the oracle replays ``generations`` checkpoint
+attempts under the case's fault schedule, then computes ground truth
+*independently of the recovery code*: a generation is valid iff its
+checkpoint call committed a manifest AND every one of its files still
+byte-matches the intended content the oracle itself recorded while
+writing.  The invariant under the ``validated`` policy
+(:func:`repro.checkpoint.recover.select_restart_state`) is that the
+decision lands exactly on the newest ground-truth-valid generation and
+rejects exactly the newer corrupt ones; the deliberately ``naive``
+policy (newest complete manifest, no validation) is the defeatable
+target used to demonstrate shrinking.
+
+All violations of one case are collected into a single
+:class:`VerifyFailure` so a dump shows the whole picture.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.arrays.darray import DistributedArray
+from repro.arrays.slices import Slice
+from repro.checkpoint.drms import drms_checkpoint, drms_restart
+from repro.checkpoint.incremental import IncrementalCheckpointer
+from repro.checkpoint.recover import select_restart_state
+from repro.checkpoint.rotation import latest_checkpoint
+from repro.checkpoint.segment import DataSegment, ExecutionContext, SegmentProfile
+from repro.checkpoint.format import array_name, segment_name
+from repro.checkpoint.spmd import spmd_checkpoint, spmd_restart
+from repro.errors import (
+    CheckpointError,
+    IOFaultError,
+    PFSError,
+    RestartError,
+)
+from repro.obs import Tracer, span_tree_violations, use_tracer
+from repro.pfs.faults import FaultInjector, flip_stored_bit
+from repro.pfs.piofs import PIOFS
+from repro.streaming.order import stream_order_bytes
+from repro.streaming.partition import partition_for_target, piece_offsets
+from repro.verify.case import Case, FaultEvent
+
+__all__ = ["CaseResult", "VerifyFailure", "run_case", "replay_case"]
+
+
+class VerifyFailure(AssertionError):
+    """One case violated at least one invariant."""
+
+    def __init__(self, case: Case, errors: List[str]):
+        self.case = case
+        self.errors = list(errors)
+        detail = "\n  - ".join(self.errors)
+        super().__init__(
+            f"case [{case.label()}] violated {len(self.errors)} "
+            f"invariant(s):\n  - {detail}"
+        )
+
+
+@dataclass
+class CaseResult:
+    """What one successful case run established."""
+
+    case: Case
+    checked: int = 0
+    details: Dict[str, object] = field(default_factory=dict)
+
+
+class _Checker:
+    """Accumulates invariant violations for one case."""
+
+    def __init__(self, case: Case):
+        self.case = case
+        self.errors: List[str] = []
+        self.checked = 0
+
+    def check(self, ok: bool, msg: str) -> bool:
+        self.checked += 1
+        if not ok:
+            self.errors.append(msg)
+        return bool(ok)
+
+    def finish(self, details: Optional[Dict[str, object]] = None) -> CaseResult:
+        if self.errors:
+            raise VerifyFailure(self.case, self.errors)
+        return CaseResult(self.case, checked=self.checked, details=details or {})
+
+
+# -- workload construction --------------------------------------------------
+
+
+def _fill_global(case: Case, arr_index: int, salt: int = 0) -> np.ndarray:
+    """Deterministic array content with *every byte nonzero*, so any
+    dropped or flipped byte provably changes the value stream (holes in
+    a PFS file read back as zeros)."""
+    spec = case.arrays[arr_index]
+    dtype = np.dtype(spec.dtype)
+    nbytes = int(np.prod(case.shape)) * dtype.itemsize
+    rng = np.random.default_rng(
+        (case.data_seed * 1_000_003 + arr_index * 7919 + salt) & 0x7FFFFFFF
+    )
+    raw = rng.integers(1, 256, size=nbytes, dtype=np.uint8)
+    return raw.view(dtype).reshape(case.shape)
+
+
+def _build_arrays(case: Case, salt: int = 0) -> List[DistributedArray]:
+    out = []
+    for i, spec in enumerate(case.arrays):
+        arr = DistributedArray(
+            spec.name,
+            case.shape,
+            np.dtype(spec.dtype),
+            case.distribution1(spec),
+            store_data=True,
+        )
+        arr.set_global(_fill_global(case, i, salt))
+        out.append(arr)
+    return out
+
+
+def _segment(iteration: int) -> DataSegment:
+    return DataSegment(
+        profile=SegmentProfile(
+            local_section_bytes=512, system_bytes=2048, private_bytes=256
+        ),
+        replicated={"tol": 1e-6, "round": iteration},
+        context=ExecutionContext(sop_id=3, iteration=iteration),
+    )
+
+
+def _masked_bytes(arr: DistributedArray, ref: np.ndarray) -> Tuple[bytes, bytes]:
+    """(restored, reference) bytes over the restored defined mask."""
+    mask = arr.defined_mask()
+    got = arr.to_global(fill=0)
+    return got[mask].tobytes(), np.asarray(ref)[mask].tobytes()
+
+
+# -- shared invariant blocks ------------------------------------------------
+
+
+def _check_drms_files(
+    c: _Checker,
+    pfs: PIOFS,
+    prefix: str,
+    manifest: Dict,
+    refs: List[np.ndarray],
+) -> int:
+    """Stored stream files against the serial reference; manifest sizes
+    against file sizes and the Fig. 5a piece partition.  Returns the
+    total array bytes recorded in the manifest."""
+    case = c.case
+    total = 0
+    for i, entry in enumerate(manifest["arrays"]):
+        expected = stream_order_bytes(refs[i], case.order)
+        fname = entry["file"]
+        size = pfs.file_size(fname)
+        c.check(
+            entry["nbytes"] == len(expected),
+            f"{fname}: manifest nbytes {entry['nbytes']} != serial "
+            f"reference stream {len(expected)}",
+        )
+        c.check(
+            size == len(expected),
+            f"{fname}: file size {size} != reference stream {len(expected)}",
+        )
+        stored = pfs.read_at(fname, 0, size) if size else b""
+        c.check(
+            stored == expected,
+            f"{fname}: stored bytes differ from the serial reference stream",
+        )
+        itemsize = np.dtype(case.arrays[i].dtype).itemsize
+        pieces = partition_for_target(
+            Slice.full(case.shape),
+            itemsize,
+            target_bytes=case.target_bytes,
+            min_pieces=case.p1,
+            order=case.order,
+        )
+        piece_total = sum(p.size * itemsize for p in pieces)
+        c.check(
+            piece_total == entry["nbytes"],
+            f"{fname}: sum of piece sizes {piece_total} != bytes written "
+            f"{entry['nbytes']}",
+        )
+        offs = piece_offsets(pieces, itemsize)
+        c.check(
+            offs == sorted(offs) and (not offs or offs[0] == 0),
+            f"{fname}: piece offsets are not the running size sum",
+        )
+        total += entry["nbytes"]
+    return total
+
+
+def _check_restored(
+    c: _Checker,
+    restored: Dict[str, DistributedArray],
+    refs: List[np.ndarray],
+) -> None:
+    for i, spec in enumerate(c.case.arrays):
+        arr = restored.get(spec.name)
+        if not c.check(arr is not None, f"array {spec.name!r} not restored"):
+            continue
+        got, want = _masked_bytes(arr, refs[i])
+        c.check(
+            got == want,
+            f"array {spec.name!r}: restored bytes differ from checkpointed "
+            "content on the defined mask",
+        )
+
+
+def _flat_eq(c: _Checker, flat: Dict[str, float], key: str, want: float) -> None:
+    c.check(
+        abs(flat.get(key, 0.0) - want) < 0.5,
+        f"metric {key} = {flat.get(key)} != expected {want}",
+    )
+
+
+# -- reconfig: one oracle per engine ----------------------------------------
+
+
+def _run_drms(case: Case) -> CaseResult:
+    c = _Checker(case)
+    pfs = PIOFS()
+    prefix = "verify.ck"
+    segment = _segment(iteration=1)
+    with use_tracer(Tracer()) as tracer:
+        arrays = _build_arrays(case)
+        refs = [a.to_global(fill=0) for a in arrays]
+        bd = drms_checkpoint(
+            pfs,
+            prefix,
+            segment,
+            arrays,
+            order=case.order,
+            io_tasks=case.p1,
+            target_bytes=case.target_bytes,
+            app_name="verify",
+        )
+        state, rbd = drms_restart(
+            pfs,
+            prefix,
+            ntasks=case.t2,
+            order=case.order,
+            io_tasks=case.p2,
+            target_bytes=case.target_bytes,
+            distribution_overrides={
+                spec.name: case.distribution2(spec) for spec in case.arrays
+            },
+        )
+    total = _check_drms_files(c, pfs, prefix, state.manifest, refs)
+    _check_restored(c, state.arrays, refs)
+    c.check(
+        state.checkpoint_ntasks == case.t1 and state.ntasks == case.t2,
+        f"restored task counts ({state.checkpoint_ntasks}->{state.ntasks}) "
+        f"!= case ({case.t1}->{case.t2})",
+    )
+    c.check(
+        state.delta == case.t2 - case.t1,
+        f"delta {state.delta} != t2-t1 {case.t2 - case.t1}",
+    )
+    c.check(
+        state.segment.serialize() == segment.serialize(),
+        "data segment did not round-trip identically",
+    )
+    c.check(
+        bd.arrays_bytes == total and rbd.arrays_bytes == total,
+        f"breakdown array bytes ({bd.arrays_bytes} out, {rbd.arrays_bytes} "
+        f"in) != manifest total {total}",
+    )
+    flat = tracer.metrics.flat()
+    _flat_eq(c, flat, "checkpoint.drms.count", 1)
+    _flat_eq(c, flat, "restart.drms.count", 1)
+    _flat_eq(c, flat, "checkpoint.drms.arrays.bytes", total)
+    _flat_eq(c, flat, "restart.drms.arrays.bytes", total)
+    _flat_eq(c, flat, "stream.out.bytes", total)
+    _flat_eq(c, flat, "stream.in.bytes", total)
+    _flat_eq(c, flat, "checkpoint.drms.total.bytes", total + bd.segment_bytes)
+    violations = span_tree_violations(tracer)
+    c.check(not violations, f"span tree violations: {violations[:3]}")
+    return c.finish({"engine": "drms", "array_bytes": total})
+
+
+def _mutate(case: Case, g: np.ndarray, arr_index: int) -> np.ndarray:
+    """A deterministic byte-level mutation of ``g`` (possibly identity)
+    for the incremental engine's delta round."""
+    rng = np.random.default_rng(
+        (case.data_seed * 31337 + arr_index * 271 + 17) & 0x7FFFFFFF
+    )
+    buf = bytearray(g.tobytes())
+    n_mut = int(rng.integers(0, 4))
+    for _ in range(n_mut):
+        pos = int(rng.integers(0, len(buf)))
+        buf[pos] = int(rng.integers(1, 256))
+    return np.frombuffer(bytes(buf), dtype=g.dtype).reshape(g.shape)
+
+
+def _run_incremental(case: Case) -> CaseResult:
+    c = _Checker(case)
+    pfs = PIOFS()
+    prefix = "verify.inc"
+    with use_tracer(Tracer()) as tracer:
+        arrays = _build_arrays(case)
+        ic = IncrementalCheckpointer(
+            pfs,
+            prefix,
+            order=case.order,
+            target_bytes=case.target_bytes,
+            io_tasks=case.p1,
+            app_name="verify",
+        )
+        ic.full(_segment(iteration=1), arrays)
+        for i, arr in enumerate(arrays):
+            arr.set_global(_mutate(case, arr.to_global(fill=0), i))
+        refs = [a.to_global(fill=0) for a in arrays]
+        segment2 = _segment(iteration=2)
+        ic.incremental(segment2, arrays)
+        state, rbd = ic.restore(case.t2)
+    _check_restored(c, state.arrays, refs)
+    c.check(
+        state.segment.serialize() == segment2.serialize(),
+        "restore did not surface the newest delta's segment",
+    )
+    c.check(state.ntasks == case.t2, f"restored on {state.ntasks} != t2")
+    # delta manifest: entry offsets must be the running nbytes sum and
+    # the delta file exactly their total
+    from repro.checkpoint.format import read_manifest
+
+    dm = read_manifest(pfs, f"{prefix}.d1")
+    for spec in dm["arrays"]:
+        pos = 0
+        for e in spec["entries"]:
+            c.check(
+                e["offset"] == pos,
+                f"{spec['file']}: entry offset {e['offset']} != running "
+                f"sum {pos}",
+            )
+            pos += e["nbytes"]
+        c.check(
+            spec["nbytes"] == pos,
+            f"{spec['file']}: recorded nbytes {spec['nbytes']} != entry "
+            f"total {pos}",
+        )
+        size = pfs.file_size(spec["file"])
+        c.check(
+            size == pos,
+            f"{spec['file']}: file size {size} != entry total {pos}",
+        )
+    sizes = ic.chain_state_bytes()
+    c.check(
+        sizes["total"] == sizes["base"] + sizes["deltas"],
+        "chain accounting does not add up",
+    )
+    flat = tracer.metrics.flat()
+    _flat_eq(c, flat, "checkpoint.drms.count", 1)
+    _flat_eq(c, flat, "checkpoint.drms-delta.count", 1)
+    _flat_eq(c, flat, "restart.drms.count", 1)
+    violations = span_tree_violations(tracer)
+    c.check(not violations, f"span tree violations: {violations[:3]}")
+    return c.finish({"engine": "incremental", "chain": sizes})
+
+
+def _run_spmd(case: Case) -> CaseResult:
+    c = _Checker(case)
+    pfs = PIOFS()
+    prefix = "verify.spmd"
+    rng = np.random.default_rng(case.data_seed & 0x7FFFFFFF)
+    payloads = [
+        {"task": t, "blob": rng.integers(0, 256, size=int(rng.integers(1, 64)), dtype=np.uint8).tobytes()}
+        for t in range(case.t1)
+    ]
+    with use_tracer(Tracer()) as tracer:
+        bd = spmd_checkpoint(
+            pfs,
+            prefix,
+            ntasks=case.t1,
+            segment_bytes=case.segment_bytes,
+            payloads=payloads,
+            app_name="verify",
+        )
+        state, rbd = spmd_restart(pfs, prefix, ntasks=case.t1)
+        # the defining limitation: any other task count must refuse
+        try:
+            spmd_restart(pfs, prefix, ntasks=case.t1 + 1)
+            conforming_only = False
+        except RestartError:
+            conforming_only = True
+    c.check(
+        conforming_only,
+        "non-conforming SPMD restart (t2 != t1) did not raise RestartError",
+    )
+    c.check(
+        state.payloads == payloads,
+        "per-task payloads did not round-trip identically",
+    )
+    manifest = state.manifest
+    for t, fname in enumerate(manifest["task_files"]):
+        c.check(
+            pfs.file_size(fname) == manifest["segment_bytes"][t],
+            f"{fname}: file size != manifest segment_bytes",
+        )
+    total = sum(manifest["segment_bytes"])
+    c.check(
+        bd.segment_bytes == total and rbd.segment_bytes == total,
+        "breakdown segment bytes != manifest total",
+    )
+    flat = tracer.metrics.flat()
+    _flat_eq(c, flat, "checkpoint.spmd.count", 1)
+    _flat_eq(c, flat, "restart.spmd.count", 1)
+    _flat_eq(c, flat, "checkpoint.spmd.segment.bytes", total)
+    violations = span_tree_violations(tracer)
+    c.check(not violations, f"span tree violations: {violations[:3]}")
+    return c.finish({"engine": "spmd", "segment_bytes": total})
+
+
+# -- fault mode -------------------------------------------------------------
+
+
+def _arm_events(inj: FaultInjector, events: List[FaultEvent], gen: int) -> None:
+    for ev in events:
+        if ev.kind == "write" and ev.gen == gen:
+            inj.fail_write(
+                nth=ev.nth,
+                match=ev.match,
+                mode=ev.mode,
+                keep_bytes=ev.keep_bytes,
+            )
+
+
+def _apply_stored_flips(
+    pfs: PIOFS, case: Case, events: List[FaultEvent], gen: int, prefix: str
+) -> None:
+    """Post-checkpoint persistent corruption.  Flips that find no
+    stored byte (virtual pad, missing file) are inert by design."""
+    for ev in events:
+        if ev.kind != "stored_flip" or ev.gen != gen:
+            continue
+        if ev.target == "segment":
+            fname = segment_name(prefix)
+        else:
+            idx = ev.array_index % max(len(case.arrays), 1)
+            fname = array_name(prefix, case.arrays[idx].name)
+        try:
+            size = pfs.file_size(fname)
+            if size <= 0:
+                continue
+            flip_stored_bit(pfs, fname, ev.offset % size, ev.bit)
+        except PFSError:
+            continue
+
+
+@dataclass
+class _Generation:
+    prefix: str
+    committed: bool
+    #: intended bytes per file: {name: exact expected content prefix}
+    expected: Dict[str, bytes] = field(default_factory=dict)
+    #: intended total size per file
+    sizes: Dict[str, int] = field(default_factory=dict)
+    refs: List[np.ndarray] = field(default_factory=list)
+    segment: Optional[DataSegment] = None
+
+    def is_valid(self, pfs: PIOFS) -> bool:
+        """Ground truth, independent of the recovery code: every file
+        still holds exactly the bytes the writer intended."""
+        if not self.committed:
+            return False
+        for name, want_size in self.sizes.items():
+            if not pfs.exists(name) or pfs.file_size(name) != want_size:
+                return False
+            want = self.expected[name]
+            if want and pfs.read_at(name, 0, len(want)) != want:
+                return False
+        return True
+
+
+def _run_fault(case: Case) -> CaseResult:
+    c = _Checker(case)
+    pfs = PIOFS()
+    base = "app.ck"
+    gens: List[_Generation] = []
+    with use_tracer(Tracer()) as tracer:
+        for g in range(1, case.generations + 1):
+            prefix = f"{base}.{g:06d}"
+            segment = _segment(iteration=g)
+            arrays = _build_arrays(case, salt=g)
+            refs = [a.to_global(fill=0) for a in arrays]
+            inj = FaultInjector()
+            _arm_events(inj, case.events, g)
+            pfs.attach_faults(inj)
+            try:
+                drms_checkpoint(
+                    pfs,
+                    prefix,
+                    segment,
+                    arrays,
+                    order=case.order,
+                    io_tasks=case.p1,
+                    target_bytes=case.target_bytes,
+                    app_name="verify",
+                )
+                committed = True
+            except (IOFaultError, CheckpointError):
+                committed = False
+                try:
+                    pfs.abort_phase()
+                except PFSError:
+                    pass
+            finally:
+                pfs.attach_faults(None)
+            _apply_stored_flips(pfs, case, case.events, g, prefix)
+            gen = _Generation(prefix=prefix, committed=committed, refs=refs,
+                              segment=segment)
+            if committed:
+                header, pad = segment.serialize()
+                seg = segment_name(prefix)
+                gen.expected[seg] = header
+                gen.sizes[seg] = len(header) + pad
+                for i, spec in enumerate(case.arrays):
+                    fname = array_name(prefix, spec.name)
+                    want = stream_order_bytes(refs[i], case.order)
+                    gen.expected[fname] = want
+                    gen.sizes[fname] = len(want)
+            gens.append(gen)
+
+        valid = [g for g in gens if g.is_valid(pfs)]
+        expected_prefix = valid[-1].prefix if valid else None
+        committed = [g for g in gens if g.committed]
+
+        if case.policy == "validated":
+            decision = select_restart_state(pfs, base)
+            chosen = decision.prefix
+            c.check(
+                chosen == expected_prefix,
+                f"validated recovery chose {chosen!r}; newest byte-valid "
+                f"state is {expected_prefix!r}",
+            )
+            want_rejected = {
+                g.prefix
+                for g in committed
+                if not g.is_valid(pfs)
+                and (expected_prefix is None or g.prefix > expected_prefix)
+            }
+            got_rejected = {p for p, _ in decision.rejected}
+            c.check(
+                got_rejected == want_rejected,
+                f"rejected set {sorted(got_rejected)} != corrupt-newer set "
+                f"{sorted(want_rejected)}",
+            )
+        else:
+            chosen = latest_checkpoint(pfs, base)
+            c.check(
+                chosen == expected_prefix,
+                f"naive recovery (newest complete manifest) chose "
+                f"{chosen!r}; newest byte-valid state is {expected_prefix!r}",
+            )
+
+        if chosen is not None and chosen == expected_prefix:
+            by_prefix = {g.prefix: g for g in gens}
+            gen = by_prefix[chosen]
+            state, _ = drms_restart(
+                pfs,
+                chosen,
+                ntasks=case.t2,
+                order=case.order,
+                io_tasks=case.p2,
+                target_bytes=case.target_bytes,
+                distribution_overrides={
+                    spec.name: case.distribution2(spec)
+                    for spec in case.arrays
+                },
+            )
+            _check_restored(c, state.arrays, gen.refs)
+            c.check(
+                state.segment.serialize() == gen.segment.serialize(),
+                "restored segment differs from the chosen generation's",
+            )
+    violations = span_tree_violations(tracer)
+    c.check(not violations, f"span tree violations: {violations[:3]}")
+    return c.finish(
+        {
+            "expected_prefix": expected_prefix,
+            "chosen": chosen,
+            "committed": [g.prefix for g in committed],
+            "valid": [g.prefix for g in valid],
+        }
+    )
+
+
+# -- entry points -----------------------------------------------------------
+
+
+def run_case(case: Case) -> CaseResult:
+    """Run one case's oracle; raises :class:`VerifyFailure` on any
+    invariant violation (regardless of the case's ``expect`` field)."""
+    if case.type == "fault":
+        return _run_fault(case)
+    if case.engine == "drms":
+        return _run_drms(case)
+    if case.engine == "incremental":
+        return _run_incremental(case)
+    return _run_spmd(case)
+
+
+def replay_case(case: Case) -> CaseResult:
+    """Run one case and hold it to its recorded expectation: an
+    ``expect: pass`` case must run clean, an ``expect: fail`` case (a
+    shrunk known-bad reproducer) must still fail the same way."""
+    try:
+        result = run_case(case)
+    except VerifyFailure as exc:
+        if case.expect == "fail":
+            return CaseResult(
+                case, checked=1, details={"failed_as_expected": exc.errors}
+            )
+        raise
+    if case.expect == "fail":
+        raise VerifyFailure(
+            case,
+            [
+                "case is recorded as a failing reproducer but every "
+                "invariant now holds"
+            ],
+        )
+    return result

@@ -1,0 +1,64 @@
+"""Regressions for empty-range / zero-extent-slice edge cases.
+
+The verify harness's generators produce sections where one axis is
+empty while others are not (e.g. intersecting disjoint column ranges).
+These used to raise ``RangeError`` deep inside local addressing; they
+must instead behave as empty sections throughout the algebra."""
+
+import numpy as np
+import pytest
+
+from repro.arrays.ranges import Range, RangeError
+from repro.arrays.slices import Slice
+from repro.streaming.order import section_stream_positions
+
+
+def test_cross_axis_empty_intersection_is_canonical_empty():
+    a = Slice([Range.regular(0, 1, 1), Range.regular(5, 7, 1)])
+    b = Slice([Range.regular(0, 1, 1), Range.regular(0, 3, 1)])
+    out = a.intersect(b)
+    assert out.is_empty
+    # normalized: every axis is empty, not just the disjoint one
+    assert all(r.is_empty for r in out.ranges)
+    assert out == Slice.empty(2)
+
+
+def test_empty_intersection_stays_subset_of_both_operands():
+    a = Slice([Range.regular(0, 3, 1), Range.regular(5, 7, 1)])
+    b = Slice([Range.regular(2, 3, 1), Range.regular(0, 3, 1)])
+    out = a.intersect(b)
+    assert out.issubset(a) and out.issubset(b)
+
+
+def test_positions_of_empty_sub_never_raises():
+    assert Range.regular(2, 5, 1).positions_of(Range.empty()).size == 0
+    assert Range.empty().positions_of(Range.empty()).size == 0
+
+
+def test_positions_of_nonempty_sub_of_empty_range_still_raises():
+    with pytest.raises(RangeError):
+        Range.empty().positions_of(Range.regular(0, 0, 1))
+
+
+def test_local_index_within_empty_section_selects_nothing():
+    outer = Slice([Range.regular(0, 3, 1), Range.regular(0, 3, 1)])
+    # zero-extent on axis 1 but a non-subset range on axis 0: the old
+    # per-axis path would raise on positions_of
+    empty = Slice([Range.regular(5, 9, 1), Range.empty()])
+    local = np.zeros((4, 4))
+    assert local[empty.local_index_within(outer)].size == 0
+
+
+def test_section_stream_positions_of_empty_sub_is_empty():
+    section = Slice([Range.regular(0, 3, 1), Range.regular(0, 3, 1)])
+    sub = Slice([Range.regular(6, 8, 1), Range.empty()])
+    assert sub.issubset(section)  # empty slices are subsets of anything
+    for order in ("F", "C"):
+        pos = section_stream_positions(section, sub, order=order)
+        assert pos.size == 0
+
+
+def test_zero_extent_slice_size_and_equality():
+    s = Slice([Range.regular(0, 5, 2), Range.empty()])
+    assert s.size == 0 and s.is_empty
+    assert s == Slice([Range.empty(), Range.regular(1, 1, 1)])

@@ -1,0 +1,65 @@
+"""The benchmark harness skips — never errors — on stale artifact state
+(benchmarks/conftest.py)."""
+
+import os
+import pathlib
+import sys
+
+import pytest
+
+ROOT = pathlib.Path(__file__).resolve().parents[2]
+sys.path.insert(0, str(ROOT))
+
+from benchmarks.conftest import (  # noqa: E402
+    OUT_DIR,
+    stale_artifacts,
+    write_artifact,
+)
+
+
+def test_stale_artifacts_empty_without_out_dir(tmp_path):
+    assert stale_artifacts(out_dir=tmp_path / "missing") == []
+
+
+def test_stale_artifacts_flags_epoch_leftovers(tmp_path):
+    src = tmp_path / "bench"
+    out = tmp_path / "out"
+    src.mkdir()
+    out.mkdir()
+    (src / "bench_x.py").write_text("pass\n")
+    old = out / "table1.txt"
+    old.write_text("seed artifact\n")
+    os.utime(old, (0, 0))  # the committed seed artifacts carry epoch mtimes
+    fresh = out / "table2.txt"
+    fresh.write_text("just written\n")
+    assert stale_artifacts(out_dir=out, src_dir=src) == [old]
+
+
+def test_write_artifact_refreshes_a_stale_file(tmp_path):
+    out = tmp_path / "out"
+    out.mkdir()
+    old = out / "t.txt"
+    old.write_text("stale\n")
+    os.utime(old, (0, 0))
+    path = write_artifact("t", "fresh", out_dir=out)
+    assert path.read_text() == "fresh\n"
+
+
+def test_write_artifact_skips_when_out_dir_is_shadowed(tmp_path):
+    # `out` exists as a *file*: mkdir and the write both fail with
+    # OSError; the bench must skip with a `make clean` hint, not error
+    shadow = tmp_path / "out"
+    shadow.write_text("i am not a directory\n")
+    with pytest.raises(pytest.skip.Exception, match="make clean"):
+        write_artifact("t", "text", out_dir=shadow / "nested")
+
+
+def test_seed_out_dir_is_detected_as_stale_or_absent():
+    """The committed benchmarks/out seed set (epoch mtimes) registers as
+    stale against any fresh checkout of the sources."""
+    if not OUT_DIR.is_dir() or not list(OUT_DIR.glob("*.txt")):
+        pytest.skip("no committed artifacts present")
+    seed_like = [p for p in OUT_DIR.glob("*.txt") if p.stat().st_mtime == 0]
+    if not seed_like:
+        pytest.skip("artifacts already refreshed by a local bench run")
+    assert set(seed_like) <= set(stale_artifacts())

@@ -42,6 +42,7 @@ def test_all_exports_resolve():
         "repro.perfmodel.sensitivity",
         "repro.reporting",
         "repro.tools.report",
+        "repro.verify",
     ],
 )
 def test_submodule_all_exports(module):

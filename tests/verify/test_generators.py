@@ -1,0 +1,102 @@
+"""Generator determinism and geometric legality (tests/verify)."""
+
+import random
+
+import pytest
+
+from repro.arrays.slices import Slice
+from repro.verify import CaseGen, random_range, random_shape, random_slice
+from repro.verify.gen import random_distribution, random_grid
+
+pytestmark = pytest.mark.verify
+
+
+def test_case_stream_is_a_pure_function_of_the_seed():
+    a = CaseGen(1234)
+    b = CaseGen(1234)
+    for _ in range(40):
+        assert a.reconfig_case().to_json() == b.reconfig_case().to_json()
+    for _ in range(10):
+        assert a.fault_case().to_json() == b.fault_case().to_json()
+
+
+def test_different_seeds_diverge():
+    stream1 = [CaseGen(1).reconfig_case().to_json() for _ in range(5)]
+    stream2 = [CaseGen(2).reconfig_case().to_json() for _ in range(5)]
+    assert stream1 != stream2
+
+
+def test_reconfig_cases_respect_engine_constraints():
+    gen = CaseGen(99)
+    saw = set()
+    for _ in range(120):
+        case = gen.reconfig_case()
+        saw.add(case.engine)
+        assert 1 <= case.p1 <= case.t1
+        assert 1 <= case.p2 <= case.t2
+        if case.engine == "spmd":
+            assert case.t2 == case.t1
+        if case.engine == "incremental":
+            # restore() streams with the checkpointing I/O task count
+            assert case.p1 <= min(case.t1, case.t2)
+    assert saw == {"drms", "spmd", "incremental"}
+
+
+def test_generated_geometry_builds_legal_distributions():
+    """Every generated case yields constructible distributions whose
+    per-task assigned sections stay inside the array bounds."""
+    gen = CaseGen(7)
+    bounds_checked = 0
+    for _ in range(60):
+        case = gen.reconfig_case()
+        for arr in case.arrays:
+            for dist, ntasks in (
+                (case.distribution1(arr), case.t1),
+                (case.distribution2(arr), case.t2),
+            ):
+                full = Slice.full(case.shape)
+                for task in range(ntasks):
+                    sec = dist.assigned(task)
+                    assert sec.issubset(full) or sec.is_empty
+                    bounds_checked += 1
+    assert bounds_checked > 0
+
+
+def test_random_range_stays_inside_extent():
+    rng = random.Random(5)
+    for _ in range(300):
+        extent = rng.randint(0, 9)
+        r = random_range(rng, extent)
+        if not r.is_empty:
+            idx = r.indices()
+            assert idx.min() >= 0 and idx.max() < extent
+
+
+def test_random_slice_and_shape_agree_on_rank():
+    rng = random.Random(6)
+    for _ in range(100):
+        shape = random_shape(rng)
+        s = random_slice(rng, shape)
+        assert s.rank == len(shape)
+
+
+def test_random_grid_multiplies_to_ntasks():
+    rng = random.Random(8)
+    for _ in range(200):
+        ntasks = rng.randint(1, 12)
+        rank = rng.randint(1, 3)
+        grid = random_grid(rng, ntasks, rank)
+        prod = 1
+        for g in grid:
+            prod *= g
+        assert prod == ntasks and len(grid) == rank
+
+
+def test_random_distribution_is_constructible():
+    rng = random.Random(9)
+    for _ in range(60):
+        shape = random_shape(rng)
+        ntasks = rng.randint(1, 6)
+        dist = random_distribution(rng, shape, ntasks)
+        assert dist.ntasks == ntasks
+        assert list(dist.shape) == list(shape)

@@ -1,0 +1,75 @@
+"""Deterministic replay of the checked-in seed corpus
+(tests/verify/cases/*.json)."""
+
+import glob
+import os
+
+import pytest
+
+from repro.verify import VerifyFailure, replay_case
+from repro.verify.case import Case
+
+pytestmark = pytest.mark.verify
+
+CASES_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "cases")
+CASE_FILES = sorted(glob.glob(os.path.join(CASES_DIR, "*.json")))
+
+
+def test_corpus_is_present():
+    assert len(CASE_FILES) >= 10, (
+        "seed corpus missing; regenerate with "
+        "`PYTHONPATH=src python tests/verify/gen_corpus.py`"
+    )
+
+
+@pytest.mark.parametrize(
+    "path", CASE_FILES, ids=[os.path.basename(p) for p in CASE_FILES]
+)
+def test_corpus_case_replays(path):
+    case = Case.load(path)
+    result = replay_case(case)
+    if case.expect == "fail":
+        assert "failed_as_expected" in result.details
+    else:
+        assert result.checked > 0
+
+
+@pytest.mark.parametrize(
+    "path",
+    [p for p in CASE_FILES if Case.load(p).expect == "fail"],
+    ids=lambda p: os.path.basename(p),
+)
+def test_failing_corpus_cases_are_minimal_and_deterministic(path):
+    case = Case.load(path)
+    first = replay_case(case).details["failed_as_expected"]
+    second = replay_case(Case.load(path)).details["failed_as_expected"]
+    assert first == second  # byte-for-byte deterministic verdict
+    assert len(case.events) <= 3  # the corpus stores shrunk reproducers
+
+
+def test_corpus_includes_a_shrinking_cyclic_redistribution():
+    """The required (t1 > t2) cyclic-redistribution case exists and
+    really redistributes a cyclic axis across a smaller task pool."""
+    for path in CASE_FILES:
+        case = Case.load(path)
+        if case.type != "reconfig" or case.t1 <= case.t2:
+            continue
+        kinds1 = {s["kind"] for a in case.arrays for s in a.axes1}
+        if "cyclic" in kinds1:
+            break
+    else:
+        pytest.fail("no (t1 > t2) cyclic-redistribution case in corpus")
+
+
+def test_unexpected_pass_is_reported():
+    """If a checked-in reproducer stops failing (a bug was fixed or the
+    oracle regressed), replay must raise rather than silently pass."""
+    for path in CASE_FILES:
+        case = Case.load(path)
+        if case.expect != "fail":
+            continue
+        case.policy = "validated"  # defuse the injury
+        with pytest.raises(VerifyFailure):
+            replay_case(case)
+        return
+    pytest.fail("corpus holds no expect=fail case")

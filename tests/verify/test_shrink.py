@@ -1,0 +1,58 @@
+"""Shrinking: the known-bad schedule reduces to a minimal replayable
+reproducer (tests/verify)."""
+
+import pytest
+
+from repro.verify import (
+    VerifyFailure,
+    known_bad_case,
+    replay_case,
+    run_case,
+    shrink_case,
+)
+from repro.verify.case import Case
+
+pytestmark = pytest.mark.verify
+
+
+def test_known_bad_shrinks_to_at_most_three_events():
+    case = known_bad_case(seed=0)
+    assert len(case.events) == 5  # starts deliberately redundant
+    report = shrink_case(case)
+    assert len(report.shrunk.events) <= 3
+    assert report.accepted > 0
+    # the shrunk case is itself simpler, never more complex
+    assert report.shrunk.generations <= case.generations
+    assert report.shrunk.t2 <= case.t2
+
+
+def test_shrunk_case_still_fails():
+    report = shrink_case(known_bad_case(seed=0))
+    with pytest.raises(VerifyFailure):
+        run_case(report.shrunk)
+
+
+def test_shrunk_case_replays_from_its_json_dump(tmp_path):
+    report = shrink_case(known_bad_case(seed=0))
+    shrunk = report.shrunk
+    shrunk.expect = "fail"
+    path = tmp_path / "shrunk.json"
+    shrunk.save(path)
+    loaded = Case.load(path)
+    result = replay_case(loaded)
+    assert "failed_as_expected" in result.details
+
+
+def test_shrink_refuses_a_passing_case():
+    case = known_bad_case(seed=0)
+    case.policy = "validated"
+    with pytest.raises(ValueError):
+        shrink_case(case)
+
+
+def test_shrink_is_deterministic():
+    a = shrink_case(known_bad_case(seed=0))
+    b = shrink_case(known_bad_case(seed=0))
+    assert a.shrunk.to_json() == b.shrunk.to_json()
+    assert a.attempts == b.attempts
+    assert a.steps == b.steps

@@ -1,0 +1,87 @@
+"""Property: ``assignment.transfer_schedule`` exactly partitions every
+destination task's assigned section — no gaps, no overlaps — for random
+source/destination distribution pairs (tests/verify)."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.arrays.assignment import schedule_bytes, transfer_schedule
+from repro.verify.gen import random_distribution, random_shape
+
+pytestmark = pytest.mark.verify
+
+
+def _coverage(shape, sections):
+    """Element-wise occupancy count of a list of Slices over ``shape``."""
+    hits = np.zeros(shape, dtype=np.int64)
+    for sec in sections:
+        if sec.is_empty:
+            continue
+        hits[np.ix_(*[r.indices() for r in sec.ranges])] += 1
+    return hits
+
+
+def _defined(dist):
+    """Occupancy of the distribution's assigned sections (1 where some
+    task owns the element, 0 where INDEXED coverage leaves it out)."""
+    return _coverage(
+        dist.shape, [dist.assigned(t) for t in range(dist.ntasks)]
+    )
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_transfers_partition_each_destination_section(seed):
+    rng = random.Random(1000 + seed)
+    for _ in range(12):
+        shape = random_shape(rng)
+        src = random_distribution(rng, shape, rng.randint(1, 5))
+        dst = random_distribution(rng, shape, rng.randint(1, 5))
+        src_defined = _defined(src)
+        assert src_defined.max() <= 1  # assigned sections are disjoint
+
+        schedule = transfer_schedule(src, dst)
+        for j in range(dst.ntasks):
+            assigned = dst.assigned(j)
+            incoming = [
+                tr.section.intersect(assigned)
+                for tr in schedule
+                if tr.dst_task == j
+            ]
+            got = _coverage(shape, incoming)
+            # no overlaps: each element of the assigned section arrives
+            # from exactly one owner...
+            assert got.max() <= 1
+            # ...and no gaps: every source-defined element of the
+            # assigned section is covered
+            want = _coverage(shape, [assigned]) * src_defined
+            assert np.array_equal(got, want)
+
+
+def test_transfers_land_inside_mapped_sections():
+    """Every scheduled section is owned by its source task and received
+    inside the destination task's mapped (assigned + halo) section."""
+    rng = random.Random(31)
+    checked = 0
+    for _ in range(20):
+        shape = random_shape(rng)
+        src = random_distribution(rng, shape, rng.randint(1, 4))
+        dst = random_distribution(rng, shape, rng.randint(1, 4))
+        for tr in transfer_schedule(src, dst):
+            assert not tr.section.is_empty
+            assert tr.section.issubset(src.assigned(tr.src_task))
+            assert tr.section.issubset(dst.mapped(tr.dst_task))
+            checked += 1
+    assert checked > 0
+
+
+def test_schedule_bytes_matches_section_sizes():
+    rng = random.Random(63)
+    shape = [6, 5]
+    src = random_distribution(rng, shape, 3)
+    dst = random_distribution(rng, shape, 2)
+    schedule = transfer_schedule(src, dst)
+    assert schedule_bytes(schedule, 8) == 8 * sum(
+        tr.section.size for tr in schedule
+    )
