@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: install test verify-checkpoints verify-reconfig verify-reconfig-deep bench report trace obs-report examples all clean
+.PHONY: install test verify-checkpoints verify-reconfig verify-reconfig-deep bench bench-baseline report trace obs-report examples all clean
 
 # fixed seed so the gate is fully deterministic; DEEP_SEED rotates daily
 VERIFY_SEED ?= 20260806
@@ -33,6 +33,12 @@ verify-reconfig-deep:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+# the plan-cache / concurrent-parstream performance baseline: writes
+# benchmarks/out/BENCH_plancache.json and BENCH_parstream.json
+bench-baseline:
+	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/bench_plancache.py \
+		benchmarks/bench_parstream_concurrency.py --benchmark-only -s
 
 report:
 	$(PYTHON) -m repro.tools.report --out benchmarks/out

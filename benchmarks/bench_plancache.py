@@ -1,0 +1,136 @@
+"""Plan-cache benchmark: what memoizing pure plan work buys.
+
+Two measurements, persisted as the machine-readable
+``BENCH_plancache.json`` baseline:
+
+* **plan** — the pure planning hot path (transfer schedules between
+  distribution pairs + parstream piece plans), repeated as a periodic
+  checkpointer would, with caching disabled (:class:`NullPlanCache`)
+  vs. a warm :class:`PlanCache`;
+* **checkpoint** — end-to-end ``drms_checkpoint`` of the same arrays
+  repeated cold vs. warm, the realistic composition of the same
+  saving.
+
+Both sections record the cache's own accounting (hit rate, saved
+seconds) next to the wall-clock ratio, so the attribution is
+cross-checkable: the measured delta should track ``saved_seconds``.
+"""
+
+import json
+import time
+
+import numpy as np
+
+from repro.arrays.darray import DistributedArray
+from repro.arrays.distributions import block_distribution
+from repro.arrays.slices import Slice
+from repro.checkpoint.drms import drms_checkpoint
+from repro.checkpoint.segment import DataSegment, ExecutionContext, SegmentProfile
+from repro.pfs.piofs import PIOFS
+from repro.plancache import (
+    NullPlanCache,
+    PlanCache,
+    streaming_plan,
+    transfer_schedule,
+    use_plan_cache,
+)
+
+SHAPES = [(64, 48), (96, 32), (40, 40, 4), (2048,)]
+TASKS = (2, 4, 8)
+PLAN_REPEATS = 30
+CKPT_REPEATS = 6
+
+
+def _plan_workload():
+    """One periodic-checkpoint round of pure planning: a parstream plan
+    per (shape, P) and a redistribution schedule per task-count pair."""
+    for shape in SHAPES:
+        sec = Slice.full(shape)
+        for P in TASKS:
+            streaming_plan(sec, 8, target_bytes=2048, min_pieces=P)
+        dists = [block_distribution(shape, t) for t in TASKS]
+        for src in dists:
+            for dst in dists:
+                transfer_schedule(src, dst)
+
+
+def _time_plans(cache) -> float:
+    with use_plan_cache(cache):
+        t0 = time.perf_counter()
+        for _ in range(PLAN_REPEATS):
+            _plan_workload()
+        return time.perf_counter() - t0
+
+
+def _arrays():
+    out = []
+    for i, shape in enumerate(SHAPES):
+        d = block_distribution(shape, 4)
+        a = DistributedArray(f"a{i}", shape, np.float64, d)
+        a.set_global(np.arange(float(np.prod(shape))).reshape(shape))
+        out.append(a)
+    return out
+
+
+def _segment():
+    return DataSegment(
+        SegmentProfile(
+            local_section_bytes=1 << 12,
+            private_bytes=1 << 10,
+            system_bytes=1 << 8,
+        ),
+        ExecutionContext(iteration=1),
+    )
+
+
+def _time_checkpoints(cache) -> float:
+    arrays = _arrays()
+    seg = _segment()
+    with use_plan_cache(cache):
+        t0 = time.perf_counter()
+        for k in range(CKPT_REPEATS):
+            drms_checkpoint(
+                PIOFS(), f"ck{k}", seg, arrays, io_tasks=4,
+                target_bytes=2048, app_name="bench",
+            )
+        return time.perf_counter() - t0
+
+
+def test_plancache_baseline(benchmark, report):
+    def run():
+        cold_plan = _time_plans(NullPlanCache())
+        warm_cache = PlanCache()
+        _time_plans(warm_cache)  # populate
+        warm_plan = _time_plans(warm_cache)
+
+        cold_ckpt = _time_checkpoints(NullPlanCache())
+        ckpt_cache = PlanCache()
+        _time_checkpoints(ckpt_cache)  # populate
+        warm_ckpt = _time_checkpoints(ckpt_cache)
+        return cold_plan, warm_plan, warm_cache, cold_ckpt, warm_ckpt, ckpt_cache
+
+    cold_plan, warm_plan, warm_cache, cold_ckpt, warm_ckpt, ckpt_cache = (
+        benchmark.pedantic(run, rounds=1, iterations=1)
+    )
+
+    payload = {
+        "plan": {
+            "cold_seconds": cold_plan,
+            "warm_seconds": warm_plan,
+            "speedup": cold_plan / warm_plan,
+            **{k: v for k, v in warm_cache.stats().items()},
+        },
+        "checkpoint": {
+            "cold_seconds": cold_ckpt,
+            "warm_seconds": warm_ckpt,
+            "speedup": cold_ckpt / warm_ckpt,
+            **{k: v for k, v in ckpt_cache.stats().items()},
+        },
+    }
+    report("BENCH_plancache.json", json.dumps(payload, indent=1))
+
+    # a warm cache must actually hit, and hitting must beat replanning
+    assert warm_cache.hit_rate > 0.5
+    assert ckpt_cache.hit_rate > 0.0
+    assert payload["plan"]["speedup"] > 1.0
+    assert warm_cache.saved_seconds > 0.0

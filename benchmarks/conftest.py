@@ -37,7 +37,10 @@ def stale_artifacts(
         (p.stat().st_mtime for p in src.glob("*.py")), default=0.0
     )
     return sorted(
-        p for p in out.glob("*.txt") if p.stat().st_mtime < newest_src
+        p
+        for pattern in ("*.txt", "*.json")
+        for p in out.glob(pattern)
+        if p.stat().st_mtime < newest_src
     )
 
 
@@ -48,7 +51,9 @@ def write_artifact(
     the artifact directory is stale state this run cannot refresh
     (``out`` shadowed by a file, unwritable leftovers, ...)."""
     out = pathlib.Path(out_dir) if out_dir is not None else OUT_DIR
-    path = out / f"{name}.txt"
+    # names carrying their own extension (BENCH_*.json) are kept as-is;
+    # bare names get the legacy .txt suffix
+    path = out / (name if name.endswith(".json") else f"{name}.txt")
     try:
         out.mkdir(exist_ok=True)
         path.write_text(text + "\n")

@@ -120,7 +120,13 @@ def array_assign(
             f"assignment dtype mismatch: src {src.dtype} vs dst {dst.dtype}"
         )
     if schedule is None:
-        schedule = build_schedule(src.distribution, dst.distribution)
+        # memoized by structural distribution fingerprints — repeated
+        # assignments between the same geometries (shadow refresh,
+        # periodic checkpoints) replan only once.  Local import: the
+        # cache layer sits above this pure layer.
+        from repro.plancache.plans import transfer_schedule as cached_schedule
+
+        schedule = cached_schedule(src.distribution, dst.distribution)
     if dst.store_data and src.store_data:
         apply_schedule(dst, src, schedule)
     return schedule

@@ -186,9 +186,10 @@ class DistributedArray:
         Returns the number of elements copied between distinct tasks —
         the communication volume of one shadow update."""
         self._need_data()
-        from repro.arrays.assignment import build_schedule, apply_schedule
+        from repro.arrays.assignment import apply_schedule
+        from repro.plancache.plans import transfer_schedule
 
-        sched = build_schedule(self.distribution, self.distribution)
+        sched = transfer_schedule(self.distribution, self.distribution)
         apply_schedule(self, self, sched)
         return sum(tr.section.size for tr in sched if tr.src_task != tr.dst_task)
 

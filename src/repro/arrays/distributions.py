@@ -23,6 +23,7 @@ distribution for a different number of tasks — the operation behind
 
 from __future__ import annotations
 
+import hashlib
 import math
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
@@ -210,6 +211,20 @@ class Replicated(AxisDistribution):
         return "*"
 
 
+def _range_canon(r: Range) -> tuple:
+    """Exact canonical encoding of a range for fingerprint digests
+    (``repr`` truncates long indexed ranges, so it cannot be used)."""
+    if r.is_empty:
+        return ("e",)
+    if r.is_regular:
+        return ("r", r.first, r.last, r.step)
+    return ("i", r.indices().tobytes())
+
+
+def _slice_canon(s: Slice) -> tuple:
+    return tuple(_range_canon(r) for r in s.ranges)
+
+
 def _check_axis(nprocs: int, extent: int) -> None:
     if nprocs < 1:
         raise DistributionError(f"grid extent must be >= 1, got {nprocs}")
@@ -327,6 +342,7 @@ class Distribution:
             a = Slice(self._per_axis[i][c] for i, c in enumerate(coords))
             self._assigned.append(a)
             self._mapped.append(mapped[t] if mapped is not None else self._expand(a))
+        self._fingerprint: Optional[str] = None
         self.validate()
 
     # -- geometry --------------------------------------------------------
@@ -480,6 +496,28 @@ class Distribution:
             grid=grid,
             shadow=self.shadow,
         )
+
+    def fingerprint(self) -> str:
+        """Structural digest of the ``(a, m)`` geometry — the plan-cache
+        key component for this distribution (see :mod:`repro.plancache`).
+
+        Two distributions compare ``==`` iff their fingerprints match:
+        the digest covers exactly the fields equality covers (shape,
+        grid, shadow, every assigned and mapped slice), canonically
+        encoded, so BLOCK-over-8 and a GENBLOCK spelling the same blocks
+        share one fingerprint while any geometric change produces a new
+        one.  Computed once per instance (distributions are immutable
+        after construction)."""
+        if self._fingerprint is None:
+            canon = (
+                self.shape,
+                self.grid,
+                self.shadow,
+                tuple(_slice_canon(s) for s in self._assigned),
+                tuple(_slice_canon(s) for s in self._mapped),
+            )
+            self._fingerprint = hashlib.sha1(repr(canon).encode()).hexdigest()
+        return self._fingerprint
 
     def describe(self) -> str:
         axes = ", ".join(a.describe() for a in self.axes)

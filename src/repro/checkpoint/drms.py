@@ -149,8 +149,13 @@ def drms_checkpoint(
     io_tasks: Optional[int] = None,
     target_bytes: int = 1 << 20,
     app_name: str = "",
+    concurrency: str = "threads",
 ) -> CheckpointBreakdown:
-    """Write a reconfigurable checkpoint under ``prefix``."""
+    """Write a reconfigurable checkpoint under ``prefix``.
+
+    ``concurrency`` selects the parstream executor (``"threads"`` runs
+    the P I/O tasks on a thread pool, ``"serial"`` the deterministic
+    round-robin loop); output bytes are identical either way."""
     names = {a.name for a in arrays}
     if len(names) != len(arrays):
         raise CheckpointError("distributed array names must be unique")
@@ -191,7 +196,8 @@ def drms_checkpoint(
             with obs.span(f"parstream:{a.name}", file=fname) as sp:
                 pfs.begin_phase(IOKind.WRITE_PARALLEL)
                 stats = stream_out_parallel(
-                    a, sink, P=io_tasks, order=order, target_bytes=target_bytes
+                    a, sink, P=io_tasks, order=order, target_bytes=target_bytes,
+                    concurrency=concurrency,
                 )
                 res = pfs.end_phase()
                 obs.advance(res.seconds)
@@ -254,6 +260,7 @@ def drms_restart(
     target_bytes: int = 1 << 20,
     distribution_overrides: Optional[Dict[str, object]] = None,
     verify: bool = True,
+    concurrency: str = "threads",
 ) -> Tuple[RestoredState, RestartBreakdown]:
     """Restore a DRMS checkpoint onto ``ntasks`` tasks (any count >= 1).
 
@@ -362,7 +369,8 @@ def drms_restart(
             with obs.span(f"parstream:{name}", file=spec["file"]) as sp:
                 pfs.begin_phase(IOKind.READ_PARALLEL)
                 stats = stream_in_parallel(
-                    arr, source, P=io_tasks, order=order, target_bytes=target_bytes
+                    arr, source, P=io_tasks, order=order, target_bytes=target_bytes,
+                    concurrency=concurrency,
                 )
                 res = pfs.end_phase()
                 obs.advance(res.seconds)

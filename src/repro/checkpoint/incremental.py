@@ -54,7 +54,9 @@ from repro.obs import get_tracer
 from repro.pfs.phase import IOKind
 from repro.pfs.piofs import PIOFS
 from repro.streaming.order import bytes_to_section, stream_order_bytes
-from repro.streaming.partition import partition_for_target, piece_offsets
+# cached front-ends: repeated full/incremental checkpoints of the same
+# arrays replan the piece partition only once (see repro.plancache)
+from repro.plancache.plans import partition_for_target, piece_offsets
 from repro.streaming.serial import gather_piece, scatter_piece
 from repro.arrays.slices import Slice
 

@@ -35,6 +35,7 @@ from repro.errors import CheckpointError, RestartError
 from repro.obs import get_tracer
 from repro.pfs.phase import IOKind
 from repro.pfs.piofs import PIOFS
+from repro.streaming.executor import run_tasks
 
 __all__ = ["spmd_checkpoint", "spmd_restart", "SPMDRestoredState"]
 
@@ -97,19 +98,32 @@ def spmd_checkpoint(
         sha_bytes: List[int] = []
         with obs.span("segment_write", files=ntasks) as sp:
             pfs.begin_phase(IOKind.WRITE_DISTINCT)
+            # encode and create serially (deterministic namespace and
+            # manifest order), then write the distinct files concurrently
+            encoded = []
             for t in range(ntasks):
                 fname = task_segment_name(prefix, t)
                 pfs.create(fname, virtual=False)
                 payload = payloads[t] if payloads is not None else None
                 header, pad = _encode_task_file(payload, segment_bytes)
-                pfs.write_at(fname, 0, header, client=t)
-                if pad:
-                    pfs.write_at(fname, len(header), None, nbytes=pad, client=t)
+                encoded.append((t, fname, header, pad))
                 sizes.append(len(header) + pad)
                 # hash the *intended* exact header (the sparse bulk is sized,
                 # not stored), so a torn write of the file is caught at restart
                 shas.append(sha1_hex(header))
                 sha_bytes.append(len(header))
+
+            def write_task(t: int, fname: str, header: bytes, pad: int) -> None:
+                pfs.write_at(fname, 0, header, client=t)
+                if pad:
+                    pfs.write_at(fname, len(header), None, nbytes=pad, client=t)
+
+            if pfs.faults is not None:
+                # nth-write fault plans need the deterministic sequence
+                for e in encoded:
+                    write_task(*e)
+            else:
+                run_tasks([lambda e=e: write_task(*e) for e in encoded])
             res = pfs.end_phase()
             obs.advance(res.seconds)
             sp.set(nbytes=sum(sizes), seconds=res.seconds)

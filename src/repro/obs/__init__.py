@@ -44,7 +44,7 @@ from repro.obs.metrics import (
     MetricsRegistry,
     NullMetricsRegistry,
 )
-from repro.obs.report import breakdown_report, op_summary, phase_rows
+from repro.obs.report import breakdown_report, op_summary, phase_rows, plancache_summary
 from repro.obs.spans import (
     NULL_TRACER,
     Mark,
@@ -76,6 +76,7 @@ __all__ = [
     "metrics_dump",
     "write_metrics",
     "breakdown_report",
+    "plancache_summary",
     "op_summary",
     "phase_rows",
     "bind_event_log",

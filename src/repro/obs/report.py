@@ -6,7 +6,9 @@ for every top-level ``checkpoint`` / ``restart`` span it renders one
 table of the operation's phases — simulated seconds, bytes, achieved
 MB/s, and the share of the operation total — and the phase rows sum to
 the root span by construction (the engine advances the trace clock only
-inside phase spans).
+inside phase spans).  When the plan cache fed the traced run, a
+footer attributes the planning wall-time it saved
+(``plancache.saved_seconds`` et al. from the metrics registry).
 """
 
 from __future__ import annotations
@@ -16,7 +18,7 @@ from typing import Dict, List, Optional, Sequence
 from repro.obs.spans import Span, Tracer
 from repro.reporting.tables import Table
 
-__all__ = ["phase_rows", "breakdown_report", "op_summary"]
+__all__ = ["phase_rows", "breakdown_report", "op_summary", "plancache_summary"]
 
 _MB = 1e6  # the paper reports decimal MB/s
 
@@ -95,4 +97,24 @@ def breakdown_report(
             "100%",
         )
         blocks.append(t.render())
+    footer = plancache_summary(tracer)
+    if footer and blocks:
+        blocks.append(footer)
     return "\n\n".join(blocks)
+
+
+def plancache_summary(tracer: Tracer) -> str:
+    """One line attributing what plan memoization bought during the
+    traced run, from the ``plancache.*`` counters; empty string when the
+    cache never saw a lookup."""
+    flat = tracer.metrics.flat()
+    hits = flat.get("plancache.hit", 0.0)
+    misses = flat.get("plancache.miss", 0.0)
+    if not hits and not misses:
+        return ""
+    saved = flat.get("plancache.saved_seconds", 0.0)
+    total = hits + misses
+    return (
+        f"plan cache: {int(hits)}/{int(total)} lookups hit "
+        f"({100.0 * hits / total:.0f}%), ~{saved:.4f}s of planning avoided"
+    )

@@ -1,0 +1,155 @@
+"""Cached front-ends for the pure plan computations.
+
+Each function here wraps one expensive pure computation from the
+streaming/redistribution hot path with the active :class:`~repro.
+plancache.cache.PlanCache`:
+
+* :func:`transfer_schedule` — the point-to-point schedule of an array
+  assignment (``arrays/assignment.py``), keyed by the two distribution
+  fingerprints;
+* :func:`partition` / :func:`partition_for_target` — the recursive
+  Fig. 5a stream-order partition (``streaming/partition.py``), keyed by
+  the section and the split parameters;
+* :func:`piece_offsets` — the running-sum byte offsets of a partition;
+* :func:`section_stream_positions` — the stream-position map of a
+  sub-section (``streaming/order.py``), returned read-only because the
+  cached ndarray is shared between callers;
+* :func:`streaming_plan` — the (pieces, offsets) pair the parstream
+  executor needs, as one composite entry.
+
+The wrapped functions stay pure and uncached in their home modules;
+callers that want memoization import from here.  Results that callers
+could mutate (lists) are returned as shallow copies of the cached
+tuples; :class:`~repro.arrays.slices.Slice` and
+:class:`~repro.arrays.assignment.Transfer` elements are immutable.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.arrays.distributions import Distribution
+from repro.arrays.slices import Slice
+from repro.plancache.cache import get_plan_cache
+from repro.streaming.order import check_order
+from repro.streaming.order import (
+    section_stream_positions as _section_stream_positions,
+)
+from repro.streaming.partition import partition as _partition
+from repro.streaming.partition import (
+    partition_for_target as _partition_for_target,
+)
+from repro.streaming.partition import piece_offsets as _piece_offsets
+
+__all__ = [
+    "transfer_schedule",
+    "partition",
+    "partition_for_target",
+    "piece_offsets",
+    "section_stream_positions",
+    "streaming_plan",
+]
+
+
+def transfer_schedule(src: Distribution, dst: Distribution) -> List:
+    """Memoized :func:`repro.arrays.assignment.build_schedule` for an
+    assignment ``dst <- src``."""
+    # local import: arrays.assignment must stay importable without
+    # plancache (the cache layer sits above the pure layer)
+    from repro.arrays.assignment import build_schedule
+
+    sf, df = src.fingerprint(), dst.fingerprint()
+    sched = get_plan_cache().get_or_compute(
+        "schedule",
+        (sf, df),
+        lambda: tuple(build_schedule(src, dst)),
+        dist_fingerprints=(sf, df),
+    )
+    return list(sched)
+
+
+def partition(x: Slice, m: int, order: str = "F") -> List[Slice]:
+    """Memoized :func:`repro.streaming.partition.partition`."""
+    pieces = get_plan_cache().get_or_compute(
+        "partition",
+        (x, int(m), check_order(order)),
+        lambda: tuple(_partition(x, m, order)),
+    )
+    return list(pieces)
+
+
+def partition_for_target(
+    x: Slice,
+    itemsize: int,
+    target_bytes: int = 1 << 20,
+    min_pieces: int = 1,
+    order: str = "F",
+) -> List[Slice]:
+    """Memoized :func:`repro.streaming.partition.partition_for_target`."""
+    pieces = get_plan_cache().get_or_compute(
+        "partition",
+        (x, int(itemsize), int(target_bytes), int(min_pieces), check_order(order)),
+        lambda: tuple(
+            _partition_for_target(
+                x, itemsize, target_bytes=target_bytes,
+                min_pieces=min_pieces, order=order,
+            )
+        ),
+    )
+    return list(pieces)
+
+
+def piece_offsets(pieces: List[Slice], itemsize: int) -> List[int]:
+    """Memoized :func:`repro.streaming.partition.piece_offsets`."""
+    offs = get_plan_cache().get_or_compute(
+        "offsets",
+        (tuple(pieces), int(itemsize)),
+        lambda: tuple(_piece_offsets(list(pieces), itemsize)),
+    )
+    return list(offs)
+
+
+def section_stream_positions(
+    section: Slice, sub: Slice, order: str = "F"
+) -> np.ndarray:
+    """Memoized :func:`repro.streaming.order.section_stream_positions`.
+    The returned array is **read-only** (it is shared by every caller of
+    the same key)."""
+
+    def compute() -> np.ndarray:
+        pos = _section_stream_positions(section, sub, order)
+        pos.setflags(write=False)
+        return pos
+
+    return get_plan_cache().get_or_compute(
+        "positions", (section, sub, check_order(order)), compute
+    )
+
+
+def streaming_plan(
+    section: Slice,
+    itemsize: int,
+    target_bytes: int = 1 << 20,
+    min_pieces: int = 1,
+    order: str = "F",
+) -> Tuple[Tuple[Slice, ...], Tuple[int, ...]]:
+    """The (pieces, offsets) pair of one parstream operation, memoized
+    as a single composite entry so a warm checkpoint pays one lookup."""
+
+    def compute() -> Tuple[Tuple[Slice, ...], Tuple[int, ...]]:
+        pieces = tuple(
+            _partition_for_target(
+                section, itemsize, target_bytes=target_bytes,
+                min_pieces=min_pieces, order=order,
+            )
+        )
+        return pieces, tuple(_piece_offsets(list(pieces), itemsize))
+
+    return get_plan_cache().get_or_compute(
+        "plan",
+        (section, int(itemsize), int(target_bytes), int(min_pieces),
+         check_order(order)),
+        compute,
+    )

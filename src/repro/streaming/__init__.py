@@ -18,7 +18,7 @@ number of tasks.
 from repro.streaming.order import stream_order_bytes, section_stream_positions
 from repro.streaming.partition import partition, partition_for_target, piece_offsets
 from repro.streaming.streams import ByteSink, ByteSource, MemorySink, MemorySource
-from repro.streaming.serial import stream_out_serial, stream_in_serial
+from repro.streaming.serial import stream_out_serial, stream_in_serial, strict_gather
 from repro.streaming.parallel import stream_out_parallel, stream_in_parallel
 
 __all__ = [
@@ -33,6 +33,7 @@ __all__ = [
     "MemorySource",
     "stream_out_serial",
     "stream_in_serial",
+    "strict_gather",
     "stream_out_parallel",
     "stream_in_parallel",
 ]

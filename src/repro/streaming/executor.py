@@ -1,0 +1,80 @@
+"""Thread-pool execution of independent piece tasks.
+
+The parstream algorithm makes pieces independent by construction: the
+Fig. 5a partition is disjoint in the global index space and the
+running-sum offsets are disjoint in the stream, so gather/write (and
+read/scatter) of distinct pieces never touch the same element or byte.
+That independence is what this module exploits.  Callers submit one
+thunk per *I/O task* (each thunk walks its own round-robin share of
+the pieces in order), mirroring the paper's model of P concurrent I/O
+tasks while keeping dispatch overhead at O(P), not O(pieces).
+
+Thunks run on a shared, lazily created pool — pool threads are reused
+across streaming operations, so a periodic checkpointer does not pay
+thread startup per checkpoint.  Concurrency per call is bounded by the
+number of thunks submitted (one per I/O task), not the pool width.
+
+Determinism boundary: results are returned in submission order and the
+first failure (again in submission order) is re-raised, so callers see
+serial-equivalent outcomes.  What concurrency *does* reorder is the
+sequence of writes hitting the sink — which is why callers fall back to
+the serial loop whenever write-sequence-dependent machinery (the
+``nth``-write fault injector) is armed; see :func:`faults_armed`.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, List, Sequence
+
+__all__ = ["faults_armed", "run_tasks"]
+
+#: shared-pool width: enough for every plausible P plus a concurrent
+#: stream or two; per-call concurrency is bounded by thunk count anyway
+_POOL_WIDTH = max(8, (os.cpu_count() or 4) * 2)
+
+_pool: ThreadPoolExecutor | None = None
+_pool_lock = threading.Lock()
+
+
+def _shared_pool() -> ThreadPoolExecutor:
+    global _pool
+    with _pool_lock:
+        if _pool is None:
+            _pool = ThreadPoolExecutor(
+                max_workers=_POOL_WIDTH, thread_name_prefix="parstream"
+            )
+        return _pool
+
+
+def faults_armed(endpoint) -> bool:
+    """True when ``endpoint`` (a sink or source) is backed by a PFS
+    with a fault injector armed.  Fault plans address the *nth matching
+    write*, which is only meaningful over a deterministic write
+    sequence — concurrent executors must detect this and run serially."""
+    pfs = getattr(endpoint, "pfs", None)
+    return pfs is not None and getattr(pfs, "faults", None) is not None
+
+
+def run_tasks(tasks: Sequence[Callable[[], object]]) -> List[object]:
+    """Run independent thunks concurrently; results come back in
+    submission order.  If any thunk raises, the first failure in
+    submission order propagates — after every thunk has finished, so no
+    write is half-abandoned mid-flight."""
+    if not tasks:
+        return []
+    if len(tasks) == 1:
+        return [tasks[0]()]
+    futures = [_shared_pool().submit(t) for t in tasks]
+    outcomes = []
+    for f in futures:
+        try:
+            outcomes.append((f.result(), None))
+        except BaseException as exc:  # noqa: BLE001 - re-raised below
+            outcomes.append((None, exc))
+    for _, exc in outcomes:
+        if exc is not None:
+            raise exc
+    return [value for value, _ in outcomes]

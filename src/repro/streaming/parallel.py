@@ -2,14 +2,29 @@
 (paper Fig. 5b).
 
 The section is partitioned into ``m >= P`` stream-contiguous pieces of
-roughly ``target_bytes`` each (1 MB in the paper).  Pieces are processed
-in rounds of ``P``: in round ``k`` task ``p`` receives piece ``k*P + p``
+roughly ``target_bytes`` each (1 MB in the paper).  Piece ``j`` belongs
+to I/O task ``p = j % P`` (rounds of ``P``): the task receives the piece
 through a canonical redistribution (an array assignment onto an
-auxiliary distribution that makes each piece wholly local to its I/O
-task), then writes it at the piece's stream offset — which is just the
-sum of the sizes of the earlier pieces.  The output is byte-identical to
-serial streaming; only the access pattern differs, which is why parallel
-streaming requires a seekable sink.
+auxiliary distribution that makes the piece wholly local), then writes
+it at the piece's stream offset — the sum of the sizes of the earlier
+pieces.  The output is byte-identical to serial streaming; only the
+access pattern differs, which is why parallel streaming requires a
+seekable sink.
+
+Concurrency: by default (``concurrency="threads"``) the P I/O tasks
+run as a thread pool — pieces are gathered, checksummed, and written
+concurrently.  Correctness relies on three structural facts: pieces
+are disjoint in the global index space (gather/scatter never race on
+an element), offsets are disjoint in the stream (writes never race on
+a byte), and sinks serialize internal bookkeeping behind their own
+locks.  Because each piece's bytes and offset are fixed by the plan,
+the result is byte-identical to the serial round-robin loop for every
+interleaving — the property the verify oracle checks.
+
+The serial loop is kept (``concurrency="serial"``) and is entered
+automatically when the sink's PFS has fault injection armed: fault
+plans address the *nth matching write*, which only means something
+over a deterministic write sequence.
 
 ``P`` may be anything from 1 (fully serial) to the number of tasks;
 tasks beyond ``P`` still participate in redistribution (their assigned
@@ -18,16 +33,18 @@ data must reach the I/O tasks) but perform no I/O.
 
 from __future__ import annotations
 
+import hashlib
 from typing import Optional
 
 from repro.arrays.darray import DistributedArray
 from repro.arrays.slices import Slice
 from repro.errors import StreamingError
 from repro.obs import get_tracer
+from repro.streaming.executor import faults_armed, run_tasks
 from repro.streaming.order import bytes_to_section, check_order, stream_order_bytes
-from repro.streaming.partition import partition_for_target, piece_offsets
 from repro.streaming.serial import (
     StreamStats,
+    _cached_plan,
     _piece_redistribution_bytes,
     gather_piece,
     scatter_piece,
@@ -35,6 +52,9 @@ from repro.streaming.serial import (
 from repro.streaming.streams import ByteSink, ByteSource
 
 __all__ = ["stream_out_parallel", "stream_in_parallel"]
+
+#: accepted values for the ``concurrency`` parameter
+_MODES = ("threads", "serial")
 
 
 def _plan(
@@ -53,11 +73,16 @@ def _plan(
         raise StreamingError(
             f"I/O task count P={P} must be within 1..{ntasks} (the task pool)"
         )
-    pieces = partition_for_target(
-        section, darray.itemsize, target_bytes=target_bytes, min_pieces=P, order=order
-    )
-    offsets = piece_offsets(pieces, darray.itemsize)
+    pieces, offsets = _cached_plan(section, darray.itemsize, target_bytes, P, order)
     return section, P, pieces, offsets
+
+
+def _check_mode(concurrency: str) -> str:
+    if concurrency not in _MODES:
+        raise StreamingError(
+            f"unknown concurrency mode {concurrency!r}; expected one of {_MODES}"
+        )
+    return concurrency
 
 
 def stream_out_parallel(
@@ -67,39 +92,88 @@ def stream_out_parallel(
     P: Optional[int] = None,
     order: str = "F",
     target_bytes: int = 1 << 20,
+    concurrency: str = "threads",
 ) -> StreamStats:
     """Stream ``darray[section]`` out with ``P`` parallel I/O tasks."""
+    _check_mode(concurrency)
     if not getattr(sink, "seekable", True) and (P or darray.ntasks) > 1:
         raise StreamingError(
             "parallel streaming requires a seekable sink; use serial "
             "streaming for sequential channels"
         )
     section, P, pieces, offsets = _plan(darray, section, P, order, target_bytes)
+    jobs = [(j, piece) for j, piece in enumerate(pieces) if not piece.is_empty]
+    threaded = concurrency == "threads" and P > 1 and len(jobs) > 1 and not faults_armed(sink)
     obs = get_tracer()
     total = 0
     redis = 0
     with obs.span(
-        "stream.out.parallel", array=darray.name, io_tasks=P
+        "stream.out.parallel",
+        array=darray.name,
+        io_tasks=P,
+        concurrency="threads" if threaded else "serial",
     ) as op:
-        for j, piece in enumerate(pieces):
-            if piece.is_empty:
-                continue
-            p = j % P  # I/O task for this piece (round-robin rounds of P)
-            nbytes = piece.size * darray.itemsize
-            piece_redis = _piece_redistribution_bytes(darray, piece, p)
-            with obs.span(
-                f"piece[{j}]",
-                nbytes=nbytes,
-                io_task=p,
-                redistribution_bytes=piece_redis,
-            ):
-                if darray.store_data:
-                    buf = gather_piece(darray, piece, order)
-                    sink.write_at(offsets[j], stream_order_bytes(buf, order), client=p)
-                else:
-                    sink.write_at(offsets[j], None, nbytes=nbytes, client=p)
-            redis += piece_redis
-            total += nbytes
+        if threaded:
+            # One thunk per I/O task, each walking its round-robin share
+            # of the pieces in order — the paper's P concurrent I/O
+            # tasks, with O(P) dispatch overhead.  Worker threads open
+            # no spans: the tracer's span stacks are per-thread, so
+            # worker spans would surface as parentless roots.  Per-piece
+            # accounting is aggregated onto `op`.
+            def io_task(p: int):
+                t_bytes = 0
+                t_redis = 0
+                digests = []
+                for j, piece in jobs:
+                    if j % P != p:
+                        continue
+                    nbytes = piece.size * darray.itemsize
+                    t_redis += _piece_redistribution_bytes(darray, piece, p)
+                    if darray.store_data:
+                        data = stream_order_bytes(
+                            gather_piece(darray, piece, order), order
+                        )
+                        digests.append((j, hashlib.sha1(data).hexdigest()))
+                        sink.write_at(offsets[j], data, client=p)
+                    else:
+                        sink.write_at(offsets[j], None, nbytes=nbytes, client=p)
+                    t_bytes += nbytes
+                return t_bytes, t_redis, digests
+
+            results = run_tasks([lambda p=p: io_task(p) for p in range(P)])
+            digests = []
+            for t_bytes, t_redis, d in results:
+                total += t_bytes
+                redis += t_redis
+                digests.extend(d)
+            if darray.store_data and digests:
+                # order-stable digest-of-digests: a fingerprint of the
+                # piece contents in stream order, cheap to compare across
+                # serial/concurrent runs
+                digests.sort()
+                op.set(
+                    content_sha1=hashlib.sha1(
+                        "".join(d for _, d in digests).encode("ascii")
+                    ).hexdigest()
+                )
+        else:
+            for j, piece in jobs:
+                p = j % P  # I/O task for this piece (round-robin rounds of P)
+                nbytes = piece.size * darray.itemsize
+                piece_redis = _piece_redistribution_bytes(darray, piece, p)
+                with obs.span(
+                    f"piece[{j}]",
+                    nbytes=nbytes,
+                    io_task=p,
+                    redistribution_bytes=piece_redis,
+                ):
+                    if darray.store_data:
+                        buf = gather_piece(darray, piece, order)
+                        sink.write_at(offsets[j], stream_order_bytes(buf, order), client=p)
+                    else:
+                        sink.write_at(offsets[j], None, nbytes=nbytes, client=p)
+                redis += piece_redis
+                total += nbytes
         op.set(pieces=len(pieces), nbytes=total, redistribution_bytes=redis)
     return StreamStats(
         pieces=len(pieces),
@@ -117,40 +191,74 @@ def stream_in_parallel(
     order: str = "F",
     target_bytes: int = 1 << 20,
     source_offset: int = 0,
+    concurrency: str = "threads",
 ) -> StreamStats:
     """Stream a section into ``darray`` with ``P`` parallel I/O tasks.
     The inverse of :func:`stream_out_parallel`: task ``p`` reads its
     pieces at their stream offsets, then the canonical redistribution
-    delivers each piece to every task mapping part of it."""
+    delivers each piece to every task mapping part of it.  Concurrent
+    scatter is element-race-free because pieces partition the global
+    index space disjointly."""
+    _check_mode(concurrency)
     section, P, pieces, offsets = _plan(darray, section, P, order, target_bytes)
+    jobs = [(j, piece) for j, piece in enumerate(pieces) if not piece.is_empty]
+    threaded = (
+        concurrency == "threads" and P > 1 and len(jobs) > 1 and not faults_armed(source)
+    )
     obs = get_tracer()
     total = 0
     redis = 0
     with obs.span(
-        "stream.in.parallel", array=darray.name, io_tasks=P
+        "stream.in.parallel",
+        array=darray.name,
+        io_tasks=P,
+        concurrency="threads" if threaded else "serial",
     ) as op:
-        for j, piece in enumerate(pieces):
-            if piece.is_empty:
-                continue
-            p = j % P
-            nbytes = piece.size * darray.itemsize
-            piece_redis = _piece_redistribution_bytes(darray, piece, p)
-            with obs.span(
-                f"piece[{j}]",
-                nbytes=nbytes,
-                io_task=p,
-                redistribution_bytes=piece_redis,
-            ):
-                data = source.read_at(source_offset + offsets[j], nbytes, client=p)
-                if darray.store_data:
-                    if len(data) != nbytes:
-                        raise StreamingError(
-                            f"short read: wanted {nbytes} bytes, got {len(data)}"
-                        )
-                    values = bytes_to_section(data, piece.shape, darray.dtype, order)
-                    scatter_piece(darray, piece, values)
-            redis += piece_redis
-            total += nbytes
+        if threaded:
+            def io_task(p: int):
+                t_bytes = 0
+                t_redis = 0
+                for j, piece in jobs:
+                    if j % P != p:
+                        continue
+                    nbytes = piece.size * darray.itemsize
+                    t_redis += _piece_redistribution_bytes(darray, piece, p)
+                    data = source.read_at(source_offset + offsets[j], nbytes, client=p)
+                    if darray.store_data:
+                        if len(data) != nbytes:
+                            raise StreamingError(
+                                f"short read: wanted {nbytes} bytes, got {len(data)}"
+                            )
+                        values = bytes_to_section(data, piece.shape, darray.dtype, order)
+                        scatter_piece(darray, piece, values)
+                    t_bytes += nbytes
+                return t_bytes, t_redis
+
+            results = run_tasks([lambda p=p: io_task(p) for p in range(P)])
+            for t_bytes, t_redis in results:
+                total += t_bytes
+                redis += t_redis
+        else:
+            for j, piece in jobs:
+                p = j % P
+                nbytes = piece.size * darray.itemsize
+                piece_redis = _piece_redistribution_bytes(darray, piece, p)
+                with obs.span(
+                    f"piece[{j}]",
+                    nbytes=nbytes,
+                    io_task=p,
+                    redistribution_bytes=piece_redis,
+                ):
+                    data = source.read_at(source_offset + offsets[j], nbytes, client=p)
+                    if darray.store_data:
+                        if len(data) != nbytes:
+                            raise StreamingError(
+                                f"short read: wanted {nbytes} bytes, got {len(data)}"
+                            )
+                        values = bytes_to_section(data, piece.shape, darray.dtype, order)
+                        scatter_piece(darray, piece, values)
+                redis += piece_redis
+                total += nbytes
         op.set(pieces=len(pieces), nbytes=total, redistribution_bytes=redis)
     return StreamStats(
         pieces=len(pieces),

@@ -25,15 +25,25 @@ __all__ = ["partition", "partition_for_target", "piece_offsets"]
 def partition(x: Slice, m: int, order: str = "F") -> List[Slice]:
     """Split ``x`` into ``m`` stream-contiguous pieces; ``m`` must be a
     power of two (the recursive halving of Fig. 5a).  Pieces may be
-    empty when ``m`` exceeds the splittable extent."""
+    empty when ``m`` exceeds the splittable extent; empty pieces are
+    always the canonical ``Slice.empty`` (a degenerate input slice with
+    a zero-extent axis may carry non-empty ranges on other axes, which
+    must not leak into the partition)."""
     if m < 1 or (m & (m - 1)) != 0:
         raise StreamingError(f"partition count must be a power of two, got {m}")
-    pieces = [x]
+    pieces = [x if x.size else Slice.empty(x.rank)]
     while len(pieces) < m:
         nxt: List[Slice] = []
         for p in pieces:
-            nxt.append(p.lo(order))
-            nxt.append(p.hi(order) if p.size > 1 else Slice.empty(p.rank))
+            if p.size > 1:
+                nxt.append(p.lo(order))
+                nxt.append(p.hi(order))
+            else:
+                # both halves guarded: a singleton keeps its element in
+                # the lo slot, an exhausted piece yields two canonical
+                # empties — never lo()/hi() of an already-empty slice
+                nxt.append(p if p.size == 1 else Slice.empty(p.rank))
+                nxt.append(Slice.empty(p.rank))
         pieces = nxt
     return pieces
 

@@ -4,12 +4,21 @@ The pieces of the section are produced in stream order and *appended* —
 no seek needed, so serial streaming works over sequential channels
 (sockets, tape).  All data funnels through the single I/O task, which is
 exactly why the paper adds the parallel variant.
+
+Gather strictness: elements of a section assigned to no task are
+*undefined*; by default they stream as zeros (the paper's semantics —
+a checkpoint of a partially-defined array is well-formed, the holes
+just carry no information).  Under :func:`strict_gather` an undefined
+element inside a gathered piece raises instead — the verify oracle
+enables this for cases whose arrays are fully defined, turning silent
+zero-fill of data that *should* exist into a hard failure.
 """
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Optional
+from typing import Iterator, Optional
 
 import numpy as np
 
@@ -18,10 +27,35 @@ from repro.arrays.slices import Slice
 from repro.errors import StreamingError
 from repro.obs import get_tracer
 from repro.streaming.order import bytes_to_section, check_order, stream_order_bytes
-from repro.streaming.partition import partition_for_target
 from repro.streaming.streams import ByteSink, ByteSource
 
-__all__ = ["StreamStats", "stream_out_serial", "stream_in_serial", "gather_piece", "scatter_piece"]
+__all__ = [
+    "StreamStats",
+    "stream_out_serial",
+    "stream_in_serial",
+    "gather_piece",
+    "scatter_piece",
+    "strict_gather",
+]
+
+#: module default for gather strictness; set via :func:`strict_gather`
+#: on the coordinating thread before any streaming op starts (executor
+#: worker threads only read it)
+_STRICT_GATHER = False
+
+
+@contextmanager
+def strict_gather(enabled: bool = True) -> Iterator[None]:
+    """Scope the gather strictness default: within the context,
+    :func:`gather_piece` raises on undefined elements instead of
+    zero-filling them."""
+    global _STRICT_GATHER
+    previous = _STRICT_GATHER
+    _STRICT_GATHER = bool(enabled)
+    try:
+        yield
+    finally:
+        _STRICT_GATHER = previous
 
 
 @dataclass
@@ -45,12 +79,24 @@ class StreamStats:
         return self
 
 
-def gather_piece(darray: DistributedArray, piece: Slice, order: str = "F") -> np.ndarray:
+def gather_piece(
+    darray: DistributedArray,
+    piece: Slice,
+    order: str = "F",
+    strict: Optional[bool] = None,
+) -> np.ndarray:
     """Assemble one piece (shaped like the piece) from its owner tasks.
-    Elements assigned to no task are undefined; they stream as zeros."""
+    Elements assigned to no task are undefined; they stream as zeros —
+    unless ``strict`` (or the :func:`strict_gather` scope) is on, in
+    which case undefined elements raise ``StreamingError``.  Assigned
+    sections are pairwise disjoint, so the covered count is an exact
+    element count, not an upper bound."""
     check_order(order)
+    if strict is None:
+        strict = _STRICT_GATHER
     buf = np.zeros(piece.shape, dtype=darray.dtype)
     dist = darray.distribution
+    covered = 0
     for owner in dist.owner_tasks(piece):
         sec = dist.assigned(owner).intersect(piece)
         if sec.is_empty:
@@ -58,6 +104,13 @@ def gather_piece(darray: DistributedArray, piece: Slice, order: str = "F") -> np
         buf[sec.local_index_within(piece)] = darray.section_from_task(
             owner, sec
         ).reshape(sec.shape)
+        covered += sec.size
+    if strict and covered < piece.size:
+        raise StreamingError(
+            f"strict gather: piece {piece} has {piece.size - covered} "
+            f"undefined element(s) (no owning task) in array "
+            f"{darray.name!r}"
+        )
     return buf
 
 
@@ -83,6 +136,18 @@ def _piece_redistribution_bytes(
     )
 
 
+def _cached_plan(section: Slice, itemsize: int, target_bytes: int, min_pieces: int, order: str):
+    """(pieces, offsets) via the active plan cache.  Imported lazily:
+    the cache layer sits above the pure streaming layer, and a top-level
+    import would cycle through ``streaming/__init__``."""
+    from repro.plancache.plans import streaming_plan
+
+    return streaming_plan(
+        section, itemsize, target_bytes=target_bytes,
+        min_pieces=min_pieces, order=order,
+    )
+
+
 def stream_out_serial(
     darray: DistributedArray,
     sink: ByteSink,
@@ -94,9 +159,7 @@ def stream_out_serial(
     """Stream ``darray[section]`` out through a single task."""
     check_order(order)
     section = section or Slice.full(darray.shape)
-    pieces = partition_for_target(
-        section, darray.itemsize, target_bytes=target_bytes, min_pieces=1, order=order
-    )
+    pieces, _ = _cached_plan(section, darray.itemsize, target_bytes, 1, order)
     obs = get_tracer()
     total = 0
     redis = 0
@@ -137,9 +200,7 @@ def stream_in_serial(
     sequentially starting at ``source_offset``."""
     check_order(order)
     section = section or Slice.full(darray.shape)
-    pieces = partition_for_target(
-        section, darray.itemsize, target_bytes=target_bytes, min_pieces=1, order=order
-    )
+    pieces, _ = _cached_plan(section, darray.itemsize, target_bytes, 1, order)
     obs = get_tracer()
     pos = source_offset
     total = 0

@@ -5,16 +5,35 @@ parallel streaming writes at computed offsets, so its sink must be
 *seekable* (paper Section 3.2).  PIOFS files provide seekable sinks;
 :class:`MemorySink` models both a seekable buffer and a sequential
 socket/tape-like channel.
+
+Thread safety: the concurrent parstream executor
+(:mod:`repro.streaming.parallel`) issues ``write_at`` calls from a
+thread pool.  :class:`MemorySink` serializes buffer growth behind a
+per-sink lock; :class:`PFSSink` inherits the PIOFS namespace lock.
+Distinct pieces land at distinct offsets, so locking only has to make
+the extend-then-copy sequence atomic — content never races.
 """
 
 from __future__ import annotations
 
+import threading
 from typing import Optional
 
 from repro.errors import StreamingError
 from repro.pfs.piofs import PIOFS
 
 __all__ = ["ByteSink", "ByteSource", "MemorySink", "MemorySource", "PFSSink", "PFSSource"]
+
+
+def _check_payload(data: Optional[bytes], nbytes: Optional[int]) -> None:
+    """A caller passing both ``data`` and ``nbytes`` must pass them
+    consistently: silently preferring one corrupts stream accounting
+    (offsets are precomputed from the sizes the caller claimed)."""
+    if data is not None and nbytes is not None and nbytes != len(data):
+        raise StreamingError(
+            f"inconsistent write: nbytes={nbytes} but payload is "
+            f"{len(data)} bytes"
+        )
 
 
 class ByteSink:
@@ -46,28 +65,34 @@ class MemorySink(ByteSink):
     def __init__(self, seekable: bool = True):
         self.seekable = bool(seekable)
         self._buf = bytearray()
+        self._lock = threading.Lock()
 
     def write_at(self, offset, data, nbytes=None, client=0):
         """Write at an absolute offset (appends only when non-seekable)."""
-        if not self.seekable and offset != len(self._buf):
-            raise StreamingError(
-                "non-seekable sink only supports sequential appends"
-            )
         if data is None:
             raise StreamingError("memory sink requires real bytes")
-        end = offset + len(data)
-        if end > len(self._buf):
-            self._buf.extend(b"\x00" * (end - len(self._buf)))
-        self._buf[offset:end] = data
+        _check_payload(data, nbytes)
+        with self._lock:
+            if not self.seekable and offset != len(self._buf):
+                raise StreamingError(
+                    "non-seekable sink only supports sequential appends"
+                )
+            end = offset + len(data)
+            if end > len(self._buf):
+                self._buf.extend(b"\x00" * (end - len(self._buf)))
+            self._buf[offset:end] = data
 
     def append(self, data, nbytes=None, client=0):
         """Sequential append to the buffer."""
         if data is None:
             raise StreamingError("memory sink requires real bytes")
-        self._buf.extend(data)
+        _check_payload(data, nbytes)
+        with self._lock:
+            self._buf.extend(data)
 
     def getvalue(self) -> bytes:
-        return bytes(self._buf)
+        with self._lock:
+            return bytes(self._buf)
 
 
 class MemorySource(ByteSource):
@@ -87,7 +112,9 @@ class MemorySource(ByteSource):
 
 
 class PFSSink(ByteSink):
-    """Sink writing into a (possibly virtual) PIOFS file."""
+    """Sink writing into a (possibly virtual) PIOFS file.  Concurrent
+    ``write_at`` calls are safe: PIOFS serializes behind its namespace
+    lock and the executor writes distinct pieces at distinct offsets."""
 
     def __init__(self, pfs: PIOFS, name: str, virtual: bool = False, create: bool = True):
         self.pfs = pfs
@@ -97,9 +124,11 @@ class PFSSink(ByteSink):
             pfs.create(name, virtual=virtual)
 
     def write_at(self, offset, data, nbytes=None, client=0):
+        _check_payload(data, nbytes)
         self.pfs.write_at(self.name, offset, data, nbytes=nbytes, client=client)
 
     def append(self, data, nbytes=None, client=0):
+        _check_payload(data, nbytes)
         self.pfs.append(self.name, data, nbytes=nbytes, client=client)
 
 

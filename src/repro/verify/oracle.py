@@ -40,6 +40,7 @@ All violations of one case are collected into a single
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -65,6 +66,7 @@ from repro.pfs.faults import FaultInjector, flip_stored_bit
 from repro.pfs.piofs import PIOFS
 from repro.streaming.order import stream_order_bytes
 from repro.streaming.partition import partition_for_target, piece_offsets
+from repro.streaming.serial import strict_gather
 from repro.verify.case import Case, FaultEvent
 
 __all__ = ["CaseResult", "VerifyFailure", "run_case", "replay_case"]
@@ -244,6 +246,17 @@ def _flat_eq(c: _Checker, flat: Dict[str, float], key: str, want: float) -> None
 # -- reconfig: one oracle per engine ----------------------------------------
 
 
+def _gather_strictness(arrays):
+    """Strict gather for cases whose arrays are fully defined, so
+    silent zero-fill of real data becomes a hard failure.  Cases with
+    legitimately partial coverage (e.g. the INDEXED distributions of
+    ``reconfig_indexed_partial``) keep the paper's zeros-for-undefined
+    semantics."""
+    if all(a.defined_mask().all() for a in arrays if a.store_data):
+        return strict_gather()
+    return nullcontext()
+
+
 def _run_drms(case: Case) -> CaseResult:
     c = _Checker(case)
     pfs = PIOFS()
@@ -252,27 +265,28 @@ def _run_drms(case: Case) -> CaseResult:
     with use_tracer(Tracer()) as tracer:
         arrays = _build_arrays(case)
         refs = [a.to_global(fill=0) for a in arrays]
-        bd = drms_checkpoint(
-            pfs,
-            prefix,
-            segment,
-            arrays,
-            order=case.order,
-            io_tasks=case.p1,
-            target_bytes=case.target_bytes,
-            app_name="verify",
-        )
-        state, rbd = drms_restart(
-            pfs,
-            prefix,
-            ntasks=case.t2,
-            order=case.order,
-            io_tasks=case.p2,
-            target_bytes=case.target_bytes,
-            distribution_overrides={
-                spec.name: case.distribution2(spec) for spec in case.arrays
-            },
-        )
+        with _gather_strictness(arrays):
+            bd = drms_checkpoint(
+                pfs,
+                prefix,
+                segment,
+                arrays,
+                order=case.order,
+                io_tasks=case.p1,
+                target_bytes=case.target_bytes,
+                app_name="verify",
+            )
+            state, rbd = drms_restart(
+                pfs,
+                prefix,
+                ntasks=case.t2,
+                order=case.order,
+                io_tasks=case.p2,
+                target_bytes=case.target_bytes,
+                distribution_overrides={
+                    spec.name: case.distribution2(spec) for spec in case.arrays
+                },
+            )
     total = _check_drms_files(c, pfs, prefix, state.manifest, refs)
     _check_restored(c, state.arrays, refs)
     c.check(
@@ -334,13 +348,14 @@ def _run_incremental(case: Case) -> CaseResult:
             io_tasks=case.p1,
             app_name="verify",
         )
-        ic.full(_segment(iteration=1), arrays)
-        for i, arr in enumerate(arrays):
-            arr.set_global(_mutate(case, arr.to_global(fill=0), i))
-        refs = [a.to_global(fill=0) for a in arrays]
-        segment2 = _segment(iteration=2)
-        ic.incremental(segment2, arrays)
-        state, rbd = ic.restore(case.t2)
+        with _gather_strictness(arrays):
+            ic.full(_segment(iteration=1), arrays)
+            for i, arr in enumerate(arrays):
+                arr.set_global(_mutate(case, arr.to_global(fill=0), i))
+            refs = [a.to_global(fill=0) for a in arrays]
+            segment2 = _segment(iteration=2)
+            ic.incremental(segment2, arrays)
+            state, rbd = ic.restore(case.t2)
     _check_restored(c, state.arrays, refs)
     c.check(
         state.segment.serialize() == segment2.serialize(),

@@ -1,0 +1,168 @@
+"""Unit tests for the plan cache layer."""
+
+import numpy as np
+import pytest
+
+from repro.arrays.distributions import block_distribution
+from repro.arrays.slices import Slice
+from repro.obs import Tracer, use_tracer
+from repro.plancache import (
+    NullPlanCache,
+    PlanCache,
+    get_plan_cache,
+    partition_for_target,
+    piece_offsets,
+    section_stream_positions,
+    streaming_plan,
+    transfer_schedule,
+    use_plan_cache,
+)
+from repro.streaming.partition import (
+    partition_for_target as pure_partition_for_target,
+)
+
+
+class TestPlanCacheCore:
+    def test_hit_returns_same_object(self):
+        cache = PlanCache()
+        calls = []
+        v1 = cache.get_or_compute("k", (1,), lambda: calls.append(1) or [42])
+        v2 = cache.get_or_compute("k", (1,), lambda: calls.append(1) or [43])
+        assert v1 is v2 and v1 == [42]
+        assert len(calls) == 1
+        assert cache.hits == 1 and cache.misses == 1
+        assert cache.hit_rate == 0.5
+
+    def test_kind_segregates_keys(self):
+        cache = PlanCache()
+        a = cache.get_or_compute("a", (1,), lambda: "A")
+        b = cache.get_or_compute("b", (1,), lambda: "B")
+        assert (a, b) == ("A", "B")
+        assert cache.misses == 2
+
+    def test_lru_eviction(self):
+        cache = PlanCache(maxsize=2)
+        cache.get_or_compute("k", (1,), lambda: 1)
+        cache.get_or_compute("k", (2,), lambda: 2)
+        cache.get_or_compute("k", (1,), lambda: 0)  # hit: 1 becomes MRU
+        cache.get_or_compute("k", (3,), lambda: 3)  # evicts 2 (LRU)
+        assert cache.evictions == 1
+        assert cache.get_or_compute("k", (2,), lambda: 22) == 22  # recompute
+        assert cache.misses == 4  # 1, 2, 3, and 2 again
+        # key 3 survived both evictions (it was never LRU)
+        assert cache.get_or_compute("k", (3,), lambda: 0) == 3
+
+    def test_invalidate_distribution(self):
+        cache = PlanCache()
+        d1 = block_distribution((8, 8), 2)
+        d2 = block_distribution((8, 8), 4)
+        with use_plan_cache(cache):
+            transfer_schedule(d1, d2)
+            transfer_schedule(d2, d2)
+            partition_for_target(Slice.full((8, 8)), 8)
+        assert len(cache) == 3
+        dropped = cache.invalidate_distribution(d1)
+        assert dropped == 1
+        assert len(cache) == 2
+        assert cache.invalidations == 1
+        # untagged entries (pure slice keys) survive
+        with use_plan_cache(cache):
+            partition_for_target(Slice.full((8, 8)), 8)
+        assert cache.hits == 1
+
+    def test_stats_snapshot(self):
+        cache = PlanCache()
+        cache.get_or_compute("k", (1,), lambda: 1)
+        s = cache.stats()
+        assert s["misses"] == 1 and s["size"] == 1
+        assert 0.0 <= s["hit_rate"] <= 1.0
+
+    def test_maxsize_validated(self):
+        with pytest.raises(ValueError):
+            PlanCache(maxsize=0)
+
+
+class TestScoping:
+    def test_use_plan_cache_restores(self):
+        outer = get_plan_cache()
+        inner = PlanCache()
+        with use_plan_cache(inner) as c:
+            assert get_plan_cache() is inner is c
+        assert get_plan_cache() is outer
+
+    def test_null_cache_always_computes(self):
+        null = NullPlanCache()
+        with use_plan_cache(null):
+            s = Slice.full((16, 16))
+            p1 = partition_for_target(s, 8, target_bytes=256)
+            p2 = partition_for_target(s, 8, target_bytes=256)
+        assert p1 == p2
+        assert null.misses == 2
+        assert len(null) == 0
+
+
+class TestCachedPlans:
+    def test_partition_matches_pure(self):
+        s = Slice.full((32, 8))
+        with use_plan_cache(PlanCache()):
+            cached = partition_for_target(s, 8, target_bytes=512)
+        assert cached == pure_partition_for_target(s, 8, target_bytes=512)
+
+    def test_returned_lists_are_private_copies(self):
+        s = Slice.full((16,))
+        with use_plan_cache(PlanCache()):
+            p1 = partition_for_target(s, 8, target_bytes=32)
+            p1.append("garbage")
+            p2 = partition_for_target(s, 8, target_bytes=32)
+        assert "garbage" not in p2
+
+    def test_streaming_plan_composite(self):
+        s = Slice.full((16, 4))
+        cache = PlanCache()
+        with use_plan_cache(cache):
+            pieces, offsets = streaming_plan(s, 8, target_bytes=128)
+            again = streaming_plan(s, 8, target_bytes=128)
+        assert again == (pieces, offsets)
+        assert cache.hits == 1
+        assert list(offsets) == piece_offsets(list(pieces), 8)
+
+    def test_positions_read_only(self):
+        s = Slice.full((8, 8))
+        sub = Slice.full((8, 8))
+        with use_plan_cache(PlanCache()):
+            pos = section_stream_positions(s, sub)
+        assert isinstance(pos, np.ndarray)
+        with pytest.raises(ValueError):
+            pos[0] = 0
+
+    def test_schedule_fingerprint_sharing(self):
+        # two Distribution objects with identical geometry share one entry
+        cache = PlanCache()
+        d1 = block_distribution((12, 6), 3)
+        d2 = block_distribution((12, 6), 3)
+        with use_plan_cache(cache):
+            s1 = transfer_schedule(d1, d1)
+            s2 = transfer_schedule(d2, d2)
+        assert s1 == s2
+        assert cache.hits == 1 and cache.misses == 1
+
+
+class TestMetrics:
+    def test_hit_miss_counters_published(self):
+        with use_tracer(Tracer()) as tracer:
+            with use_plan_cache(PlanCache()):
+                s = Slice.full((8, 8))
+                partition_for_target(s, 8, target_bytes=64)
+                partition_for_target(s, 8, target_bytes=64)
+            flat = tracer.metrics.flat()
+        assert flat.get("plancache.miss.count") or flat.get("plancache.miss")
+        assert flat.get("plancache.hit.count") or flat.get("plancache.hit")
+
+    def test_saved_seconds_accrue_on_hits(self):
+        cache = PlanCache()
+        with use_plan_cache(cache):
+            s = Slice.full((32, 32))
+            partition_for_target(s, 8, target_bytes=64)
+            assert cache.saved_seconds == 0.0
+            partition_for_target(s, 8, target_bytes=64)
+        assert cache.saved_seconds > 0.0

@@ -87,3 +87,46 @@ class TestOffsets:
         s = Slice([Range([7])])
         pieces = partition(s, 2)
         assert piece_offsets(pieces, 8) == [0, 8]  # empty piece adds 0
+
+
+class TestEmptyPieceNormalization:
+    """Regression: over-splitting must yield canonical empties, never
+    lo()/hi() of an already-empty slice."""
+
+    def test_m_far_exceeds_size(self):
+        s = Slice([Range([5]), Range.regular(2, 2, 1)])  # one element
+        pieces = partition(s, 16)
+        assert len(pieces) == 16
+        assert sum(p.size for p in pieces) == 1
+        for p in pieces:
+            if p.is_empty:
+                assert p == Slice.empty(s.rank)
+
+    @pytest.mark.parametrize("m", [1, 2, 8, 32])
+    def test_size_zero_input(self, m):
+        # a degenerate slice: axis 0 empty, axis 1 carries real ranges
+        # that must not leak into the partition's empty pieces
+        s = Slice([Range.empty(), Range.regular(0, 4, 1)])
+        assert s.size == 0
+        pieces = partition(s, m)
+        assert len(pieces) == m
+        assert all(p == Slice.empty(s.rank) for p in pieces)
+
+    def test_offsets_of_empty_partition(self):
+        pieces = partition(Slice.empty(2), 4)
+        assert piece_offsets(pieces, 8) == [0, 0, 0, 0]
+
+    def test_singleton_keeps_element_in_lo_slot(self):
+        s = Slice([Range([3])])
+        pieces = partition(s, 2)
+        assert pieces[0].size == 1
+        assert pieces[1] == Slice.empty(1)
+
+    def test_stream_order_preserved_with_empties(self):
+        s = Slice([Range([1, 4]), Range.regular(0, 2, 1)])  # 4 elements
+        pieces = partition(s, 16)
+        streamed = [
+            tuple(p) for piece in pieces if not piece.is_empty
+            for p in piece.enumerate_stream("F").tolist()
+        ]
+        assert streamed == [tuple(p) for p in s.enumerate_stream("F").tolist()]
