@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: install test verify-checkpoints verify-reconfig verify-reconfig-deep bench bench-baseline report trace obs-report examples all clean
+.PHONY: install test verify-checkpoints verify-mlck verify-reconfig verify-reconfig-deep bench bench-baseline report trace obs-report examples all clean
 
 # fixed seed so the gate is fully deterministic; DEEP_SEED rotates daily
 VERIFY_SEED ?= 20260806
@@ -13,7 +13,15 @@ test:
 	$(PYTHON) -m pytest tests/
 
 verify-checkpoints:
-	PYTHONPATH=src $(PYTHON) -m pytest -m crash_consistency tests/
+	PYTHONPATH=src $(PYTHON) -m pytest -m "crash_consistency or mlck" tests/
+
+# the multi-level store gate: the canonical node-loss and
+# mid-drain-crash schedules, a seeded batch of random memory+pfs fault
+# cases, and the mlck-marked scenario tests
+verify-mlck:
+	PYTHONPATH=src $(PYTHON) -m repro.verify mlck --seed $(VERIFY_SEED) \
+		--cases 40 --out verify_out
+	PYTHONPATH=src $(PYTHON) -m pytest -m mlck tests/
 
 # the differential reconfiguration harness (DESIGN.md section 10):
 # 220 seeded (t1,p1)->(t2,p2) cases across all three engines plus 40
@@ -34,11 +42,12 @@ verify-reconfig-deep:
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
 
-# the plan-cache / concurrent-parstream performance baseline: writes
-# benchmarks/out/BENCH_plancache.json and BENCH_parstream.json
+# the performance baselines: writes benchmarks/out/BENCH_plancache.json,
+# BENCH_parstream.json, and BENCH_mlck.json
 bench-baseline:
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/bench_plancache.py \
-		benchmarks/bench_parstream_concurrency.py --benchmark-only -s
+		benchmarks/bench_parstream_concurrency.py \
+		benchmarks/bench_mlck_recovery.py --benchmark-only -s
 
 report:
 	$(PYTHON) -m repro.tools.report --out benchmarks/out

@@ -44,6 +44,9 @@ class RecoveryDecision:
     prefix: Optional[str]
     #: (prefix, errors) for every newer candidate that failed the audit
     rejected: List[Tuple[str, List[str]]] = field(default_factory=list)
+    #: which tier serves the chosen state: "l1" (memory replicas), "l2"
+    #: (PFS), or None for the PFS-only walk / when nothing verified
+    tier: Optional[str] = None
 
     @property
     def fell_back(self) -> bool:
@@ -67,11 +70,25 @@ def select_restart_state(
     events=None,
     clock: float = 0.0,
     job: Optional[str] = None,
+    l1=None,
 ) -> RecoveryDecision:
     """Pick the newest checkpointed state under ``base`` that passes
     validation, recording (and optionally emitting as events) each
     rejected newer state.  ``events``/``clock``/``job`` hook the walk
-    into a cluster's :class:`~repro.infra.events.EventLog`."""
+    into a cluster's :class:`~repro.infra.events.EventLog`.
+
+    ``l1``, when given an :class:`~repro.mlck.store.L1Store`, upgrades
+    the walk to the tier-aware policy of
+    :func:`~repro.mlck.recovery.select_tiered_restart_state`: the
+    newest generation satisfiable from *any* tier wins, memory replicas
+    preferred over the PFS, and the decision's ``tier`` says which tier
+    serves it."""
+    if l1 is not None:
+        from repro.mlck.recovery import select_tiered_restart_state
+
+        return select_tiered_restart_state(
+            pfs, base, l1, events=events, clock=clock, job=job
+        )
     decision = RecoveryDecision(base=base, prefix=None)
     obs = get_tracer()
     with obs.span("recovery_walk", base=base, job=job) as sp:

@@ -69,6 +69,24 @@ class CheckpointRotation:
         self.pfs = pfs
         self.base = base
         self.keep = keep
+        #: generations an in-flight drain still depends on; prune()
+        #: never deletes these (see repro.mlck.drain)
+        self._pinned: set = set()
+
+    def pin(self, prefix: str) -> None:
+        """Protect ``prefix`` from pruning until :meth:`unpin`.  An
+        asynchronous L1->L2 drain pins the newest durable generation
+        while it runs: until the draining generation commits, that state
+        is the only durable fallback and must survive retention."""
+        self._pinned.add(prefix)
+
+    def unpin(self, prefix: str) -> None:
+        """Release a :meth:`pin`; unknown prefixes are ignored."""
+        self._pinned.discard(prefix)
+
+    @property
+    def pinned(self) -> frozenset:
+        return frozenset(self._pinned)
 
     def next_prefix(self) -> str:
         """A fresh prefix, strictly newer than every existing state —
@@ -87,10 +105,16 @@ class CheckpointRotation:
 
     def prune(self) -> List[str]:
         """Delete complete states beyond the retention budget (oldest
-        first); never touches the newest ones.  Returns what was
-        deleted."""
+        first); never touches the newest ones, nor any generation pinned
+        by an in-flight drain (a pinned state is the newest durable
+        fallback until the draining generation supersedes it).  Returns
+        what was deleted."""
         gens = generations(self.pfs, self.base)
-        doomed = gens[: max(0, len(gens) - self.keep)]
+        doomed = [
+            p
+            for p in gens[: max(0, len(gens) - self.keep)]
+            if p not in self._pinned
+        ]
         for prefix in doomed:
             delete_checkpoint(self.pfs, prefix)
         return doomed

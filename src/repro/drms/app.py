@@ -107,7 +107,17 @@ class AppRuntime:
         )
 
     def engine_checkpoint(self, prefix: str, segment: DataSegment) -> CheckpointBreakdown:
-        """Run the DRMS checkpoint engine over the live array registry."""
+        """Run the DRMS checkpoint engine over the live array registry.
+
+        Under ``tier="memory+pfs"`` the state is captured into the
+        application's multi-level checkpointer: ``prefix`` acts as the
+        rotation base, the application blocks only for the memory-speed
+        L1 capture, and the PFS drain runs behind its back."""
+        if self.app.tier == "memory+pfs":
+            ck = self.app.mlck_for(prefix)
+            mbd = ck.checkpoint(segment, list(self.arrays.values()))
+            self.checkpoints.append((mbd.prefix, mbd.capture))
+            return mbd.capture
         bd = drms_checkpoint(
             self.pfs,
             prefix,
@@ -162,7 +172,16 @@ class DRMSApplication:
         target_bytes: int = 1 << 20,
         run_timeout: float = 300.0,
         comm_timeout: float = 60.0,
+        tier: str = "pfs",
+        mlck_k: int = 1,
+        mlck_keep: int = 2,
+        mlck_drain: str = "async",
     ):
+        if tier not in ("pfs", "memory+pfs"):
+            raise ReconfigurationError(
+                f"unknown application checkpoint tier {tier!r} "
+                "(expected 'pfs' or 'memory+pfs')"
+            )
         self.main = main
         self.name = name
         self.machine = machine or Machine()
@@ -175,6 +194,18 @@ class DRMSApplication:
         self.target_bytes = target_bytes
         self.run_timeout = run_timeout
         self.comm_timeout = comm_timeout
+        #: checkpoint store tier: "pfs" writes the PFS directly;
+        #: "memory+pfs" captures into the replicated L1 memory tier and
+        #: drains to the PFS asynchronously (repro.mlck)
+        self.tier = tier
+        self.mlck_k = mlck_k
+        self.mlck_keep = mlck_keep
+        self.mlck_drain = mlck_drain
+        #: one MultiLevelCheckpointer per checkpoint base prefix
+        self._mlck: Dict[str, Any] = {}
+        #: optional cluster EventLog (wired by DRMSCluster.build_app) —
+        #: receives mlck placement-fallback and tier-selection events
+        self.events = None
         self._ckpt_enable = threading.Event()
         self.runs: List[RunReport] = []
         #: optional armed FailurePlan (set by the failure injector)
@@ -187,6 +218,52 @@ class DRMSApplication:
         #: active ElasticRunner, when running under on-the-fly
         #: reconfiguration (repro.drms.elastic)
         self._elastic_runner = None
+
+    # -- multi-level checkpoint store (tier="memory+pfs") --------------------
+
+    def mlck_for(self, base: str):
+        """The :class:`~repro.mlck.checkpointer.MultiLevelCheckpointer`
+        owning generations under ``base`` (created on first use)."""
+        if base not in self._mlck:
+            from repro.mlck.checkpointer import MultiLevelCheckpointer
+
+            self._mlck[base] = MultiLevelCheckpointer(
+                self.pfs,
+                base,
+                machine=self.machine,
+                k=self.mlck_k,
+                keep=self.mlck_keep,
+                order=self.order,
+                target_bytes=self.target_bytes,
+                io_tasks=self.io_tasks,
+                app_name=self.name,
+                events=self.events,
+                drain=self.mlck_drain,
+            )
+        return self._mlck[base]
+
+    def l1_store_for(self, base: str):
+        """The L1 store under ``base``, or None (PFS-tier application,
+        or nothing checkpointed there yet) — what recovery passes as the
+        ``l1`` of a tier-aware restart-state walk."""
+        if self.tier != "memory+pfs":
+            return None
+        ck = self._mlck.get(base)
+        return ck.store if ck is not None else None
+
+    def on_node_failure(self, node_id: int, clock: float = 0.0) -> int:
+        """A processor died: its volatile L1 memory — and every
+        checkpoint replica it held — dies with it.  Returns the number
+        of replica copies lost across all checkpoint bases."""
+        return sum(
+            ck.on_node_failure(node_id, clock=clock)
+            for ck in self._mlck.values()
+        )
+
+    def wait_for_drains(self, timeout: Optional[float] = None) -> None:
+        """Block until every queued L1->PFS drain has finished."""
+        for ck in self._mlck.values():
+            ck.wait_for_drains(timeout=timeout)
 
     # -- system-initiated checkpoint signal (used with reconfig_chkenable) ---
 
@@ -271,16 +348,34 @@ class DRMSApplication:
     ) -> RunReport:
         """Restart from the checkpointed state under ``prefix`` on a new
         task pool of ``ntasks`` (equal, larger, or smaller than the
-        checkpointing pool)."""
+        checkpointing pool).
+
+        Under ``tier="memory+pfs"``, ``prefix`` (typically a rotation
+        generation chosen by the tier-aware recovery walk) is served
+        from surviving L1 memory replicas when they validate — no PFS
+        checkpoint read at all — and from the PFS copy otherwise."""
         self.soq.check(ntasks)
-        state, bd = drms_restart(
-            self.pfs,
-            prefix,
-            ntasks,
-            order=self.order,
-            io_tasks=self.io_tasks,
-            target_bytes=self.target_bytes,
-        )
+        state = bd = None
+        if self.tier == "memory+pfs":
+            for ck in self._mlck.values():
+                if ck.store.has(prefix):
+                    ck.store.sync_with_machine()
+                    if ck.store.validate_generation(prefix).ok:
+                        state, bd = ck.store.restore_drms(
+                            prefix,
+                            ntasks,
+                            init_seconds=self.pfs.params.restart_init_s,
+                        )
+                    break
+        if state is None:
+            state, bd = drms_restart(
+                self.pfs,
+                prefix,
+                ntasks,
+                order=self.order,
+                io_tasks=self.io_tasks,
+                target_bytes=self.target_bytes,
+            )
         runtime = AppRuntime(
             self,
             ntasks,

@@ -334,11 +334,13 @@ class DRMSContext:
         # placed on the doomed node, exactly one wins the claim and
         # dies as the failing processor (the rest die as collateral
         # when the SPMD engine tears the task group down).
+        # claim() advances plan.node_id to the next schedule entry under
+        # multi=, so the node that dies is the claimer's own (my_node).
         if my_node == plan.node_id and plan.claim(iteration):
             from repro.infra.failure import NodeFailure
 
-            self.runtime.app.machine.fail_node(plan.node_id)
-            raise NodeFailure(plan.node_id)
+            self.runtime.app.machine.fail_node(my_node)
+            raise NodeFailure(my_node)
 
     @property
     def iteration(self) -> int:

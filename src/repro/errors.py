@@ -49,6 +49,12 @@ class RestartError(CheckpointError):
     mismatch, incompatible task count for SPMD checkpoints)."""
 
 
+class MemoryTierError(CheckpointError):
+    """The in-memory (L1) checkpoint tier cannot serve a generation: a
+    replica set lost every copy of some piece, a surviving replica
+    failed its checksum, or the generation was never captured."""
+
+
 class ReconfigurationError(ReproError):
     """A reconfiguration request cannot be satisfied (task count outside
     the SOQ resource range, no distribution for the new task count)."""

@@ -72,8 +72,33 @@ class DRMSCluster:
 
     def build_app(self, main, name: str = "app", **options: Any) -> DRMSApplication:
         """An application bound to this cluster's machine and PIOFS."""
-        return DRMSApplication(
+        app = DRMSApplication(
             main, name=name, machine=self.machine, pfs=self.pfs, **options
+        )
+        # Memory-tier replica placement and drain events land on the
+        # cluster log, interleaved with the daemons' own events.
+        app.events = self.events
+        return app
+
+    # -- failure-domain queries ------------------------------------------------
+
+    def failure_domain_of(self, node_id: int) -> int:
+        """The failure domain (frame/rack block) holding ``node_id``."""
+        return self.machine.domain_of(node_id)
+
+    def domain_nodes(self, domain: int) -> List[int]:
+        """All node ids in one failure domain."""
+        return self.machine.domain_nodes(domain)
+
+    def partners_for(self, node_id: int, k: int = 1) -> List[int]:
+        """Replica partners an L1 store would pick for ``node_id``: up
+        nodes outside its failure domain.  A degenerate single-domain
+        cluster falls back to same-domain partners and records an
+        ``mlck_partner_fallback`` warning on the cluster event log."""
+        from repro.mlck.placement import select_partners
+
+        return select_partners(
+            self.machine, node_id, k=k, events=self.events, clock=self.rc.clock
         )
 
     # -- the failure/recovery scenario -----------------------------------------
@@ -120,6 +145,9 @@ class DRMSCluster:
         self.rc.advance(self.detection_s)
         t_fail = self.rc.clock
         self.rc.handle_processor_failure(failed_node)
+        # The dead node's memory is gone with it: drop any L1 replica
+        # copies it held so the tier-aware recovery walk sees the loss.
+        app.on_node_failure(failed_node, clock=self.rc.clock)
 
         # The JSA restarts the job from its latest checkpoint on the
         # surviving processors.  It does NOT wait for the repair.

@@ -205,13 +205,20 @@ class JobSchedulerAnalyzer:
     def _select_state(self, job: Job) -> RecoveryDecision:
         # Walk the rotation generations (then the bare prefix) newest
         # first, validating each; emits checkpoint_verified /
-        # checkpoint_rejected / restart_fallback events.
+        # checkpoint_rejected / restart_fallback events.  Applications
+        # on the memory+pfs tier contribute their L1 store, upgrading
+        # the walk to the tier-aware policy (newest generation
+        # satisfiable from any tier, memory replicas preferred).
+        l1 = getattr(job.app, "l1_store_for", lambda base: None)(job.prefix)
+        if l1 is not None:
+            l1.sync_with_machine(clock=self.rc.clock)
         return select_restart_state(
             job.app.pfs,
             job.prefix,
             events=self.events,
             clock=self.rc.clock,
             job=job.job_id,
+            l1=l1,
         )
 
     def _job(self, job_id: str) -> Job:

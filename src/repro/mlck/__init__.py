@@ -1,0 +1,51 @@
+"""repro.mlck — multi-level (memory + PFS) checkpoint store.
+
+The paper's recovery path always round-trips through the parallel file
+system, and its own Table 6 shows PFS write/read time dominating both
+checkpoint and restart.  This package adds the tier the paper's
+hardware could not afford: **L1**, an in-memory checkpoint store that
+keeps each generation's stream pieces in simulated node memory with
+partner replication across failure domains (so a single node failure
+loses no data), and **L2**, the existing crash-consistent PFS path,
+populated by an *asynchronous drain* that promotes an L1 generation to
+a durable v3 manifest on the shared streaming thread pool — without
+blocking the application's next SOP.
+
+* :mod:`repro.mlck.placement` — partner selection over the machine's
+  failure domains (owner + k partners, domains disjoint);
+* :mod:`repro.mlck.store`     — the replicated L1 tier: capture,
+  checksum validation, fetch, node-loss handling;
+* :mod:`repro.mlck.drain`     — the L1->L2 drain state machine;
+* :mod:`repro.mlck.recovery`  — tier-aware restart-state selection
+  (newest generation satisfiable from *any* tier, L1 preferred);
+* :mod:`repro.mlck.checkpointer` — :class:`MultiLevelCheckpointer`,
+  the rotation-integrated façade applications use.
+
+Quickstart::
+
+    from repro.mlck import MultiLevelCheckpointer
+
+    ck = MultiLevelCheckpointer(pfs, "app.ck", machine=machine)
+    ck.checkpoint(segment, arrays)        # memory-speed, drain queued
+    state, bd, decision = ck.restart(ntasks)   # L1 when it survives
+"""
+
+from repro.mlck.checkpointer import MLCKBreakdown, MultiLevelCheckpointer
+from repro.mlck.drain import DrainController, DrainState
+from repro.mlck.placement import replica_nodes, select_partners
+from repro.mlck.recovery import select_tiered_restart_state
+from repro.mlck.store import L1ArrayEntry, L1Generation, L1Piece, L1Store
+
+__all__ = [
+    "DrainController",
+    "DrainState",
+    "L1ArrayEntry",
+    "L1Generation",
+    "L1Piece",
+    "L1Store",
+    "MLCKBreakdown",
+    "MultiLevelCheckpointer",
+    "replica_nodes",
+    "select_partners",
+    "select_tiered_restart_state",
+]

@@ -1,0 +1,236 @@
+"""MultiLevelCheckpointer: the application-facing two-tier façade.
+
+One object owns the whole multi-level pipeline for one application:
+
+* a :class:`~repro.checkpoint.rotation.CheckpointRotation` allocating
+  generation prefixes and applying retention on the durable tier;
+* an :class:`~repro.mlck.store.L1Store` capturing each generation into
+  replicated node memory at memory/switch speed;
+* a :class:`~repro.mlck.drain.DrainController` promoting generations
+  to the PFS in the background.
+
+``checkpoint()`` returns after the L1 capture — the application's next
+SOP proceeds while the drain writes the PFS — and ``restart()`` runs
+the tier-aware recovery walk, restoring from surviving memory replicas
+when possible and falling back to the newest byte-valid PFS state.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.arrays.darray import DistributedArray
+from repro.checkpoint.drms import (
+    CheckpointBreakdown,
+    RestartBreakdown,
+    RestoredState,
+    drms_restart,
+)
+from repro.checkpoint.recover import RecoveryDecision
+from repro.checkpoint.rotation import _GEN_RE, CheckpointRotation
+from repro.checkpoint.segment import DataSegment
+from repro.errors import RestartError
+from repro.mlck.drain import DrainController, DrainState
+from repro.mlck.recovery import select_tiered_restart_state
+from repro.mlck.store import L1Store
+from repro.pfs.piofs import PIOFS
+from repro.runtime.machine import Machine
+
+__all__ = ["MLCKBreakdown", "MultiLevelCheckpointer"]
+
+
+@dataclass
+class MLCKBreakdown:
+    """What one multi-level checkpoint cost the *application*: the L1
+    capture only — the drain runs behind its back."""
+
+    prefix: str
+    capture: CheckpointBreakdown
+    drain_state: str = DrainState.PENDING
+
+    @property
+    def blocking_seconds(self) -> float:
+        """Simulated seconds the application was stalled."""
+        return self.capture.total_seconds
+
+
+class MultiLevelCheckpointer:
+    """Two-tier checkpointing for one application under one base prefix.
+
+    ``drain="async"`` (default) promotes generations on the shared
+    streaming pool; ``drain="sync"`` drains inline before
+    :meth:`checkpoint` returns — deterministic, used by the verify
+    oracle and the benchmarks.  ``k`` is the L1 partner-replica count;
+    ``keep`` the durable-tier retention budget.
+    """
+
+    def __init__(
+        self,
+        pfs: PIOFS,
+        base: str,
+        machine: Optional[Machine] = None,
+        k: int = 1,
+        keep: int = 2,
+        order: str = "F",
+        target_bytes: int = 1 << 20,
+        io_tasks: Optional[int] = None,
+        app_name: str = "",
+        events=None,
+        drain: str = "async",
+        evict_after_drain: bool = False,
+    ):
+        if drain not in ("async", "sync"):
+            raise ValueError(f"drain mode must be 'async' or 'sync', not {drain!r}")
+        self.pfs = pfs
+        self.base = base
+        self.machine = machine or pfs.machine
+        self.order = order
+        self.io_tasks = io_tasks
+        self.app_name = app_name
+        self.events = events
+        self.rotation = CheckpointRotation(pfs, base, keep=keep)
+        self.store = L1Store(
+            self.machine, k=k, events=events, target_bytes=target_bytes
+        )
+        self.drainer = DrainController(
+            self.store,
+            pfs,
+            rotation=self.rotation,
+            synchronous=(drain == "sync"),
+            io_tasks=io_tasks,
+            target_bytes=target_bytes,
+            evict_after_drain=evict_after_drain,
+        )
+
+    # -- prefix allocation ---------------------------------------------------
+
+    def next_prefix(self) -> str:
+        """A prefix strictly newer than every generation on *either*
+        tier — an L1 generation whose drain has not yet written a single
+        PFS byte must still reserve its number."""
+        pfs_next = self.rotation.next_prefix()
+        newest = int(_GEN_RE.match(pfs_next).group("gen")) - 1
+        pat = re.compile(re.escape(self.base) + r"\.(?P<gen>\d{6})$")
+        for prefix in self.store.generations():
+            m = pat.match(prefix)
+            if m:
+                newest = max(newest, int(m.group("gen")))
+        return f"{self.base}.{newest + 1:06d}"
+
+    # -- checkpoint ----------------------------------------------------------
+
+    def checkpoint(
+        self,
+        segment: DataSegment,
+        arrays: Sequence[DistributedArray],
+        nodes: Optional[Sequence[int]] = None,
+        clock: float = 0.0,
+    ) -> MLCKBreakdown:
+        """Capture a new generation into L1 and queue its drain.  The
+        returned breakdown charges the application only the capture."""
+        prefix = self.next_prefix()
+        _, capture_bd = self.store.capture_drms(
+            prefix, segment, arrays,
+            order=self.order, nodes=nodes,
+            app_name=self.app_name, clock=clock,
+        )
+        self.drainer.schedule(prefix)
+        return MLCKBreakdown(
+            prefix=prefix,
+            capture=capture_bd,
+            drain_state=self.store.gen(prefix).drain_state,
+        )
+
+    def checkpoint_spmd(
+        self,
+        ntasks: int,
+        segment_bytes: int,
+        payloads: Optional[Sequence] = None,
+        nodes: Optional[Sequence[int]] = None,
+        clock: float = 0.0,
+    ) -> MLCKBreakdown:
+        """SPMD-kind capture + drain (restart task count must match)."""
+        prefix = self.next_prefix()
+        _, capture_bd = self.store.capture_spmd(
+            prefix, ntasks, segment_bytes,
+            payloads=payloads, nodes=nodes,
+            app_name=self.app_name, clock=clock,
+        )
+        self.drainer.schedule(prefix)
+        return MLCKBreakdown(
+            prefix=prefix,
+            capture=capture_bd,
+            drain_state=self.store.gen(prefix).drain_state,
+        )
+
+    # -- failure handling ----------------------------------------------------
+
+    def on_node_failure(self, node_id: int, clock: float = 0.0) -> int:
+        """A node died: drop its (volatile) L1 memory.  Returns the
+        number of replica copies lost with it."""
+        return self.store.drop_node(node_id, clock=clock)
+
+    # -- restart -------------------------------------------------------------
+
+    def select_restart_state(
+        self, clock: float = 0.0, job: Optional[str] = None
+    ) -> RecoveryDecision:
+        """The tier-aware recovery walk for this application's states."""
+        self.store.sync_with_machine(clock=clock)
+        return select_tiered_restart_state(
+            self.pfs, self.base, self.store,
+            events=self.events, clock=clock, job=job,
+        )
+
+    def restart(
+        self,
+        ntasks: int,
+        distribution_overrides: Optional[Dict[str, object]] = None,
+        clock: float = 0.0,
+        job: Optional[str] = None,
+        verify: bool = True,
+    ) -> Tuple[RestoredState, RestartBreakdown, RecoveryDecision]:
+        """Restore the newest generation satisfiable from any tier onto
+        ``ntasks`` tasks.  L1-served restores still charge the fixed
+        restart initialization (program text loads from the PFS
+        regardless of which tier serves the checkpoint data)."""
+        decision = self.select_restart_state(clock=clock, job=job)
+        if decision.prefix is None:
+            detail = "; ".join(
+                f"{p}: {errs[0]}" for p, errs in decision.rejected[:3]
+            )
+            raise RestartError(
+                f"no checkpoint under {self.base!r} passes validation on "
+                "any tier" + (f" ({detail})" if detail else "")
+            )
+        if decision.tier == "l1":
+            state, bd = self.store.restore_drms(
+                decision.prefix, ntasks,
+                order=self.order,
+                distribution_overrides=distribution_overrides,
+                init_seconds=self.pfs.params.restart_init_s,
+            )
+        else:
+            state, bd = drms_restart(
+                self.pfs, decision.prefix, ntasks,
+                order=self.order, io_tasks=self.io_tasks,
+                distribution_overrides=distribution_overrides,
+                verify=verify,
+            )
+        return state, bd, decision
+
+    # -- drain control -------------------------------------------------------
+
+    def drain_pending(self) -> int:
+        return self.drainer.pending
+
+    def wait_for_drains(self, timeout: Optional[float] = None) -> None:
+        self.drainer.wait(timeout=timeout)
+
+    def drain_states(self) -> Dict[str, str]:
+        """Drain state of every resident L1 generation."""
+        return {
+            p: self.store.gen(p).drain_state for p in self.store.generations()
+        }

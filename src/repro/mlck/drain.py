@@ -1,0 +1,213 @@
+"""The L1 -> L2 drain: asynchronous promotion to durable PFS state.
+
+After an L1 capture the application continues immediately; the drain
+promotes the generation to the parallel file system in the background,
+on the shared :mod:`repro.streaming.executor` thread pool — so the slow
+PFS write (the paper's dominant checkpoint cost, Table 6) overlaps the
+next SOPs instead of stalling them.
+
+State machine per generation::
+
+    pending --> draining --> durable
+                        \\-> failed     (fault, node loss mid-drain)
+
+The drain reconstructs segment and arrays *from the L1 replicas* and
+writes them through the ordinary
+:func:`~repro.checkpoint.drms.drms_checkpoint` /
+:func:`~repro.checkpoint.spmd.spmd_checkpoint` paths, so the durable
+state is byte-identical to a direct PFS checkpoint — manifest two-phase
+commit included.  A drain that dies mid-flight therefore leaves *no*
+manifest: the half-written generation is invisible to recovery, which
+falls back to the newest byte-valid L2 state (or a surviving L1 one).
+
+Retention interlock: while a drain is in flight, the rotation's newest
+durable generation is **pinned** — it is the only durable fallback
+until the draining generation supersedes it, so
+:meth:`~repro.checkpoint.rotation.CheckpointRotation.prune` must not
+delete it, however many newer generations commit meanwhile.
+
+Drains are serialized on one lock: PFS I/O phases do not nest, and a
+single writer keeps generation commit order monotone.  ``synchronous``
+mode runs the drain inline in :meth:`DrainController.schedule` — the
+deterministic mode the verify oracle and the benchmarks use.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future
+from typing import Dict, List, Optional
+
+from repro.checkpoint.drms import drms_checkpoint
+from repro.checkpoint.rotation import CheckpointRotation
+from repro.checkpoint.spmd import _decode_task_file, spmd_checkpoint
+from repro.errors import CheckpointError
+from repro.mlck.store import L1Store
+from repro.obs import get_tracer
+from repro.pfs.piofs import PIOFS
+from repro.streaming.executor import submit_task
+
+__all__ = ["DrainState", "DrainController"]
+
+
+class DrainState:
+    """Drain states recorded on :class:`~repro.mlck.store.L1Generation`."""
+
+    PENDING = "pending"
+    DRAINING = "draining"
+    DURABLE = "durable"
+    FAILED = "failed"
+
+
+class DrainController:
+    """Promotes L1 generations to durable L2 (PFS) state.
+
+    ``rotation``, when given, supplies retention: the controller pins
+    the newest durable generation for the duration of each drain and
+    commits (prune included) once the drained generation's manifest is
+    on the PFS.  Without a rotation the drain only writes.
+    """
+
+    def __init__(
+        self,
+        store: L1Store,
+        pfs: PIOFS,
+        rotation: Optional[CheckpointRotation] = None,
+        synchronous: bool = False,
+        io_tasks: Optional[int] = None,
+        target_bytes: int = 1 << 20,
+        evict_after_drain: bool = False,
+    ):
+        self.store = store
+        self.pfs = pfs
+        self.rotation = rotation
+        self.synchronous = bool(synchronous)
+        self.io_tasks = io_tasks
+        self.target_bytes = int(target_bytes)
+        #: drop the L1 replicas once a generation is durable (frees
+        #: memory; recovery then serves that generation from L2)
+        self.evict_after_drain = bool(evict_after_drain)
+        self._serial = threading.Lock()  # PFS phases do not nest
+        self._state_lock = threading.Lock()
+        self._futures: Dict[str, Future] = {}
+        self._pending = 0
+
+    # -- bookkeeping ---------------------------------------------------------
+
+    @property
+    def pending(self) -> int:
+        """Generations scheduled but not yet durable/failed."""
+        with self._state_lock:
+            return self._pending
+
+    def _set_pending(self, delta: int) -> None:
+        with self._state_lock:
+            self._pending += delta
+            value = self._pending
+        get_tracer().metrics.gauge("mlck.drain.pending").set(value)
+
+    def wait(self, timeout: Optional[float] = None) -> None:
+        """Block until every scheduled drain has finished (drains swallow
+        their own failures into the generation's drain state)."""
+        with self._state_lock:
+            futures = list(self._futures.values())
+        for f in futures:
+            f.result(timeout=timeout)
+
+    # -- scheduling ----------------------------------------------------------
+
+    def schedule(self, prefix: str) -> Optional[Future]:
+        """Queue the drain of ``prefix``.  Asynchronous mode returns the
+        Future running on the shared streaming pool; synchronous mode
+        drains inline and returns None."""
+        gen = self.store.gen(prefix)
+        if gen.drain_state not in (DrainState.PENDING, DrainState.FAILED):
+            raise CheckpointError(
+                f"generation {prefix!r} is {gen.drain_state}; "
+                "only pending or failed generations can be drained"
+            )
+        gen.drain_state = DrainState.PENDING
+        gen.drain_error = None
+        # Pin the newest durable fallback before the drain can race it.
+        protect = self.rotation.latest() if self.rotation is not None else None
+        if protect is not None:
+            self.rotation.pin(protect)
+        self._set_pending(+1)
+        if self.synchronous:
+            self._drain(prefix, protect)
+            return None
+        future = submit_task(lambda: self._drain(prefix, protect))
+        with self._state_lock:
+            self._futures[prefix] = future
+        return future
+
+    # -- the drain itself ----------------------------------------------------
+
+    def _drain(self, prefix: str, protect: Optional[str]) -> str:
+        """Runs on the pool (or inline): returns the final drain state.
+        Failures are recorded on the generation, never raised — a broken
+        drain must not take the application down; recovery falls back."""
+        m = get_tracer().metrics
+        with self._serial:
+            gen = self.store.gen(prefix)
+            gen.drain_state = DrainState.DRAINING
+            try:
+                if gen.kind == "drms":
+                    segment, arrays = self.store.materialize_drms(prefix)
+                    drms_checkpoint(
+                        self.pfs, prefix, segment, arrays,
+                        order=gen.order, io_tasks=self.io_tasks,
+                        target_bytes=self.target_bytes,
+                        app_name=gen.app_name,
+                    )
+                else:
+                    # exact payloads survive in the L1 task headers
+                    payloads = []
+                    for t in range(gen.ntasks):
+                        head = self.store._fetch_pieces(
+                            gen.task_pieces[t],
+                            # untimed: drain charges PFS write time
+                            _untimed_acct(self.store),
+                            0,
+                            count_hits=False,
+                        )
+                        payloads.append(_decode_task_file(head))
+                    spmd_checkpoint(
+                        self.pfs, prefix, gen.ntasks,
+                        gen.spmd_segment_bytes,
+                        payloads=payloads
+                        if any(p is not None for p in payloads)
+                        else None,
+                        app_name=gen.app_name,
+                    )
+                gen.drain_state = DrainState.DURABLE
+                m.counter("mlck.drain.completed").inc()
+                if self.rotation is not None:
+                    # retention now that the new generation is durable
+                    # (prune, not commit: an interleaved direct PFS
+                    # checkpoint may already be newer than this drain)
+                    self.rotation.prune()
+                if self.evict_after_drain:
+                    self.store.discard(prefix)
+            except Exception as exc:  # noqa: BLE001 - recorded, not raised
+                gen.drain_state = DrainState.FAILED
+                gen.drain_error = str(exc)
+                m.counter("mlck.drain.failed").inc()
+                # the fault may have killed the checkpoint mid-phase;
+                # leave the PFS usable for the next drain
+                self.pfs.abort_phase()
+            finally:
+                if protect is not None and self.rotation is not None:
+                    self.rotation.unpin(protect)
+                self._set_pending(-1)
+                with self._state_lock:
+                    self._futures.pop(prefix, None)
+        return gen.drain_state
+
+
+def _untimed_acct(store: L1Store):
+    """A throwaway accounting sink for drain-side fetches (the drain's
+    measured cost is its PFS write, not the memory reads)."""
+    from repro.mlck.store import _Accounting
+
+    return _Accounting(store.machine)

@@ -1,0 +1,898 @@
+"""The L1 tier: replicated in-memory checkpoint storage.
+
+An L1 generation holds the same logical content as a PFS (L2)
+checkpoint — the representative task's data segment plus each
+distributed array's canonical stream — but keeps it in simulated node
+memory, chunked into *pieces* that are replicated onto ``k`` partner
+nodes in other failure domains (:mod:`repro.mlck.placement`).  Capture
+therefore costs memory copies and switch transfers (hundreds of MB/s)
+instead of PFS writes (single-digit MB/s), and recovery from a single
+node failure is served entirely from surviving replicas: no PFS read
+at all.
+
+Integrity mirrors the v3 manifest discipline: every piece records a
+SHA-1 over its bytes at capture time, and both validation and fetch
+re-hash the resident bytes — a replica that decayed (or a node that
+died) is detected exactly like a torn PFS file, and the tier-aware
+recovery walk falls back to the next candidate.
+
+Like the PFS segment file, the bulk byte components (segment pad,
+virtual arrays) are *sized*, not stored: timing charges the full
+logical bytes while memory holds only the exact header/stream content.
+
+Timing model: per-node busy time is ``local_copied/mem_copy_rate +
+sent/link_rate + latency*messages + received/mem_copy_rate``; a capture
+or fetch takes the maximum busy time over the nodes involved (they
+proceed in parallel, like the parstream I/O tasks).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.arrays.darray import DistributedArray
+from repro.checkpoint.drms import (
+    CheckpointBreakdown,
+    RestartBreakdown,
+    RestoredState,
+    _publish_breakdown,
+)
+from repro.checkpoint.format import (
+    array_name,
+    distribution_to_spec,
+    np_dtype_name,
+    segment_name,
+    sha1_hex,
+    spec_to_distribution,
+    task_segment_name,
+)
+from repro.checkpoint.segment import DataSegment
+from repro.checkpoint.spmd import SPMDRestoredState, _decode_task_file, _encode_task_file
+from repro.checkpoint.validate import ValidationReport
+from repro.errors import CheckpointError, MemoryTierError, RestartError
+from repro.mlck.placement import select_partners
+from repro.obs import get_tracer
+from repro.runtime.machine import Machine
+from repro.streaming.order import bytes_to_section, check_order, stream_order_bytes
+
+__all__ = ["L1Piece", "L1ArrayEntry", "L1Generation", "L1Store"]
+
+_MB = 1e6
+
+
+@dataclass
+class L1Piece:
+    """One replicated chunk of a stream, resident in node memory."""
+
+    key: str
+    offset: int
+    nbytes: int
+    sha1: str
+    #: owner first, then partners — fetch tries them in this order
+    replicas: List[int]
+
+    @property
+    def owner(self) -> int:
+        return self.replicas[0]
+
+
+@dataclass
+class L1ArrayEntry:
+    """One distributed array's canonical stream, as resident pieces."""
+
+    name: str
+    file: str
+    shape: List[int]
+    dtype: str
+    #: logical stream bytes (charged); equals stored bytes unless virtual
+    nbytes: int
+    sha1: Optional[str]
+    virtual: bool
+    distribution: Dict
+    pieces: List[L1Piece] = field(default_factory=list)
+
+
+@dataclass
+class L1Generation:
+    """In-memory metadata of one captured generation — the L1 analogue
+    of a PFS manifest, including the drain state machine's position
+    (see :class:`~repro.mlck.drain.DrainController`)."""
+
+    prefix: str
+    kind: str  # "drms" | "spmd"
+    ntasks: int
+    order: str = "F"
+    app_name: str = ""
+    #: full logical segment bytes (header + sized pad), per task file
+    #: for spmd (one entry per task)
+    segment_bytes: int = 0
+    segment_sha1: str = ""
+    segment_sha1_bytes: int = 0
+    segment_pieces: List[L1Piece] = field(default_factory=list)
+    arrays: List[L1ArrayEntry] = field(default_factory=list)
+    #: spmd: per-task header pieces and sizes
+    task_pieces: List[List[L1Piece]] = field(default_factory=list)
+    task_bytes: List[int] = field(default_factory=list)
+    task_sha1: List[str] = field(default_factory=list)
+    task_sha1_bytes: List[int] = field(default_factory=list)
+    spmd_segment_bytes: int = 0
+    capture_seconds: float = 0.0
+    #: drain state machine: pending -> draining -> durable | failed
+    drain_state: str = "pending"
+    drain_error: Optional[str] = None
+
+    @property
+    def resident_bytes(self) -> int:
+        """Bytes actually held in memory (one copy), not charged bytes."""
+        total = sum(p.nbytes for p in self.segment_pieces)
+        total += sum(p.nbytes for e in self.arrays for p in e.pieces)
+        total += sum(p.nbytes for ps in self.task_pieces for p in ps)
+        return total
+
+
+def _chunk_spans(nbytes: int, target: int) -> List[Tuple[int, int]]:
+    """(offset, length) spans covering ``nbytes`` in ``target``-sized
+    chunks (at least one span, even for empty streams)."""
+    if nbytes <= 0:
+        return [(0, 0)]
+    spans = []
+    pos = 0
+    while pos < nbytes:
+        n = min(target, nbytes - pos)
+        spans.append((pos, n))
+        pos += n
+    return spans
+
+
+class _Accounting:
+    """Per-node busy-time accumulator for one capture/fetch round."""
+
+    def __init__(self, machine: Machine):
+        self.machine = machine
+        self.local: Dict[int, int] = {}
+        self.sent: Dict[int, int] = {}
+        self.msgs: Dict[int, int] = {}
+        self.recv: Dict[int, int] = {}
+
+    def copy(self, node: int, nbytes: int) -> None:
+        self.local[node] = self.local.get(node, 0) + nbytes
+
+    def send(self, src: int, dst: int, nbytes: int) -> None:
+        self.sent[src] = self.sent.get(src, 0) + nbytes
+        self.msgs[src] = self.msgs.get(src, 0) + 1
+        self.recv[dst] = self.recv.get(dst, 0) + nbytes
+
+    def seconds(self) -> float:
+        p = self.machine.params
+        mem_bw = p.mem_copy_mbps * _MB
+        link_bw = p.link_bandwidth_mbps * _MB
+        busy = 0.0
+        for node in set(self.local) | set(self.sent) | set(self.recv):
+            t = (
+                self.local.get(node, 0) / mem_bw
+                + self.sent.get(node, 0) / link_bw
+                + self.msgs.get(node, 0) * p.link_latency_s
+                + self.recv.get(node, 0) / mem_bw
+            )
+            busy = max(busy, t)
+        return busy
+
+
+class L1Store:
+    """Replicated in-memory checkpoint storage over one machine.
+
+    ``k`` is the partner-replica count (each piece lives on its owner
+    plus ``k`` partners from other failure domains); ``events`` hooks
+    placement fallbacks and node-loss drops into a cluster's
+    :class:`~repro.infra.events.EventLog`.
+    """
+
+    def __init__(
+        self,
+        machine: Machine,
+        k: int = 1,
+        events=None,
+        target_bytes: int = 1 << 20,
+    ):
+        if k < 1:
+            raise CheckpointError("L1 replication needs at least one partner")
+        self.machine = machine
+        self.k = int(k)
+        self.events = events
+        self.target_bytes = int(target_bytes)
+        #: node id -> piece key -> bytes (simulated node memory)
+        self._mem: Dict[int, Dict[str, bytes]] = {}
+        self._gens: "OrderedDict[str, L1Generation]" = OrderedDict()
+        self._lock = threading.RLock()
+
+    # -- bookkeeping ---------------------------------------------------------
+
+    def generations(self) -> List[str]:
+        """Captured prefixes, oldest first."""
+        with self._lock:
+            return list(self._gens)
+
+    def latest(self) -> Optional[str]:
+        gens = self.generations()
+        return gens[-1] if gens else None
+
+    def gen(self, prefix: str) -> L1Generation:
+        """The resident generation under ``prefix``; raises
+        :class:`~repro.errors.MemoryTierError` if never captured."""
+        with self._lock:
+            try:
+                return self._gens[prefix]
+            except KeyError:
+                raise MemoryTierError(
+                    f"generation {prefix!r} was never captured in L1"
+                ) from None
+
+    def has(self, prefix: str) -> bool:
+        with self._lock:
+            return prefix in self._gens
+
+    def resident_bytes(self) -> int:
+        """Total bytes held across all node memories (replicas counted)."""
+        with self._lock:
+            return sum(
+                sum(map(len, d.values())) for d in self._mem.values()
+            )
+
+    def _update_resident_gauge(self) -> None:
+        get_tracer().metrics.gauge("mlck.l1.resident_bytes").set(
+            self.resident_bytes()
+        )
+
+    def discard(self, prefix: str) -> None:
+        """Drop a generation and free its replicas (retention/eviction)."""
+        with self._lock:
+            gen = self._gens.pop(prefix, None)
+            if gen is None:
+                return
+            for pieces in (
+                [gen.segment_pieces]
+                + [e.pieces for e in gen.arrays]
+                + gen.task_pieces
+            ):
+                for piece in pieces:
+                    for node in piece.replicas:
+                        self._mem.get(node, {}).pop(piece.key, None)
+        self._update_resident_gauge()
+
+    # -- node failure --------------------------------------------------------
+
+    def drop_node(self, node_id: int, clock: float = 0.0) -> int:
+        """A node died: its memory — and every replica it held — is
+        gone.  Returns the number of piece copies lost; emits a
+        ``mlck_replicas_lost`` event when any were."""
+        with self._lock:
+            lost = len(self._mem.pop(node_id, {}))
+        if lost and self.events is not None:
+            self.events.emit(
+                clock, "mlck_replicas_lost", node=node_id, pieces=lost
+            )
+        self._update_resident_gauge()
+        return lost
+
+    def sync_with_machine(self, clock: float = 0.0) -> int:
+        """Drop the memory of every node the machine reports down."""
+        lost = 0
+        for node in list(self._mem):
+            if not self.machine.node(node).up:
+                lost += self.drop_node(node, clock=clock)
+        return lost
+
+    # -- capture -------------------------------------------------------------
+
+    def _store_piece(
+        self,
+        acct: _Accounting,
+        key: str,
+        offset: int,
+        data: bytes,
+        charged: int,
+        owner: int,
+        partners: Sequence[int],
+        store: bool = True,
+    ) -> L1Piece:
+        replicas = [owner, *partners]
+        if store:
+            with self._lock:
+                for node in replicas:
+                    self._mem.setdefault(node, {})[key] = data
+        acct.copy(owner, charged)
+        for partner in partners:
+            acct.send(owner, partner, charged)
+        return L1Piece(
+            key=key,
+            offset=offset,
+            nbytes=len(data) if store else 0,
+            sha1=sha1_hex(data),
+            replicas=replicas,
+        )
+
+    def _capture_stream(
+        self,
+        acct: _Accounting,
+        file: str,
+        data: bytes,
+        charged_total: int,
+        nodes: Sequence[int],
+        partner_cache: Dict[int, List[int]],
+        start: int,
+        clock: float,
+        store: bool = True,
+    ) -> Tuple[List[L1Piece], int]:
+        """Chunk ``data`` into replicated pieces round-robin over
+        ``nodes``; sized bytes beyond ``len(data)`` (pad, virtual
+        payload) are charged to the last piece's owner.  Returns the
+        pieces and the advanced round-robin counter."""
+        spans = _chunk_spans(len(data), self.target_bytes)
+        extra = max(0, charged_total - len(data))
+        pieces = []
+        for i, (off, n) in enumerate(spans):
+            owner = nodes[(start + i) % len(nodes)]
+            if owner not in partner_cache:
+                partner_cache[owner] = select_partners(
+                    self.machine, owner, k=self.k,
+                    events=self.events, clock=clock,
+                )
+            charged = n + (extra if i == len(spans) - 1 else 0)
+            pieces.append(
+                self._store_piece(
+                    acct,
+                    f"{file}#{i:06d}",
+                    off,
+                    data[off : off + n],
+                    charged,
+                    owner,
+                    partner_cache[owner],
+                    store=store,
+                )
+            )
+        return pieces, start + len(spans)
+
+    def capture_drms(
+        self,
+        prefix: str,
+        segment: DataSegment,
+        arrays: Sequence[DistributedArray],
+        order: str = "F",
+        nodes: Optional[Sequence[int]] = None,
+        app_name: str = "",
+        clock: float = 0.0,
+    ) -> Tuple[L1Generation, CheckpointBreakdown]:
+        """Capture a DRMS-style generation into node memory.
+
+        Same content as :func:`~repro.checkpoint.drms.drms_checkpoint`
+        — segment header + canonical per-array streams — but replicated
+        across memories at memory/switch speed.  Returns the generation
+        and a :class:`CheckpointBreakdown` of kind ``mlck-l1``.
+        """
+        check_order(order)
+        names = {a.name for a in arrays}
+        if len(names) != len(arrays):
+            raise CheckpointError("distributed array names must be unique")
+        ntasks = arrays[0].ntasks if arrays else 1
+        for a in arrays:
+            if a.ntasks != ntasks:
+                raise CheckpointError(
+                    f"array {a.name!r} has {a.ntasks} tasks; expected {ntasks}"
+                )
+        with self._lock:
+            if prefix in self._gens:
+                raise CheckpointError(
+                    f"L1 generation {prefix!r} already captured"
+                )
+        nodes = list(nodes) if nodes is not None else self.machine.up_nodes()
+        if not nodes:
+            raise CheckpointError("no up nodes to hold the L1 checkpoint")
+        partner_cache: Dict[int, List[int]] = {}
+        bd = CheckpointBreakdown(kind="mlck-l1", prefix=prefix, ntasks=ntasks)
+        obs = get_tracer()
+        m = obs.metrics
+        gen = L1Generation(
+            prefix=prefix, kind="drms", ntasks=ntasks, order=order,
+            app_name=app_name,
+        )
+        with obs.span(
+            "checkpoint", kind="mlck-l1", prefix=prefix, ntasks=ntasks,
+            app=app_name,
+        ) as op:
+            header, pad = segment.serialize()
+            gen.segment_bytes = len(header) + pad
+            gen.segment_sha1 = sha1_hex(header)
+            gen.segment_sha1_bytes = len(header)
+            acct = _Accounting(self.machine)
+            with obs.span(
+                "l1_segment_capture", file=segment_name(prefix)
+            ) as sp:
+                gen.segment_pieces, rr = self._capture_stream(
+                    acct, segment_name(prefix), header, gen.segment_bytes,
+                    nodes, partner_cache, 0, clock,
+                )
+                sec = acct.seconds()
+                obs.advance(sec)
+                sp.set(nbytes=gen.segment_bytes, seconds=sec)
+            bd.segment_seconds = sec
+            bd.segment_bytes = gen.segment_bytes
+
+            for a in arrays:
+                fname = array_name(prefix, a.name)
+                stream = (
+                    stream_order_bytes(a.to_global(), order)
+                    if a.store_data
+                    else b""
+                )
+                charged = len(stream) if a.store_data else int(a.nbytes_global)
+                acct = _Accounting(self.machine)
+                with obs.span(f"l1_replicate:{a.name}", file=fname) as sp:
+                    pieces, rr = self._capture_stream(
+                        acct, fname, stream, charged, nodes, partner_cache,
+                        rr, clock, store=a.store_data,
+                    )
+                    sec = acct.seconds()
+                    obs.advance(sec)
+                    sp.set(nbytes=charged, pieces=len(pieces), seconds=sec)
+                gen.arrays.append(
+                    L1ArrayEntry(
+                        name=a.name,
+                        file=fname,
+                        shape=list(a.shape),
+                        dtype=np_dtype_name(a.dtype),
+                        nbytes=charged,
+                        sha1=sha1_hex(stream) if a.store_data else None,
+                        virtual=not a.store_data,
+                        distribution=distribution_to_spec(a.distribution),
+                        pieces=pieces if a.store_data else [],
+                    )
+                )
+                bd.arrays_seconds += sec
+                bd.arrays_bytes += charged
+                bd.per_array.append((a.name, sec, charged))
+            op.set(nbytes=bd.total_bytes, seconds=bd.total_seconds)
+        gen.capture_seconds = bd.total_seconds
+        with self._lock:
+            self._gens[prefix] = gen
+        _publish_breakdown("checkpoint", bd)
+        m.counter("mlck.l1.captures").inc()
+        m.counter("mlck.l1.capture.bytes").inc(bd.total_bytes)
+        self._update_resident_gauge()
+        return gen, bd
+
+    def capture_spmd(
+        self,
+        prefix: str,
+        ntasks: int,
+        segment_bytes: int,
+        payloads: Optional[Sequence] = None,
+        nodes: Optional[Sequence[int]] = None,
+        app_name: str = "",
+        clock: float = 0.0,
+    ) -> Tuple[L1Generation, CheckpointBreakdown]:
+        """Capture an SPMD-style generation: one replicated per-task
+        header (exact payload) plus the sized segment bulk."""
+        if ntasks < 1:
+            raise CheckpointError("SPMD checkpoint needs at least one task")
+        if payloads is not None and len(payloads) != ntasks:
+            raise CheckpointError(f"{len(payloads)} payloads for {ntasks} tasks")
+        with self._lock:
+            if prefix in self._gens:
+                raise CheckpointError(
+                    f"L1 generation {prefix!r} already captured"
+                )
+        nodes = list(nodes) if nodes is not None else self.machine.up_nodes()
+        if not nodes:
+            raise CheckpointError("no up nodes to hold the L1 checkpoint")
+        partner_cache: Dict[int, List[int]] = {}
+        bd = CheckpointBreakdown(kind="mlck-l1", prefix=prefix, ntasks=ntasks)
+        obs = get_tracer()
+        gen = L1Generation(
+            prefix=prefix, kind="spmd", ntasks=ntasks, app_name=app_name,
+            spmd_segment_bytes=int(segment_bytes),
+        )
+        with obs.span(
+            "checkpoint", kind="mlck-l1", prefix=prefix, ntasks=ntasks,
+            app=app_name,
+        ) as op:
+            acct = _Accounting(self.machine)
+            with obs.span("l1_segment_capture", files=ntasks) as sp:
+                rr = 0
+                for t in range(ntasks):
+                    payload = payloads[t] if payloads is not None else None
+                    header, pad = _encode_task_file(payload, segment_bytes)
+                    fname = task_segment_name(prefix, t)
+                    pieces, rr = self._capture_stream(
+                        acct, fname, header, len(header) + pad,
+                        [nodes[t % len(nodes)]], partner_cache, rr, clock,
+                    )
+                    gen.task_pieces.append(pieces)
+                    gen.task_bytes.append(len(header) + pad)
+                    gen.task_sha1.append(sha1_hex(header))
+                    gen.task_sha1_bytes.append(len(header))
+                sec = acct.seconds()
+                obs.advance(sec)
+                sp.set(nbytes=sum(gen.task_bytes), seconds=sec)
+            bd.segment_seconds = sec
+            bd.segment_bytes = sum(gen.task_bytes)
+            op.set(nbytes=bd.total_bytes, seconds=bd.total_seconds)
+        gen.capture_seconds = bd.total_seconds
+        with self._lock:
+            self._gens[prefix] = gen
+        _publish_breakdown("checkpoint", bd)
+        m = obs.metrics
+        m.counter("mlck.l1.captures").inc()
+        m.counter("mlck.l1.capture.bytes").inc(bd.total_bytes)
+        self._update_resident_gauge()
+        return gen, bd
+
+    # -- validation and fetch ------------------------------------------------
+
+    def _serving_replica(self, piece: L1Piece) -> Optional[int]:
+        """First replica node that is up and holds checksum-valid bytes."""
+        for node in piece.replicas:
+            if not (0 <= node < self.machine.num_nodes):
+                continue
+            if not self.machine.node(node).up:
+                continue
+            data = self._mem.get(node, {}).get(piece.key)
+            if data is None or len(data) != piece.nbytes:
+                continue
+            if sha1_hex(data) != piece.sha1:
+                continue
+            return node
+        return None
+
+    def validate_generation(self, prefix: str) -> ValidationReport:
+        """Audit one L1 generation: every piece must have at least one
+        surviving, checksum-valid replica.  Collects problems like
+        :func:`~repro.checkpoint.validate.validate_checkpoint` so the
+        tier-aware recovery walk can rank candidates."""
+        report = ValidationReport(prefix=prefix)
+        with self._lock:
+            gen = self._gens.get(prefix)
+            if gen is None:
+                report.errors.append(
+                    f"generation {prefix!r} was never captured in L1"
+                )
+                return report
+            streams: List[Tuple[str, List[L1Piece]]] = []
+            if gen.kind == "drms":
+                streams.append((segment_name(prefix), gen.segment_pieces))
+                for e in gen.arrays:
+                    if not e.virtual:
+                        streams.append((e.file, e.pieces))
+            else:
+                for t, pieces in enumerate(gen.task_pieces):
+                    streams.append((task_segment_name(prefix, t), pieces))
+            for fname, pieces in streams:
+                report.files += 1
+                for piece in pieces:
+                    node = self._serving_replica(piece)
+                    if node is None:
+                        report.errors.append(
+                            f"piece {piece.key!r}: no surviving valid "
+                            f"replica (replicas {piece.replicas})"
+                        )
+                    else:
+                        report.bytes_hashed += piece.nbytes
+        m = get_tracer().metrics
+        m.counter("mlck.l1.validations").inc()
+        if not report.ok:
+            m.counter("mlck.l1.validation_failures").inc()
+        return report
+
+    def _fetch_pieces(
+        self,
+        pieces: Sequence[L1Piece],
+        acct: _Accounting,
+        requester: int,
+        count_hits: bool = True,
+    ) -> bytes:
+        """Reassemble one stream from surviving replicas, charging each
+        transfer to its serving node; raises
+        :class:`~repro.errors.MemoryTierError` on any lost piece.
+        ``count_hits=False`` keeps background readers (the drain) out of
+        the ``mlck.l1.hits`` recovery metric."""
+        m = get_tracer().metrics
+        out = []
+        with self._lock:
+            for piece in pieces:
+                node = self._serving_replica(piece)
+                if node is None:
+                    raise MemoryTierError(
+                        f"piece {piece.key!r}: no surviving valid replica "
+                        f"(replicas {piece.replicas})"
+                    )
+                out.append(self._mem[node][piece.key])
+                if count_hits:
+                    m.counter("mlck.l1.hits").inc()
+                    if node != piece.owner:
+                        m.counter("mlck.l1.partner_serves").inc()
+                if node != requester:
+                    acct.send(node, requester, piece.nbytes)
+                else:
+                    acct.copy(node, piece.nbytes)
+        return b"".join(out)
+
+    # -- restore -------------------------------------------------------------
+
+    def _drms_manifest_like(self, gen: L1Generation) -> Dict:
+        """A manifest-shaped dict so L1 restores satisfy the same
+        consumers as :func:`~repro.checkpoint.drms.drms_restart`."""
+        return {
+            "kind": "drms",
+            "tier": "l1",
+            "app_name": gen.app_name,
+            "ntasks": gen.ntasks,
+            "order": gen.order,
+            "segment_file": segment_name(gen.prefix),
+            "segment_bytes": gen.segment_bytes,
+            "segment_sha1": gen.segment_sha1,
+            "segment_sha1_bytes": gen.segment_sha1_bytes,
+            "arrays": [
+                {
+                    "name": e.name,
+                    "shape": list(e.shape),
+                    "dtype": e.dtype,
+                    "file": e.file,
+                    "nbytes": e.nbytes,
+                    "sha1": e.sha1,
+                    "virtual": e.virtual,
+                    "distribution": e.distribution,
+                }
+                for e in gen.arrays
+            ],
+        }
+
+    def restore_drms(
+        self,
+        prefix: str,
+        ntasks: int,
+        order: Optional[str] = None,
+        distribution_overrides: Optional[Dict[str, object]] = None,
+        init_seconds: float = 0.0,
+    ) -> Tuple[RestoredState, RestartBreakdown]:
+        """Restore a DRMS generation from surviving L1 replicas onto
+        ``ntasks`` tasks (reconfiguration included — the canonical
+        stream is distribution-independent regardless of tier).
+
+        ``init_seconds`` charges the fixed restart initialization
+        (text-segment load), which happens whatever tier serves the
+        state.  Raises :class:`~repro.errors.MemoryTierError` when any
+        piece has lost every valid replica.
+        """
+        gen = self.gen(prefix)
+        if gen.kind != "drms":
+            raise RestartError(
+                f"L1 generation {prefix!r} is kind {gen.kind!r}; "
+                "a reconfigured restart needs a DRMS checkpoint"
+            )
+        if ntasks < 1:
+            raise RestartError(f"cannot restart on {ntasks} tasks")
+        order = order or gen.order
+        bd = RestartBreakdown(kind="mlck-l1", prefix=prefix, ntasks=ntasks)
+        bd.other_seconds = float(init_seconds)
+        obs = get_tracer()
+        requesters = (self.machine.up_nodes() or [0])[:ntasks]
+        with obs.span(
+            "restart", kind="mlck-l1", prefix=prefix, ntasks=ntasks,
+            checkpoint_ntasks=gen.ntasks,
+        ) as op:
+            with obs.span("restart_init") as sp:
+                obs.advance(bd.other_seconds)
+                sp.set(seconds=bd.other_seconds)
+
+            # Every restarting task needs the segment; surviving
+            # replicas serve the fetches in parallel.
+            acct = _Accounting(self.machine)
+            with obs.span("l1_segment_fetch", file=segment_name(prefix)) as sp:
+                header = self._fetch_pieces(
+                    gen.segment_pieces, acct, requesters[0]
+                )
+                # remaining tasks pull the same (sized) segment bytes
+                servers = sorted(
+                    {
+                        self._serving_replica(p)
+                        for p in gen.segment_pieces
+                    }
+                    - {None}
+                ) or [requesters[0]]
+                for i, task_node in enumerate(requesters[1:], start=1):
+                    acct.send(
+                        servers[i % len(servers)], task_node, gen.segment_bytes
+                    )
+                # the sized pad rides the first fetch too
+                acct.send(
+                    servers[0], requesters[0],
+                    max(0, gen.segment_bytes - len(header)),
+                )
+                sec = acct.seconds()
+                obs.advance(sec)
+                sp.set(nbytes=gen.segment_bytes * ntasks, seconds=sec)
+            if sha1_hex(header) != gen.segment_sha1:
+                raise MemoryTierError(
+                    f"L1 segment of {prefix!r} failed checksum validation"
+                )
+            segment = DataSegment.deserialize(header)
+            bd.segment_seconds = sec
+            bd.segment_bytes = gen.segment_bytes * ntasks
+
+            arrays: Dict[str, DistributedArray] = {}
+            overrides = distribution_overrides or {}
+            for i, e in enumerate(gen.arrays):
+                dist = overrides.get(e.name) or spec_to_distribution(
+                    e.distribution, ntasks=ntasks
+                )
+                if dist.ntasks != ntasks:
+                    raise RestartError(
+                        f"override distribution for {e.name!r} targets "
+                        f"{dist.ntasks} tasks; restart uses {ntasks}"
+                    )
+                arr = DistributedArray(
+                    e.name, e.shape, np.dtype(e.dtype), dist,
+                    store_data=not e.virtual,
+                )
+                acct = _Accounting(self.machine)
+                with obs.span(f"l1_fetch:{e.name}", file=e.file) as sp:
+                    if not e.virtual:
+                        requester = requesters[i % len(requesters)]
+                        data = self._fetch_pieces(e.pieces, acct, requester)
+                        if e.sha1 is not None and sha1_hex(data) != e.sha1:
+                            raise MemoryTierError(
+                                f"L1 stream {e.file!r} failed checksum "
+                                "validation"
+                            )
+                        arr.set_global(
+                            bytes_to_section(data, e.shape, e.dtype, order)
+                        )
+                    else:
+                        # sized virtual payload: charged over one link
+                        acct.send(
+                            requesters[0],
+                            requesters[-1] if len(requesters) > 1
+                            else requesters[0],
+                            e.nbytes,
+                        )
+                    sec = acct.seconds()
+                    obs.advance(sec)
+                    sp.set(nbytes=e.nbytes, seconds=sec)
+                bd.arrays_seconds += sec
+                bd.arrays_bytes += e.nbytes
+                bd.per_array.append((e.name, sec, e.nbytes))
+                arrays[e.name] = arr
+            op.set(nbytes=bd.total_bytes, seconds=bd.total_seconds)
+        _publish_breakdown("restart", bd)
+        m = obs.metrics
+        m.counter("mlck.l1.restores").inc()
+        m.counter("mlck.restore.l1.seconds").inc(bd.total_seconds)
+        state = RestoredState(
+            segment=segment,
+            arrays=arrays,
+            ntasks=ntasks,
+            checkpoint_ntasks=gen.ntasks,
+            manifest=self._drms_manifest_like(gen),
+        )
+        return state, bd
+
+    def restore_spmd(
+        self, prefix: str, ntasks: int, init_seconds: float = 0.0
+    ) -> Tuple[SPMDRestoredState, RestartBreakdown]:
+        """Restore an SPMD generation from L1 (task count must match,
+        as on the PFS path — SPMD states are not reconfigurable)."""
+        gen = self.gen(prefix)
+        if gen.kind != "spmd":
+            raise RestartError(
+                f"L1 generation {prefix!r} is kind {gen.kind!r}, not spmd"
+            )
+        if ntasks != gen.ntasks:
+            raise RestartError(
+                f"SPMD checkpoint was taken with {gen.ntasks} tasks; "
+                f"restart requested {ntasks}. Reconfigured restart "
+                "requires a DRMS checkpoint."
+            )
+        bd = RestartBreakdown(kind="mlck-l1", prefix=prefix, ntasks=ntasks)
+        bd.other_seconds = float(init_seconds)
+        obs = get_tracer()
+        requesters = (self.machine.up_nodes() or [0])[:ntasks] or [0]
+        payloads = []
+        with obs.span(
+            "restart", kind="mlck-l1", prefix=prefix, ntasks=ntasks,
+            checkpoint_ntasks=gen.ntasks,
+        ) as op:
+            with obs.span("restart_init") as sp:
+                obs.advance(bd.other_seconds)
+                sp.set(seconds=bd.other_seconds)
+            acct = _Accounting(self.machine)
+            with obs.span("l1_segment_fetch", files=ntasks) as sp:
+                for t in range(ntasks):
+                    requester = requesters[t % len(requesters)]
+                    head = self._fetch_pieces(
+                        gen.task_pieces[t], acct, requester
+                    )
+                    if sha1_hex(head) != gen.task_sha1[t]:
+                        raise MemoryTierError(
+                            f"L1 task segment {t} of {prefix!r} failed "
+                            "checksum validation"
+                        )
+                    # sized bulk rides along
+                    acct.copy(requester, max(0, gen.task_bytes[t] - len(head)))
+                    payloads.append(_decode_task_file(head))
+                sec = acct.seconds()
+                obs.advance(sec)
+                sp.set(nbytes=sum(gen.task_bytes), seconds=sec)
+            bd.segment_seconds = sec
+            bd.segment_bytes = sum(gen.task_bytes)
+            op.set(nbytes=bd.total_bytes, seconds=bd.total_seconds)
+        _publish_breakdown("restart", bd)
+        m = obs.metrics
+        m.counter("mlck.l1.restores").inc()
+        m.counter("mlck.restore.l1.seconds").inc(bd.total_seconds)
+        return (
+            SPMDRestoredState(
+                ntasks=ntasks,
+                payloads=payloads,
+                segment_bytes=list(gen.task_bytes),
+                manifest={
+                    "kind": "spmd",
+                    "tier": "l1",
+                    "app_name": gen.app_name,
+                    "ntasks": gen.ntasks,
+                    "task_files": [
+                        task_segment_name(prefix, t) for t in range(gen.ntasks)
+                    ],
+                    "segment_bytes": list(gen.task_bytes),
+                },
+            ),
+            bd,
+        )
+
+    # -- drain support -------------------------------------------------------
+
+    def materialize_drms(
+        self, prefix: str
+    ) -> Tuple[DataSegment, List[DistributedArray]]:
+        """Rebuild the segment and arrays of a DRMS generation from L1
+        replicas, under their *original* distributions — what the drain
+        hands to :func:`~repro.checkpoint.drms.drms_checkpoint` so the
+        L2 state is byte-identical to a direct PFS checkpoint."""
+        gen = self.gen(prefix)
+        if gen.kind != "drms":
+            raise RestartError(
+                f"cannot materialize L1 generation of kind {gen.kind!r}"
+            )
+        acct = _Accounting(self.machine)  # untimed: drain charges PFS time
+        requester = (self.machine.up_nodes() or [0])[0]
+        header = self._fetch_pieces(
+            gen.segment_pieces, acct, requester, count_hits=False
+        )
+        if sha1_hex(header) != gen.segment_sha1:
+            raise MemoryTierError(
+                f"L1 segment of {prefix!r} failed checksum validation"
+            )
+        segment = DataSegment.deserialize(header)
+        arrays = []
+        for e in gen.arrays:
+            dist = spec_to_distribution(e.distribution)
+            arr = DistributedArray(
+                e.name, e.shape, np.dtype(e.dtype), dist,
+                store_data=not e.virtual,
+            )
+            if not e.virtual:
+                data = self._fetch_pieces(
+                    e.pieces, acct, requester, count_hits=False
+                )
+                if e.sha1 is not None and sha1_hex(data) != e.sha1:
+                    raise MemoryTierError(
+                        f"L1 stream {e.file!r} failed checksum validation"
+                    )
+                arr.set_global(
+                    bytes_to_section(data, e.shape, e.dtype, gen.order)
+                )
+            arrays.append(arr)
+        return segment, arrays

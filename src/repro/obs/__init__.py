@@ -44,7 +44,13 @@ from repro.obs.metrics import (
     MetricsRegistry,
     NullMetricsRegistry,
 )
-from repro.obs.report import breakdown_report, op_summary, phase_rows, plancache_summary
+from repro.obs.report import (
+    breakdown_report,
+    mlck_summary,
+    op_summary,
+    phase_rows,
+    plancache_summary,
+)
 from repro.obs.spans import (
     NULL_TRACER,
     Mark,
@@ -77,6 +83,7 @@ __all__ = [
     "write_metrics",
     "breakdown_report",
     "plancache_summary",
+    "mlck_summary",
     "op_summary",
     "phase_rows",
     "bind_event_log",

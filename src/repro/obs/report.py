@@ -18,7 +18,13 @@ from typing import Dict, List, Optional, Sequence
 from repro.obs.spans import Span, Tracer
 from repro.reporting.tables import Table
 
-__all__ = ["phase_rows", "breakdown_report", "op_summary", "plancache_summary"]
+__all__ = [
+    "phase_rows",
+    "breakdown_report",
+    "op_summary",
+    "plancache_summary",
+    "mlck_summary",
+]
 
 _MB = 1e6  # the paper reports decimal MB/s
 
@@ -97,9 +103,9 @@ def breakdown_report(
             "100%",
         )
         blocks.append(t.render())
-    footer = plancache_summary(tracer)
-    if footer and blocks:
-        blocks.append(footer)
+    for footer in (plancache_summary(tracer), mlck_summary(tracer)):
+        if footer and blocks:
+            blocks.append(footer)
     return "\n\n".join(blocks)
 
 
@@ -118,3 +124,28 @@ def plancache_summary(tracer: Tracer) -> str:
         f"plan cache: {int(hits)}/{int(total)} lookups hit "
         f"({100.0 * hits / total:.0f}%), ~{saved:.4f}s of planning avoided"
     )
+
+
+def mlck_summary(tracer: Tracer) -> str:
+    """Per-tier recovery summary from the ``mlck.*`` counters: how many
+    restarts each tier served and the mean restore time per tier
+    (``restart.mlck-l1.*`` vs ``restart.drms.*`` series); empty string
+    when the multi-level store never served a recovery walk."""
+    flat = tracer.metrics.flat()
+    l1 = flat.get("mlck.recover.l1", 0.0)
+    l2 = flat.get("mlck.recover.l2", 0.0)
+    if not l1 and not l2:
+        return ""
+    parts = []
+    for tier, hits, series in (
+        ("l1", l1, "restart.mlck-l1"),
+        ("l2", l2, "restart.drms"),
+    ):
+        count = flat.get(f"{series}.count", 0.0)
+        secs = flat.get(f"{series}.total.seconds", 0.0)
+        mean = f", mean restore {secs / count:.4f}s" if count else ""
+        parts.append(f"{tier} served {int(hits)}{mean}")
+    fallbacks = flat.get("mlck.l2.fallbacks", 0.0)
+    if fallbacks:
+        parts.append(f"{int(fallbacks)} fell back to the PFS after L1 loss")
+    return "multi-level recovery: " + "; ".join(parts)

@@ -32,11 +32,22 @@ class MachineParams:
     link_latency_s: float = 40e-6
     #: aggregate bisection cap as a multiple of one link (switch fabric)
     bisection_links: float = 8.0
+    #: number of failure domains (SP frames): nodes sharing a frame share
+    #: power and switch boards, so correlated failures strike within a
+    #: domain.  Replica placement avoids the owner's domain.
+    failure_domains: int = 4
+    #: node-local memory copy rate for in-memory checkpoint capture
+    #: (MB/s); far above the link and PFS rates, as on real hardware
+    mem_copy_mbps: float = 400.0
 
     def __post_init__(self) -> None:
         if self.num_nodes < 1:
             raise MachineError("machine needs at least one node")
         if self.mem_mb_per_node <= 0 or self.link_bandwidth_mbps <= 0:
+            raise MachineError("machine parameters must be positive")
+        if self.failure_domains < 1:
+            raise MachineError("machine needs at least one failure domain")
+        if self.mem_copy_mbps <= 0:
             raise MachineError("machine parameters must be positive")
 
 
@@ -81,6 +92,36 @@ class Machine:
         if not 0 <= node_id < len(self.nodes):
             raise MachineError(f"no node {node_id}")
         return self.nodes[node_id]
+
+    # -- failure domains -----------------------------------------------------
+
+    @property
+    def num_domains(self) -> int:
+        """Number of distinct failure domains (frames) actually present."""
+        return min(self.params.failure_domains, self.num_nodes)
+
+    def domain_of(self, node_id: int) -> int:
+        """The failure domain (frame) a node belongs to.  Nodes are
+        assigned in contiguous blocks, matching the SP's physical frame
+        packing (nodes 0..3 in frame 0, 4..7 in frame 1, ...)."""
+        self.node(node_id)  # bounds check
+        frame = -(-self.num_nodes // self.num_domains)  # ceil division
+        return node_id // frame
+
+    def domain_nodes(self, domain: int) -> List[int]:
+        """Ids of all nodes in ``domain`` (up or down)."""
+        return [
+            n.node_id for n in self.nodes if self.domain_of(n.node_id) == domain
+        ]
+
+    def up_nodes_outside_domain(self, domain: int) -> List[int]:
+        """Up nodes whose failure domain differs from ``domain`` — the
+        candidate pool for partner-replica placement."""
+        return [
+            n.node_id
+            for n in self.nodes
+            if n.up and self.domain_of(n.node_id) != domain
+        ]
 
     # -- placement ----------------------------------------------------------
 

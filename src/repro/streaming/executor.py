@@ -26,10 +26,10 @@ from __future__ import annotations
 
 import os
 import threading
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import Future, ThreadPoolExecutor
 from typing import Callable, List, Sequence
 
-__all__ = ["faults_armed", "run_tasks"]
+__all__ = ["faults_armed", "run_tasks", "submit_task"]
 
 #: shared-pool width: enough for every plausible P plus a concurrent
 #: stream or two; per-call concurrency is bounded by thunk count anyway
@@ -56,6 +56,15 @@ def faults_armed(endpoint) -> bool:
     sequence — concurrent executors must detect this and run serially."""
     pfs = getattr(endpoint, "pfs", None)
     return pfs is not None and getattr(pfs, "faults", None) is not None
+
+
+def submit_task(task: Callable[[], object]) -> Future:
+    """Submit one thunk to the shared pool and return its Future —
+    the fire-and-forget entry point used by background work that should
+    ride the same threads as the parstream I/O tasks (e.g. the
+    asynchronous L1->L2 checkpoint drain of :mod:`repro.mlck.drain`),
+    so a periodic checkpointer never pays thread startup."""
+    return _shared_pool().submit(task)
 
 
 def run_tasks(tasks: Sequence[Callable[[], object]]) -> List[object]:

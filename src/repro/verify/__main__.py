@@ -3,7 +3,8 @@
 Subcommands::
 
     python -m repro.verify run     [--seed S] [--cases N] [--fault-cases M]
-                                   [--out DIR]
+                                   [--mlck-cases K] [--out DIR]
+    python -m repro.verify mlck    [--seed S] [--cases N] [--out DIR]
     python -m repro.verify replay  CASE.json [CASE.json ...]
     python -m repro.verify shrink  CASE.json [--out SHRUNK.json]
     python -m repro.verify known-bad [--out CASE.json]
@@ -12,6 +13,10 @@ Subcommands::
 fixed seed generates the same cases forever, failures are shrunk and
 dumped as replayable JSON.  ``known-bad`` demonstrates the shrinker on
 the seeded naive-recovery schedule and writes the minimal reproducer.
+``mlck`` is the multi-level gate behind ``make verify-mlck``: the two
+canonical schedules (node loss served from memory replicas; mid-drain
+crash falling back to the durable tier) plus a seeded batch of random
+multi-level fault cases.
 """
 
 from __future__ import annotations
@@ -20,9 +25,9 @@ import argparse
 import sys
 
 from repro.verify.case import Case
-from repro.verify.gen import known_bad_case
+from repro.verify.gen import known_bad_case, mid_drain_crash_case, node_loss_case
 from repro.verify.harness import dump_failures, run_suite
-from repro.verify.oracle import VerifyFailure, replay_case
+from repro.verify.oracle import VerifyFailure, replay_case, run_case
 from repro.verify.shrink import shrink_case
 
 
@@ -31,6 +36,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         args.seed,
         reconfig_cases=args.cases,
         fault_cases=args.fault_cases,
+        mlck_cases=args.mlck_cases,
     )
     print(report.summary())
     if not report.ok:
@@ -39,6 +45,34 @@ def _cmd_run(args: argparse.Namespace) -> int:
             print(f"  reproducer: {p}")
         return 1
     return 0
+
+
+def _cmd_mlck(args: argparse.Namespace) -> int:
+    bad = 0
+    for name, case in (
+        ("node-loss", node_loss_case(seed=args.seed)),
+        ("mid-drain-crash", mid_drain_crash_case(seed=args.seed)),
+    ):
+        try:
+            result = run_case(case)
+        except VerifyFailure as exc:
+            print(f"FAIL {name}: {exc.errors[0]}")
+            bad += 1
+            continue
+        d = result.details
+        print(
+            f"ok   {name}: chose {d['chosen']} from tier {d['tier']} "
+            f"(failed nodes {d['failed_nodes']}, "
+            f"{d['pfs_reads_during_walk']:g} PFS reads during the walk)"
+        )
+    report = run_suite(args.seed, reconfig_cases=0, fault_cases=0,
+                       mlck_cases=args.cases)
+    print(report.summary())
+    if not report.ok:
+        paths = dump_failures(report, args.out)
+        for p in paths:
+            print(f"  reproducer: {p}")
+    return 1 if (bad or not report.ok) else 0
 
 
 def _cmd_replay(args: argparse.Namespace) -> int:
@@ -119,9 +153,23 @@ def main(argv=None) -> int:
                    help="reconfiguration cases across the three engines")
     p.add_argument("--fault-cases", type=int, default=30,
                    help="fault-schedule recovery cases")
+    p.add_argument("--mlck-cases", type=int, default=0,
+                   help="multi-level (memory+pfs) fault cases")
     p.add_argument("--out", default="verify_out",
                    help="directory for shrunk failure reproducers")
     p.set_defaults(fn=_cmd_run)
+
+    p = sub.add_parser(
+        "mlck",
+        help="run the canonical multi-level schedules plus a seeded "
+        "batch of random memory+pfs fault cases",
+    )
+    p.add_argument("--seed", type=int, default=20260806)
+    p.add_argument("--cases", type=int, default=25,
+                   help="random multi-level fault cases")
+    p.add_argument("--out", default="verify_out",
+                   help="directory for failure reproducers")
+    p.set_defaults(fn=_cmd_mlck)
 
     p = sub.add_parser("replay", help="replay saved case files")
     p.add_argument("cases", nargs="+", metavar="CASE.json")

@@ -45,7 +45,8 @@ CASE_VERSION = 1
 ENGINES = ("drms", "spmd", "incremental")
 POLICIES = ("validated", "naive")
 EXPECTATIONS = ("pass", "fail")
-EVENT_KINDS = ("write", "stored_flip")
+EVENT_KINDS = ("write", "stored_flip", "node_loss", "drain_crash")
+TIERS = ("pfs", "memory+pfs")
 
 
 @dataclass
@@ -70,7 +71,17 @@ class FaultEvent:
     checkpoint; ``kind == "stored_flip"`` persistently flips a stored
     bit of one of the generation's files after the checkpoint call.
     Events that never match anything (wrong generation, no stored byte
-    at the offset) are inert — the shrinker removes them."""
+    at the offset) are inert — the shrinker removes them.
+
+    Multi-level (``tier="memory+pfs"``) cases add two kinds:
+    ``kind == "node_loss"`` kills node ``node`` after generation
+    ``gen``'s capture+drain round — its L1 replica memory is gone;
+    ``kind == "drain_crash"`` arms a write fault (the write-fault
+    fields) against generation ``gen``'s *drain*, so the generation
+    stays memory-only (no manifest ever commits — two-phase commit).
+    Plain ``write`` events in an mlck case also target the drain:
+    silent modes ("short"/"torn") corrupt the durable copy while the
+    memory replicas stay good."""
 
     kind: str
     gen: int = 1
@@ -84,6 +95,8 @@ class FaultEvent:
     array_index: int = 0
     offset: int = 0
     bit: int = 0
+    # node losses (tier="memory+pfs")
+    node: int = 0
 
     def __post_init__(self) -> None:
         if self.kind not in EVENT_KINDS:
@@ -119,6 +132,11 @@ class Case:
     policy: str = "validated"
     expect: str = "pass"
     note: str = ""
+    #: checkpoint store tier ("memory+pfs" routes fault cases through
+    #: the multi-level oracle: L1 capture + drain + tier-aware recovery)
+    tier: str = "pfs"
+    #: simulated node count for tier="memory+pfs" cases
+    num_nodes: int = 8
 
     def __post_init__(self) -> None:
         if self.type not in ("reconfig", "fault"):
@@ -129,6 +147,10 @@ class Case:
             raise CaseError(f"unknown recovery policy {self.policy!r}")
         if self.expect not in EXPECTATIONS:
             raise CaseError(f"unknown expectation {self.expect!r}")
+        if self.tier not in TIERS:
+            raise CaseError(f"unknown checkpoint tier {self.tier!r}")
+        if self.tier != "pfs" and self.num_nodes < 2:
+            raise CaseError("memory-tier cases need at least 2 nodes")
         if self.engine == "spmd" and self.t2 != self.t1:
             raise CaseError(
                 "SPMD restart is only conforming on the checkpointing "
@@ -218,6 +240,8 @@ class Case:
                 f" gens={self.generations} events={len(self.events)} "
                 f"policy={self.policy} expect={self.expect}"
             )
+        if self.tier != "pfs":
+            core += f" tier={self.tier} nodes={self.num_nodes}"
         return core
 
 
@@ -228,4 +252,5 @@ __all__ = [
     "CASE_VERSION",
     "ENGINES",
     "FaultEvent",
+    "TIERS",
 ]

@@ -36,6 +36,9 @@ from repro.verify.case import ArrayCase, Case, FaultEvent
 
 __all__ = [
     "CaseGen",
+    "known_bad_case",
+    "mid_drain_crash_case",
+    "node_loss_case",
     "random_axis",
     "random_distribution",
     "random_grid",
@@ -302,6 +305,73 @@ class CaseGen:
             bit=rng.randrange(8),
         )
 
+    def _mlck_event(self, generations: int, num_nodes: int) -> FaultEvent:
+        rng = self.rng
+        gen = rng.randint(1, generations)
+        roll = rng.random()
+        if roll < 0.4:
+            return FaultEvent(
+                kind="node_loss", gen=gen, node=rng.randrange(num_nodes)
+            )
+        if roll < 0.7:
+            return FaultEvent(
+                kind="drain_crash",
+                gen=gen,
+                nth=rng.randint(1, 3),
+                match=rng.choice(["", ".segment", ".array", ".manifest"]),
+            )
+        return FaultEvent(
+            kind="write",
+            gen=gen,
+            nth=rng.randint(1, 3),
+            match=rng.choice(["", ".segment", ".array"]),
+            mode=rng.choice(["short", "torn"]),
+            keep_bytes=rng.choice([None, 0, 1, 7]),
+        )
+
+    def mlck_fault_case(self) -> Case:
+        """One random multi-level fault case: node losses, mid-drain
+        crashes, and silent durable-copy corruption; the tier-aware
+        recovery walk must land on the newest generation servable from
+        *either* tier and name the tier the schedule's ground truth
+        predicts."""
+        rng = self.rng
+        shape = random_shape(rng, max_rank=2, max_extent=8)
+        t1 = rng.randint(1, 4)
+        t2 = rng.randint(1, 4)
+        p1 = rng.randint(1, t1)
+        p2 = rng.randint(1, t2)
+        grid1 = random_grid(rng, t1, len(shape))
+        grid2 = random_grid(rng, t2, len(shape))
+        generations = rng.randint(2, 4)
+        num_nodes = rng.choice([4, 8])
+        events = [
+            self._mlck_event(generations, num_nodes)
+            for _ in range(rng.randint(1, 4))
+        ]
+        return Case(
+            type="fault",
+            engine="drms",
+            order=rng.choice(["F", "C"]),
+            shape=shape,
+            t1=t1,
+            p1=p1,
+            t2=t2,
+            p2=p2,
+            grid1=grid1,
+            grid2=grid2,
+            arrays=self._array_cases(shape, t1, t2, grid1, grid2),
+            target_bytes=rng.choice(_TARGET_BYTES),
+            data_seed=rng.randrange(1 << 30),
+            seed=self.seed,
+            generations=generations,
+            events=events,
+            policy="validated",
+            expect="pass",
+            tier="memory+pfs",
+            num_nodes=num_nodes,
+        )
+
     def fault_case(self) -> Case:
         """One random fault-schedule case: the validated recovery policy
         must land on the newest byte-for-byte valid generation."""
@@ -338,6 +408,84 @@ class CaseGen:
             policy="validated",
             expect="pass",
         )
+
+
+def _mlck_case_shell(seed: int, **kw) -> Case:
+    """Shared fixed geometry of the canonical multi-level schedules."""
+    rng = random.Random(seed)
+    return Case(
+        type="fault",
+        engine="drms",
+        order="F",
+        shape=[6, 4],
+        t1=2,
+        p1=2,
+        t2=3,
+        p2=1,
+        grid1=[2, 1],
+        grid2=[3, 1],
+        arrays=[
+            ArrayCase(
+                name="A0",
+                dtype="float64",
+                axes1=[{"kind": "block"}, {"kind": "cyclic"}],
+                axes2=[{"kind": "cyclic"}, {"kind": "block"}],
+                shadow1=[0, 0],
+                shadow2=[0, 0],
+            )
+        ],
+        target_bytes=64,
+        data_seed=rng.randrange(1 << 30),
+        seed=seed,
+        policy="validated",
+        expect="pass",
+        tier="memory+pfs",
+        **kw,
+    )
+
+
+def node_loss_case(seed: int = 0) -> Case:
+    """The canonical node-loss schedule: every generation drains, then
+    one node dies after the last one.  With ``k=1`` partner replication
+    the dead node's pieces survive on partners in other failure
+    domains, so the tier-aware walk must serve the *newest* generation
+    from L1 — without touching the PFS — and the oracle asserts exactly
+    that (tier ``l1``, zero PFS reads during the walk)."""
+    return _mlck_case_shell(
+        seed,
+        generations=3,
+        num_nodes=8,
+        events=[FaultEvent(kind="node_loss", gen=3, node=1)],
+        note=(
+            "single node loss after the newest generation: partner "
+            "replicas serve recovery from memory, no PFS reads"
+        ),
+    )
+
+
+def mid_drain_crash_case(seed: int = 0) -> Case:
+    """The canonical mid-drain-crash schedule: generation 3's drain
+    dies on its first PFS write (no manifest commits — two-phase
+    commit), leaving the generation memory-only; then the two nodes
+    holding its first piece's replica set die.  Generation 3 is lost on
+    both tiers, generation 2's L1 copy lost the same replica pair — so
+    the walk must fall back to generation 2's *durable* copy (tier
+    ``l2``), the exact double-fault the multi-level design degrades
+    gracefully under."""
+    return _mlck_case_shell(
+        seed,
+        generations=3,
+        num_nodes=4,
+        events=[
+            FaultEvent(kind="drain_crash", gen=3, nth=1),
+            FaultEvent(kind="node_loss", gen=3, node=0),
+            FaultEvent(kind="node_loss", gen=3, node=1),
+        ],
+        note=(
+            "mid-drain crash orphans the newest generation in memory; "
+            "losing its replica pair forces the L2 fallback"
+        ),
+    )
 
 
 def known_bad_case(seed: int = 0) -> Case:

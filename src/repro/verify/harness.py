@@ -58,18 +58,24 @@ def run_suite(
     seed: int,
     reconfig_cases: int = 200,
     fault_cases: int = 30,
+    mlck_cases: int = 0,
     on_case: Optional[Callable[[int, Case], None]] = None,
 ) -> SuiteReport:
-    """Generate and run ``reconfig_cases`` reconfiguration cases plus
-    ``fault_cases`` fault-schedule cases, all from ``seed``."""
+    """Generate and run ``reconfig_cases`` reconfiguration cases,
+    ``fault_cases`` fault-schedule cases, and ``mlck_cases``
+    multi-level (memory+pfs tier) fault cases, all from ``seed``."""
     gen = CaseGen(seed)
     report = SuiteReport(seed=seed)
     cases: List[Case] = [gen.reconfig_case() for _ in range(reconfig_cases)]
     cases += [gen.fault_case() for _ in range(fault_cases)]
+    cases += [gen.mlck_fault_case() for _ in range(mlck_cases)]
     for i, case in enumerate(cases):
         if on_case is not None:
             on_case(i, case)
-        key = case.engine if case.type == "reconfig" else "fault"
+        if case.type == "reconfig":
+            key = case.engine
+        else:
+            key = "mlck" if case.tier == "memory+pfs" else "fault"
         report.engines[key] = report.engines.get(key, 0) + 1
         try:
             result = run_case(case)

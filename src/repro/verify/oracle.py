@@ -64,6 +64,7 @@ from repro.errors import (
 from repro.obs import Tracer, span_tree_violations, use_tracer
 from repro.pfs.faults import FaultInjector, flip_stored_bit
 from repro.pfs.piofs import PIOFS
+from repro.runtime.machine import Machine, MachineParams
 from repro.streaming.order import stream_order_bytes
 from repro.streaming.partition import partition_for_target, piece_offsets
 from repro.streaming.serial import strict_gather
@@ -627,6 +628,215 @@ def _run_fault(case: Case) -> CaseResult:
     )
 
 
+# -- multi-level (tier="memory+pfs") fault mode -----------------------------
+
+
+@dataclass
+class _MLCKGeneration:
+    """Capture-time intent of one multi-level generation — enough to
+    recompute, independently of the recovery code, which tier (if any)
+    can still serve it after the fault schedule ran."""
+
+    prefix: str
+    #: replica node lists per L1 piece, recorded at capture time
+    piece_replicas: List[List[int]] = field(default_factory=list)
+    #: the durable copy's intent (manifest committed by the drain)
+    l2: Optional[_Generation] = None
+    refs: List[np.ndarray] = field(default_factory=list)
+    segment: Optional[DataSegment] = None
+
+    def l1_valid(self, failed: set) -> bool:
+        """Ground truth: every piece kept at least one replica on a
+        node that never died."""
+        return all(
+            any(n not in failed for n in replicas)
+            for replicas in self.piece_replicas
+        )
+
+    def l2_valid(self, pfs: PIOFS) -> bool:
+        return self.l2 is not None and self.l2.is_valid(pfs)
+
+
+def _arm_drain_events(inj: FaultInjector, events: List[FaultEvent], gen: int):
+    """Write faults against generation ``gen``'s *drain*: both plain
+    ``write`` events (silent modes corrupt the durable copy) and
+    ``drain_crash`` events (hard failure — the drain must abort).
+    Returns the armed drain-crash plans for fired-ness inspection."""
+    crash_plans = []
+    for ev in events:
+        if ev.gen != gen:
+            continue
+        if ev.kind == "write":
+            inj.fail_write(
+                nth=ev.nth, match=ev.match, mode=ev.mode,
+                keep_bytes=ev.keep_bytes,
+            )
+        elif ev.kind == "drain_crash":
+            crash_plans.append(
+                inj.fail_write(nth=ev.nth, match=ev.match, mode="fail")
+            )
+    return crash_plans
+
+
+def _run_mlck_fault(case: Case) -> CaseResult:
+    """The multi-level oracle: ``generations`` L1 capture + synchronous
+    drain rounds under the case's schedule of drain faults and node
+    losses, then the tier-aware recovery walk.  Ground truth per
+    generation is recomputed from capture-time intent alone: L1-valid
+    iff every piece kept a replica on a surviving node, L2-valid iff
+    the drain committed a manifest AND every durable file still
+    byte-matches what the drain meant to write.  The walk must land on
+    the newest generation valid on *either* tier, report the tier the
+    ground truth predicts, and — when the newest generation is L1-valid
+    — decide without a single PFS read."""
+    from repro.checkpoint.format import manifest_name
+    from repro.mlck.drain import DrainController
+    from repro.mlck.store import L1Store
+
+    c = _Checker(case)
+    machine = Machine(
+        MachineParams(num_nodes=case.num_nodes)
+    )
+    pfs = PIOFS(machine=machine)
+    base = "app.ck"
+    failed: set = set()
+    gens: List[_MLCKGeneration] = []
+    with use_tracer(Tracer()) as tracer:
+        store = L1Store(machine, k=1, target_bytes=case.target_bytes)
+        drainer = DrainController(
+            store, pfs, synchronous=True, target_bytes=case.target_bytes
+        )
+        for g in range(1, case.generations + 1):
+            prefix = f"{base}.{g:06d}"
+            segment = _segment(iteration=g)
+            arrays = _build_arrays(case, salt=g)
+            refs = [a.to_global(fill=0) for a in arrays]
+            l1gen, _ = store.capture_drms(
+                prefix, segment, arrays, order=case.order, app_name="verify"
+            )
+            rec = _MLCKGeneration(prefix=prefix, refs=refs, segment=segment)
+            pieces = list(l1gen.segment_pieces)
+            for entry in l1gen.arrays:
+                pieces.extend(entry.pieces)
+            rec.piece_replicas = [list(p.replicas) for p in pieces]
+
+            inj = FaultInjector()
+            crash_plans = _arm_drain_events(inj, case.events, g)
+            pfs.attach_faults(inj)
+            try:
+                drainer.schedule(prefix)
+            finally:
+                pfs.attach_faults(None)
+            crashed = any(p.fired for p in crash_plans)
+            committed = pfs.exists(manifest_name(prefix))
+            c.check(
+                store.gen(prefix).drain_state
+                == ("failed" if not committed else "durable"),
+                f"gen {g}: drain state "
+                f"{store.gen(prefix).drain_state!r} disagrees with manifest "
+                f"presence {committed}",
+            )
+            if crashed:
+                c.check(
+                    not committed,
+                    f"gen {g}: drain crashed but a manifest committed — "
+                    "two-phase commit violated",
+                )
+            if committed:
+                l2 = _Generation(prefix=prefix, committed=True)
+                header, pad = segment.serialize()
+                seg = segment_name(prefix)
+                l2.expected[seg] = header
+                l2.sizes[seg] = len(header) + pad
+                for i, spec in enumerate(case.arrays):
+                    fname = array_name(prefix, spec.name)
+                    want = stream_order_bytes(refs[i], case.order)
+                    l2.expected[fname] = want
+                    l2.sizes[fname] = len(want)
+                rec.l2 = l2
+            _apply_stored_flips(pfs, case, case.events, g, prefix)
+            for ev in case.events:
+                if ev.kind == "node_loss" and ev.gen == g:
+                    node = ev.node % case.num_nodes
+                    if node not in failed:
+                        machine.fail_node(node)
+                        store.drop_node(node)
+                        failed.add(node)
+            gens.append(rec)
+
+        # ground truth, newest first
+        expected_prefix = None
+        expected_tier = None
+        for rec in reversed(gens):
+            if rec.l1_valid(failed):
+                expected_prefix, expected_tier = rec.prefix, "l1"
+                break
+            if rec.l2_valid(pfs):
+                expected_prefix, expected_tier = rec.prefix, "l2"
+                break
+
+        reads_before = tracer.metrics.flat().get("pfs.read.count", 0.0)
+        decision = select_restart_state(pfs, base, l1=store)
+        reads_during = (
+            tracer.metrics.flat().get("pfs.read.count", 0.0) - reads_before
+        )
+        c.check(
+            decision.prefix == expected_prefix,
+            f"tiered recovery chose {decision.prefix!r}; newest "
+            f"any-tier-valid state is {expected_prefix!r}",
+        )
+        c.check(
+            decision.tier == expected_tier,
+            f"tiered recovery used tier {decision.tier!r}; ground truth "
+            f"says {expected_tier!r}",
+        )
+        if gens and expected_prefix == gens[-1].prefix and expected_tier == "l1":
+            c.check(
+                reads_during == 0,
+                f"newest generation is L1-servable but the recovery walk "
+                f"issued {reads_during:g} PFS reads",
+            )
+        flat = tracer.metrics.flat()
+        if expected_tier is not None:
+            _flat_eq(c, flat, f"mlck.recover.{expected_tier}", 1)
+
+        if decision.prefix is not None and decision.prefix == expected_prefix:
+            by_prefix = {rec.prefix: rec for rec in gens}
+            rec = by_prefix[decision.prefix]
+            overrides = {
+                spec.name: case.distribution2(spec) for spec in case.arrays
+            }
+            if decision.tier == "l1":
+                state, _ = store.restore_drms(
+                    decision.prefix, case.t2, order=case.order,
+                    distribution_overrides=overrides,
+                )
+            else:
+                state, _ = drms_restart(
+                    pfs, decision.prefix, ntasks=case.t2,
+                    order=case.order, io_tasks=case.p2,
+                    target_bytes=case.target_bytes,
+                    distribution_overrides=overrides,
+                )
+            _check_restored(c, state.arrays, rec.refs)
+            c.check(
+                state.segment.serialize() == rec.segment.serialize(),
+                "restored segment differs from the chosen generation's",
+            )
+    violations = span_tree_violations(tracer)
+    c.check(not violations, f"span tree violations: {violations[:3]}")
+    return c.finish(
+        {
+            "expected_prefix": expected_prefix,
+            "expected_tier": expected_tier,
+            "chosen": decision.prefix,
+            "tier": decision.tier,
+            "failed_nodes": sorted(failed),
+            "pfs_reads_during_walk": reads_during,
+        }
+    )
+
+
 # -- entry points -----------------------------------------------------------
 
 
@@ -634,6 +844,8 @@ def run_case(case: Case) -> CaseResult:
     """Run one case's oracle; raises :class:`VerifyFailure` on any
     invariant violation (regardless of the case's ``expect`` field)."""
     if case.type == "fault":
+        if case.tier == "memory+pfs":
+            return _run_mlck_fault(case)
         return _run_fault(case)
     if case.engine == "drms":
         return _run_drms(case)

@@ -1,0 +1,78 @@
+"""FailurePlan multi= schedules: ordered multi-failure injection."""
+
+import threading
+
+import pytest
+
+from repro.infra.failure import FailurePlan
+
+
+def test_schedule_must_be_ordered_and_nonempty():
+    with pytest.raises(ValueError, match="ordered"):
+        FailurePlan(multi=[(5, 0), (3, 1)])
+    with pytest.raises(ValueError, match="empty"):
+        FailurePlan(multi=[])
+    # equal iterations are fine (two nodes die in the same SOP window)
+    FailurePlan(multi=[(4, 0), (4, 1)])
+
+
+def test_classic_fields_track_the_pending_entry():
+    plan = FailurePlan(iteration=99, node_id=99, multi=[(3, 7), (6, 1)])
+    # the constructor overrides the classic fields with the schedule head
+    assert (plan.iteration, plan.node_id) == (3, 7)
+    assert plan.pending == (3, 7)
+    assert plan.claim(3)
+    assert (plan.iteration, plan.node_id) == (6, 1)
+    assert plan.pending == (6, 1)
+    assert not plan.fired  # schedule not yet exhausted
+    assert plan.claim(6)
+    assert plan.pending is None
+    assert plan.fired
+    # node_id reports the last fired node for the recovery handler
+    assert plan.node_id == 1
+
+
+def test_entries_fire_in_order_exactly_once():
+    plan = FailurePlan(multi=[(2, 4), (2, 5), (8, 6)])
+    assert not plan.claim(8)  # cannot fire into the future of the schedule
+    assert plan.claim(2)
+    assert plan.claim(2)
+    assert not plan.claim(2)  # both iteration-2 entries spent
+    assert not plan.should_fire(2)
+    assert plan.claim(8)
+    assert plan.fired_nodes == [4, 5, 6]
+    assert not plan.claim(8)  # exhausted: disarmed for good
+
+
+def test_single_plan_keeps_classic_behavior():
+    plan = FailurePlan(iteration=5, node_id=2)
+    assert plan.pending == (5, 2)
+    assert plan.claim(5)
+    assert plan.fired_nodes == [2]
+    assert plan.pending is None
+    # one_shot=False re-arms the classic plan, multi never does
+    repeat = FailurePlan(iteration=5, node_id=2, one_shot=False)
+    assert repeat.claim(5) and repeat.claim(5)
+    assert repeat.pending == (5, 2)
+
+
+def test_concurrent_claims_fire_each_entry_once():
+    plan = FailurePlan(multi=[(3, 0), (3, 1)])
+    nthreads = 16
+    barrier = threading.Barrier(nthreads)
+    wins = []
+
+    def racer():
+        barrier.wait()
+        if plan.claim(3):
+            wins.append(1)
+
+    threads = [threading.Thread(target=racer) for _ in range(nthreads)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    # exactly one winner per schedule entry
+    assert len(wins) == 2
+    assert plan.fired_nodes == [0, 1]
+    assert plan.fired

@@ -1,0 +1,37 @@
+"""Shared workload builders for the multi-level store tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.arrays.darray import DistributedArray
+from repro.arrays.distributions import block_distribution
+from repro.checkpoint.segment import DataSegment, ExecutionContext, SegmentProfile
+
+
+@pytest.fixture
+def workload():
+    """(segment, arrays) of a small two-array DRMS state."""
+
+    def _build(ntasks: int = 2, iteration: int = 1, fill: float = 0.0):
+        seg = DataSegment(
+            SegmentProfile(
+                local_section_bytes=512, system_bytes=1024, private_bytes=128
+            ),
+            replicated={"it": iteration},
+            context=ExecutionContext(sop_id=1, iteration=iteration),
+        )
+        arrays = []
+        for i, shape in enumerate([(12, 8), (16,)]):
+            a = DistributedArray(
+                f"a{i}", shape, np.float64,
+                block_distribution(shape, ntasks), store_data=True,
+            )
+            a.set_global(
+                np.arange(float(np.prod(shape))).reshape(shape) + fill + i
+            )
+            arrays.append(a)
+        return seg, arrays
+
+    return _build

@@ -1,0 +1,149 @@
+"""DrainController: async promotion, crash behavior, retention interlock."""
+
+import numpy as np
+import pytest
+
+from repro.checkpoint.drms import drms_checkpoint, drms_restart
+from repro.checkpoint.rotation import CheckpointRotation, generations
+from repro.checkpoint.validate import validate_checkpoint
+from repro.errors import CheckpointError
+from repro.mlck.drain import DrainController, DrainState
+from repro.mlck.store import L1Store
+from repro.pfs.faults import FaultInjector
+from repro.pfs.piofs import PIOFS
+from repro.runtime.machine import Machine, MachineParams
+
+pytestmark = pytest.mark.mlck
+
+
+@pytest.fixture
+def env(workload):
+    machine = Machine(MachineParams(num_nodes=8))
+    pfs = PIOFS(machine=machine)
+    store = L1Store(machine, k=1)
+    return machine, pfs, store
+
+
+def test_drained_state_is_byte_identical_to_direct_checkpoint(env, workload):
+    machine, pfs, store = env
+    seg, arrays = workload(iteration=2)
+    store.capture_drms("ck.000001", seg, arrays)
+    DrainController(store, pfs, synchronous=True).schedule("ck.000001")
+
+    # the drained generation passes the ordinary PFS validation...
+    assert validate_checkpoint(pfs, "ck.000001").ok
+    # ...and equals a direct drms_checkpoint of the same state, byte
+    # for byte, on every stored file
+    pfs2 = PIOFS(machine=Machine(MachineParams(num_nodes=8)))
+    drms_checkpoint(pfs2, "ck.000001", seg, arrays)
+    for name in sorted(pfs.listdir("ck.000001")):
+        if name.endswith(".manifest"):
+            continue  # manifests may differ in recorded timing fields
+        size = pfs.file_size(name)
+        assert size == pfs2.file_size(name)
+        if size:
+            assert pfs.read_at(name, 0, size) == pfs2.read_at(name, 0, size)
+    state, _ = drms_restart(pfs, "ck.000001", ntasks=3)
+    assert state.segment.serialize() == seg.serialize()
+
+
+def test_failed_drain_leaves_no_manifest_and_is_retryable(env, workload):
+    machine, pfs, store = env
+    seg, arrays = workload()
+    store.capture_drms("ck.000001", seg, arrays)
+    drainer = DrainController(store, pfs, synchronous=True)
+
+    inj = FaultInjector()
+    inj.fail_write(nth=1, mode="fail")
+    pfs.attach_faults(inj)
+    try:
+        drainer.schedule("ck.000001")
+    finally:
+        pfs.attach_faults(None)
+    gen = store.gen("ck.000001")
+    assert gen.drain_state == DrainState.FAILED
+    assert gen.drain_error
+    assert not pfs.exists("ck.000001.manifest")
+
+    # the failure was recorded, not raised; a retry drains cleanly
+    drainer.schedule("ck.000001")
+    assert store.gen("ck.000001").drain_state == DrainState.DURABLE
+    assert validate_checkpoint(pfs, "ck.000001").ok
+
+
+def test_draining_twice_is_refused(env, workload):
+    machine, pfs, store = env
+    seg, arrays = workload()
+    store.capture_drms("ck.000001", seg, arrays)
+    drainer = DrainController(store, pfs, synchronous=True)
+    drainer.schedule("ck.000001")
+    with pytest.raises(CheckpointError):
+        drainer.schedule("ck.000001")
+
+
+def test_prune_during_drain_keeps_newest_durable_fallback(env, workload):
+    """Satellite regression: while a drain is in flight the newest
+    durable generation is pinned — retention must not delete the only
+    durable fallback, however the counts work out."""
+    machine, pfs, store = env
+    rot = CheckpointRotation(pfs, "ck", keep=1)
+
+    # one durable generation on L2
+    seg1, arrays1 = workload(iteration=1)
+    store.capture_drms("ck.000001", seg1, arrays1)
+    DrainController(store, pfs, rotation=rot, synchronous=True).schedule(
+        "ck.000001"
+    )
+    assert generations(pfs, "ck") == ["ck.000001"]
+
+    # a second generation's drain is "in flight": the controller has
+    # pinned ck.000001 (the newest durable fallback).  keep=1 dooms it
+    # the moment ck.000002 commits — but the pin must hold until the
+    # drain's finally block releases it.
+    seg2, arrays2 = workload(iteration=2)
+    store.capture_drms("ck.000002", seg2, arrays2)
+    rot.pin("ck.000001")
+    try:
+        drms_checkpoint(pfs, "ck.000002", seg2, arrays2)
+        assert rot.prune() == []  # ck.000001 pinned: nothing deleted
+        assert set(generations(pfs, "ck")) == {"ck.000001", "ck.000002"}
+    finally:
+        rot.unpin("ck.000001")
+    # pin released (drain finished): retention applies normally again
+    assert rot.prune() == ["ck.000001"]
+    assert generations(pfs, "ck") == ["ck.000002"]
+
+
+def test_sync_drain_applies_retention(env, workload):
+    machine, pfs, store = env
+    rot = CheckpointRotation(pfs, "ck", keep=2)
+    drainer = DrainController(store, pfs, rotation=rot, synchronous=True)
+    for g in (1, 2, 3):
+        seg, arrays = workload(iteration=g)
+        store.capture_drms(f"ck.{g:06d}", seg, arrays)
+        drainer.schedule(f"ck.{g:06d}")
+    assert generations(pfs, "ck") == ["ck.000002", "ck.000003"]
+
+
+def test_evict_after_drain_frees_memory(env, workload):
+    machine, pfs, store = env
+    seg, arrays = workload()
+    store.capture_drms("ck.000001", seg, arrays)
+    DrainController(
+        store, pfs, synchronous=True, evict_after_drain=True
+    ).schedule("ck.000001")
+    assert not store.has("ck.000001")
+    assert validate_checkpoint(pfs, "ck.000001").ok
+
+
+def test_async_drain_overlaps_and_completes(env, workload):
+    machine, pfs, store = env
+    seg, arrays = workload()
+    store.capture_drms("ck.000001", seg, arrays)
+    drainer = DrainController(store, pfs, synchronous=False)
+    future = drainer.schedule("ck.000001")
+    assert future is not None
+    drainer.wait(timeout=30.0)
+    assert store.gen("ck.000001").drain_state == DrainState.DURABLE
+    assert drainer.pending == 0
+    assert validate_checkpoint(pfs, "ck.000001").ok
