@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: install test verify-checkpoints verify-mlck verify-reconfig verify-reconfig-deep bench bench-baseline report trace obs-report examples all clean
+.PHONY: install test verify-checkpoints verify-mlck verify-reconfig verify-reconfig-deep bench bench-baseline bench-stream report trace obs-report examples all clean
 
 # fixed seed so the gate is fully deterministic; DEEP_SEED rotates daily
 VERIFY_SEED ?= 20260806
@@ -31,7 +31,7 @@ verify-reconfig:
 	PYTHONPATH=src $(PYTHON) -m repro.verify run --seed $(VERIFY_SEED) \
 		--cases 220 --fault-cases 40 --out verify_out
 	PYTHONPATH=src $(PYTHON) -m repro.verify known-bad
-	PYTHONPATH=src $(PYTHON) -m pytest -m verify tests/
+	PYTHONPATH=src $(PYTHON) -m pytest -m "verify or streamvec" tests/
 
 # fresh seed every day, 10x the case volume; failures shrink to
 # replayable JSON reproducers under verify_out/
@@ -48,6 +48,13 @@ bench-baseline:
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/bench_plancache.py \
 		benchmarks/bench_parstream_concurrency.py \
 		benchmarks/bench_mlck_recovery.py --benchmark-only -s
+
+# the vectorized-streaming gate: regenerates BENCH_stream_vec.json and
+# fails if the coalesced thread engine loses to the bulk serial loop
+# (threads_vs_serial <= 1.0) or any engine's bytes diverge from the
+# scalar baseline
+bench-stream:
+	PYTHONPATH=src:benchmarks $(PYTHON) benchmarks/bench_stream_vectorized.py --check
 
 report:
 	$(PYTHON) -m repro.tools.report --out benchmarks/out

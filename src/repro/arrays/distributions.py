@@ -408,6 +408,15 @@ class Distribution:
             if not self._assigned[t].intersect(section).is_empty
         ]
 
+    def mapped_tasks(self, section: Slice) -> List[int]:
+        """Tasks whose mapped section (assigned plus shadows) intersects
+        ``section`` — the delivery set of a scatter."""
+        return [
+            t
+            for t in range(self.ntasks)
+            if not self._mapped[t].intersect(section).is_empty
+        ]
+
     # -- legality (paper's two conditions) ----------------------------------
 
     def validate(self) -> None:

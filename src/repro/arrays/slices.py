@@ -221,6 +221,49 @@ class Slice:
             ]
         )
 
+    def flat_positions_within(
+        self,
+        outer: "Slice",
+        enum_order: str = "F",
+        address_order: str = "C",
+    ) -> np.ndarray:
+        """Flat positions of this section's elements within the dense
+        index mesh of ``outer``, as one int64 vector.
+
+        ``address_order`` fixes how ``outer``'s mesh is linearized (the
+        storage order of the array holding it); ``enum_order`` fixes the
+        order in which this section's own elements are enumerated (its
+        stream order).  With both set to the stream order this is the
+        stream-position map of :func:`repro.streaming.order.
+        section_stream_positions`; with ``address_order="C"`` it is the
+        fancy index into a C-contiguous local array — the two halves of
+        a vectorized gather/scatter plan.
+
+        ``self`` must be a per-axis subset of ``outer``; an empty
+        section yields an empty vector regardless of its ranges."""
+        if self.rank != outer.rank:
+            raise SliceError("rank mismatch")
+        if self.is_empty:
+            return np.empty(0, dtype=np.int64)
+        axis_pos = [
+            o.positions_of(r) for r, o in zip(self._ranges, outer._ranges)
+        ]
+        mesh = np.meshgrid(*axis_pos, indexing="ij")
+        shape = outer.shape
+        # strides in elements of the chosen address order over outer's mesh
+        strides = [1] * len(shape)
+        acc = 1
+        if address_order == "F":
+            for i in range(len(shape)):
+                strides[i] = acc
+                acc *= shape[i]
+        else:
+            for i in range(len(shape) - 1, -1, -1):
+                strides[i] = acc
+                acc *= shape[i]
+        flat = sum(m * s for m, s in zip(mesh, strides))
+        return np.asarray(flat, dtype=np.int64).reshape(-1, order=enum_order)
+
     def enumerate_stream(self, order: str = "F") -> np.ndarray:
         """All points of the section in streaming order, as an
         ``(size, rank)`` int64 matrix.  Intended for tests and small

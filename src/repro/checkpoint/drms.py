@@ -162,8 +162,10 @@ def drms_checkpoint(
     """Write a reconfigurable checkpoint under ``prefix``.
 
     ``concurrency`` selects the parstream executor (``"threads"`` runs
-    the P I/O tasks on a thread pool, ``"serial"`` the deterministic
-    round-robin loop); output bytes are identical either way.
+    the P I/O tasks on a thread pool, ``"vectorized"`` the same bulk
+    pipeline inline without a pool, ``"serial"`` the deterministic
+    per-piece round-robin loop); output bytes are identical in every
+    engine.
 
     ``tier`` selects the checkpoint store: ``"pfs"`` (default) writes
     the PFS directly; ``"memory"`` captures into the in-memory L1 store

@@ -49,6 +49,7 @@ __all__ = [
     "partition_for_target",
     "piece_offsets",
     "section_stream_positions",
+    "section_index_plan",
     "streaming_plan",
 ]
 
@@ -125,6 +126,32 @@ def section_stream_positions(
 
     return get_plan_cache().get_or_compute(
         "positions", (section, sub, check_order(order)), compute
+    )
+
+
+def section_index_plan(
+    dist: Distribution,
+    section: Slice,
+    order: str = "F",
+    kind: str = "assigned",
+):
+    """Memoized :func:`repro.streaming.vectorized.
+    build_section_index_plan` — the per-task (stream-position,
+    local-flat) index-array pairs of a vectorized gather (kind
+    ``"assigned"``) or scatter (kind ``"mapped"``).  The distribution
+    enters the key only via its fingerprint, so the entry is dropped by
+    :meth:`PlanCache.invalidate_distribution`.  The plan's index arrays
+    are **read-only** (shared by every caller of the same key)."""
+    # local import: the pure kernel module must stay importable without
+    # plancache (the cache layer sits above the pure layer)
+    from repro.streaming.vectorized import build_section_index_plan
+
+    fp = dist.fingerprint()
+    return get_plan_cache().get_or_compute(
+        "indexplan",
+        (fp, section, check_order(order), str(kind)),
+        lambda: build_section_index_plan(dist, section, order=order, kind=kind),
+        dist_fingerprints=(fp,),
     )
 
 

@@ -24,6 +24,7 @@ the serial loop whenever write-sequence-dependent machinery (the
 
 from __future__ import annotations
 
+import contextvars
 import os
 import threading
 from concurrent.futures import Future, ThreadPoolExecutor
@@ -58,13 +59,24 @@ def faults_armed(endpoint) -> bool:
     return pfs is not None and getattr(pfs, "faults", None) is not None
 
 
+def _in_context(task: Callable[[], object]) -> Callable[[], object]:
+    """Bind ``task`` to a copy of the submitting thread's context, so
+    workers observe the caller's :mod:`contextvars` scopes (notably the
+    ``strict_gather`` strictness flag) instead of whatever context the
+    pool thread last ran in.  Each thunk gets its *own* copy — a single
+    Context object cannot be entered concurrently."""
+    ctx = contextvars.copy_context()
+    return lambda: ctx.run(task)
+
+
 def submit_task(task: Callable[[], object]) -> Future:
     """Submit one thunk to the shared pool and return its Future —
     the fire-and-forget entry point used by background work that should
     ride the same threads as the parstream I/O tasks (e.g. the
     asynchronous L1->L2 checkpoint drain of :mod:`repro.mlck.drain`),
-    so a periodic checkpointer never pays thread startup."""
-    return _shared_pool().submit(task)
+    so a periodic checkpointer never pays thread startup.  The thunk
+    runs in a copy of the submitting thread's context."""
+    return _shared_pool().submit(_in_context(task))
 
 
 def run_tasks(tasks: Sequence[Callable[[], object]]) -> List[object]:
@@ -76,7 +88,7 @@ def run_tasks(tasks: Sequence[Callable[[], object]]) -> List[object]:
         return []
     if len(tasks) == 1:
         return [tasks[0]()]
-    futures = [_shared_pool().submit(t) for t in tasks]
+    futures = [_shared_pool().submit(_in_context(t)) for t in tasks]
     outcomes = []
     for f in futures:
         try:

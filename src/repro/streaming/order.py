@@ -52,27 +52,8 @@ def section_stream_positions(section: Slice, sub: Slice, order: str = "F") -> np
     check_order(order)
     if not sub.issubset(section):
         raise StreamingError(f"{sub!r} is not a subset of {section!r}")
-    if sub.is_empty:
-        # a zero-extent sub may carry non-empty ranges on other axes
-        # that are not per-axis subsets of ``section``
-        return np.empty(0, dtype=np.int64)
-    axis_pos = [
-        outer.positions_of(inner)
-        for inner, outer in zip(sub.ranges, section.ranges)
-    ]
-    mesh = np.meshgrid(*axis_pos, indexing="ij")
-    shape = section.shape
-    # strides in elements for the chosen order over the section mesh
-    strides = [1] * len(shape)
-    if order == "F":
-        acc = 1
-        for i in range(len(shape)):
-            strides[i] = acc
-            acc *= shape[i]
-    else:
-        acc = 1
-        for i in range(len(shape) - 1, -1, -1):
-            strides[i] = acc
-            acc *= shape[i]
-    pos = sum(m * s for m, s in zip(mesh, strides))
-    return pos.reshape(-1, order=order)
+    # an empty sub (which may carry non-empty ranges on other axes that
+    # are not per-axis subsets of ``section``) yields an empty vector
+    return sub.flat_positions_within(
+        section, enum_order=order, address_order=order
+    )

@@ -11,20 +11,39 @@ pieces.  The output is byte-identical to serial streaming; only the
 access pattern differs, which is why parallel streaming requires a
 seekable sink.
 
-Concurrency: by default (``concurrency="threads"``) the P I/O tasks
-run as a thread pool — pieces are gathered, checksummed, and written
-concurrently.  Correctness relies on three structural facts: pieces
-are disjoint in the global index space (gather/scatter never race on
-an element), offsets are disjoint in the stream (writes never race on
-a byte), and sinks serialize internal bookkeeping behind their own
-locks.  Because each piece's bytes and offset are fixed by the plan,
-the result is byte-identical to the serial round-robin loop for every
-interleaving — the property the verify oracle checks.
+Execution engines (the ``concurrency`` parameter):
 
-The serial loop is kept (``concurrency="serial"``) and is entered
-automatically when the sink's PFS has fault injection armed: fault
-plans address the *nth matching write*, which only means something
-over a deterministic write sequence.
+* ``"threads"`` (default) — the section is bulk-gathered once through
+  the cached index-array plans (:mod:`repro.streaming.vectorized`),
+  the nonempty pieces are coalesced into at most P stream-contiguous
+  byte runs of near-equal volume, and the P I/O tasks run as a thread
+  pool, each issuing **one** bulk ``write_at``/``read_at`` for its run.
+  Empty pieces occupy zero bytes, so the nonempty pieces are
+  byte-contiguous in stream order and every run is a single interval.
+* ``"vectorized"`` — the same bulk-gather + coalesced-run pipeline,
+  executed inline on the calling thread: no pool dispatch, the right
+  choice when cores are scarce or the caller is already a pool worker.
+* ``"serial"`` — the deterministic per-piece round-robin loop.  Also
+  entered automatically (from either other mode) when the sink's PFS
+  has fault injection armed: fault plans address the *nth matching
+  write*, which only means something over a deterministic write
+  sequence, so the per-piece write granularity and ``j % P`` client
+  attribution are preserved exactly.
+
+Correctness relies on three structural facts: pieces are disjoint in
+the global index space (gather/scatter never race on an element),
+offsets are disjoint in the stream (writes never race on a byte), and
+sinks serialize internal bookkeeping behind their own locks.  Because
+every piece's bytes and offset are fixed by the plan, all engines are
+byte-identical for every interleaving — the property the verify oracle
+checks, made cheap to compare by the ``content_sha1`` op-span
+attribute: an order-stable digest-of-digests over the per-piece SHA-1s,
+computed identically (and always, including the serial fallback) in
+every engine.
+
+Virtual (geometry-only) arrays keep the legacy per-piece round-robin
+paths in every mode: there is nothing to gather, and the per-piece
+transfer granularity is what the simulated Class-A baselines account.
 
 ``P`` may be anything from 1 (fully serial) to the number of tasks;
 tasks beyond ``P`` still participate in redistribution (their assigned
@@ -34,27 +53,35 @@ data must reach the I/O tasks) but perform no I/O.
 from __future__ import annotations
 
 import hashlib
-from typing import Optional
+from typing import List, Optional, Tuple
+
+import numpy as np
 
 from repro.arrays.darray import DistributedArray
 from repro.arrays.slices import Slice
 from repro.errors import StreamingError
 from repro.obs import get_tracer
 from repro.streaming.executor import faults_armed, run_tasks
-from repro.streaming.order import bytes_to_section, check_order, stream_order_bytes
+from repro.streaming.order import check_order
 from repro.streaming.serial import (
     StreamStats,
     _cached_plan,
-    _piece_redistribution_bytes,
-    gather_piece,
-    scatter_piece,
+    _index_plan,
+    _piece_redis,
+    _require_full_read,
+    _strict_default,
 )
 from repro.streaming.streams import ByteSink, ByteSource
+from repro.streaming.vectorized import (
+    gather_section_flat,
+    range_redistribution_bytes,
+    scatter_section_flat,
+)
 
 __all__ = ["stream_out_parallel", "stream_in_parallel"]
 
 #: accepted values for the ``concurrency`` parameter
-_MODES = ("threads", "serial")
+_MODES = ("threads", "serial", "vectorized")
 
 
 def _plan(
@@ -85,6 +112,51 @@ def _check_mode(concurrency: str) -> str:
     return concurrency
 
 
+def _coalesced_runs(
+    jobs: List[Tuple[int, Slice]], itemsize: int, P: int
+) -> List[List[Tuple[int, Slice]]]:
+    """Split the nonempty pieces into at most ``P`` stream-contiguous
+    runs of near-equal byte volume — run ``p`` is I/O task ``p``'s
+    single bulk transfer."""
+    total = sum(piece.size for _, piece in jobs) * itemsize
+    target = -(-total // P)  # ceil: every run but the last fills up
+    runs: List[List[Tuple[int, Slice]]] = []
+    cur: List[Tuple[int, Slice]] = []
+    cur_bytes = 0
+    for j, piece in jobs:
+        cur.append((j, piece))
+        cur_bytes += piece.size * itemsize
+        if cur_bytes >= target and len(runs) < P - 1:
+            runs.append(cur)
+            cur = []
+            cur_bytes = 0
+    if cur:
+        runs.append(cur)
+    return runs
+
+
+def _content_sha1(digests: List[Tuple[int, str]]) -> str:
+    """Order-stable digest-of-digests: the per-piece SHA-1 hexdigests
+    sorted by piece index, concatenated, hashed — a fingerprint of the
+    piece contents in stream order, cheap to compare across engines."""
+    digests.sort()
+    return hashlib.sha1(
+        "".join(d for _, d in digests).encode("ascii")
+    ).hexdigest()
+
+
+def _pick_engine(darray, endpoint, concurrency: str, jobs) -> str:
+    """Resolve the execution engine for this operation.  Fault plans
+    force the deterministic serial loop.  Virtual arrays always take
+    the per-piece loop in every mode: there is nothing to gather, the
+    per-piece transfer granularity and ``j % P`` client attribution are
+    what the simulated Class-A phase baselines account, and the
+    simulated timing is thread-independent anyway."""
+    if faults_armed(endpoint) or not jobs or not darray.store_data:
+        return "serial"
+    return concurrency
+
+
 def stream_out_parallel(
     darray: DistributedArray,
     sink: ByteSink,
@@ -103,80 +175,99 @@ def stream_out_parallel(
         )
     section, P, pieces, offsets = _plan(darray, section, P, order, target_bytes)
     jobs = [(j, piece) for j, piece in enumerate(pieces) if not piece.is_empty]
-    threaded = concurrency == "threads" and P > 1 and len(jobs) > 1 and not faults_armed(sink)
+    engine = _pick_engine(darray, sink, concurrency, jobs)
+    itemsize = darray.itemsize
     obs = get_tracer()
     total = 0
     redis = 0
+    digests: List[Tuple[int, str]] = []
     with obs.span(
         "stream.out.parallel",
         array=darray.name,
         io_tasks=P,
-        concurrency="threads" if threaded else "serial",
+        concurrency=engine,
+        plan_pieces=len(pieces),
     ) as op:
-        if threaded:
-            # One thunk per I/O task, each walking its round-robin share
-            # of the pieces in order — the paper's P concurrent I/O
-            # tasks, with O(P) dispatch overhead.  Worker threads open
-            # no spans: the tracer's span stacks are per-thread, so
-            # worker spans would surface as parentless roots.  Per-piece
-            # accounting is aggregated onto `op`.
-            def io_task(p: int):
-                t_bytes = 0
-                t_redis = 0
-                digests = []
-                for j, piece in jobs:
-                    if j % P != p:
-                        continue
-                    nbytes = piece.size * darray.itemsize
-                    t_redis += _piece_redistribution_bytes(darray, piece, p)
-                    if darray.store_data:
-                        data = stream_order_bytes(
-                            gather_piece(darray, piece, order), order
-                        )
-                        digests.append((j, hashlib.sha1(data).hexdigest()))
-                        sink.write_at(offsets[j], data, client=p)
-                    else:
-                        sink.write_at(offsets[j], None, nbytes=nbytes, client=p)
-                    t_bytes += nbytes
-                return t_bytes, t_redis, digests
+        if engine in ("threads", "vectorized"):
+            # Bulk path (data-bearing arrays only): one vectorized
+            # gather of the whole section, then at most P coalesced
+            # writes — run p covers a contiguous byte interval of the
+            # stream, so each I/O task issues a single write_at.
+            # Worker threads open no spans: the tracer's span stacks
+            # are per-thread, so worker spans would surface as
+            # parentless roots.  Per-run accounting is aggregated.
+            plan_idx = _index_plan(darray, section, order)
+            flat = gather_section_flat(
+                darray, section, order=order,
+                strict=_strict_default(), plan=plan_idx,
+            )
+            flat_u8 = flat.view(np.uint8)
+            runs = _coalesced_runs(jobs, itemsize, P)
 
-            results = run_tasks([lambda p=p: io_task(p) for p in range(P)])
-            digests = []
+            def io_task(p: int):
+                run = runs[p]
+                start = offsets[run[0][0]]
+                nbytes = sum(piece.size for _, piece in run) * itemsize
+                t_digests = []
+                for j, piece in run:
+                    t_digests.append((
+                        j,
+                        hashlib.sha1(
+                            flat_u8[offsets[j]:offsets[j] + piece.size * itemsize]
+                        ).hexdigest(),
+                    ))
+                sink.write_at(
+                    start, flat_u8[start:start + nbytes].tobytes(), client=p
+                )
+                t_redis = range_redistribution_bytes(
+                    plan_idx,
+                    start // itemsize,
+                    (start + nbytes) // itemsize,
+                    p,
+                    itemsize,
+                )
+                return nbytes, t_redis, t_digests
+
+            thunks = [lambda p=p: io_task(p) for p in range(len(runs))]
+            results = (
+                run_tasks(thunks)
+                if engine == "threads"
+                else [t() for t in thunks]
+            )
             for t_bytes, t_redis, d in results:
                 total += t_bytes
                 redis += t_redis
                 digests.extend(d)
-            if darray.store_data and digests:
-                # order-stable digest-of-digests: a fingerprint of the
-                # piece contents in stream order, cheap to compare across
-                # serial/concurrent runs
-                digests.sort()
-                op.set(
-                    content_sha1=hashlib.sha1(
-                        "".join(d for _, d in digests).encode("ascii")
-                    ).hexdigest()
-                )
         else:
+            # Deterministic per-piece round-robin loop: the write
+            # sequence and the j % P client attribution are what fault
+            # plans and the simulated phase baselines address.
+            plan_idx = _index_plan(darray, section, order)
+            flat_u8 = None
+            if darray.store_data and jobs:
+                flat = gather_section_flat(
+                    darray, section, order=order,
+                    strict=_strict_default(), plan=plan_idx,
+                )
+                flat_u8 = flat.view(np.uint8)
             for j, piece in jobs:
                 p = j % P  # I/O task for this piece (round-robin rounds of P)
-                nbytes = piece.size * darray.itemsize
-                piece_redis = _piece_redistribution_bytes(darray, piece, p)
-                with obs.span(
-                    f"piece[{j}]",
-                    nbytes=nbytes,
-                    io_task=p,
-                    redistribution_bytes=piece_redis,
-                ):
-                    if darray.store_data:
-                        buf = gather_piece(darray, piece, order)
-                        sink.write_at(offsets[j], stream_order_bytes(buf, order), client=p)
-                    else:
-                        sink.write_at(offsets[j], None, nbytes=nbytes, client=p)
-                redis += piece_redis
+                nbytes = piece.size * itemsize
+                redis += _piece_redis(
+                    darray, plan_idx, piece, offsets[j] // itemsize, p
+                )
+                if flat_u8 is not None:
+                    data = flat_u8[offsets[j]:offsets[j] + nbytes].tobytes()
+                    digests.append((j, hashlib.sha1(data).hexdigest()))
+                    sink.write_at(offsets[j], data, client=p)
+                else:
+                    sink.write_at(offsets[j], None, nbytes=nbytes, client=p)
                 total += nbytes
-        op.set(pieces=len(pieces), nbytes=total, redistribution_bytes=redis)
+        if darray.store_data and digests:
+            op.set(content_sha1=_content_sha1(digests))
+        op.set(pieces=len(jobs), nbytes=total, redistribution_bytes=redis)
     return StreamStats(
-        pieces=len(pieces),
+        pieces=len(jobs),
         bytes_streamed=total,
         redistribution_bytes=redis,
         io_tasks=P,
@@ -195,16 +286,16 @@ def stream_in_parallel(
 ) -> StreamStats:
     """Stream a section into ``darray`` with ``P`` parallel I/O tasks.
     The inverse of :func:`stream_out_parallel`: task ``p`` reads its
-    pieces at their stream offsets, then the canonical redistribution
-    delivers each piece to every task mapping part of it.  Concurrent
-    scatter is element-race-free because pieces partition the global
-    index space disjointly."""
+    pieces at their stream offsets, then one bulk scatter delivers the
+    section to every task mapping part of it.  Concurrent reads fill
+    disjoint intervals of the flat buffer, so they never race; the
+    scatter is applied once, after every read returned whole — a short
+    read aborts with the target array untouched."""
     _check_mode(concurrency)
     section, P, pieces, offsets = _plan(darray, section, P, order, target_bytes)
     jobs = [(j, piece) for j, piece in enumerate(pieces) if not piece.is_empty]
-    threaded = (
-        concurrency == "threads" and P > 1 and len(jobs) > 1 and not faults_armed(source)
-    )
+    engine = _pick_engine(darray, source, concurrency, jobs)
+    itemsize = darray.itemsize
     obs = get_tracer()
     total = 0
     redis = 0
@@ -212,56 +303,67 @@ def stream_in_parallel(
         "stream.in.parallel",
         array=darray.name,
         io_tasks=P,
-        concurrency="threads" if threaded else "serial",
+        concurrency=engine,
+        plan_pieces=len(pieces),
     ) as op:
-        if threaded:
-            def io_task(p: int):
-                t_bytes = 0
-                t_redis = 0
-                for j, piece in jobs:
-                    if j % P != p:
-                        continue
-                    nbytes = piece.size * darray.itemsize
-                    t_redis += _piece_redistribution_bytes(darray, piece, p)
-                    data = source.read_at(source_offset + offsets[j], nbytes, client=p)
-                    if darray.store_data:
-                        if len(data) != nbytes:
-                            raise StreamingError(
-                                f"short read: wanted {nbytes} bytes, got {len(data)}"
-                            )
-                        values = bytes_to_section(data, piece.shape, darray.dtype, order)
-                        scatter_piece(darray, piece, values)
-                    t_bytes += nbytes
-                return t_bytes, t_redis
+        if engine in ("threads", "vectorized"):
+            plan_idx = _index_plan(darray, section, order)
+            flat = np.empty(section.size, dtype=darray.dtype)
+            flat_u8 = flat.view(np.uint8)
+            runs = _coalesced_runs(jobs, itemsize, P)
 
-            results = run_tasks([lambda p=p: io_task(p) for p in range(P)])
+            def io_task(p: int):
+                run = runs[p]
+                start = offsets[run[0][0]]
+                nbytes = sum(piece.size for _, piece in run) * itemsize
+                data = source.read_at(source_offset + start, nbytes, client=p)
+                _require_full_read(data, nbytes, source, darray.store_data)
+                flat_u8[start:start + nbytes] = np.frombuffer(data, dtype=np.uint8)
+                t_redis = range_redistribution_bytes(
+                    plan_idx,
+                    start // itemsize,
+                    (start + nbytes) // itemsize,
+                    p,
+                    itemsize,
+                )
+                return nbytes, t_redis
+
+            thunks = [lambda p=p: io_task(p) for p in range(len(runs))]
+            results = (
+                run_tasks(thunks)
+                if engine == "threads"
+                else [t() for t in thunks]
+            )
             for t_bytes, t_redis in results:
                 total += t_bytes
                 redis += t_redis
+            scatter_section_flat(darray, section, flat, order=order)
         else:
+            plan_idx = _index_plan(darray, section, order)
+            flat = (
+                np.empty(section.size, dtype=darray.dtype)
+                if darray.store_data and jobs
+                else None
+            )
+            flat_u8 = flat.view(np.uint8) if flat is not None else None
             for j, piece in jobs:
                 p = j % P
-                nbytes = piece.size * darray.itemsize
-                piece_redis = _piece_redistribution_bytes(darray, piece, p)
-                with obs.span(
-                    f"piece[{j}]",
-                    nbytes=nbytes,
-                    io_task=p,
-                    redistribution_bytes=piece_redis,
-                ):
-                    data = source.read_at(source_offset + offsets[j], nbytes, client=p)
-                    if darray.store_data:
-                        if len(data) != nbytes:
-                            raise StreamingError(
-                                f"short read: wanted {nbytes} bytes, got {len(data)}"
-                            )
-                        values = bytes_to_section(data, piece.shape, darray.dtype, order)
-                        scatter_piece(darray, piece, values)
-                redis += piece_redis
+                nbytes = piece.size * itemsize
+                redis += _piece_redis(
+                    darray, plan_idx, piece, offsets[j] // itemsize, p
+                )
+                data = source.read_at(source_offset + offsets[j], nbytes, client=p)
+                _require_full_read(data, nbytes, source, darray.store_data)
+                if flat_u8 is not None:
+                    flat_u8[offsets[j]:offsets[j] + nbytes] = np.frombuffer(
+                        data, dtype=np.uint8
+                    )
                 total += nbytes
-        op.set(pieces=len(pieces), nbytes=total, redistribution_bytes=redis)
+            if flat is not None:
+                scatter_section_flat(darray, section, flat, order=order)
+        op.set(pieces=len(jobs), nbytes=total, redistribution_bytes=redis)
     return StreamStats(
-        pieces=len(pieces),
+        pieces=len(jobs),
         bytes_streamed=total,
         redistribution_bytes=redis,
         io_tasks=P,

@@ -5,17 +5,31 @@ no seek needed, so serial streaming works over sequential channels
 (sockets, tape).  All data funnels through the single I/O task, which is
 exactly why the paper adds the parallel variant.
 
+The byte shuffling itself is vectorized: one bulk
+:func:`~repro.streaming.vectorized.gather_section_flat` (or scatter)
+per operation assembles the whole section through cached index-array
+plans, and each piece is a contiguous interval of that flat buffer —
+the per-piece loop only appends/reads and accounts.  The piece
+granularity of the *I/O calls* is preserved: appends stay sequential
+per piece, so fault plans addressing the nth write of a serially
+streamed file keep their meaning.
+
 Gather strictness: elements of a section assigned to no task are
 *undefined*; by default they stream as zeros (the paper's semantics —
 a checkpoint of a partially-defined array is well-formed, the holes
 just carry no information).  Under :func:`strict_gather` an undefined
 element inside a gathered piece raises instead — the verify oracle
 enables this for cases whose arrays are fully defined, turning silent
-zero-fill of data that *should* exist into a hard failure.
+zero-fill of data that *should* exist into a hard failure.  The scope
+is a :class:`contextvars.ContextVar`: concurrent streaming ops on
+other threads (an mlck async drain riding the shared executor pool)
+never observe a strictness scope they are not inside, and the executor
+propagates the submitting thread's context to its workers.
 """
 
 from __future__ import annotations
 
+import contextvars
 from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Iterator, Optional
@@ -26,8 +40,13 @@ from repro.arrays.darray import DistributedArray
 from repro.arrays.slices import Slice
 from repro.errors import StreamingError
 from repro.obs import get_tracer
-from repro.streaming.order import bytes_to_section, check_order, stream_order_bytes
+from repro.streaming.order import check_order
 from repro.streaming.streams import ByteSink, ByteSource
+from repro.streaming.vectorized import (
+    gather_section_flat,
+    range_redistribution_bytes,
+    scatter_section_flat,
+)
 
 __all__ = [
     "StreamStats",
@@ -38,10 +57,12 @@ __all__ = [
     "strict_gather",
 ]
 
-#: module default for gather strictness; set via :func:`strict_gather`
-#: on the coordinating thread before any streaming op starts (executor
-#: worker threads only read it)
-_STRICT_GATHER = False
+#: gather strictness scope; per-context so concurrent streaming ops on
+#: other threads (e.g. an async drain) are unaffected — executor workers
+#: inherit the submitting thread's context (see streaming.executor)
+_STRICT_GATHER: contextvars.ContextVar[bool] = contextvars.ContextVar(
+    "strict_gather", default=False
+)
 
 
 @contextmanager
@@ -49,18 +70,21 @@ def strict_gather(enabled: bool = True) -> Iterator[None]:
     """Scope the gather strictness default: within the context,
     :func:`gather_piece` raises on undefined elements instead of
     zero-filling them."""
-    global _STRICT_GATHER
-    previous = _STRICT_GATHER
-    _STRICT_GATHER = bool(enabled)
+    token = _STRICT_GATHER.set(bool(enabled))
     try:
         yield
     finally:
-        _STRICT_GATHER = previous
+        _STRICT_GATHER.reset(token)
+
+
+def _strict_default() -> bool:
+    return _STRICT_GATHER.get()
 
 
 @dataclass
 class StreamStats:
-    """Accounting for one streaming operation."""
+    """Accounting for one streaming operation.  ``pieces`` counts the
+    pieces actually streamed (empty pieces of the plan are skipped)."""
 
     pieces: int
     bytes_streamed: int
@@ -93,41 +117,34 @@ def gather_piece(
     element count, not an upper bound."""
     check_order(order)
     if strict is None:
-        strict = _STRICT_GATHER
-    buf = np.zeros(piece.shape, dtype=darray.dtype)
-    dist = darray.distribution
-    covered = 0
-    for owner in dist.owner_tasks(piece):
-        sec = dist.assigned(owner).intersect(piece)
-        if sec.is_empty:
-            continue
-        buf[sec.local_index_within(piece)] = darray.section_from_task(
-            owner, sec
-        ).reshape(sec.shape)
-        covered += sec.size
-    if strict and covered < piece.size:
-        raise StreamingError(
-            f"strict gather: piece {piece} has {piece.size - covered} "
-            f"undefined element(s) (no owning task) in array "
-            f"{darray.name!r}"
-        )
-    return buf
+        strict = _strict_default()
+    flat = gather_section_flat(darray, piece, order=order, strict=strict)
+    return flat.reshape(piece.shape, order=order)
 
 
-def scatter_piece(darray: DistributedArray, piece: Slice, values: np.ndarray) -> None:
+def scatter_piece(
+    darray: DistributedArray,
+    piece: Slice,
+    values: np.ndarray,
+    order: str = "F",
+) -> None:
     """Deliver one piece into every task whose mapped section overlaps
-    it — all copies of each element are updated consistently."""
-    dist = darray.distribution
-    for t in range(dist.ntasks):
-        sec = dist.mapped(t).intersect(piece)
-        if sec.is_empty:
-            continue
-        darray.section_to_task(t, sec, values[sec.local_index_within(piece)])
+    it — all copies of each element are updated consistently.
+    ``order`` only selects the cached index plan used for the delivery
+    (pass the surrounding stream order to share plans with it); the
+    result is order-independent."""
+    check_order(order)
+    flat = np.asarray(values).reshape(-1, order=order)
+    scatter_section_flat(darray, piece, flat, order=order)
 
 
 def _piece_redistribution_bytes(
     darray: DistributedArray, piece: Slice, io_task: int
 ) -> int:
+    """Scalar redistribution accounting for one piece (slice algebra
+    over the owners).  The streaming loops use the plan-interval form
+    (:func:`~repro.streaming.vectorized.range_redistribution_bytes`);
+    this is the independent reference the tests compare against."""
     dist = darray.distribution
     return sum(
         dist.assigned(owner).intersect(piece).size * darray.itemsize
@@ -148,6 +165,49 @@ def _cached_plan(section: Slice, itemsize: int, target_bytes: int, min_pieces: i
     )
 
 
+def _index_plan(darray: DistributedArray, section: Slice, order: str):
+    """The section's "assigned" index plan via the active plan cache,
+    or None for virtual arrays: a geometry-only array never gathers, so
+    materializing O(section) index vectors purely for accounting would
+    cost exactly the memory the virtual mode exists to avoid.  Callers
+    fall back to the scalar slice-algebra accounting on None."""
+    if not darray.store_data:
+        return None
+    from repro.plancache.plans import section_index_plan
+
+    return section_index_plan(darray.distribution, section, order=order)
+
+
+def _piece_redis(darray, plan_idx, piece, lo_el, io_task):
+    """Redistribution bytes of one piece toward ``io_task`` — interval
+    counting on the index plan when one exists, slice algebra for
+    virtual arrays."""
+    if plan_idx is not None:
+        return range_redistribution_bytes(
+            plan_idx, lo_el, lo_el + piece.size, io_task, darray.itemsize
+        )
+    return _piece_redistribution_bytes(darray, piece, io_task)
+
+
+def _require_full_read(
+    data: bytes, nbytes: int, source: ByteSource, needs_data: bool
+) -> None:
+    """A read must return exactly the bytes asked for.  The only
+    legitimate exception: a *virtual* PFS source restoring a virtual
+    (geometry-only) array returns no payload by design — the PFS
+    accounted the bytes.  A virtual source can never satisfy an array
+    that needs data, and a real source must never come up short even
+    when only geometry is being restored (a metadata-only restore over
+    a truncated source must not silently advance past the hole)."""
+    if len(data) == nbytes:
+        return
+    if not needs_data and getattr(source, "virtual", False):
+        return
+    raise StreamingError(
+        f"short read: wanted {nbytes} bytes, got {len(data)}"
+    )
+
+
 def stream_out_serial(
     darray: DistributedArray,
     sink: ByteSink,
@@ -159,31 +219,42 @@ def stream_out_serial(
     """Stream ``darray[section]`` out through a single task."""
     check_order(order)
     section = section or Slice.full(darray.shape)
-    pieces, _ = _cached_plan(section, darray.itemsize, target_bytes, 1, order)
+    pieces, offsets = _cached_plan(section, darray.itemsize, target_bytes, 1, order)
+    jobs = [(j, p) for j, p in enumerate(pieces) if not p.is_empty]
+    itemsize = darray.itemsize
+    plan_idx = _index_plan(darray, section, order)
     obs = get_tracer()
     total = 0
     redis = 0
     with obs.span(
-        "stream.out.serial", array=darray.name, io_task=io_task
+        "stream.out.serial",
+        array=darray.name,
+        io_task=io_task,
+        plan_pieces=len(pieces),
     ) as op:
-        for j, piece in enumerate(pieces):
-            if piece.is_empty:
-                continue
-            nbytes = piece.size * darray.itemsize
-            piece_redis = _piece_redistribution_bytes(darray, piece, io_task)
-            with obs.span(
-                f"piece[{j}]", nbytes=nbytes, redistribution_bytes=piece_redis
-            ):
-                if darray.store_data:
-                    buf = gather_piece(darray, piece, order)
-                    sink.append(stream_order_bytes(buf, order), client=io_task)
-                else:
-                    sink.append(None, nbytes=nbytes, client=io_task)
-            redis += piece_redis
+        flat_u8 = None
+        if darray.store_data and jobs:
+            flat = gather_section_flat(
+                darray, section, order=order,
+                strict=_strict_default(), plan=plan_idx,
+            )
+            flat_u8 = flat.view(np.uint8)
+        for j, piece in jobs:
+            nbytes = piece.size * itemsize
+            redis += _piece_redis(
+                darray, plan_idx, piece, offsets[j] // itemsize, io_task
+            )
+            if flat_u8 is not None:
+                sink.append(
+                    flat_u8[offsets[j]:offsets[j] + nbytes].tobytes(),
+                    client=io_task,
+                )
+            else:
+                sink.append(None, nbytes=nbytes, client=io_task)
             total += nbytes
-        op.set(pieces=len(pieces), nbytes=total, redistribution_bytes=redis)
+        op.set(pieces=len(jobs), nbytes=total, redistribution_bytes=redis)
     return StreamStats(
-        pieces=len(pieces), bytes_streamed=total, redistribution_bytes=redis, io_tasks=1
+        pieces=len(jobs), bytes_streamed=total, redistribution_bytes=redis, io_tasks=1
     ).publish("out")
 
 
@@ -197,37 +268,47 @@ def stream_in_serial(
     source_offset: int = 0,
 ) -> StreamStats:
     """Stream a section into ``darray`` through a single task, reading
-    sequentially starting at ``source_offset``."""
+    sequentially starting at ``source_offset``.  The scatter is applied
+    once, after every piece read back whole — a short read aborts the
+    operation with the target array untouched."""
     check_order(order)
     section = section or Slice.full(darray.shape)
-    pieces, _ = _cached_plan(section, darray.itemsize, target_bytes, 1, order)
+    pieces, offsets = _cached_plan(section, darray.itemsize, target_bytes, 1, order)
+    jobs = [(j, p) for j, p in enumerate(pieces) if not p.is_empty]
+    itemsize = darray.itemsize
+    plan_idx = _index_plan(darray, section, order)
     obs = get_tracer()
     pos = source_offset
     total = 0
     redis = 0
     with obs.span(
-        "stream.in.serial", array=darray.name, io_task=io_task
+        "stream.in.serial",
+        array=darray.name,
+        io_task=io_task,
+        plan_pieces=len(pieces),
     ) as op:
-        for j, piece in enumerate(pieces):
-            if piece.is_empty:
-                continue
-            nbytes = piece.size * darray.itemsize
-            piece_redis = _piece_redistribution_bytes(darray, piece, io_task)
-            with obs.span(
-                f"piece[{j}]", nbytes=nbytes, redistribution_bytes=piece_redis
-            ):
-                data = source.read_at(pos, nbytes, client=io_task)
-                if darray.store_data:
-                    if len(data) != nbytes:
-                        raise StreamingError(
-                            f"short read: wanted {nbytes} bytes, got {len(data)}"
-                        )
-                    values = bytes_to_section(data, piece.shape, darray.dtype, order)
-                    scatter_piece(darray, piece, values)
-            redis += piece_redis
+        flat = (
+            np.empty(section.size, dtype=darray.dtype)
+            if darray.store_data and jobs
+            else None
+        )
+        flat_u8 = flat.view(np.uint8) if flat is not None else None
+        for j, piece in jobs:
+            nbytes = piece.size * itemsize
+            redis += _piece_redis(
+                darray, plan_idx, piece, offsets[j] // itemsize, io_task
+            )
+            data = source.read_at(pos, nbytes, client=io_task)
+            _require_full_read(data, nbytes, source, darray.store_data)
+            if flat_u8 is not None:
+                flat_u8[offsets[j]:offsets[j] + nbytes] = np.frombuffer(
+                    data, dtype=np.uint8
+                )
             pos += nbytes
             total += nbytes
-        op.set(pieces=len(pieces), nbytes=total, redistribution_bytes=redis)
+        if flat is not None:
+            scatter_section_flat(darray, section, flat, order=order)
+        op.set(pieces=len(jobs), nbytes=total, redistribution_bytes=redis)
     return StreamStats(
-        pieces=len(pieces), bytes_streamed=total, redistribution_bytes=redis, io_tasks=1
+        pieces=len(jobs), bytes_streamed=total, redistribution_bytes=redis, io_tasks=1
     ).publish("in")

@@ -66,8 +66,10 @@ from repro.pfs.faults import FaultInjector, flip_stored_bit
 from repro.pfs.piofs import PIOFS
 from repro.runtime.machine import Machine, MachineParams
 from repro.streaming.order import stream_order_bytes
+from repro.streaming.parallel import stream_out_parallel
 from repro.streaming.partition import partition_for_target, piece_offsets
 from repro.streaming.serial import strict_gather
+from repro.streaming.streams import MemorySink
 from repro.verify.case import Case, FaultEvent
 
 __all__ = ["CaseResult", "VerifyFailure", "run_case", "replay_case"]
@@ -258,6 +260,45 @@ def _gather_strictness(arrays):
     return nullcontext()
 
 
+def _check_cross_engine(c: _Checker, arrays) -> None:
+    """Every parstream engine must emit byte-identical streams with
+    matching ``content_sha1`` digests.  Each real-data array is streamed
+    through serial, threaded, and vectorized executors into memory
+    sinks under throwaway tracers; the bytes must equal the
+    distribution-independent ``stream_order_bytes`` reference and the
+    op spans' digests must agree across engines."""
+    for arr in arrays:
+        if not arr.store_data:
+            continue
+        ref = stream_order_bytes(arr.to_global(fill=0), "F")
+        digests = {}
+        for engine in ("serial", "threads", "vectorized"):
+            with use_tracer(Tracer()) as t:
+                sink = MemorySink()
+                stream_out_parallel(arr, sink, concurrency=engine)
+            c.check(
+                sink.getvalue() == ref,
+                f"{engine} stream of {arr.name!r} diverges from the "
+                f"serial-order reference bytes",
+            )
+            shas = [
+                s.attrs["content_sha1"]
+                for s in t.spans
+                if "content_sha1" in s.attrs
+            ]
+            c.check(
+                len(shas) == 1,
+                f"{engine} stream of {arr.name!r} recorded "
+                f"{len(shas)} content_sha1 digests, expected 1",
+            )
+            digests[engine] = shas[0] if shas else None
+        c.check(
+            len(set(digests.values())) == 1,
+            f"content_sha1 diverges across engines for {arr.name!r}: "
+            f"{digests}",
+        )
+
+
 def _run_drms(case: Case) -> CaseResult:
     c = _Checker(case)
     pfs = PIOFS()
@@ -290,6 +331,7 @@ def _run_drms(case: Case) -> CaseResult:
             )
     total = _check_drms_files(c, pfs, prefix, state.manifest, refs)
     _check_restored(c, state.arrays, refs)
+    _check_cross_engine(c, arrays)
     c.check(
         state.checkpoint_ntasks == case.t1 and state.ntasks == case.t2,
         f"restored task counts ({state.checkpoint_ntasks}->{state.ntasks}) "
