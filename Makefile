@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: install test verify-checkpoints verify-mlck verify-reconfig verify-reconfig-deep bench bench-baseline bench-stream report trace obs-report examples all clean
+.PHONY: install test verify-checkpoints verify-mlck verify-reconfig verify-reconfig-deep bench bench-baseline bench-stream bench-obs report trace obs-report forensics-demo examples all clean
 
 # fixed seed so the gate is fully deterministic; DEEP_SEED rotates daily
 VERIFY_SEED ?= 20260806
@@ -13,7 +13,7 @@ test:
 	$(PYTHON) -m pytest tests/
 
 verify-checkpoints:
-	PYTHONPATH=src $(PYTHON) -m pytest -m "crash_consistency or mlck" tests/
+	PYTHONPATH=src $(PYTHON) -m pytest -m "crash_consistency or mlck or flight" tests/
 
 # the multi-level store gate: the canonical node-loss and
 # mid-drain-crash schedules, a seeded batch of random memory+pfs fault
@@ -56,6 +56,12 @@ bench-baseline:
 bench-stream:
 	PYTHONPATH=src:benchmarks $(PYTHON) benchmarks/bench_stream_vectorized.py --check
 
+# the observability-overhead gate: regenerates BENCH_obs_overhead.json
+# and fails if the always-on flight recorder costs more than 5% over
+# the everything-off baseline
+bench-obs:
+	PYTHONPATH=src:benchmarks $(PYTHON) benchmarks/bench_obs_overhead.py --check
+
 report:
 	$(PYTHON) -m repro.tools.report --out benchmarks/out
 
@@ -68,11 +74,16 @@ trace:
 obs-report:
 	PYTHONPATH=src $(PYTHON) -m repro.tools.report --out benchmarks/out --trace trace_out
 
+# kill a node mid-run and write the full forensic record (incident
+# dump, black box, OpenMetrics health) under forensics_out/
+forensics-demo:
+	PYTHONPATH=src $(PYTHON) -m repro.tools.forensics dump --out forensics_out
+
 examples:
 	@for s in examples/*.py; do echo "== $$s"; $(PYTHON) $$s || exit 1; done
 
 all: test bench examples
 
 clean:
-	rm -rf benchmarks/out trace_out verify_out .pytest_cache .hypothesis
+	rm -rf benchmarks/out trace_out verify_out forensics_out .pytest_cache .hypothesis
 	find . -name __pycache__ -type d -exec rm -rf {} +

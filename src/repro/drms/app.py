@@ -106,16 +106,20 @@ class AppRuntime:
             ),
         )
 
-    def engine_checkpoint(self, prefix: str, segment: DataSegment) -> CheckpointBreakdown:
+    def engine_checkpoint(
+        self, prefix: str, segment: DataSegment, clock: float = 0.0
+    ) -> CheckpointBreakdown:
         """Run the DRMS checkpoint engine over the live array registry.
 
         Under ``tier="memory+pfs"`` the state is captured into the
         application's multi-level checkpointer: ``prefix`` acts as the
         rotation base, the application blocks only for the memory-speed
-        L1 capture, and the PFS drain runs behind its back."""
+        L1 capture, and the PFS drain runs behind its back.  ``clock``
+        (the caller's simulated seconds) stamps the captured generation
+        for the cadence health gauges."""
         if self.app.tier == "memory+pfs":
             ck = self.app.mlck_for(prefix)
-            mbd = ck.checkpoint(segment, list(self.arrays.values()))
+            mbd = ck.checkpoint(segment, list(self.arrays.values()), clock=clock)
             self.checkpoints.append((mbd.prefix, mbd.capture))
             return mbd.capture
         bd = drms_checkpoint(
@@ -206,6 +210,10 @@ class DRMSApplication:
         #: optional cluster EventLog (wired by DRMSCluster.build_app) —
         #: receives mlck placement-fallback and tier-selection events
         self.events = None
+        #: optional HealthRegistry (wired by DRMSCluster.build_app) —
+        #: attached to each mlck drain controller so drain completion
+        #: re-samples the backlog gauges
+        self.health = None
         self._ckpt_enable = threading.Event()
         self.runs: List[RunReport] = []
         #: optional armed FailurePlan (set by the failure injector)
@@ -240,6 +248,7 @@ class DRMSApplication:
                 events=self.events,
                 drain=self.mlck_drain,
             )
+            self._mlck[base].drainer.health = self.health
         return self._mlck[base]
 
     def l1_store_for(self, base: str):

@@ -27,6 +27,7 @@ from repro.arrays.darray import DistributedArray
 from repro.arrays.distributions import AxisDistribution, Block, Distribution
 from repro.arrays.slices import Slice
 from repro.errors import CheckpointError, ReconfigurationError
+from repro.obs.flight import GLOBAL_NODE, get_flight
 from repro.runtime.comm import TaskComm
 
 __all__ = ["CheckpointStatus", "DRMSContext", "TaskArrayView"]
@@ -355,6 +356,15 @@ class DRMSContext:
         normal pass the state is written and ``TAKEN`` is returned."""
         rt = self.runtime
         self._sop += 1
+        fr = get_flight()
+        if fr.enabled:
+            my_node = self.comm.world.placement.get(self.rank)
+            fr.record(
+                "sop_crossed",
+                node=my_node if my_node is not None else GLOBAL_NODE,
+                time=self.comm.clock.now,
+                sop=self._sop, iteration=self._iteration, rank=self.rank,
+            )
         if self._restart_pending:
             self._restart_pending = False
             self.comm.barrier()
@@ -362,10 +372,16 @@ class DRMSContext:
 
         def take():
             seg = rt.build_segment(iteration=self._iteration, sop_id=self._sop)
-            bd = rt.engine_checkpoint(prefix, seg)
+            bd = rt.engine_checkpoint(prefix, seg, clock=self.comm.clock.now)
             return bd
 
         bd = self._collective(take)
+        if fr.enabled and self.rank == 0:
+            fr.record(
+                "checkpoint_taken", prefix=prefix, sop=self._sop,
+                time=self.comm.clock.now,
+                iteration=self._iteration, seconds=bd.total_seconds,
+            )
         # Blocking checkpoint: every task waits for the state to hit the
         # file system before continuing.
         self.comm.clock.advance(bd.total_seconds)
@@ -381,5 +397,15 @@ class DRMSContext:
         enabled = self._collective(lambda: rt.consume_checkpoint_enable())
         if not enabled:
             self._sop += 1
+            fr = get_flight()
+            if fr.enabled:
+                my_node = self.comm.world.placement.get(self.rank)
+                fr.record(
+                    "sop_crossed",
+                    node=my_node if my_node is not None else GLOBAL_NODE,
+                    time=self.comm.clock.now,
+                    sop=self._sop, iteration=self._iteration,
+                    rank=self.rank, skipped=True,
+                )
             return (CheckpointStatus.SKIPPED, 0)
         return self.reconfig_checkpoint(prefix)

@@ -20,6 +20,7 @@ from repro.infra.failure import FailurePlan, NodeFailure
 from repro.infra.jsa import JobSchedulerAnalyzer
 from repro.infra.rc import ResourceCoordinator
 from repro.infra.uic import UserInterfaceCoordinator
+from repro.obs import HealthRegistry, get_flight
 from repro.pfs.piofs import PIOFS
 from repro.runtime.machine import Machine
 
@@ -69,6 +70,11 @@ class DRMSCluster:
         self.jsa = JobSchedulerAnalyzer(self.rc, events=self.events)
         self.uic = UserInterfaceCoordinator(self.jsa, events=self.events)
         self.detection_s = float(detection_s)
+        # One health registry for the whole installation; the daemons
+        # re-sample it at their interesting moments.
+        self.health = HealthRegistry()
+        self.rc.health = self.health
+        self.jsa.health = self.health
 
     def build_app(self, main, name: str = "app", **options: Any) -> DRMSApplication:
         """An application bound to this cluster's machine and PIOFS."""
@@ -78,6 +84,7 @@ class DRMSCluster:
         # Memory-tier replica placement and drain events land on the
         # cluster log, interleaved with the daemons' own events.
         app.events = self.events
+        app.health = self.health
         return app
 
     # -- failure-domain queries ------------------------------------------------
@@ -121,6 +128,7 @@ class DRMSCluster:
         app.failure_plan = failure
         try:
             report = self.jsa.run(job_id, ntasks=ntasks)
+            self.health.sample_cluster(self, apps=[app])
             return RecoveryOutcome(
                 failed_node=None,
                 tasks_before=ntasks,
@@ -141,6 +149,16 @@ class DRMSCluster:
         finally:
             app.failure_plan = None
 
+        # Anchor the forensic timeline at the instant the node died,
+        # before the detector delay elapses.
+        self.events.emit(
+            self.rc.clock, "failure_injected", node=failed_node, job=job_id
+        )
+        fr = get_flight()
+        fr.record(
+            "failure_injected", node=failed_node, time=self.rc.clock,
+            job=job_id,
+        )
         # Failure detected (lost TC connection) after the detector delay.
         self.rc.advance(self.detection_s)
         t_fail = self.rc.clock
@@ -148,6 +166,11 @@ class DRMSCluster:
         # The dead node's memory is gone with it: drop any L1 replica
         # copies it held so the tier-aware recovery walk sees the loss.
         app.on_node_failure(failed_node, clock=self.rc.clock)
+        # The RC (or the L1 drop) already snapshotted the dead node's
+        # ring; this is the backstop for non-mlck configurations.
+        fr.auto_blackbox(
+            failed_node, reason="failure plan fired", time=self.rc.clock
+        )
 
         # The JSA restarts the job from its latest checkpoint on the
         # surviving processors.  It does NOT wait for the repair.
@@ -155,6 +178,7 @@ class DRMSCluster:
         latency = report.restart_breakdown.total_seconds + (
             self.rc.tc_restart_s + self.detection_s
         )
+        self.health.sample_cluster(self, apps=[app])
         return RecoveryOutcome(
             failed_node=failed_node,
             tasks_before=ntasks,

@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
 from repro.errors import TaskFailure
+from repro.obs import get_flight
 
 __all__ = ["NodeFailure", "FailurePlan"]
 
@@ -112,9 +113,15 @@ class FailurePlan:
                     # the cluster's recovery handler sees the right one
                     self.node_id = node
                     self._fired = True
+                get_flight().record(
+                    "failure_plan_fired", node=node, iteration=iteration
+                )
                 return True
             self.fired_nodes.append(self.node_id)
             self._fired = True
+            get_flight().record(
+                "failure_plan_fired", node=self.node_id, iteration=iteration
+            )
             return True
 
     def fire(self) -> None:

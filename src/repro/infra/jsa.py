@@ -23,7 +23,7 @@ from repro.drms.app import DRMSApplication, RunReport
 from repro.errors import SchedulerError, TaskFailure
 from repro.infra.events import EventLog
 from repro.infra.rc import ResourceCoordinator
-from repro.obs import get_tracer
+from repro.obs import get_flight, get_tracer
 
 __all__ = ["JobState", "Job", "JobSchedulerAnalyzer"]
 
@@ -63,6 +63,12 @@ class JobSchedulerAnalyzer:
         self.rc = rc
         self.events = events if events is not None else rc.events
         self.jobs: Dict[str, Job] = {}
+        #: optional HealthRegistry re-sampled at job transitions
+        self.health = None
+
+    def _sample_health(self) -> None:
+        if self.health is not None:
+            self.health.sample_jsa(self)
 
     # -- submission --------------------------------------------------------
 
@@ -136,6 +142,10 @@ class JobSchedulerAnalyzer:
             self.rc.clock, "job_completed", job=job_id, ntasks=n,
             sim_elapsed=report.sim_elapsed,
         )
+        get_flight().record(
+            "job_completed", time=self.rc.clock, job=job_id, ntasks=n,
+        )
+        self._sample_health()
         return report
 
     def restart(self, job_id: str, ntasks: Optional[int] = None) -> RunReport:
@@ -175,10 +185,21 @@ class JobSchedulerAnalyzer:
             job.reports.append(report)
             self.rc.advance(report.sim_elapsed)
             obs.sync(self.rc.clock)
+        bd = report.restart_breakdown
+        restart_seconds = bd.total_seconds if bd is not None else 0.0
+        restart_kind = bd.kind if bd is not None else None
         self.events.emit(
             self.rc.clock, "job_restarted", job=job_id, ntasks=n,
             sim_elapsed=report.sim_elapsed,
+            prefix=decision.prefix,
+            restart_seconds=restart_seconds,
+            restart_kind=restart_kind,
         )
+        get_flight().record(
+            "job_restarted", time=self.rc.clock, job=job_id, ntasks=n,
+            prefix=decision.prefix, restart_seconds=restart_seconds,
+        )
+        self._sample_health()
         return report
 
     # -- policy hooks -----------------------------------------------------------
@@ -189,6 +210,9 @@ class JobSchedulerAnalyzer:
         smaller (failed node out for repair), equal, or larger."""
         job = self._job(job_id)
         self.events.emit(self.rc.clock, "recovery_started", job=job_id)
+        get_flight().record(
+            "recovery_started", time=self.rc.clock, job=job_id
+        )
         obs = get_tracer()
         obs.sync(self.rc.clock)
         with obs.span("job.recover", job=job_id):

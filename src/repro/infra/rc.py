@@ -23,7 +23,7 @@ from typing import Dict, List, Optional
 from repro.errors import MachineError, SchedulerError
 from repro.infra.events import EventLog
 from repro.infra.tc import TaskCoordinator, TCState
-from repro.obs import get_tracer
+from repro.obs import get_flight, get_tracer
 from repro.runtime.machine import Machine
 
 __all__ = ["ResourceCoordinator"]
@@ -51,6 +51,8 @@ class ResourceCoordinator:
         self.clock = 0.0
         #: node id -> simulated time its repair completes
         self.repair_done_at: Dict[int, float] = {}
+        #: optional HealthRegistry re-sampled at protocol milestones
+        self.health = None
 
     # -- time -------------------------------------------------------------
 
@@ -112,12 +114,19 @@ class ResourceCoordinator:
         obs = get_tracer()
         obs.sync(self.clock)
         obs.metrics.counter("rc.failures").inc()
+        fr = get_flight()
         with obs.span("rc.failure_protocol", node=node_id) as sp:
             tc = self.tcs[node_id]
             tc.disconnect()
             if self.machine.node(node_id).up:
                 self.machine.fail_node(node_id)
             self.events.emit(self.clock, "tc_disconnected", node=node_id)
+            fr.record("tc_disconnected", node=node_id, time=self.clock)
+            # The node is dead: snapshot its ring before recovery events
+            # start landing on the global ring.
+            fr.auto_blackbox(
+                node_id, reason="processor failure", time=self.clock
+            )
 
             # Step 1: which application/TC pool?
             job_id = tc.job_id
@@ -126,6 +135,9 @@ class ResourceCoordinator:
                 tc.begin_restart()
                 self.repair_done_at[node_id] = self.clock + self.node_repair_s
                 self.events.emit(self.clock, "idle_node_failed", node=node_id)
+                fr.record("idle_node_failed", node=node_id, time=self.clock)
+                if self.health is not None:
+                    self.health.sample_rc(self)
                 sp.set(job=None, idle=True)
                 return None
 
@@ -161,5 +173,11 @@ class ResourceCoordinator:
                 job=job_id,
                 healthy=[n for n in pool if n != node_id],
             )
+            fr.record(
+                "tcs_restarted", time=self.clock, job=job_id,
+                failed=node_id, pool=list(pool),
+            )
+            if self.health is not None:
+                self.health.sample_rc(self)
             sp.set(job=job_id, pool=pool)
         return job_id

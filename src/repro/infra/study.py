@@ -108,6 +108,9 @@ class SchedulingStudy:
         self.jobs = sorted(jobs, key=lambda j: (j.arrival, j.name))
         self.reconfig_cost_s = float(reconfig_cost_s)
         self.max_events = max_events
+        #: optional HealthRegistry re-sampled each scheduling step
+        #: (health.fleet.* occupancy gauges)
+        self.health = None
 
     # -- public -------------------------------------------------------------
 
@@ -219,6 +222,13 @@ class SchedulingStudy:
             while pending and pending[0].arrival <= t:
                 queue.append(pending.pop(0))
             admit()
+            if self.health is not None:
+                occupied = sum(r.ntasks for r in running)
+                self.health.sample_fleet(
+                    running=len(running),
+                    queued=len(queue),
+                    utilization=occupied / self.num_nodes,
+                )
             if not running and not queue and not pending:
                 break
             # next event: earliest completion or next arrival

@@ -136,7 +136,7 @@ class MultiLevelCheckpointer:
             order=self.order, nodes=nodes,
             app_name=self.app_name, clock=clock,
         )
-        self.drainer.schedule(prefix)
+        self.drainer.schedule(prefix, clock=clock)
         return MLCKBreakdown(
             prefix=prefix,
             capture=capture_bd,
@@ -158,7 +158,7 @@ class MultiLevelCheckpointer:
             payloads=payloads, nodes=nodes,
             app_name=self.app_name, clock=clock,
         )
-        self.drainer.schedule(prefix)
+        self.drainer.schedule(prefix, clock=clock)
         return MLCKBreakdown(
             prefix=prefix,
             capture=capture_bd,

@@ -43,7 +43,7 @@ from repro.checkpoint.rotation import CheckpointRotation
 from repro.checkpoint.spmd import _decode_task_file, spmd_checkpoint
 from repro.errors import CheckpointError
 from repro.mlck.store import L1Store
-from repro.obs import get_tracer
+from repro.obs import get_flight, get_tracer
 from repro.pfs.piofs import PIOFS
 from repro.streaming.executor import submit_task
 
@@ -91,6 +91,11 @@ class DrainController:
         self._state_lock = threading.Lock()
         self._futures: Dict[str, Future] = {}
         self._pending = 0
+        #: prefix -> clock at schedule time, while the drain is in
+        #: flight (drives the health backlog-age gauge)
+        self.scheduled_at: Dict[str, float] = {}
+        #: optional HealthRegistry re-sampled as drains settle
+        self.health = None
 
     # -- bookkeeping ---------------------------------------------------------
 
@@ -116,10 +121,11 @@ class DrainController:
 
     # -- scheduling ----------------------------------------------------------
 
-    def schedule(self, prefix: str) -> Optional[Future]:
+    def schedule(self, prefix: str, clock: float = 0.0) -> Optional[Future]:
         """Queue the drain of ``prefix``.  Asynchronous mode returns the
         Future running on the shared streaming pool; synchronous mode
-        drains inline and returns None."""
+        drains inline and returns None.  ``clock`` stamps the backlog
+        entry for the health gauges."""
         gen = self.store.gen(prefix)
         if gen.drain_state not in (DrainState.PENDING, DrainState.FAILED):
             raise CheckpointError(
@@ -133,6 +139,12 @@ class DrainController:
         if protect is not None:
             self.rotation.pin(protect)
         self._set_pending(+1)
+        with self._state_lock:
+            self.scheduled_at[prefix] = float(clock)
+        get_flight().record(
+            "drain_scheduled", time=clock, prefix=prefix,
+            pending=self.pending,
+        )
         if self.synchronous:
             self._drain(prefix, protect)
             return None
@@ -148,9 +160,11 @@ class DrainController:
         Failures are recorded on the generation, never raised — a broken
         drain must not take the application down; recovery falls back."""
         m = get_tracer().metrics
+        fr = get_flight()
         with self._serial:
             gen = self.store.gen(prefix)
             gen.drain_state = DrainState.DRAINING
+            fr.record("drain_state", prefix=prefix, state=DrainState.DRAINING)
             try:
                 if gen.kind == "drms":
                     segment, arrays = self.store.materialize_drms(prefix)
@@ -182,6 +196,9 @@ class DrainController:
                     )
                 gen.drain_state = DrainState.DURABLE
                 m.counter("mlck.drain.completed").inc()
+                fr.record(
+                    "drain_state", prefix=prefix, state=DrainState.DURABLE
+                )
                 if self.rotation is not None:
                     # retention now that the new generation is durable
                     # (prune, not commit: an interleaved direct PFS
@@ -193,6 +210,10 @@ class DrainController:
                 gen.drain_state = DrainState.FAILED
                 gen.drain_error = str(exc)
                 m.counter("mlck.drain.failed").inc()
+                fr.record(
+                    "drain_state", prefix=prefix, state=DrainState.FAILED,
+                    error=str(exc),
+                )
                 # the fault may have killed the checkpoint mid-phase;
                 # leave the PFS usable for the next drain
                 self.pfs.abort_phase()
@@ -202,6 +223,9 @@ class DrainController:
                 self._set_pending(-1)
                 with self._state_lock:
                     self._futures.pop(prefix, None)
+                    self.scheduled_at.pop(prefix, None)
+                if self.health is not None:
+                    self.health.sample_drainer(self)
         return gen.drain_state
 
 

@@ -32,7 +32,7 @@ from repro.checkpoint.recover import RecoveryDecision
 from repro.checkpoint.rotation import _GEN_RE
 from repro.checkpoint.validate import validate_checkpoint
 from repro.mlck.store import L1Store
-from repro.obs import get_tracer
+from repro.obs import get_flight, get_tracer
 from repro.pfs.piofs import PIOFS
 
 __all__ = ["tiered_candidates", "select_tiered_restart_state"]
@@ -112,9 +112,14 @@ def select_tiered_restart_state(
     ``restart_fallback`` events as the PFS-only policy."""
     decision = RecoveryDecision(base=base, prefix=None)
     obs = get_tracer()
+    fr = get_flight()
     m = obs.metrics
     with obs.span("recovery_walk", base=base, job=job, tiered=True) as sp:
         candidates = tiered_candidates(pfs, base, l1)
+        fr.record(
+            "recovery_walk_started", time=clock, base=base, job=job,
+            candidates=len(candidates),
+        )
         for prefix, tiers in candidates:
             for tier in tiers:
                 if tier == "l1":
@@ -159,6 +164,10 @@ def select_tiered_restart_state(
                     "checkpoint_rejected", prefix=prefix, tier=tier,
                     errors=len(report.errors),
                 )
+                fr.record(
+                    "checkpoint_rejected", time=clock, prefix=prefix,
+                    tier=tier, errors=len(report.errors),
+                )
                 m.counter("recover.rejected").inc()
                 if events is not None:
                     events.emit(
@@ -172,5 +181,10 @@ def select_tiered_restart_state(
             rejected=len(decision.rejected),
             chosen=decision.prefix,
             tier=decision.tier,
+        )
+        fr.record(
+            "recovery_walk_done", time=clock, base=base, job=job,
+            chosen=decision.prefix, tier=decision.tier,
+            rejected=len(decision.rejected),
         )
     return decision

@@ -56,7 +56,7 @@ from repro.checkpoint.spmd import SPMDRestoredState, _decode_task_file, _encode_
 from repro.checkpoint.validate import ValidationReport
 from repro.errors import CheckpointError, MemoryTierError, RestartError
 from repro.mlck.placement import select_partners
-from repro.obs import get_tracer
+from repro.obs import get_flight, get_tracer
 from repro.runtime.machine import Machine
 from repro.streaming.order import bytes_to_section, check_order, stream_order_bytes
 
@@ -122,6 +122,8 @@ class L1Generation:
     task_sha1_bytes: List[int] = field(default_factory=list)
     spmd_segment_bytes: int = 0
     capture_seconds: float = 0.0
+    #: cluster clock at capture (drives the health cadence gauges)
+    captured_at: Optional[float] = None
     #: drain state machine: pending -> draining -> durable | failed
     drain_state: str = "pending"
     drain_error: Optional[str] = None
@@ -276,6 +278,11 @@ class L1Store:
             self.events.emit(
                 clock, "mlck_replicas_lost", node=node_id, pieces=lost
             )
+        fr = get_flight()
+        if fr.enabled:
+            fr.record("l1_node_dropped", node=node_id, time=clock, pieces=lost)
+            if lost:
+                fr.auto_blackbox(node_id, reason="l1 memory lost", time=clock)
         self._update_resident_gauge()
         return lost
 
@@ -355,6 +362,13 @@ class L1Store:
                     store=store,
                 )
             )
+        fr = get_flight()
+        if fr.enabled:
+            for p in pieces:
+                fr.record(
+                    "replica_placed", node=p.owner, time=clock,
+                    key=p.key, nbytes=p.nbytes, replicas=list(p.replicas),
+                )
         return pieces, start + len(spans)
 
     def capture_drms(
@@ -457,11 +471,16 @@ class L1Store:
                 bd.per_array.append((a.name, sec, charged))
             op.set(nbytes=bd.total_bytes, seconds=bd.total_seconds)
         gen.capture_seconds = bd.total_seconds
+        gen.captured_at = clock
         with self._lock:
             self._gens[prefix] = gen
         _publish_breakdown("checkpoint", bd)
         m.counter("mlck.l1.captures").inc()
         m.counter("mlck.l1.capture.bytes").inc(bd.total_bytes)
+        get_flight().record(
+            "l1_captured", time=clock, prefix=prefix, gen_kind="drms",
+            nbytes=bd.total_bytes, seconds=bd.total_seconds,
+        )
         self._update_resident_gauge()
         return gen, bd
 
@@ -522,12 +541,17 @@ class L1Store:
             bd.segment_bytes = sum(gen.task_bytes)
             op.set(nbytes=bd.total_bytes, seconds=bd.total_seconds)
         gen.capture_seconds = bd.total_seconds
+        gen.captured_at = clock
         with self._lock:
             self._gens[prefix] = gen
         _publish_breakdown("checkpoint", bd)
         m = obs.metrics
         m.counter("mlck.l1.captures").inc()
         m.counter("mlck.l1.capture.bytes").inc(bd.total_bytes)
+        get_flight().record(
+            "l1_captured", time=clock, prefix=prefix, gen_kind="spmd",
+            nbytes=bd.total_bytes, seconds=bd.total_seconds,
+        )
         self._update_resident_gauge()
         return gen, bd
 

@@ -10,10 +10,17 @@ substrate that produces such breakdowns from the live system:
   registry shared by every producer (checkpoint engines, streaming,
   PIOFS, fault injection, comm tracing, daemon events);
 * :mod:`repro.obs.export`  — Chrome trace-event JSON (``about:tracing``
-  / Perfetto) and flat metrics dumps;
+  / Perfetto), flat metrics dumps, and OpenMetrics/Prometheus text;
 * :mod:`repro.obs.report`  — Table 6-style phase breakdown tables;
 * :mod:`repro.obs.bridge`  — mirror the infra EventLog onto the span
-  timeline.
+  timeline;
+* :mod:`repro.obs.flight`  — bounded per-node flight recorder whose
+  rings become black-box dumps when a node dies;
+* :mod:`repro.obs.forensics` — incident files and the recovery
+  timeline reconstructor (``python -m repro.tools.forensics``);
+* :mod:`repro.obs.health`  — fleet health gauges (replica coverage,
+  drain backlog, durable lag, checkpoint cadence);
+* :mod:`repro.obs.catalog` — the documented metric-name families.
 
 Tracing is off by default (the null tracer); scope it on with::
 
@@ -29,13 +36,40 @@ checkpoint/restart cycle of a NAS proxy application.
 """
 
 from repro.obs.bridge import bind_event_log
+from repro.obs.catalog import METRIC_FAMILIES, match_family
 from repro.obs.invariants import span_tree_violations
 from repro.obs.export import (
     chrome_trace,
     metrics_dump,
+    openmetrics_text,
     write_chrome_trace,
     write_metrics,
+    write_openmetrics,
 )
+from repro.obs.flight import (
+    GLOBAL_NODE,
+    NULL_FLIGHT,
+    FlightEvent,
+    FlightRecorder,
+    NullFlightRecorder,
+    get_flight,
+    set_flight,
+    use_flight,
+)
+from repro.obs.forensics import (
+    INCIDENT_SCHEMA,
+    ForensicTimeline,
+    TimelinePhase,
+    diff_incidents,
+    load_events,
+    load_incident,
+    make_incident,
+    reconstruct_timeline,
+    render_diff,
+    render_timeline,
+    write_incident,
+)
+from repro.obs.health import HealthRegistry
 from repro.obs.metrics import (
     NULL_METRICS,
     Counter,
@@ -81,6 +115,30 @@ __all__ = [
     "write_chrome_trace",
     "metrics_dump",
     "write_metrics",
+    "openmetrics_text",
+    "write_openmetrics",
+    "FlightEvent",
+    "FlightRecorder",
+    "NullFlightRecorder",
+    "NULL_FLIGHT",
+    "GLOBAL_NODE",
+    "get_flight",
+    "set_flight",
+    "use_flight",
+    "HealthRegistry",
+    "INCIDENT_SCHEMA",
+    "ForensicTimeline",
+    "TimelinePhase",
+    "load_events",
+    "load_incident",
+    "make_incident",
+    "write_incident",
+    "reconstruct_timeline",
+    "render_timeline",
+    "diff_incidents",
+    "render_diff",
+    "METRIC_FAMILIES",
+    "match_family",
     "breakdown_report",
     "plancache_summary",
     "mlck_summary",

@@ -1,4 +1,4 @@
-"""Exporters: Chrome trace-event JSON and flat metrics dumps.
+"""Exporters: Chrome trace-event JSON, flat metrics, OpenMetrics text.
 
 :func:`chrome_trace` renders a tracer's spans and marks in the Chrome
 trace-event format — drop the file onto ``about:tracing`` or
@@ -11,13 +11,23 @@ wall-clock seconds the phase actually took.
 :func:`metrics_dump` / :func:`write_metrics` emit the registry as flat
 ``name -> number`` JSON (the ``BENCH_*.json`` shape the benchmark
 harness consumes).
+
+:func:`openmetrics_text` / :func:`write_openmetrics` render the same
+registry in the OpenMetrics (Prometheus exposition) text format, so
+the fleet-health gauges of :mod:`repro.obs.health` — and every other
+series — can be scraped or diffed with standard tooling.  Dotted names
+sanitize to underscores; the bracketed per-entity convention
+(``pfs.write.bytes[ckpt.segment]``, DESIGN.md §9) becomes an
+``entity`` label; histograms export as summaries with exact
+``quantile="0"``/``"1"`` extremes.  Output ordering is deterministic.
 """
 
 from __future__ import annotations
 
 import json
 import pathlib
-from typing import Dict, List, Optional
+import re
+from typing import Dict, List, Optional, Tuple
 
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.spans import Tracer
@@ -27,6 +37,8 @@ __all__ = [
     "write_chrome_trace",
     "metrics_dump",
     "write_metrics",
+    "openmetrics_text",
+    "write_openmetrics",
 ]
 
 _US = 1e6  # trace-event timestamps are microseconds
@@ -133,4 +145,120 @@ def write_metrics(path, metrics: MetricsRegistry) -> pathlib.Path:
     path = pathlib.Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     path.write_text(json.dumps(metrics_dump(metrics), indent=1, sort_keys=True))
+    return path
+
+
+# -- OpenMetrics / Prometheus text format -------------------------------------
+
+_OM_INVALID = re.compile(r"[^a-zA-Z0-9_:]")
+
+#: histogram summary quantiles exported, in OpenMetrics label form
+_OM_QUANTILES = [("0", 0.0), ("0.5", 50.0), ("0.9", 90.0), ("0.99", 99.0), ("1", 100.0)]
+
+
+def _om_split(name: str) -> Tuple[str, Optional[str]]:
+    """Registry name -> (sanitized OpenMetrics name, entity label value).
+
+    ``pfs.write.bytes[ckpt.segment]`` -> (``pfs_write_bytes``,
+    ``ckpt.segment``); names without a bracket suffix get no label.
+    """
+    entity: Optional[str] = None
+    base = name
+    if name.endswith("]") and "[" in name:
+        base, _, rest = name.partition("[")
+        entity = rest[:-1]
+    om = _OM_INVALID.sub("_", base)
+    if not om or om[0].isdigit():
+        om = "_" + om
+    return om, entity
+
+
+def _om_escape(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _om_labels(*pairs: Tuple[str, Optional[str]]) -> str:
+    parts = [
+        f'{key}="{_om_escape(value)}"' for key, value in pairs if value is not None
+    ]
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def _om_value(value: float) -> str:
+    value = float(value)
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def openmetrics_text(metrics: MetricsRegistry) -> str:
+    """The registry in OpenMetrics text format, deterministically ordered.
+
+    Counters export with the mandated ``_total`` sample suffix,
+    gauges verbatim, histograms as summaries (``quantile`` series plus
+    ``_count``/``_sum``).  The bracketed per-entity convention becomes
+    an ``entity`` label so all files/domains of one series share a
+    metric family.  The exposition ends with the ``# EOF`` terminator
+    the OpenMetrics spec requires.
+    """
+    families: Dict[str, Dict] = {}
+
+    def family(om: str, kind: str, doc_name: str) -> Dict:
+        fam = families.setdefault(
+            om, {"kind": kind, "source": doc_name, "samples": []}
+        )
+        return fam
+
+    for name, counter in metrics.counters.items():
+        om, entity = _om_split(name)
+        fam = family(om, "counter", name)
+        fam["samples"].append(
+            (entity or "", f"{om}_total{_om_labels(('entity', entity))} "
+             f"{_om_value(counter.value)}")
+        )
+    for name, gauge in metrics.gauges.items():
+        om, entity = _om_split(name)
+        fam = family(om, "gauge", name)
+        fam["samples"].append(
+            (entity or "", f"{om}{_om_labels(('entity', entity))} "
+             f"{_om_value(gauge.value)}")
+        )
+    for name, hist in metrics.histograms.items():
+        om, entity = _om_split(name)
+        fam = family(om, "summary", name)
+        for q_label, p in _OM_QUANTILES:
+            fam["samples"].append(
+                (entity or "",
+                 f"{om}{_om_labels(('entity', entity), ('quantile', q_label))} "
+                 f"{_om_value(hist.percentile(p))}")
+            )
+        fam["samples"].append(
+            (entity or "", f"{om}_count{_om_labels(('entity', entity))} "
+             f"{_om_value(hist.count)}")
+        )
+        fam["samples"].append(
+            (entity or "", f"{om}_sum{_om_labels(('entity', entity))} "
+             f"{_om_value(hist.total)}")
+        )
+
+    lines: List[str] = []
+    for om in sorted(families):
+        fam = families[om]
+        lines.append(f"# TYPE {om} {fam['kind']}")
+        seen = set()
+        for _, line in sorted(fam["samples"]):
+            if line not in seen:  # identical no-label dup guard
+                seen.add(line)
+                lines.append(line)
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
+def write_openmetrics(path, metrics: MetricsRegistry) -> pathlib.Path:
+    """Serialize :func:`openmetrics_text` to ``path``; returns the path."""
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(openmetrics_text(metrics))
     return path

@@ -101,9 +101,19 @@ class Histogram:
 
     def percentile(self, p: float) -> float:
         """The ``p``-th percentile (0..100) of the retained samples,
-        by nearest-rank on the sorted values."""
+        by nearest-rank on the sorted values.  The extremes are exact:
+        ``p=0`` returns the true min and ``p=100`` the true max (tracked
+        over *all* observations, beyond the retained-sample capacity).
+        An empty histogram returns 0.0 for any ``p`` — never NaN, never
+        an exception."""
         if not 0.0 <= p <= 100.0:
             raise ValueError(f"percentile {p} outside 0..100")
+        if self.count == 0:
+            return 0.0
+        if p == 0.0:
+            return self.min if self.min is not None else 0.0
+        if p == 100.0:
+            return self.max if self.max is not None else 0.0
         if not self.values:
             return 0.0
         ordered = sorted(self.values)
@@ -111,16 +121,23 @@ class Histogram:
         return ordered[idx]
 
     def summary(self) -> Dict[str, float]:
-        """count/sum/mean/min/max plus p50/p90/p99."""
+        """count/sum/mean/min/max plus p0/p50/p90/p99/p100.
+
+        Well-defined for every histogram state: an empty histogram
+        yields ``count=0`` and zeros throughout (no NaN, no raise), and
+        ``p0``/``p100`` equal ``min``/``max`` exactly by construction.
+        """
         return {
             "count": self.count,
             "sum": self.total,
             "mean": self.mean,
             "min": self.min if self.min is not None else 0.0,
             "max": self.max if self.max is not None else 0.0,
+            "p0": self.percentile(0),
             "p50": self.percentile(50),
             "p90": self.percentile(90),
             "p99": self.percentile(99),
+            "p100": self.percentile(100),
         }
 
 
@@ -174,7 +191,10 @@ class MetricsRegistry:
         """Flat ``name -> number`` dump (the ``BENCH_*.json``-style
         format benchmarks consume): counters and gauges verbatim,
         histograms expanded as ``name.count`` / ``name.mean`` /
-        ``name.p50`` / ``name.p90`` / ``name.p99``."""
+        ``name.p50`` et al.  Key order is guaranteed deterministic —
+        lexicographic over the full expanded key set, independent of
+        instrument creation order — so dumps diff cleanly across runs.
+        """
         out: Dict[str, float] = {}
         for n, c in self.counters.items():
             out[n] = c.value

@@ -32,7 +32,7 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
 from repro.errors import IOFaultError, PFSError
-from repro.obs import get_tracer
+from repro.obs import get_flight, get_tracer
 
 __all__ = ["WriteFault", "ReadFault", "FaultInjector", "flip_stored_bit"]
 
@@ -162,6 +162,9 @@ class FaultInjector:
                     get_tracer().metrics.counter(
                         f"pfs.faults.write.{plan.mode}"
                     ).inc()
+                    get_flight().record(
+                        "pfs_fault", op="write", file=name, mode=plan.mode
+                    )
                     return plan
         return None
 
@@ -191,6 +194,10 @@ class FaultInjector:
                         ("read", name, f"bit {plan.bit} of byte {pos} flipped")
                     )
                     get_tracer().metrics.counter("pfs.faults.read.bitflip").inc()
+                    get_flight().record(
+                        "pfs_fault", op="read", file=name,
+                        mode="bitflip", offset=pos, bit=plan.bit,
+                    )
                     buf = bytearray(data)
                     buf[pos] ^= 1 << plan.bit
                     return bytes(buf)

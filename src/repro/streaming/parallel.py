@@ -271,7 +271,7 @@ def stream_out_parallel(
         bytes_streamed=total,
         redistribution_bytes=redis,
         io_tasks=P,
-    ).publish("out")
+    ).publish("out", engine="parstream")
 
 
 def stream_in_parallel(
@@ -367,4 +367,4 @@ def stream_in_parallel(
         bytes_streamed=total,
         redistribution_bytes=redis,
         io_tasks=P,
-    ).publish("in")
+    ).publish("in", engine="parstream")

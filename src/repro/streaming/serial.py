@@ -39,7 +39,7 @@ import numpy as np
 from repro.arrays.darray import DistributedArray
 from repro.arrays.slices import Slice
 from repro.errors import StreamingError
-from repro.obs import get_tracer
+from repro.obs import get_flight, get_tracer
 from repro.streaming.order import check_order
 from repro.streaming.streams import ByteSink, ByteSource
 from repro.streaming.vectorized import (
@@ -92,14 +92,27 @@ class StreamStats:
     redistribution_bytes: int
     io_tasks: int
 
-    def publish(self, direction: str) -> "StreamStats":
+    def publish(self, direction: str, engine: str = "serial") -> "StreamStats":
         """Feed this operation's accounting into the active metrics
         registry (``direction`` is ``"out"`` or ``"in"``) — StreamStats
-        stays the return value, the registry carries the totals."""
+        stays the return value, the registry carries the totals.  An
+        active flight recorder also gets one engine-tagged ``stream_op``
+        ring entry with the byte counts."""
         m = get_tracer().metrics
         m.counter(f"stream.{direction}.bytes").inc(self.bytes_streamed)
         m.counter(f"stream.{direction}.pieces").inc(self.pieces)
         m.counter("stream.redistribution.bytes").inc(self.redistribution_bytes)
+        fr = get_flight()
+        if fr.enabled:
+            fr.record(
+                "stream_op",
+                direction=direction,
+                engine=engine,
+                nbytes=self.bytes_streamed,
+                pieces=self.pieces,
+                redistribution_bytes=self.redistribution_bytes,
+                io_tasks=self.io_tasks,
+            )
         return self
 
 

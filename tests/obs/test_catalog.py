@@ -1,0 +1,104 @@
+"""The metrics catalog holds: every metric literal published anywhere
+under ``src/repro`` matches a documented family."""
+
+import pathlib
+import re
+
+import pytest
+
+from repro.obs import METRIC_FAMILIES, match_family
+
+SRC = pathlib.Path(__file__).resolve().parents[2] / "src" / "repro"
+
+#: instrument constructor calls with a literal (possibly f-string) name
+_CALL_RE = re.compile(
+    r"""\.(?:counter|gauge|histogram)\(\s*f?(['"])(?P<name>[^'"]+)\1"""
+)
+
+#: how to resolve the template variables that appear inside f-string
+#: metric names — one representative runtime value each
+_TEMPLATE_VALUES = {
+    "root": "checkpoint",
+    "direction": "out",
+    "op": "write",
+    "tier": "l1",
+    "ev.kind": "pool_formed",
+    "state.value": "running",
+    "domain": "0",
+    "fname": "ckpt.seg",
+    "name": "ckpt.seg",
+    "kind.value": "write",
+    "kind": "transfer",
+    "plan.mode": "fail",
+}
+
+_BRACE_RE = re.compile(r"\{([^}:!]+)(?:[:!][^}]*)?\}")
+
+
+def _resolve(template: str) -> str:
+    def sub(m: re.Match) -> str:
+        var = m.group(1).strip()
+        if var not in _TEMPLATE_VALUES:
+            pytest.fail(
+                f"metric template variable {var!r} has no representative "
+                f"value in _TEMPLATE_VALUES (template: {template!r})"
+            )
+        return _TEMPLATE_VALUES[var]
+
+    return _BRACE_RE.sub(sub, template)
+
+
+def _published_names():
+    names = []
+    for path in sorted(SRC.rglob("*.py")):
+        text = path.read_text()
+        for m in _CALL_RE.finditer(text):
+            names.append((path.relative_to(SRC), _resolve(m.group("name"))))
+    return names
+
+
+def test_the_scan_actually_finds_the_instrumentation():
+    names = {n for _, n in _published_names()}
+    # spot-check the scan sees all the major layers
+    for expected in (
+        "pfs.write.bytes",
+        "stream.out.bytes",
+        "flight.recorded",
+        "health.nodes.up",
+        "jsa.recoveries",
+        "rc.failures",
+    ):
+        assert expected in names, f"scan lost {expected!r}"
+    assert len(names) > 30
+
+
+def test_every_published_metric_matches_a_documented_family():
+    undocumented = [
+        (str(path), name)
+        for path, name in _published_names()
+        if match_family(name) is None
+    ]
+    assert undocumented == [], (
+        "metrics outside every documented family (add a family with a "
+        f"description to repro.obs.catalog.METRIC_FAMILIES): {undocumented}"
+    )
+
+
+def test_families_are_well_formed():
+    seen = set()
+    for family, pattern, doc in METRIC_FAMILIES:
+        assert family not in seen, f"duplicate family {family!r}"
+        seen.add(family)
+        re.compile(pattern)  # must be a valid regex
+        assert doc.strip(), f"family {family!r} missing its description"
+
+
+def test_match_family_is_full_match_only():
+    assert match_family("pfs.write.bytes") == "pfs"
+    assert match_family("pfs.write.bytes[ckpt.segment]") == "pfs"
+    assert match_family("health.l1.replicas[3]") == "health"
+    # prefixes, suffixes, and typos don't match
+    assert match_family("pfs.write.bytes.extra.deep.path") is None
+    assert match_family("xpfs.write.bytes") is None
+    assert match_family("mlck.drian.pending") is None
+    assert match_family("") is None

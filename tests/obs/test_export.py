@@ -1,8 +1,17 @@
-"""Chrome trace-event export: schema and JSON round-trip."""
+"""Chrome trace-event export: schema and JSON round-trip; the
+OpenMetrics text exposition; degenerate inputs for both."""
 
 import json
 
-from repro.obs import Tracer, chrome_trace, metrics_dump, write_chrome_trace
+from repro.obs import (
+    MetricsRegistry,
+    Tracer,
+    chrome_trace,
+    metrics_dump,
+    openmetrics_text,
+    write_chrome_trace,
+    write_openmetrics,
+)
 
 
 def _sample_tracer() -> Tracer:
@@ -94,3 +103,75 @@ def test_metrics_dump_is_the_flat_registry():
     tr = Tracer()
     tr.metrics.counter("stream.out.bytes").inc(512)
     assert metrics_dump(tr.metrics) == {"stream.out.bytes": 512.0}
+
+
+class TestDegenerateInputs:
+    def test_empty_tracer_chrome_export(self):
+        doc = chrome_trace(Tracer())
+        # just the process-name metadata; valid JSON, loadable
+        assert [e["ph"] for e in doc["traceEvents"]] == ["M"]
+        assert json.loads(json.dumps(doc)) == doc
+
+    def test_zero_duration_span_exports_cleanly(self):
+        tr = Tracer()
+        with tr.span("instantaneous"):
+            pass  # no advance: sim duration 0
+        (ev,) = [e for e in chrome_trace(tr)["traceEvents"] if e["ph"] == "X"]
+        assert ev["dur"] == 0.0 and ev["ts"] == 0.0
+
+    def test_empty_registry_openmetrics_is_just_the_terminator(self):
+        assert openmetrics_text(MetricsRegistry()) == "# EOF\n"
+
+
+class TestOpenMetrics:
+    def _registry(self) -> MetricsRegistry:
+        reg = MetricsRegistry()
+        reg.counter("pfs.write.bytes").inc(4096)
+        reg.counter("pfs.write.bytes[ckpt.segment]").inc(1024)
+        reg.gauge("health.nodes.up").set(8)
+        h = reg.histogram("checkpoint.total.seconds")
+        for v in (1.0, 2.0, 3.0, 4.0):
+            h.observe(v)
+        return reg
+
+    def test_exposition_shape(self):
+        text = openmetrics_text(self._registry())
+        lines = text.splitlines()
+        assert lines[-1] == "# EOF" and text.endswith("# EOF\n")
+        # dotted names sanitize; counters get the _total sample suffix
+        assert "# TYPE pfs_write_bytes counter" in lines
+        assert "pfs_write_bytes_total 4096" in lines
+        # the bracketed per-entity convention becomes an entity label
+        assert 'pfs_write_bytes_total{entity="ckpt.segment"} 1024' in lines
+        assert "# TYPE health_nodes_up gauge" in lines
+        assert "health_nodes_up 8" in lines
+        # histograms export as summaries with exact extreme quantiles
+        assert "# TYPE checkpoint_total_seconds summary" in lines
+        assert 'checkpoint_total_seconds{quantile="0"} 1' in lines
+        assert 'checkpoint_total_seconds{quantile="1"} 4' in lines
+        assert "checkpoint_total_seconds_count 4" in lines
+        assert "checkpoint_total_seconds_sum 10" in lines
+
+    def test_output_is_deterministic(self):
+        a = self._registry()
+        b = MetricsRegistry()
+        # same series, reversed creation order
+        b.histogram("checkpoint.total.seconds")
+        b.gauge("health.nodes.up").set(8)
+        b.counter("pfs.write.bytes[ckpt.segment]").inc(1024)
+        b.counter("pfs.write.bytes").inc(4096)
+        for v in (1.0, 2.0, 3.0, 4.0):
+            b.histogram("checkpoint.total.seconds").observe(v)
+        assert openmetrics_text(a) == openmetrics_text(b)
+
+    def test_label_values_are_escaped(self):
+        reg = MetricsRegistry()
+        reg.counter('pfs.write.bytes[we"ird\\name]').inc(1)
+        text = openmetrics_text(reg)
+        assert 'entity="we\\"ird\\\\name"' in text
+
+    def test_write_openmetrics_creates_the_file(self, tmp_path):
+        path = write_openmetrics(
+            tmp_path / "deep" / "metrics.om", self._registry()
+        )
+        assert path.read_text().endswith("# EOF\n")

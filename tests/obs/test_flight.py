@@ -1,0 +1,158 @@
+"""Flight recorder: ring bounds, black-box dumps, scoping."""
+
+import json
+import threading
+
+import pytest
+
+from repro.obs import (
+    GLOBAL_NODE,
+    NULL_FLIGHT,
+    FlightRecorder,
+    NullFlightRecorder,
+    get_flight,
+    set_flight,
+    use_flight,
+)
+from repro.obs.flight import BLACKBOX_SCHEMA
+
+
+class TestRecording:
+    def test_ring_is_bounded_and_counts_drops(self):
+        fr = FlightRecorder(capacity=4)
+        for i in range(10):
+            fr.record("tick", node=1, time=float(i), i=i)
+        ring = fr.ring(1)
+        assert len(ring) == 4
+        # oldest events fell off the back; the newest four remain
+        assert [e.detail["i"] for e in ring] == [6, 7, 8, 9]
+        assert fr.recorded(1) == 10
+        box = fr.blackbox(1)
+        assert box["recorded"] == 10 and box["dropped"] == 6
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            FlightRecorder(capacity=0)
+
+    def test_rings_are_per_node_with_a_global_default(self):
+        fr = FlightRecorder()
+        fr.record("global_thing")
+        fr.record("node_thing", node=2)
+        assert fr.nodes() == [GLOBAL_NODE, 2]
+        assert [e.kind for e in fr.ring()] == ["global_thing"]
+        assert [e.kind for e in fr.ring(2)] == ["node_thing"]
+
+    def test_events_interleave_rings_in_sequence_order(self):
+        fr = FlightRecorder()
+        fr.record("a", node=1)
+        fr.record("b", node=2)
+        fr.record("c", node=1)
+        assert [e.kind for e in fr.events()] == ["a", "b", "c"]
+        seqs = [e.seq for e in fr.events()]
+        assert seqs == sorted(seqs)
+
+    def test_record_is_safe_under_threads(self):
+        fr = FlightRecorder(capacity=10_000)
+        threads = [
+            threading.Thread(
+                target=lambda n=n: [fr.record("t", node=n) for _ in range(500)]
+            )
+            for n in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert sum(fr.recorded(n) for n in range(4)) == 2000
+        assert len({e.seq for e in fr.events()}) == 2000
+
+
+class TestBlackboxes:
+    def test_blackbox_merges_node_and_global_rings(self):
+        fr = FlightRecorder()
+        fr.record("scheduler_decision", time=1.0)  # global
+        fr.record("sop_crossed", node=3, time=2.0, sop=1)
+        fr.record("pool_formed", time=3.0)  # global
+        box = fr.blackbox(3, reason="killed", time=4.0)
+        assert box["schema"] == BLACKBOX_SCHEMA
+        assert box["node"] == 3 and box["reason"] == "killed"
+        kinds = [e["kind"] for e in box["events"]]
+        assert kinds == ["scheduler_decision", "sop_crossed", "pool_formed"]
+        # another node's ring does not leak in
+        fr.record("other", node=5)
+        assert "other" not in [e["kind"] for e in fr.blackbox(3)["events"]]
+
+    def test_auto_blackbox_dedupes_per_incident(self):
+        fr = FlightRecorder()
+        fr.record("x", node=1)
+        first = fr.auto_blackbox(1, reason="rc saw it")
+        second = fr.auto_blackbox(1, reason="store saw it")
+        assert first is not None and second is None
+        assert len(fr.blackboxes) == 1
+        assert fr.blackboxes[0]["reason"] == "rc saw it"
+        fr.reset_incident()
+        assert fr.auto_blackbox(1, reason="next incident") is not None
+        assert len(fr.blackboxes) == 2
+
+    def test_write_blackboxes_emits_json_files(self, tmp_path):
+        fr = FlightRecorder()
+        fr.record("last_words", node=7, time=1.5, nbytes=800)
+        fr.blackbox(7, reason="dropped")
+        (path,) = fr.write_blackboxes(tmp_path / "boxes")
+        assert path.name == "blackbox_node7.json"
+        box = json.loads(path.read_text())
+        assert box["schema"] == BLACKBOX_SCHEMA
+        assert box["events"][0]["detail"] == {"nbytes": 800}
+
+    def test_to_dict_round_trips_through_json(self):
+        fr = FlightRecorder()
+        fr.record("e", node=1, time=0.5, k="v")
+        fr.blackbox(1)
+        doc = json.loads(json.dumps(fr.to_dict()))
+        assert doc["rings"]["1"][0]["kind"] == "e"
+        assert doc["blackboxes"][0]["node"] == 1
+
+
+class TestScoping:
+    def test_default_is_the_null_recorder(self):
+        assert get_flight() is NULL_FLIGHT
+        assert not get_flight().enabled
+
+    def test_use_flight_scopes_and_restores(self):
+        fr = FlightRecorder()
+        with use_flight(fr) as active:
+            assert active is fr and get_flight() is fr
+            assert get_flight().enabled
+        assert get_flight() is NULL_FLIGHT
+
+    def test_set_flight_none_restores_null(self):
+        fr = FlightRecorder()
+        set_flight(fr)
+        try:
+            assert get_flight() is fr
+        finally:
+            assert set_flight(None) is NULL_FLIGHT
+
+    def test_null_recorder_is_inert(self):
+        null = NullFlightRecorder()
+        null.record("anything", node=1, time=2.0, payload=object())
+        assert null.nodes() == [] and null.events() == []
+        assert null.recorded(1) == 0
+        assert null.auto_blackbox(1) is None
+        box = null.blackbox(1, reason="r")
+        assert box["events"] == [] and box["schema"] == BLACKBOX_SCHEMA
+        null.reset_incident()
+        assert null.to_dict()["rings"] == {}
+
+    def test_publish_metrics_exports_volume_gauges(self):
+        from repro.obs import Tracer, use_tracer
+
+        fr = FlightRecorder()
+        fr.record("a", node=1)
+        fr.record("b", node=1)
+        fr.blackbox(1)
+        with use_tracer(Tracer()) as tracer:
+            fr.publish_metrics()
+            flat = tracer.metrics.flat()
+        assert flat["flight.recorded"] == 2.0
+        assert flat["flight.blackboxes"] == 1.0

@@ -49,6 +49,47 @@ class TestInstruments:
         h = MetricsRegistry().histogram("x")
         with pytest.raises(ValueError):
             h.percentile(101)
+        with pytest.raises(ValueError):
+            h.percentile(-0.1)
+
+    def test_empty_histogram_summary_is_nan_free(self):
+        import math
+
+        s = MetricsRegistry().histogram("never").summary()
+        assert s["count"] == 0 and s["sum"] == 0.0
+        assert all(not math.isnan(v) for v in s.values())
+        assert s["mean"] == 0.0 and s["min"] == 0.0 and s["max"] == 0.0
+        assert s["p0"] == 0.0 and s["p100"] == 0.0
+
+    def test_extreme_percentiles_are_exact_minmax(self):
+        h = MetricsRegistry().histogram("lat")
+        for v in (7.0, -2.0, 100.0, 3.0):
+            h.observe(v)
+        assert h.percentile(0) == -2.0 and h.percentile(100) == 100.0
+        s = h.summary()
+        assert s["p0"] == s["min"] == -2.0
+        assert s["p100"] == s["max"] == 100.0
+
+    def test_extremes_stay_exact_beyond_retained_capacity(self):
+        from repro.obs.metrics import _HISTOGRAM_CAPACITY
+
+        h = MetricsRegistry().histogram("big")
+        for v in range(_HISTOGRAM_CAPACITY):
+            h.observe(float(v))
+        # these two fall past the retained-sample window...
+        h.observe(-50.0)
+        h.observe(1e9)
+        assert len(h.values) == _HISTOGRAM_CAPACITY
+        # ...but the p0/p100 extremes still see them exactly
+        assert h.percentile(0) == -50.0
+        assert h.percentile(100) == 1e9
+        assert h.count == _HISTOGRAM_CAPACITY + 2
+
+    def test_single_sample_percentiles(self):
+        h = MetricsRegistry().histogram("one")
+        h.observe(42.0)
+        for p in (0, 50, 90, 99, 100):
+            assert h.percentile(p) == 42.0
 
 
 class TestDumps:
@@ -65,6 +106,17 @@ class TestDumps:
         assert flat["pfs.phase.seconds.write_serial.p50"] == pytest.approx(2.0)
         # flat dump is sorted by name
         assert list(flat) == sorted(flat)
+
+    def test_flat_order_is_independent_of_creation_order(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("z.last").inc(1)
+        a.gauge("a.first").set(2)
+        a.histogram("m.mid").observe(3)
+        b.histogram("m.mid").observe(3)
+        b.gauge("a.first").set(2)
+        b.counter("z.last").inc(1)
+        assert list(a.flat()) == list(b.flat())
+        assert a.flat() == b.flat()
 
     def test_to_dict_structured(self):
         reg = MetricsRegistry()

@@ -41,6 +41,7 @@ def test_all_exports_resolve():
         "repro.perfmodel.reportgen",
         "repro.perfmodel.sensitivity",
         "repro.reporting",
+        "repro.tools.forensics",
         "repro.tools.report",
         "repro.verify",
     ],
