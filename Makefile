@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: install test verify-checkpoints verify-mlck verify-reconfig verify-reconfig-deep bench bench-baseline bench-stream bench-obs report trace obs-report forensics-demo examples all clean
+.PHONY: install test verify-checkpoints verify-mlck verify-localized verify-reconfig verify-reconfig-deep bench bench-baseline bench-stream bench-obs bench-localized report trace obs-report forensics-demo examples all clean
 
 # fixed seed so the gate is fully deterministic; DEEP_SEED rotates daily
 VERIFY_SEED ?= 20260806
@@ -13,7 +13,7 @@ test:
 	$(PYTHON) -m pytest tests/
 
 verify-checkpoints:
-	PYTHONPATH=src $(PYTHON) -m pytest -m "crash_consistency or mlck or flight" tests/
+	PYTHONPATH=src $(PYTHON) -m pytest -m "crash_consistency or mlck or flight or localized" tests/
 
 # the multi-level store gate: the canonical node-loss and
 # mid-drain-crash schedules, a seeded batch of random memory+pfs fault
@@ -22,6 +22,15 @@ verify-mlck:
 	PYTHONPATH=src $(PYTHON) -m repro.verify mlck --seed $(VERIFY_SEED) \
 		--cases 40 --out verify_out
 	PYTHONPATH=src $(PYTHON) -m pytest -m mlck tests/
+
+# the localized-recovery equivalence gate: the canonical happy-path and
+# PFS-fallback schedules plus a seeded sweep, each schedule run through
+# BOTH the localized and the full recovery path (state must come out
+# byte-identical), and the localized-marked scenario tests
+verify-localized:
+	PYTHONPATH=src $(PYTHON) -m repro.verify localized --seed $(VERIFY_SEED) \
+		--cases 40 --out verify_out
+	PYTHONPATH=src $(PYTHON) -m pytest -m localized tests/
 
 # the differential reconfiguration harness (DESIGN.md section 10):
 # 220 seeded (t1,p1)->(t2,p2) cases across all three engines plus 40
@@ -61,6 +70,12 @@ bench-stream:
 # the everything-off baseline
 bench-obs:
 	PYTHONPATH=src:benchmarks $(PYTHON) benchmarks/bench_obs_overhead.py --check
+
+# the localized-recovery gate: regenerates BENCH_localized.json and
+# fails if localized recovery does not beat a full restart on the
+# L1-served happy path
+bench-localized:
+	PYTHONPATH=src:benchmarks $(PYTHON) benchmarks/bench_localized_recovery.py --check
 
 report:
 	$(PYTHON) -m repro.tools.report --out benchmarks/out

@@ -1,0 +1,175 @@
+"""Localized vs full-restart recovery latency.
+
+Persists ``BENCH_localized.json``:
+
+* **full** — the paper's whole-pool protocol on an L1-served failure:
+  every task is killed, the pool re-forms on the survivors, and the
+  restart moves the complete checkpoint (``run_with_recovery``);
+* **localized** — the same failure through the localized protocol:
+  survivors quiesce at their last SOP and reload their own sections
+  from node-local replica memory, only the lost ranks' bytes cross the
+  switch to the replacement node (``run_with_localized_recovery``);
+* **speedup** — the gating ratio of the two simulated recovery
+  latencies.  Both runs restart from the *same* generation served by
+  the *same* (L1) tier, so the entire difference is the protocol's data
+  movement and TC restart scope — the claim this artifact pins.
+
+Run standalone with ``--check`` (``make bench-localized``) to
+regenerate the artifact and fail the gate; the pytest path asserts the
+same gate.
+"""
+
+import json
+import sys
+
+import numpy as np
+
+from repro.drms.api import (
+    drms_create_distribution,
+    drms_distribute,
+    drms_initialize,
+    drms_reconfig_checkpoint,
+)
+from repro.infra import DRMSCluster, FailurePlan
+from repro.runtime.machine import Machine, MachineParams
+
+N = 1024
+NITER = 12
+NTASKS = 6
+NUM_NODES = 8
+FAILED_NODE = 0
+FAIL_ITERATION = 7
+
+
+def _main(ctx, base):
+    drms_initialize(ctx)
+    dist = drms_create_distribution(ctx, (N, N), shadow=(1, 1))
+    u = drms_distribute(ctx, "u", dist, init_global=np.ones((N, N)))
+    for it in ctx.iterations(1, NITER + 1):
+        if it % 4 == 1:
+            drms_reconfig_checkpoint(ctx, base)
+        u.set_assigned(u.assigned + 1.0)
+        ctx.barrier()
+    return float(u.assigned.sum())
+
+
+def _run(localized: bool):
+    cluster = DRMSCluster(
+        machine=Machine(MachineParams(num_nodes=NUM_NODES)),
+        node_repair_s=600.0,
+    )
+    app = cluster.build_app(_main, tier="memory+pfs", mlck_drain="sync")
+    runner = (
+        cluster.run_with_localized_recovery
+        if localized
+        else cluster.run_with_recovery
+    )
+    out = runner(
+        "bench", app, NTASKS, args=("ck",), prefix="ck",
+        failure=FailurePlan(iteration=FAIL_ITERATION, node_id=FAILED_NODE),
+    )
+    bd = out.final_report.restart_breakdown
+    row = {
+        "recovery_latency_s": out.recovery_latency_s,
+        "restarted_from": out.final_report.restarted_from,
+        "restart_kind": bd.kind,
+        "restart_seconds": bd.total_seconds,
+        # the protocol-dependent part: checkpoint data movement alone,
+        # without the fixed program-text initialization
+        "data_seconds": bd.segment_seconds + bd.arrays_seconds,
+        "restart_bytes": bd.total_bytes,
+        "tasks_after": out.tasks_after,
+        "result_checksum": float(
+            out.final_report.arrays["u"].to_global(fill=0).sum()
+        ),
+    }
+    if out.rebuild_scope is not None:
+        row["lost_bytes"] = out.rebuild_scope.lost_bytes
+        row["total_bytes"] = out.rebuild_scope.total_bytes
+        row["lost_fraction"] = out.rebuild_scope.lost_fraction
+    return row
+
+
+def run_bench():
+    full = _run(localized=False)
+    localized = _run(localized=True)
+    return {
+        "scenario": {
+            "shape": [N, N],
+            "niter": NITER,
+            "ntasks": NTASKS,
+            "num_nodes": NUM_NODES,
+            "failed_node": FAILED_NODE,
+            "fail_iteration": FAIL_ITERATION,
+        },
+        "full": full,
+        "localized": localized,
+        "speedup": full["recovery_latency_s"]
+        / localized["recovery_latency_s"],
+        "data_speedup": full["data_seconds"] / localized["data_seconds"],
+    }
+
+
+def check(payload):
+    """The --check gate: on the L1 happy path, localized recovery beats
+    the full restart — same generation, same tier, same final state."""
+    full, loc = payload["full"], payload["localized"]
+    assert loc["restart_kind"] == "mlck-l1-localized", (
+        f"localized run fell off the happy path: {loc['restart_kind']}"
+    )
+    assert full["restart_kind"] == "mlck-l1", (
+        f"full-restart baseline not L1-served: {full['restart_kind']}"
+    )
+    assert full["restarted_from"] == loc["restarted_from"], (
+        "the two protocols rolled back to different generations: "
+        f"{full['restarted_from']} vs {loc['restarted_from']}"
+    )
+    assert full["result_checksum"] == loc["result_checksum"], (
+        "the recovered runs diverged: localized recovery changed the "
+        "application's answer"
+    )
+    assert loc["recovery_latency_s"] < full["recovery_latency_s"], (
+        f"localized recovery ({loc['recovery_latency_s']:.3f}s) did not "
+        f"beat the full restart ({full['recovery_latency_s']:.3f}s)"
+    )
+    assert loc["data_seconds"] < full["data_seconds"], (
+        "localized data movement did not beat the full restart's: "
+        f"{loc['data_seconds']:.3f}s vs {full['data_seconds']:.3f}s"
+    )
+    assert 0 < loc["lost_bytes"] < loc["total_bytes"], (
+        "degenerate scope: the benchmark failure lost nothing (or "
+        "everything); the comparison is meaningless"
+    )
+
+
+def test_localized_recovery(benchmark, report):
+    payload = benchmark.pedantic(run_bench, rounds=1, iterations=1)
+    report("BENCH_localized.json", json.dumps(payload, indent=1))
+    check(payload)
+
+
+def main(argv):
+    payload = run_bench()
+    text = json.dumps(payload, indent=1)
+    from conftest import write_artifact  # benchmarks/conftest.py
+
+    write_artifact("BENCH_localized.json", text)
+    print(text)
+    if "--check" in argv:
+        try:
+            check(payload)
+        except AssertionError as exc:
+            print(f"FAIL: {exc}", file=sys.stderr)
+            return 1
+        print(
+            "OK: localized recovery "
+            f"{payload['localized']['recovery_latency_s']:.3f}s vs full "
+            f"restart {payload['full']['recovery_latency_s']:.3f}s "
+            f"({payload['speedup']:.2f}x latency, "
+            f"{payload['data_speedup']:.2f}x data movement)"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -69,6 +69,16 @@ class AppRuntime:
         #: volatile state captured at a reconfiguration point (see
         #: repro.drms.elastic)
         self.memory_state: Optional[Dict[str, Any]] = None
+        #: last synchronization point the tasks crossed — the quiesce
+        #: anchor of a localized recovery (survivors pause *here*)
+        self.last_sop: int = 0
+        self.last_sop_iteration: Optional[int] = None
+
+    def note_sop_crossing(self, sop_id: int, iteration: int) -> None:
+        """Record that the task group crossed a SOP (the localized
+        recovery protocol quiesces survivors at the next one)."""
+        self.last_sop = sop_id
+        self.last_sop_iteration = iteration
 
     def capture_memory_state(self, iteration: int, sop_id: int, elapsed: float) -> None:
         """Snapshot the live application state for an on-the-fly
@@ -153,6 +163,8 @@ class RunReport:
     restart_breakdown: Optional[RestartBreakdown] = None
     replicated: Dict[str, Any] = field(default_factory=dict)
     arrays: Dict[str, Any] = field(default_factory=dict)
+    #: set by localized recovery: the RebuildScope the restart rebuilt
+    rebuild_scope: Optional[Any] = None
 
     @property
     def checkpoint_seconds(self) -> float:
@@ -226,6 +238,9 @@ class DRMSApplication:
         #: active ElasticRunner, when running under on-the-fly
         #: reconfiguration (repro.drms.elastic)
         self._elastic_runner = None
+        #: runtime of the most recent (possibly crashed) execution —
+        #: where the localized recovery protocol reads the quiesce SOP
+        self._last_runtime: Optional[AppRuntime] = None
 
     # -- multi-level checkpoint store (tier="memory+pfs") --------------------
 
@@ -273,6 +288,14 @@ class DRMSApplication:
         """Block until every queued L1->PFS drain has finished."""
         for ck in self._mlck.values():
             ck.wait_for_drains(timeout=timeout)
+
+    def sop_quiescence(self) -> Optional[Dict[str, Any]]:
+        """Where survivors quiesce after a failure: the last SOP the
+        (possibly crashed) run crossed, or None before any crossing."""
+        rt = self._last_runtime
+        if rt is None or rt.last_sop_iteration is None:
+            return None
+        return {"sop": rt.last_sop, "iteration": rt.last_sop_iteration}
 
     # -- system-initiated checkpoint signal (used with reconfig_chkenable) ---
 
@@ -335,6 +358,7 @@ class DRMSApplication:
         """Run the application from the beginning on ``ntasks`` tasks."""
         self.soq.check(ntasks)
         runtime = AppRuntime(self, ntasks)
+        self._last_runtime = runtime
         result = self._execute(ntasks, runtime, args, kwargs, nodes)
         report = RunReport(
             ntasks=ntasks,
@@ -391,6 +415,7 @@ class DRMSApplication:
             restored=state,
             pending_clock_charge=bd.total_seconds,
         )
+        self._last_runtime = runtime
         result = self._execute(ntasks, runtime, args, kwargs, nodes)
         report = RunReport(
             ntasks=ntasks,
@@ -401,6 +426,99 @@ class DRMSApplication:
             restart_breakdown=bd,
             replicated=dict(runtime.replicated),
             arrays=dict(runtime.arrays),
+        )
+        self.runs.append(report)
+        return report
+
+    def restart_localized(
+        self,
+        prefix: str,
+        ntasks: int,
+        args: Sequence[Any] = (),
+        kwargs: Optional[dict] = None,
+        nodes: Optional[Sequence[int]] = None,
+        placement: Optional[Dict[int, int]] = None,
+        failed_nodes: Sequence[int] = (),
+        replacements: Optional[Dict[int, int]] = None,
+    ) -> RunReport:
+        """Localized restart after a node failure: every task rolls back
+        to the generation under ``prefix``, but the data movement is
+        survivor-local — each surviving rank reloads its section from
+        its own node's L1 replica memory, only the lost ranks'
+        (``placement`` entries on ``failed_nodes``) sections cross the
+        switch to their ``replacements`` — and the lost replicas are
+        re-placed outside the replacement nodes' failure domains.  When
+        the L1 generation cannot serve (the failure took every copy of
+        some piece), survivors' own state of that generation is gone
+        too, and the restart degrades to a full, metered PFS read."""
+        from repro.mlck.localized import (
+            compute_rebuild_scope,
+            localized_restore_drms,
+            rereplicate_after_failure,
+        )
+        from repro.obs import get_tracer
+
+        self.soq.check(ntasks)
+        placement = dict(placement or {})
+        replacements = dict(replacements or {})
+        state = bd = scope = None
+        if self.tier == "memory+pfs":
+            for ck in self._mlck.values():
+                if ck.store.has(prefix):
+                    ck.store.sync_with_machine()
+                    if ck.store.validate_generation(prefix).ok:
+                        state, bd, scope = localized_restore_drms(
+                            ck.store, prefix, ntasks,
+                            placement, failed_nodes,
+                            replacements=replacements,
+                            init_seconds=self.pfs.params.restart_init_s,
+                        )
+                        avoid = sorted(
+                            {
+                                self.machine.domain_of(n)
+                                for n in replacements.values()
+                                if 0 <= n < self.machine.num_nodes
+                            }
+                        )
+                        rereplicate_after_failure(
+                            ck.store, failed_nodes, avoid_domains=avoid
+                        )
+                    break
+        if state is None:
+            state, bd = drms_restart(
+                self.pfs,
+                prefix,
+                ntasks,
+                order=self.order,
+                io_tasks=self.io_tasks,
+                target_bytes=self.target_bytes,
+            )
+            scope = compute_rebuild_scope(
+                dict(state.manifest, prefix=prefix),
+                ntasks, placement, failed_nodes,
+                replacements=replacements, order=self.order,
+            )
+            get_tracer().metrics.counter(
+                "mlck.localized.pfs_fallbacks"
+            ).inc()
+        runtime = AppRuntime(
+            self,
+            ntasks,
+            restored=state,
+            pending_clock_charge=bd.total_seconds,
+        )
+        self._last_runtime = runtime
+        result = self._execute(ntasks, runtime, args, kwargs, nodes)
+        report = RunReport(
+            ntasks=ntasks,
+            returns=result.returns,
+            sim_elapsed=result.elapsed,
+            checkpoints=runtime.checkpoints,
+            restarted_from=prefix,
+            restart_breakdown=bd,
+            replicated=dict(runtime.replicated),
+            arrays=dict(runtime.arrays),
+            rebuild_scope=scope,
         )
         self.runs.append(report)
         return report

@@ -253,6 +253,7 @@ class DRMSContext:
         ``(RESTARTED, delta)``.  Otherwise ``(SKIPPED, 0)``."""
         rt = self.runtime
         self._sop += 1
+        rt.note_sop_crossing(self._sop, self._iteration)
         if self._restart_pending:
             self._restart_pending = False
             self.comm.barrier()
@@ -356,6 +357,7 @@ class DRMSContext:
         normal pass the state is written and ``TAKEN`` is returned."""
         rt = self.runtime
         self._sop += 1
+        rt.note_sop_crossing(self._sop, self._iteration)
         fr = get_flight()
         if fr.enabled:
             my_node = self.comm.world.placement.get(self.rank)
@@ -397,6 +399,7 @@ class DRMSContext:
         enabled = self._collective(lambda: rt.consume_checkpoint_enable())
         if not enabled:
             self._sop += 1
+            rt.note_sop_crossing(self._sop, self._iteration)
             fr = get_flight()
             if fr.enabled:
                 my_node = self.comm.world.placement.get(self.rank)

@@ -40,6 +40,11 @@ class RecoveryOutcome:
     #: simulated time until the failed node itself is repaired
     node_repair_s: float
     events: List[Any] = field(default_factory=list)
+    #: all nodes lost in the incident (multi-failure scenarios list
+    #: every victim; ``failed_node`` keeps the first for compatibility)
+    failed_nodes: List[int] = field(default_factory=list)
+    #: localized recovery only: what was rebuilt, and for whom
+    rebuild_scope: Optional[Any] = None
 
     @property
     def recovered_without_repair(self) -> bool:
@@ -187,4 +192,110 @@ class DRMSCluster:
             recovery_latency_s=latency,
             node_repair_s=self.rc.node_repair_s,
             events=list(self.events),
+            failed_nodes=[failed_node],
+        )
+
+    def run_with_localized_recovery(
+        self,
+        job_id: str,
+        app: DRMSApplication,
+        ntasks: int,
+        args: Sequence[Any] = (),
+        kwargs: Optional[dict] = None,
+        prefix: str = "ckpt",
+        failure: Optional[FailurePlan] = None,
+    ) -> RecoveryOutcome:
+        """Run ``app``; on node failure, recover *locally*: survivors
+        quiesce at the next SOP instead of being killed, idle
+        processors replace the dead pool members, everyone rolls back
+        to the newest satisfiable generation with survivor-local data
+        movement, the lost replicas are re-placed outside the
+        replacement nodes' failure domains, and the run resumes on the
+        same task count.  Entries of a ``FailurePlan(multi=)`` schedule
+        that share the crash iteration strike as one simultaneous
+        multi-node failure."""
+        job = self.jsa.submit(
+            job_id, app, args=args, kwargs=kwargs, prefix=prefix
+        )
+        del job
+        app.failure_plan = failure
+        try:
+            report = self.jsa.run(job_id, ntasks=ntasks)
+            self.health.sample_cluster(self, apps=[app])
+            return RecoveryOutcome(
+                failed_node=None,
+                tasks_before=ntasks,
+                tasks_after=ntasks,
+                final_report=report,
+                recovery_latency_s=0.0,
+                node_repair_s=self.rc.node_repair_s,
+                events=list(self.events),
+            )
+        except NodeFailure as exc:
+            failed_nodes = [exc.node_id]
+        except TaskFailure:
+            if failure is None or not failure.fired_nodes:
+                raise
+            failed_nodes = [failure.fired_nodes[-1]]
+        finally:
+            app.failure_plan = None
+
+        # Same-iteration schedule entries strike together: the first
+        # victim's crash killed the task group before its siblings'
+        # claims could run, so drain them into this incident.
+        if failure is not None:
+            for node in failure.drain_simultaneous():
+                if node not in failed_nodes:
+                    failed_nodes.append(node)
+                    if self.machine.node(node).up:
+                        self.machine.fail_node(node)
+
+        # The pre-failure placement, before the RC patches the pool.
+        placement = {
+            rank: nid for rank, nid in enumerate(self.rc.pool_of(job_id))
+        }
+        fr = get_flight()
+        for node in failed_nodes:
+            self.events.emit(
+                self.rc.clock, "failure_injected", node=node, job=job_id
+            )
+            fr.record(
+                "failure_injected", node=node, time=self.rc.clock,
+                job=job_id,
+            )
+        # Failure detected after the detector delay; survivors quiesce
+        # at the last SOP the group crossed before the crash.
+        self.rc.advance(self.detection_s)
+        quiesce = app.sop_quiescence()
+        self.events.emit(
+            self.rc.clock, "survivors_quiesced", job=job_id,
+            nodes=[n for n in placement.values() if n not in failed_nodes],
+            **(quiesce or {}),
+        )
+        replacements = self.rc.handle_localized_failure(
+            failed_nodes, job_id=job_id
+        )
+        for node in failed_nodes:
+            app.on_node_failure(node, clock=self.rc.clock)
+            fr.auto_blackbox(
+                node, reason="failure plan fired", time=self.rc.clock
+            )
+
+        report = self.jsa.recover_localized(
+            job_id, placement, failed_nodes, replacements
+        )
+        latency = report.restart_breakdown.total_seconds + (
+            self.rc.tc_restart_s + self.detection_s
+        )
+        self.health.sample_cluster(self, apps=[app])
+        return RecoveryOutcome(
+            failed_node=failed_nodes[0],
+            tasks_before=ntasks,
+            tasks_after=report.ntasks,
+            final_report=report,
+            recovery_latency_s=latency,
+            node_repair_s=self.rc.node_repair_s,
+            events=list(self.events),
+            failed_nodes=list(failed_nodes),
+            rebuild_scope=report.rebuild_scope,
         )

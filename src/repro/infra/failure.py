@@ -63,6 +63,9 @@ class FailurePlan:
     _fired: bool = False
     #: nodes whose scheduled failure has fired, in firing order
     fired_nodes: List[int] = field(default_factory=list)
+    #: iteration each firing happened at, parallel to ``fired_nodes`` —
+    #: lets a recovery handler spot same-iteration (simultaneous) groups
+    fired_at: List[int] = field(default_factory=list)
     _multi_idx: int = 0
     _lock: threading.Lock = field(
         default_factory=threading.Lock, repr=False, compare=False
@@ -104,6 +107,7 @@ class FailurePlan:
             if self.multi is not None:
                 _, node = self.multi[self._multi_idx]
                 self.fired_nodes.append(node)
+                self.fired_at.append(iteration)
                 self._multi_idx += 1
                 if self._multi_idx < len(self.multi):
                     # advance the classic fields to the pending entry
@@ -118,11 +122,45 @@ class FailurePlan:
                 )
                 return True
             self.fired_nodes.append(self.node_id)
+            self.fired_at.append(iteration)
             self._fired = True
             get_flight().record(
                 "failure_plan_fired", node=self.node_id, iteration=iteration
             )
             return True
+
+    def drain_simultaneous(self) -> List[int]:
+        """Fire every remaining ``multi=`` entry scheduled at the same
+        iteration as the last fired entry, returning the fired nodes.
+
+        The crash of the first same-iteration victim kills the whole
+        task group before its siblings' claims can run, so entries
+        meant to strike *simultaneously* would otherwise stay pending.
+        A localized recovery handler drains them into one correlated
+        failure event before computing the rebuild scope."""
+        with self._lock:
+            if self.multi is None or not self.fired_at:
+                return []
+            it = self.fired_at[-1]
+            fired: List[int] = []
+            while (
+                self._multi_idx < len(self.multi)
+                and self.multi[self._multi_idx][0] == it
+            ):
+                _, node = self.multi[self._multi_idx]
+                self.fired_nodes.append(node)
+                self.fired_at.append(it)
+                self._multi_idx += 1
+                fired.append(node)
+                get_flight().record(
+                    "failure_plan_fired", node=node, iteration=it
+                )
+            if self._multi_idx < len(self.multi):
+                self.iteration, self.node_id = self.multi[self._multi_idx]
+            elif fired:
+                self.node_id = fired[-1]
+                self._fired = True
+            return fired
 
     def fire(self) -> None:
         """Mark the plan fired (kept for callers that did their own

@@ -219,6 +219,93 @@ class JobSchedulerAnalyzer:
             obs.metrics.counter("jsa.recoveries").inc()
             return self.restart(job_id, ntasks=ntasks)
 
+    def recover_localized(
+        self,
+        job_id: str,
+        placement: Dict[int, int],
+        failed_nodes: Sequence[int],
+        replacements: Dict[int, int],
+    ) -> RunReport:
+        """Localized failure recovery: survivors keep their pool slots
+        (the RC already patched in the replacement nodes), everyone
+        rolls back to the newest satisfiable generation, and only the
+        lost ranks' sections move over the switch
+        (:mod:`repro.mlck.localized`).  ``placement`` is the pre-failure
+        ``{rank: node}`` map; ``replacements`` maps each failed node to
+        the node that took over its ranks."""
+        job = self._job(job_id)
+        self.events.emit(
+            self.rc.clock, "recovery_started", job=job_id, localized=True
+        )
+        get_flight().record(
+            "recovery_started", time=self.rc.clock, job=job_id,
+            localized=True,
+        )
+        obs = get_tracer()
+        obs.sync(self.rc.clock)
+        with obs.span("job.recover", job=job_id, localized=True) as sp:
+            obs.metrics.counter("jsa.recoveries").inc()
+            decision = self._select_state(job)
+            if decision.prefix is None:
+                raise SchedulerError(
+                    f"job {job_id!r} has no checkpoint under prefix "
+                    f"{job.prefix!r} that passes validation"
+                )
+            n = len(placement)
+            pool = self.rc.pool_of(job_id)
+            if len(pool) != n:
+                raise SchedulerError(
+                    f"localized recovery keeps the task count: pool has "
+                    f"{len(pool)} nodes for {n} ranks"
+                )
+            sp.set(ntasks=n, prefix=decision.prefix)
+            # lost rank -> its replacement node
+            rank_replacements = {
+                r: replacements[nd]
+                for r, nd in placement.items()
+                if nd in replacements
+            }
+            job.state = JobState.RUNNING
+            job.ntasks = n
+            try:
+                report = job.app.restart_localized(
+                    decision.prefix, n,
+                    args=job.args, kwargs=job.kwargs, nodes=pool,
+                    placement=placement, failed_nodes=failed_nodes,
+                    replacements=rank_replacements,
+                )
+            except TaskFailure:
+                job.state = JobState.KILLED
+                raise
+            except Exception:
+                job.state = JobState.KILLED
+                self.rc.release_pool(job_id)
+                raise
+            self.rc.release_pool(job_id)
+            job.state = JobState.COMPLETED
+            job.reports.append(report)
+            self.rc.advance(report.sim_elapsed)
+            obs.sync(self.rc.clock)
+        bd = report.restart_breakdown
+        restart_seconds = bd.total_seconds if bd is not None else 0.0
+        restart_kind = bd.kind if bd is not None else None
+        scope = report.rebuild_scope
+        self.events.emit(
+            self.rc.clock, "job_restarted", job=job_id, ntasks=n,
+            sim_elapsed=report.sim_elapsed,
+            prefix=decision.prefix,
+            restart_seconds=restart_seconds,
+            restart_kind=restart_kind,
+            rebuild_scope=scope.describe() if scope is not None else None,
+        )
+        get_flight().record(
+            "job_restarted", time=self.rc.clock, job=job_id, ntasks=n,
+            prefix=decision.prefix, restart_seconds=restart_seconds,
+            localized=True,
+        )
+        self._sample_health()
+        return report
+
     def enable_system_checkpoint(self, job_id: str) -> None:
         """Arm a system-initiated checkpoint: the job's next
         ``reconfig_chkenable`` call writes its state (used before a

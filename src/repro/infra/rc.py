@@ -181,3 +181,99 @@ class ResourceCoordinator:
                 self.health.sample_rc(self)
             sp.set(job=job_id, pool=pool)
         return job_id
+
+    # -- localized failure protocol --------------------------------------------
+
+    def handle_localized_failure(
+        self, node_ids: List[int], job_id: Optional[str] = None
+    ) -> Dict[int, int]:
+        """The localized variant of the failure protocol: survivors'
+        TCs stay connected (their tasks quiesce at the next SOP instead
+        of being killed), only the dead nodes are disconnected, and an
+        idle processor replaces each dead pool member.  The job pool is
+        patched in place; only the *replacement* TCs pay the TC spawn
+        time.  Returns ``{failed node -> replacement node}``.  Raises
+        :class:`~repro.errors.SchedulerError` when no idle processor
+        can replace a dead pool member — callers then fall back to the
+        full kill-and-restart protocol."""
+        node_ids = [int(n) for n in node_ids]
+        for nid in node_ids:
+            if nid not in self.tcs:
+                raise MachineError(f"no TC for node {nid}")
+        obs = get_tracer()
+        obs.sync(self.clock)
+        fr = get_flight()
+        with obs.span(
+            "rc.failure_protocol", nodes=list(node_ids), localized=True
+        ) as sp:
+            job = job_id
+            for nid in node_ids:
+                tc = self.tcs[nid]
+                if job is None:
+                    job = tc.job_id
+                obs.metrics.counter("rc.failures").inc()
+                tc.disconnect()
+                if self.machine.node(nid).up:
+                    self.machine.fail_node(nid)
+                self.events.emit(self.clock, "tc_disconnected", node=nid)
+                fr.record("tc_disconnected", node=nid, time=self.clock)
+                fr.auto_blackbox(
+                    nid, reason="processor failure", time=self.clock
+                )
+            replacements: Dict[int, int] = {}
+            pool = self.pools.get(job, []) if job is not None else []
+            spares = [n for n in self.available_nodes() if n not in pool]
+            for nid in node_ids:
+                tc = self.tcs[nid]
+                ranks = list(tc.ranks)
+                tc.begin_restart()
+                self.repair_done_at[nid] = self.clock + self.node_repair_s
+                self.events.emit(
+                    self.clock,
+                    "node_repair_started",
+                    node=nid,
+                    eta=self.clock + self.node_repair_s,
+                )
+                if nid not in pool:
+                    continue
+                if not spares:
+                    raise SchedulerError(
+                        f"no idle processor to replace failed node {nid}; "
+                        "localized recovery needs a spare (fall back to "
+                        "the full restart protocol)"
+                    )
+                new = spares.pop(0)
+                self.tcs[new].attach(job, ranks)
+                pool[pool.index(nid)] = new
+                replacements[nid] = new
+                self.events.emit(
+                    self.clock, "task_migrated", job=job,
+                    node=new, from_node=nid, ranks=ranks,
+                )
+                fr.record(
+                    "task_migrated", node=new, time=self.clock,
+                    job=job, from_node=nid, ranks=ranks,
+                )
+            # Only the replacement TCs spawn; survivors never restart.
+            self.advance(self.tc_restart_s)
+            obs.sync(self.clock)
+            if job is not None:
+                healthy = [n for n in pool if n not in replacements.values()]
+                self.events.emit(
+                    self.clock,
+                    "tcs_restarted",
+                    job=job,
+                    healthy=healthy,
+                    localized=True,
+                    replacements={
+                        int(k): int(v) for k, v in replacements.items()
+                    },
+                )
+                fr.record(
+                    "tcs_restarted", time=self.clock, job=job,
+                    failed=list(node_ids), pool=list(pool), localized=True,
+                )
+            if self.health is not None:
+                self.health.sample_rc(self)
+            sp.set(job=job, replacements=dict(replacements))
+        return replacements

@@ -19,7 +19,10 @@ blocking the application's next SOP.
 * :mod:`repro.mlck.recovery`  — tier-aware restart-state selection
   (newest generation satisfiable from *any* tier, L1 preferred);
 * :mod:`repro.mlck.checkpointer` — :class:`MultiLevelCheckpointer`,
-  the rotation-integrated façade applications use.
+  the rotation-integrated façade applications use;
+* :mod:`repro.mlck.localized`  — localized recovery: rebuild only the
+  dead nodes' sections from surviving replicas, then restore the
+  replication factor outside the replacement's failure domain.
 
 Quickstart::
 
@@ -32,11 +35,21 @@ Quickstart::
 
 from repro.mlck.checkpointer import MLCKBreakdown, MultiLevelCheckpointer
 from repro.mlck.drain import DrainController, DrainState
+from repro.mlck.localized import (
+    ArrayScope,
+    RebuildScope,
+    ReplicationRepair,
+    compute_rebuild_scope,
+    localized_restore_drms,
+    rebuild_lost_sections,
+    rereplicate_after_failure,
+)
 from repro.mlck.placement import replica_nodes, select_partners
 from repro.mlck.recovery import select_tiered_restart_state
 from repro.mlck.store import L1ArrayEntry, L1Generation, L1Piece, L1Store
 
 __all__ = [
+    "ArrayScope",
     "DrainController",
     "DrainState",
     "L1ArrayEntry",
@@ -45,7 +58,13 @@ __all__ = [
     "L1Store",
     "MLCKBreakdown",
     "MultiLevelCheckpointer",
+    "RebuildScope",
+    "ReplicationRepair",
+    "compute_rebuild_scope",
+    "localized_restore_drms",
+    "rebuild_lost_sections",
     "replica_nodes",
+    "rereplicate_after_failure",
     "select_partners",
     "select_tiered_restart_state",
 ]

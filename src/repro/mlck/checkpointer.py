@@ -221,6 +221,81 @@ class MultiLevelCheckpointer:
             )
         return state, bd, decision
 
+    def restart_localized(
+        self,
+        ntasks: int,
+        placement: Dict[int, int],
+        failed_nodes: Sequence[int],
+        replacements: Optional[Dict[int, int]] = None,
+        distribution_overrides: Optional[Dict[str, object]] = None,
+        clock: float = 0.0,
+        job: Optional[str] = None,
+        verify: bool = True,
+    ):
+        """Localized recovery: restore the newest satisfiable
+        generation with survivor-local cost accounting
+        (:func:`~repro.mlck.localized.localized_restore_drms`), then
+        re-place the dead nodes' replicas outside the replacement
+        nodes' failure domains.  When the walk lands on the L2 tier
+        (surviving replicas cannot serve — e.g. a whole-frame loss took
+        every copy of some piece), the survivors' own L1 state of that
+        generation is gone too, so recovery degrades to a full,
+        correctly-metered PFS read of the newest byte-valid generation.
+        Returns ``(state, breakdown, decision, scope)``."""
+        from repro.mlck.localized import (
+            compute_rebuild_scope,
+            localized_restore_drms,
+            rereplicate_after_failure,
+        )
+        from repro.obs import get_tracer
+
+        decision = self.select_restart_state(clock=clock, job=job)
+        if decision.prefix is None:
+            detail = "; ".join(
+                f"{p}: {errs[0]}" for p, errs in decision.rejected[:3]
+            )
+            raise RestartError(
+                f"no checkpoint under {self.base!r} passes validation on "
+                "any tier" + (f" ({detail})" if detail else "")
+            )
+        if decision.tier == "l1":
+            state, bd, scope = localized_restore_drms(
+                self.store, decision.prefix, ntasks,
+                placement, failed_nodes,
+                replacements=replacements,
+                order=self.order,
+                distribution_overrides=distribution_overrides,
+                init_seconds=self.pfs.params.restart_init_s,
+            )
+            avoid = sorted(
+                {
+                    self.machine.domain_of(n)
+                    for n in (replacements or {}).values()
+                    if 0 <= n < self.machine.num_nodes
+                }
+            )
+            rereplicate_after_failure(
+                self.store, failed_nodes, avoid_domains=avoid, clock=clock
+            )
+        else:
+            state, bd = drms_restart(
+                self.pfs, decision.prefix, ntasks,
+                order=self.order, io_tasks=self.io_tasks,
+                distribution_overrides=distribution_overrides,
+                verify=verify,
+            )
+            scope = compute_rebuild_scope(
+                dict(state.manifest, prefix=decision.prefix),
+                ntasks, placement, failed_nodes,
+                replacements=replacements,
+                order=self.order,
+                distribution_overrides=distribution_overrides,
+            )
+            get_tracer().metrics.counter(
+                "mlck.localized.pfs_fallbacks"
+            ).inc()
+        return state, bd, decision, scope
+
     # -- drain control -------------------------------------------------------
 
     def drain_pending(self) -> int:

@@ -209,6 +209,10 @@ class L1Store:
         self.target_bytes = int(target_bytes)
         #: node id -> piece key -> bytes (simulated node memory)
         self._mem: Dict[int, Dict[str, bytes]] = {}
+        #: node id -> machine incarnation the resident bytes belong to;
+        #: a repaired node is a fresh machine, so bytes stamped with an
+        #: older incarnation are stale and must never serve a fetch
+        self._mem_epoch: Dict[int, int] = {}
         self._gens: "OrderedDict[str, L1Generation]" = OrderedDict()
         self._lock = threading.RLock()
 
@@ -274,6 +278,7 @@ class L1Store:
         ``mlck_replicas_lost`` event when any were."""
         with self._lock:
             lost = len(self._mem.pop(node_id, {}))
+            self._mem_epoch.pop(node_id, None)
         if lost and self.events is not None:
             self.events.emit(
                 clock, "mlck_replicas_lost", node=node_id, pieces=lost
@@ -287,10 +292,15 @@ class L1Store:
         return lost
 
     def sync_with_machine(self, clock: float = 0.0) -> int:
-        """Drop the memory of every node the machine reports down."""
+        """Drop the memory of every node the machine reports down, and
+        of every node whose incarnation advanced since its bytes were
+        stored (it failed and was repaired between syncs: the repaired
+        node is a new machine with empty memory, so the recorded bytes
+        would be stale resurrections)."""
         lost = 0
         for node in list(self._mem):
-            if not self.machine.node(node).up:
+            n = self.machine.node(node)
+            if not n.up or self._mem_epoch.get(node) != n.incarnation:
                 lost += self.drop_node(node, clock=clock)
         return lost
 
@@ -311,7 +321,7 @@ class L1Store:
         if store:
             with self._lock:
                 for node in replicas:
-                    self._mem.setdefault(node, {})[key] = data
+                    self._node_mem(node)[key] = data
         acct.copy(owner, charged)
         for partner in partners:
             acct.send(owner, partner, charged)
@@ -555,21 +565,39 @@ class L1Store:
         self._update_resident_gauge()
         return gen, bd
 
+    def _node_mem(self, node_id: int) -> Dict[str, bytes]:
+        """The memory dict of ``node_id``, invalidating any bytes that
+        were stored against an earlier incarnation of the node (a fail +
+        repair cycle wipes real memory, so it must wipe ours).  Caller
+        holds ``_lock``."""
+        inc = self.machine.node(node_id).incarnation
+        if self._mem_epoch.get(node_id, inc) != inc:
+            self._mem[node_id] = {}
+        self._mem_epoch[node_id] = inc
+        return self._mem.setdefault(node_id, {})
+
     # -- validation and fetch ------------------------------------------------
 
+    def _replica_valid(self, piece: L1Piece, node: int) -> bool:
+        """True when ``node`` is up, on the incarnation its bytes were
+        stored under, and holds checksum-valid bytes of ``piece``."""
+        if not (0 <= node < self.machine.num_nodes):
+            return False
+        if not self.machine.node(node).up:
+            return False
+        if self._mem_epoch.get(node) != self.machine.node(node).incarnation:
+            return False
+        data = self._mem.get(node, {}).get(piece.key)
+        if data is None or len(data) != piece.nbytes:
+            return False
+        return sha1_hex(data) == piece.sha1
+
     def _serving_replica(self, piece: L1Piece) -> Optional[int]:
-        """First replica node that is up and holds checksum-valid bytes."""
+        """First replica node that is up, on the incarnation its bytes
+        were stored under, and holds checksum-valid bytes."""
         for node in piece.replicas:
-            if not (0 <= node < self.machine.num_nodes):
-                continue
-            if not self.machine.node(node).up:
-                continue
-            data = self._mem.get(node, {}).get(piece.key)
-            if data is None or len(data) != piece.nbytes:
-                continue
-            if sha1_hex(data) != piece.sha1:
-                continue
-            return node
+            if self._replica_valid(piece, node):
+                return node
         return None
 
     def validate_generation(self, prefix: str) -> ValidationReport:

@@ -60,8 +60,9 @@ METRIC_FAMILIES: List[Tuple[str, str, str]] = [
     ("rc", r"rc\.failures", "Resource Coordinator failure-protocol tally"),
     (
         "mlck",
-        rf"mlck\.(l1|l2|drain|recover|restore)\.{_SEG}(\.{_SEG})?",
-        "multi-level checkpoint store: captures, drains, tier hits",
+        rf"mlck\.(l1|l2|drain|recover|restore|localized)\.{_SEG}(\.{_SEG})?",
+        "multi-level checkpoint store: captures, drains, tier hits, "
+        "localized-recovery scope/re-replication accounting",
     ),
     (
         "pfs",

@@ -421,19 +421,30 @@ def reconstruct_timeline(
             )
         elif recovery:
             rebuild_seconds = float(recovery.get("restart_seconds", 0.0))
+        rebuild_detail = {
+            "kind": job_restarted.detail.get("restart_kind")
+            if job_restarted is not None
+            else recovery.get("restart_kind"),
+            "ntasks": job_restarted.detail.get("ntasks")
+            if job_restarted is not None
+            else recovery.get("tasks_after"),
+        }
+        # Localized recoveries tag the phase with what was actually
+        # rebuilt (lost ranks, byte scope) — the JSA attaches the
+        # RebuildScope summary to its job_restarted event.
+        scope = (
+            job_restarted.detail.get("rebuild_scope")
+            if job_restarted is not None
+            else None
+        )
+        if scope is not None:
+            rebuild_detail["rebuild_scope"] = scope
         tl.phases.append(
             TimelinePhase(
                 name="rebuild",
                 start=t_select_end,
                 seconds=rebuild_seconds,
-                detail={
-                    "kind": job_restarted.detail.get("restart_kind")
-                    if job_restarted is not None
-                    else recovery.get("restart_kind"),
-                    "ntasks": job_restarted.detail.get("ntasks")
-                    if job_restarted is not None
-                    else recovery.get("tasks_after"),
-                },
+                detail=rebuild_detail,
             )
         )
         if job_restarted is not None:

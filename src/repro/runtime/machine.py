@@ -61,6 +61,10 @@ class Node:
     up: bool = True
     #: task ranks currently placed on this node
     tasks: List[int] = field(default_factory=list)
+    #: bumped on every repair: a repaired node is a *new* machine whose
+    #: memory is empty, so volatile tiers must not trust state recorded
+    #: against an earlier incarnation (see L1Store)
+    incarnation: int = 0
 
     @property
     def busy(self) -> bool:
@@ -171,7 +175,13 @@ class Machine:
         self.node(node_id).up = False
 
     def repair_node(self, node_id: int) -> None:
-        self.node(node_id).up = True
+        """Bring a failed node back up under a new incarnation — its
+        memory was wiped, so anything stored under the old epoch is
+        stale (the L1 store refuses it; see DESIGN.md section 14)."""
+        node = self.node(node_id)
+        if not node.up:
+            node.incarnation += 1
+        node.up = True
 
     def __repr__(self) -> str:
         up = len(self.up_nodes())

@@ -5,6 +5,7 @@ Subcommands::
     python -m repro.verify run     [--seed S] [--cases N] [--fault-cases M]
                                    [--mlck-cases K] [--out DIR]
     python -m repro.verify mlck    [--seed S] [--cases N] [--out DIR]
+    python -m repro.verify localized [--seed S] [--cases N] [--out DIR]
     python -m repro.verify replay  CASE.json [CASE.json ...]
     python -m repro.verify shrink  CASE.json [--out SHRUNK.json]
     python -m repro.verify known-bad [--out CASE.json]
@@ -16,7 +17,11 @@ the seeded naive-recovery schedule and writes the minimal reproducer.
 ``mlck`` is the multi-level gate behind ``make verify-mlck``: the two
 canonical schedules (node loss served from memory replicas; mid-drain
 crash falling back to the durable tier) plus a seeded batch of random
-multi-level fault cases.
+multi-level fault cases.  ``localized`` is the equivalence gate behind
+``make verify-localized``: the canonical happy-path and PFS-fallback
+schedules plus a seeded sweep of (failure schedule, k-replica,
+node-count) triples, each run through BOTH the localized and the full
+recovery path — the state must come out byte-identical.
 """
 
 from __future__ import annotations
@@ -25,7 +30,13 @@ import argparse
 import sys
 
 from repro.verify.case import Case
-from repro.verify.gen import known_bad_case, mid_drain_crash_case, node_loss_case
+from repro.verify.gen import (
+    known_bad_case,
+    localized_equivalence_case,
+    localized_pfs_fallback_case,
+    mid_drain_crash_case,
+    node_loss_case,
+)
 from repro.verify.harness import dump_failures, run_suite
 from repro.verify.oracle import VerifyFailure, replay_case, run_case
 from repro.verify.shrink import shrink_case
@@ -67,6 +78,35 @@ def _cmd_mlck(args: argparse.Namespace) -> int:
         )
     report = run_suite(args.seed, reconfig_cases=0, fault_cases=0,
                        mlck_cases=args.cases)
+    print(report.summary())
+    if not report.ok:
+        paths = dump_failures(report, args.out)
+        for p in paths:
+            print(f"  reproducer: {p}")
+    return 1 if (bad or not report.ok) else 0
+
+
+def _cmd_localized(args: argparse.Namespace) -> int:
+    bad = 0
+    for name, case in (
+        ("l1-happy-path", localized_equivalence_case(seed=args.seed)),
+        ("pfs-fallback", localized_pfs_fallback_case(seed=args.seed)),
+    ):
+        try:
+            result = run_case(case)
+        except VerifyFailure as exc:
+            print(f"FAIL {name}: {exc.errors[0]}")
+            bad += 1
+            continue
+        d = result.details
+        print(
+            f"ok   {name}: chose {d['chosen']} from tier {d['tier']}, "
+            f"lost ranks {d['lost_ranks']} "
+            f"(failed nodes {d['failed_nodes']}) — localized and full "
+            "recovery byte-identical"
+        )
+    report = run_suite(args.seed, reconfig_cases=0, fault_cases=0,
+                       localized_cases=args.cases)
     print(report.summary())
     if not report.ok:
         paths = dump_failures(report, args.out)
@@ -170,6 +210,18 @@ def main(argv=None) -> int:
     p.add_argument("--out", default="verify_out",
                    help="directory for failure reproducers")
     p.set_defaults(fn=_cmd_mlck)
+
+    p = sub.add_parser(
+        "localized",
+        help="run the canonical localized-recovery schedules plus a "
+        "seeded sweep of localized-vs-full equivalence cases",
+    )
+    p.add_argument("--seed", type=int, default=20260806)
+    p.add_argument("--cases", type=int, default=25,
+                   help="random localized equivalence cases")
+    p.add_argument("--out", default="verify_out",
+                   help="directory for failure reproducers")
+    p.set_defaults(fn=_cmd_localized)
 
     p = sub.add_parser("replay", help="replay saved case files")
     p.add_argument("cases", nargs="+", metavar="CASE.json")

@@ -137,6 +137,11 @@ class Case:
     tier: str = "pfs"
     #: simulated node count for tier="memory+pfs" cases
     num_nodes: int = 8
+    #: replica count of the L1 store (owner + k partners)
+    k: int = 1
+    #: route this fault case through the localized-vs-full differential
+    #: oracle: both recovery paths must produce byte-identical state
+    localized: bool = False
 
     def __post_init__(self) -> None:
         if self.type not in ("reconfig", "fault"):
@@ -151,6 +156,12 @@ class Case:
             raise CaseError(f"unknown checkpoint tier {self.tier!r}")
         if self.tier != "pfs" and self.num_nodes < 2:
             raise CaseError("memory-tier cases need at least 2 nodes")
+        if self.k < 0:
+            raise CaseError(f"replica count k={self.k} must be >= 0")
+        if self.localized and (self.type != "fault" or self.tier != "memory+pfs"):
+            raise CaseError(
+                "localized cases are fault cases on the memory+pfs tier"
+            )
         if self.engine == "spmd" and self.t2 != self.t1:
             raise CaseError(
                 "SPMD restart is only conforming on the checkpointing "
@@ -241,7 +252,9 @@ class Case:
                 f"policy={self.policy} expect={self.expect}"
             )
         if self.tier != "pfs":
-            core += f" tier={self.tier} nodes={self.num_nodes}"
+            core += f" tier={self.tier} nodes={self.num_nodes} k={self.k}"
+        if self.localized:
+            core += " localized"
         return core
 
 

@@ -37,6 +37,8 @@ from repro.verify.case import ArrayCase, Case, FaultEvent
 __all__ = [
     "CaseGen",
     "known_bad_case",
+    "localized_equivalence_case",
+    "localized_pfs_fallback_case",
     "mid_drain_crash_case",
     "node_loss_case",
     "random_axis",
@@ -372,6 +374,52 @@ class CaseGen:
             num_nodes=num_nodes,
         )
 
+    def localized_case(self) -> Case:
+        """One random localized-equivalence case: a seeded (failure
+        schedule, k-replica, node-count) triple run through *both*
+        recovery paths by the differential oracle — localized recovery
+        must produce byte-identical state to the full restore, on the
+        L1 happy path and through the PFS fallback alike."""
+        rng = self.rng
+        shape = random_shape(rng, max_rank=2, max_extent=8)
+        t1 = rng.randint(1, 4)
+        t2 = rng.randint(1, 4)
+        p1 = rng.randint(1, t1)
+        p2 = rng.randint(1, t2)
+        grid1 = random_grid(rng, t1, len(shape))
+        grid2 = random_grid(rng, t2, len(shape))
+        generations = rng.randint(2, 4)
+        num_nodes = rng.choice([6, 8, 12])
+        k = rng.choice([1, 1, 2])
+        events = [
+            self._mlck_event(generations, num_nodes)
+            for _ in range(rng.randint(1, 4))
+        ]
+        return Case(
+            type="fault",
+            engine="drms",
+            order=rng.choice(["F", "C"]),
+            shape=shape,
+            t1=t1,
+            p1=p1,
+            t2=t2,
+            p2=p2,
+            grid1=grid1,
+            grid2=grid2,
+            arrays=self._array_cases(shape, t1, t2, grid1, grid2),
+            target_bytes=rng.choice(_TARGET_BYTES),
+            data_seed=rng.randrange(1 << 30),
+            seed=self.seed,
+            generations=generations,
+            events=events,
+            policy="validated",
+            expect="pass",
+            tier="memory+pfs",
+            num_nodes=num_nodes,
+            k=k,
+            localized=True,
+        )
+
     def fault_case(self) -> Case:
         """One random fault-schedule case: the validated recovery policy
         must land on the newest byte-for-byte valid generation."""
@@ -484,6 +532,54 @@ def mid_drain_crash_case(seed: int = 0) -> Case:
         note=(
             "mid-drain crash orphans the newest generation in memory; "
             "losing its replica pair forces the L2 fallback"
+        ),
+    )
+
+
+def localized_equivalence_case(seed: int = 0) -> Case:
+    """The canonical localized happy path: every generation drains,
+    then node 1 (which hosts restart rank 1) dies after the newest one.
+    Partner replicas keep the newest generation L1-servable, so the
+    differential oracle compares a zero-PFS-read localized recovery
+    (survivors reload locally, rank 1's section crosses the switch to a
+    spare) against the full L1 restore — bytes must match exactly."""
+    return _mlck_case_shell(
+        seed,
+        generations=3,
+        num_nodes=8,
+        events=[FaultEvent(kind="node_loss", gen=3, node=1)],
+        k=1,
+        localized=True,
+        note=(
+            "single node loss after the newest generation: localized "
+            "recovery rebuilds one rank's section from partner replicas "
+            "and must byte-match the full restore"
+        ),
+    )
+
+
+def localized_pfs_fallback_case(seed: int = 0) -> Case:
+    """The canonical localized degradation: generation 3's drain
+    crashes (memory-only), then the replica pair holding its first
+    piece dies — nodes 0 and 1, both restart-placement nodes.  The
+    newest generation is lost on both tiers and generation 2's L1 copy
+    lost the same pair, so *both* recovery paths must fall back to
+    generation 2's durable PFS copy and still agree byte-for-byte."""
+    return _mlck_case_shell(
+        seed,
+        generations=3,
+        num_nodes=4,
+        events=[
+            FaultEvent(kind="drain_crash", gen=3, nth=1),
+            FaultEvent(kind="node_loss", gen=3, node=0),
+            FaultEvent(kind="node_loss", gen=3, node=1),
+        ],
+        k=1,
+        localized=True,
+        note=(
+            "all replicas of a piece die with the failed pair: localized "
+            "recovery must degrade to the same full PFS read and still "
+            "byte-match"
         ),
     )
 

@@ -59,21 +59,26 @@ def run_suite(
     reconfig_cases: int = 200,
     fault_cases: int = 30,
     mlck_cases: int = 0,
+    localized_cases: int = 0,
     on_case: Optional[Callable[[int, Case], None]] = None,
 ) -> SuiteReport:
     """Generate and run ``reconfig_cases`` reconfiguration cases,
-    ``fault_cases`` fault-schedule cases, and ``mlck_cases``
-    multi-level (memory+pfs tier) fault cases, all from ``seed``."""
+    ``fault_cases`` fault-schedule cases, ``mlck_cases`` multi-level
+    (memory+pfs tier) fault cases, and ``localized_cases``
+    localized-vs-full recovery equivalence cases, all from ``seed``."""
     gen = CaseGen(seed)
     report = SuiteReport(seed=seed)
     cases: List[Case] = [gen.reconfig_case() for _ in range(reconfig_cases)]
     cases += [gen.fault_case() for _ in range(fault_cases)]
     cases += [gen.mlck_fault_case() for _ in range(mlck_cases)]
+    cases += [gen.localized_case() for _ in range(localized_cases)]
     for i, case in enumerate(cases):
         if on_case is not None:
             on_case(i, case)
         if case.type == "reconfig":
             key = case.engine
+        elif case.localized:
+            key = "localized"
         else:
             key = "mlck" if case.tier == "memory+pfs" else "fault"
         report.engines[key] = report.engines.get(key, 0) + 1

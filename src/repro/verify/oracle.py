@@ -720,6 +720,95 @@ def _arm_drain_events(inj: FaultInjector, events: List[FaultEvent], gen: int):
     return crash_plans
 
 
+def _run_mlck_schedule(
+    c: _Checker,
+    case: Case,
+    machine: Machine,
+    pfs: PIOFS,
+    store,
+    drainer,
+    base: str,
+) -> Tuple[List[_MLCKGeneration], set]:
+    """The shared capture + synchronous-drain + fault-schedule loop of
+    the multi-level oracles.  Returns the per-generation capture-time
+    intent records and the set of nodes the schedule killed."""
+    from repro.checkpoint.format import manifest_name
+
+    failed: set = set()
+    gens: List[_MLCKGeneration] = []
+    for g in range(1, case.generations + 1):
+        prefix = f"{base}.{g:06d}"
+        segment = _segment(iteration=g)
+        arrays = _build_arrays(case, salt=g)
+        refs = [a.to_global(fill=0) for a in arrays]
+        l1gen, _ = store.capture_drms(
+            prefix, segment, arrays, order=case.order, app_name="verify"
+        )
+        rec = _MLCKGeneration(prefix=prefix, refs=refs, segment=segment)
+        pieces = list(l1gen.segment_pieces)
+        for entry in l1gen.arrays:
+            pieces.extend(entry.pieces)
+        rec.piece_replicas = [list(p.replicas) for p in pieces]
+
+        inj = FaultInjector()
+        crash_plans = _arm_drain_events(inj, case.events, g)
+        pfs.attach_faults(inj)
+        try:
+            drainer.schedule(prefix)
+        finally:
+            pfs.attach_faults(None)
+        crashed = any(p.fired for p in crash_plans)
+        committed = pfs.exists(manifest_name(prefix))
+        c.check(
+            store.gen(prefix).drain_state
+            == ("failed" if not committed else "durable"),
+            f"gen {g}: drain state "
+            f"{store.gen(prefix).drain_state!r} disagrees with manifest "
+            f"presence {committed}",
+        )
+        if crashed:
+            c.check(
+                not committed,
+                f"gen {g}: drain crashed but a manifest committed — "
+                "two-phase commit violated",
+            )
+        if committed:
+            l2 = _Generation(prefix=prefix, committed=True)
+            header, pad = segment.serialize()
+            seg = segment_name(prefix)
+            l2.expected[seg] = header
+            l2.sizes[seg] = len(header) + pad
+            for i, spec in enumerate(case.arrays):
+                fname = array_name(prefix, spec.name)
+                want = stream_order_bytes(refs[i], case.order)
+                l2.expected[fname] = want
+                l2.sizes[fname] = len(want)
+            rec.l2 = l2
+        _apply_stored_flips(pfs, case, case.events, g, prefix)
+        for ev in case.events:
+            if ev.kind == "node_loss" and ev.gen == g:
+                node = ev.node % case.num_nodes
+                if node not in failed:
+                    machine.fail_node(node)
+                    store.drop_node(node)
+                    failed.add(node)
+        gens.append(rec)
+    return gens, failed
+
+
+def _mlck_ground_truth(
+    gens: List[_MLCKGeneration], failed: set, pfs: PIOFS
+) -> Tuple[Optional[str], Optional[str]]:
+    """Newest generation valid on either tier, computed from
+    capture-time intent alone (never from the recovery code)."""
+    for rec in reversed(gens):
+        if rec.l1_valid(failed):
+            return rec.prefix, "l1"
+        if rec.l2_valid(pfs):
+            return rec.prefix, "l2"
+    return None, None
+
+
 def _run_mlck_fault(case: Case) -> CaseResult:
     """The multi-level oracle: ``generations`` L1 capture + synchronous
     drain rounds under the case's schedule of drain faults and node
@@ -731,7 +820,6 @@ def _run_mlck_fault(case: Case) -> CaseResult:
     the newest generation valid on *either* tier, report the tier the
     ground truth predicts, and — when the newest generation is L1-valid
     — decide without a single PFS read."""
-    from repro.checkpoint.format import manifest_name
     from repro.mlck.drain import DrainController
     from repro.mlck.store import L1Store
 
@@ -741,81 +829,15 @@ def _run_mlck_fault(case: Case) -> CaseResult:
     )
     pfs = PIOFS(machine=machine)
     base = "app.ck"
-    failed: set = set()
-    gens: List[_MLCKGeneration] = []
     with use_tracer(Tracer()) as tracer:
-        store = L1Store(machine, k=1, target_bytes=case.target_bytes)
+        store = L1Store(machine, k=case.k, target_bytes=case.target_bytes)
         drainer = DrainController(
             store, pfs, synchronous=True, target_bytes=case.target_bytes
         )
-        for g in range(1, case.generations + 1):
-            prefix = f"{base}.{g:06d}"
-            segment = _segment(iteration=g)
-            arrays = _build_arrays(case, salt=g)
-            refs = [a.to_global(fill=0) for a in arrays]
-            l1gen, _ = store.capture_drms(
-                prefix, segment, arrays, order=case.order, app_name="verify"
-            )
-            rec = _MLCKGeneration(prefix=prefix, refs=refs, segment=segment)
-            pieces = list(l1gen.segment_pieces)
-            for entry in l1gen.arrays:
-                pieces.extend(entry.pieces)
-            rec.piece_replicas = [list(p.replicas) for p in pieces]
-
-            inj = FaultInjector()
-            crash_plans = _arm_drain_events(inj, case.events, g)
-            pfs.attach_faults(inj)
-            try:
-                drainer.schedule(prefix)
-            finally:
-                pfs.attach_faults(None)
-            crashed = any(p.fired for p in crash_plans)
-            committed = pfs.exists(manifest_name(prefix))
-            c.check(
-                store.gen(prefix).drain_state
-                == ("failed" if not committed else "durable"),
-                f"gen {g}: drain state "
-                f"{store.gen(prefix).drain_state!r} disagrees with manifest "
-                f"presence {committed}",
-            )
-            if crashed:
-                c.check(
-                    not committed,
-                    f"gen {g}: drain crashed but a manifest committed — "
-                    "two-phase commit violated",
-                )
-            if committed:
-                l2 = _Generation(prefix=prefix, committed=True)
-                header, pad = segment.serialize()
-                seg = segment_name(prefix)
-                l2.expected[seg] = header
-                l2.sizes[seg] = len(header) + pad
-                for i, spec in enumerate(case.arrays):
-                    fname = array_name(prefix, spec.name)
-                    want = stream_order_bytes(refs[i], case.order)
-                    l2.expected[fname] = want
-                    l2.sizes[fname] = len(want)
-                rec.l2 = l2
-            _apply_stored_flips(pfs, case, case.events, g, prefix)
-            for ev in case.events:
-                if ev.kind == "node_loss" and ev.gen == g:
-                    node = ev.node % case.num_nodes
-                    if node not in failed:
-                        machine.fail_node(node)
-                        store.drop_node(node)
-                        failed.add(node)
-            gens.append(rec)
-
-        # ground truth, newest first
-        expected_prefix = None
-        expected_tier = None
-        for rec in reversed(gens):
-            if rec.l1_valid(failed):
-                expected_prefix, expected_tier = rec.prefix, "l1"
-                break
-            if rec.l2_valid(pfs):
-                expected_prefix, expected_tier = rec.prefix, "l2"
-                break
+        gens, failed = _run_mlck_schedule(
+            c, case, machine, pfs, store, drainer, base
+        )
+        expected_prefix, expected_tier = _mlck_ground_truth(gens, failed, pfs)
 
         reads_before = tracer.metrics.flat().get("pfs.read.count", 0.0)
         decision = select_restart_state(pfs, base, l1=store)
@@ -879,6 +901,274 @@ def _run_mlck_fault(case: Case) -> CaseResult:
     )
 
 
+# -- localized-vs-full differential mode ------------------------------------
+
+
+def _run_localized(case: Case) -> CaseResult:
+    """The localized equivalence oracle: run the case's fault schedule,
+    then recover the chosen generation through BOTH paths — the full
+    restore and the localized one (survivors reload locally, only lost
+    ranks' sections cross the switch) — and assert the post-recovery
+    array bytes, segment, manifest state, and breakdown byte ledgers
+    are identical.  Localized recovery changes the *cost model*, never
+    the bytes.  Additionally exercises the section-scoped scatter
+    primitive (zero the lost ranks' locals, rebuild only them from the
+    reference stream) and the post-recovery re-replication repair."""
+    from repro.mlck.drain import DrainController
+    from repro.mlck.localized import (
+        compute_rebuild_scope,
+        localized_restore_drms,
+        rebuild_lost_sections,
+        rereplicate_after_failure,
+    )
+    from repro.mlck.store import L1Store
+
+    c = _Checker(case)
+    machine = Machine(MachineParams(num_nodes=case.num_nodes))
+    pfs = PIOFS(machine=machine)
+    base = "app.ck"
+    with use_tracer(Tracer()) as tracer:
+        store = L1Store(machine, k=case.k, target_bytes=case.target_bytes)
+        drainer = DrainController(
+            store, pfs, synchronous=True, target_bytes=case.target_bytes
+        )
+        gens, failed = _run_mlck_schedule(
+            c, case, machine, pfs, store, drainer, base
+        )
+        expected_prefix, expected_tier = _mlck_ground_truth(gens, failed, pfs)
+
+        decision = select_restart_state(pfs, base, l1=store)
+        c.check(
+            decision.prefix == expected_prefix,
+            f"tiered recovery chose {decision.prefix!r}; newest "
+            f"any-tier-valid state is {expected_prefix!r}",
+        )
+        c.check(
+            decision.tier == expected_tier,
+            f"tiered recovery used tier {decision.tier!r}; ground truth "
+            f"says {expected_tier!r}",
+        )
+        details: Dict[str, object] = {
+            "expected_prefix": expected_prefix,
+            "expected_tier": expected_tier,
+            "failed_nodes": sorted(failed),
+        }
+        if decision.prefix is None or decision.prefix != expected_prefix:
+            violations = span_tree_violations(tracer)
+            c.check(not violations, f"span tree violations: {violations[:3]}")
+            return c.finish(details)
+
+        rec = {g.prefix: g for g in gens}[decision.prefix]
+        overrides = {
+            spec.name: case.distribution2(spec) for spec in case.arrays
+        }
+        n = case.t2
+        # Restart ranks live on the first n nodes; ranks whose node the
+        # schedule killed are the lost ranks.  Replacement nodes are
+        # spare up nodes outside the placement (when the machine has
+        # them; otherwise accounting falls back to the old node id).
+        placement = {r: r % case.num_nodes for r in range(n)}
+        failed_in = sorted(set(placement.values()) & failed)
+        spares = [
+            nd
+            for nd in machine.up_nodes()
+            if nd not in set(placement.values())
+        ]
+        node_repl = {nd: spares.pop(0) for nd in failed_in if spares}
+        repl = {
+            r: node_repl[nd]
+            for r, nd in placement.items()
+            if nd in node_repl
+        }
+
+        if decision.tier == "l1":
+            full_state, full_bd = store.restore_drms(
+                decision.prefix,
+                n,
+                order=case.order,
+                distribution_overrides=overrides,
+            )
+            loc_state, loc_bd, scope = localized_restore_drms(
+                store,
+                decision.prefix,
+                n,
+                placement,
+                failed_in,
+                replacements=repl,
+                order=case.order,
+                distribution_overrides=overrides,
+            )
+            flat = tracer.metrics.flat()
+            _flat_eq(c, flat, "mlck.localized.restores", 1)
+        else:
+            # Every L1 copy of the chosen generation is unservable, so
+            # the survivors' own replica memory is gone too: localized
+            # recovery degrades to the same full, metered PFS read.
+            full_state, full_bd = drms_restart(
+                pfs,
+                decision.prefix,
+                ntasks=n,
+                order=case.order,
+                io_tasks=case.p2,
+                target_bytes=case.target_bytes,
+                distribution_overrides=overrides,
+            )
+            loc_state, loc_bd = drms_restart(
+                pfs,
+                decision.prefix,
+                ntasks=n,
+                order=case.order,
+                io_tasks=case.p2,
+                target_bytes=case.target_bytes,
+                distribution_overrides=overrides,
+            )
+            scope = compute_rebuild_scope(
+                dict(loc_state.manifest, prefix=decision.prefix),
+                n,
+                placement,
+                failed_in,
+                replacements=repl,
+                order=case.order,
+                distribution_overrides=overrides,
+            )
+
+        # -- the equivalence block: bytes, segment, manifest, ledgers --
+        _check_restored(c, full_state.arrays, rec.refs)
+        _check_restored(c, loc_state.arrays, rec.refs)
+        for spec in case.arrays:
+            fa = full_state.arrays.get(spec.name)
+            la = loc_state.arrays.get(spec.name)
+            if fa is None or la is None:
+                continue  # _check_restored already flagged it
+            c.check(
+                np.array_equal(fa.defined_mask(), la.defined_mask()),
+                f"array {spec.name!r}: defined masks differ between "
+                "localized and full recovery",
+            )
+            c.check(
+                fa.to_global(fill=0).tobytes()
+                == la.to_global(fill=0).tobytes(),
+                f"array {spec.name!r}: localized recovery bytes differ "
+                "from the full restore",
+            )
+        c.check(
+            loc_state.segment.serialize() == full_state.segment.serialize(),
+            "localized and full recovery restored different segments",
+        )
+        c.check(
+            loc_state.manifest == full_state.manifest,
+            "localized and full recovery surfaced different manifests",
+        )
+        c.check(
+            loc_bd.segment_bytes == full_bd.segment_bytes,
+            f"segment byte ledgers differ: localized "
+            f"{loc_bd.segment_bytes} vs full {full_bd.segment_bytes}",
+        )
+        c.check(
+            loc_bd.arrays_bytes == full_bd.arrays_bytes,
+            f"array byte ledgers differ: localized {loc_bd.arrays_bytes} "
+            f"vs full {full_bd.arrays_bytes}",
+        )
+        c.check(
+            [(nm, nb) for nm, _, nb in loc_bd.per_array]
+            == [(nm, nb) for nm, _, nb in full_bd.per_array],
+            "per-array byte ledgers differ between localized and full "
+            "recovery",
+        )
+
+        # -- scope consistency -----------------------------------------
+        want_lost = tuple(
+            sorted(r for r, nd in placement.items() if nd in failed)
+        )
+        c.check(
+            scope.lost_ranks == want_lost,
+            f"rebuild scope lost ranks {scope.lost_ranks} != placement "
+            f"ground truth {want_lost}",
+        )
+        for a in scope.arrays:
+            covered = sum(a.rank_bytes.values())
+            c.check(
+                covered <= a.nbytes,
+                f"scope of {a.name!r}: assigned bytes {covered} exceed "
+                f"the array stream {a.nbytes}",
+            )
+            ilost = sum(hi - lo for lo, hi in a.lost_intervals)
+            c.check(
+                ilost == a.lost_bytes,
+                f"scope of {a.name!r}: interval total {ilost} != "
+                f"lost_bytes {a.lost_bytes}",
+            )
+
+        # -- the section-scoped scatter primitive ----------------------
+        for i, spec in enumerate(case.arrays):
+            arr = loc_state.arrays.get(spec.name)
+            if arr is None or not arr.store_data:
+                continue
+            ref = rec.refs[i]
+            flat_vals = np.frombuffer(
+                stream_order_bytes(ref, case.order), dtype=np.dtype(spec.dtype)
+            )
+            for r in scope.lost_ranks:
+                arr.local_flat(r)[:] = 0
+            rebuild_lost_sections(
+                arr, flat_vals, scope.lost_ranks, order=case.order
+            )
+            got, want = _masked_bytes(arr, ref)
+            c.check(
+                got == want,
+                f"array {spec.name!r}: section-scoped rebuild of the lost "
+                "ranks did not reproduce the reference bytes",
+            )
+
+        # -- re-replication repair -------------------------------------
+        if decision.tier == "l1" and failed_in:
+            avoid = sorted(
+                {machine.domain_of(nd) for nd in node_repl.values()}
+            )
+            repair = rereplicate_after_failure(
+                store, failed_in, avoid_domains=avoid
+            )
+            short = set(repair.short)
+            with store._lock:
+                gen = store._gens[decision.prefix]
+                for pieces in (
+                    [gen.segment_pieces]
+                    + [e.pieces for e in gen.arrays]
+                    + gen.task_pieces
+                ):
+                    for piece in pieces:
+                        c.check(
+                            not (set(piece.replicas) & failed),
+                            f"piece {piece.key}: dead node still listed "
+                            "as a replica after re-replication",
+                        )
+                        live = [
+                            nd
+                            for nd in piece.replicas
+                            if store._replica_valid(piece, nd)
+                        ]
+                        c.check(
+                            len(live) >= store.k + 1
+                            or piece.key in short,
+                            f"piece {piece.key}: {len(live)} valid "
+                            f"replicas after repair, need {store.k + 1} "
+                            "(and not recorded as short)",
+                        )
+            details["rereplicated"] = repair.copies
+    violations = span_tree_violations(tracer)
+    c.check(not violations, f"span tree violations: {violations[:3]}")
+    details.update(
+        {
+            "chosen": decision.prefix,
+            "tier": decision.tier,
+            "lost_ranks": list(scope.lost_ranks)
+            if decision.prefix is not None
+            else [],
+        }
+    )
+    return c.finish(details)
+
+
 # -- entry points -----------------------------------------------------------
 
 
@@ -886,6 +1176,8 @@ def run_case(case: Case) -> CaseResult:
     """Run one case's oracle; raises :class:`VerifyFailure` on any
     invariant violation (regardless of the case's ``expect`` field)."""
     if case.type == "fault":
+        if case.localized:
+            return _run_localized(case)
         if case.tier == "memory+pfs":
             return _run_mlck_fault(case)
         return _run_fault(case)

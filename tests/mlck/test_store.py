@@ -130,6 +130,75 @@ def test_sized_payloads_charged_but_not_stored(store, workload):
     assert gen.resident_bytes < bd.total_bytes
 
 
+@pytest.mark.localized
+def test_fail_repair_cycle_does_not_resurrect_stale_replicas(
+    store, machine, workload
+):
+    """Reproducer: a node fails and is repaired before any recovery
+    pass scrubbed it.  Real memory was wiped by the repair, so the
+    bytes recorded under the old incarnation are stale — they must
+    never serve a fetch, and a machine sync must drop them."""
+    seg, arrays = workload(ntasks=2, iteration=4)
+    refs = {a.name: a.to_global(fill=0) for a in arrays}
+    gen, _ = store.capture_drms("ck.000001", seg, arrays)
+    piece = gen.segment_pieces[0]
+    owner = piece.owner
+    machine.fail_node(owner)
+    machine.repair_node(owner)  # up again, one incarnation later
+    assert owner in piece.replicas  # the entry still lingers...
+    assert store._serving_replica(piece) != owner  # ...but never serves
+    assert store.validate_generation("ck.000001").ok  # partner carries it
+    state, _ = store.restore_drms("ck.000001", ntasks=2)
+    for name, got in _globals(state).items():
+        np.testing.assert_array_equal(got, refs[name])
+    # the sync recognizes the incarnation bump and drops the stale bytes
+    assert store.sync_with_machine() > 0
+    assert store._mem.get(owner, {}) == {}
+
+
+@pytest.mark.localized
+def test_replacement_capture_after_drop_does_not_revive_old_entries(
+    store, machine, workload
+):
+    """drop_node followed by immediately re-registering the repaired
+    node as a capture target must not resurrect the dropped
+    generation's replica entries: the fresh capture is valid on the new
+    incarnation, the old generation still refuses the node."""
+    seg, arrays = workload(ntasks=2, iteration=1)
+    refs = {a.name: a.to_global(fill=0) for a in arrays}
+    gen, _ = store.capture_drms("ck.000001", seg, arrays)
+    piece = gen.segment_pieces[0]
+    owner = piece.owner
+    machine.fail_node(owner)
+    store.drop_node(owner)
+    machine.repair_node(owner)
+    # the repaired node is immediately captured onto again
+    seg2, arrays2 = workload(ntasks=2, iteration=2, fill=50.0)
+    gen2, _ = store.capture_drms("ck.000002", seg2, arrays2)
+    assert store.validate_generation("ck.000002").ok
+    held = {
+        p.key
+        for pieces in [gen2.segment_pieces] + [e.pieces for e in gen2.arrays]
+        for p in pieces
+        if owner in p.replicas
+    }
+    assert held  # the node really does hold fresh generation-2 copies
+    # generation 1's entry on the node stays dead despite the listing
+    assert owner in piece.replicas
+    assert not store._replica_valid(piece, owner)
+    assert store._serving_replica(piece) != owner
+    state, _ = store.restore_drms("ck.000001", ntasks=2)
+    for name, got in _globals(state).items():
+        np.testing.assert_array_equal(got, refs[name])
+    # a repair pass scrubs the lingering listing without touching the
+    # node's fresh generation-2 copies
+    from repro.mlck.localized import rereplicate_after_failure
+
+    rereplicate_after_failure(store, [])
+    assert owner not in piece.replicas
+    assert store.validate_generation("ck.000002").ok
+
+
 def test_capture_faster_than_pfs_checkpoint(store, workload):
     from repro.checkpoint.drms import drms_checkpoint
     from repro.pfs.piofs import PIOFS

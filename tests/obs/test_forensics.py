@@ -286,6 +286,57 @@ def test_forensics_cli_round_trip(tmp_path, capsys):
     assert "incident diff (A vs B)" in diffed and "delta +0.000s" in diffed
 
 
+@pytest.mark.localized
+def test_localized_timeline_phases_sum_and_blackbox_has_last_sop(tmp_path):
+    """Regression pins for the localized protocol's forensics: the four
+    reconstructed phase latencies sum exactly to the cluster's reported
+    recovery latency, the rebuild phase carries the rebuild scope, and
+    the dead node's black box records the quiesce anchor — the last SOP
+    crossing the group made before the drop."""
+    from repro.obs import FlightRecorder, use_flight
+
+    cluster = DRMSCluster(
+        machine=Machine(MachineParams(num_nodes=8)), node_repair_s=600.0
+    )
+    app = cluster.build_app(_main, tier="memory+pfs", mlck_drain="sync")
+    with use_flight(FlightRecorder()) as fr:
+        out = cluster.run_with_localized_recovery(
+            "j", app, 6, args=("ck",), prefix="ck",
+            failure=FailurePlan(iteration=7, node_id=0),
+        )
+    assert out.failed_nodes == [0]
+    assert out.final_report.restart_breakdown.kind == "mlck-l1-localized"
+
+    incident = make_incident(out.events, flight=fr, outcome=out, job="j")
+    tl = reconstruct_timeline(incident)
+    assert tl.failed_node == 0 and tl.job == "j"
+    assert [p.name for p in tl.phases] == [
+        "detection", "failure_protocol", "state_selection", "rebuild",
+    ]
+    assert tl.phase("detection").seconds == pytest.approx(cluster.detection_s)
+    assert tl.phase("failure_protocol").seconds == pytest.approx(
+        cluster.rc.tc_restart_s
+    )
+    # the invariant this test pins: phase attribution sums exactly to
+    # the reported recovery latency, localized path included
+    assert tl.total_seconds == pytest.approx(out.recovery_latency_s, rel=1e-9)
+    rebuild = tl.phase("rebuild")
+    assert rebuild.detail["kind"] == "mlck-l1-localized"
+    scope = rebuild.detail["rebuild_scope"]
+    assert scope["lost_ranks"] == [0]
+    assert scope["failed_nodes"] == [0]
+    assert 0 < scope["lost_bytes"] < scope["total_bytes"]
+
+    # the dead node left one black box whose last recorded SOP crossing
+    # is the quiesce anchor the survivors paused at
+    (box,) = [b for b in fr.blackboxes if b["node"] == 0]
+    sops = [e for e in box["events"] if e["kind"] == "sop_crossed"]
+    assert sops
+    (quiesced,) = [e for e in out.events if e.kind == "survivors_quiesced"]
+    assert sops[-1]["detail"]["sop"] == quiesced.detail["sop"]
+    assert sops[-1]["detail"]["iteration"] == quiesced.detail["iteration"]
+
+
 @pytest.mark.flight
 def test_flight_recorder_sees_a_healthy_run_too():
     """Without a failure the rings still carry the checkpoint story —

@@ -27,6 +27,10 @@ from repro.arrays.distributions import (
 from repro.arrays.ranges import Range
 from repro.verify import known_bad_case, replay_case, shrink_case
 from repro.verify.case import ArrayCase, Case, FaultEvent
+from repro.verify.gen import (
+    localized_equivalence_case,
+    localized_pfs_fallback_case,
+)
 
 CASES_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "cases")
 
@@ -111,6 +115,12 @@ def fault_cases():
         note="the newest generation's array stream is a hole: the short "
              "write kept zero bytes but the manifest still committed",
     )).shrunk
+
+    # Localized-recovery equivalence anchors (expect=pass): the
+    # differential oracle runs each schedule through BOTH the localized
+    # and the full recovery path and requires byte-identical state.
+    yield "localized_l1_happy.json", localized_equivalence_case(seed=0)
+    yield "localized_pfs_fallback.json", localized_pfs_fallback_case(seed=0)
 
     # The same injury the validated policy absorbs: expect=pass, and the
     # oracle asserts recovery lands on the older, intact generation.
