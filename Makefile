@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: install test verify-checkpoints verify-mlck verify-localized verify-reconfig verify-reconfig-deep bench bench-baseline bench-stream bench-obs bench-localized report trace obs-report forensics-demo examples all clean
+.PHONY: install test verify-checkpoints verify-mlck verify-localized verify-policy verify-reconfig verify-reconfig-deep bench bench-baseline bench-stream bench-obs bench-localized bench-fleet report trace obs-report forensics-demo examples all clean
 
 # fixed seed so the gate is fully deterministic; DEEP_SEED rotates daily
 VERIFY_SEED ?= 20260806
@@ -13,7 +13,12 @@ test:
 	$(PYTHON) -m pytest tests/
 
 verify-checkpoints:
-	PYTHONPATH=src $(PYTHON) -m pytest -m "crash_consistency or mlck or flight or localized" tests/
+	PYTHONPATH=src $(PYTHON) -m pytest -m "crash_consistency or mlck or flight or localized or policy" tests/
+
+# the cadence-policy gate: the rule/engine unit suite plus the
+# context-integration scenarios (policy-marked tests)
+verify-policy:
+	PYTHONPATH=src $(PYTHON) -m pytest -m policy tests/
 
 # the multi-level store gate: the canonical node-loss and
 # mid-drain-crash schedules, a seeded batch of random memory+pfs fault
@@ -76,6 +81,13 @@ bench-obs:
 # L1-served happy path
 bench-localized:
 	PYTHONPATH=src:benchmarks $(PYTHON) benchmarks/bench_localized_recovery.py --check
+
+# the fleet-policy gate: regenerates BENCH_fleet.json and fails if the
+# adaptive cadence does not beat the fixed one on lost work under the
+# sustained storm, or the reconfigurable scheduler loses its
+# utilization edge over the rigid one
+bench-fleet:
+	PYTHONPATH=src:benchmarks $(PYTHON) benchmarks/bench_fleet_policies.py --check
 
 report:
 	$(PYTHON) -m repro.tools.report --out benchmarks/out

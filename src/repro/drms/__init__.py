@@ -32,6 +32,7 @@ from repro.drms.api import (
     drms_adjust,
     drms_reconfig_checkpoint,
     drms_reconfig_chkenable,
+    drms_policy_checkpoint,
 )
 
 __all__ = [
@@ -49,4 +50,5 @@ __all__ = [
     "drms_adjust",
     "drms_reconfig_checkpoint",
     "drms_reconfig_chkenable",
+    "drms_policy_checkpoint",
 ]

@@ -350,6 +350,82 @@ class DRMSContext:
 
     # -- checkpointing --------------------------------------------------------------
 
+    @property
+    def policy(self):
+        """The checkpoint-cadence policy attached to this run's
+        application (``DRMSApplication(policy=...)``), or None."""
+        return self.runtime.policy
+
+    def _skip_sop(self) -> tuple:
+        """Cross a SOP without checkpointing (the disabled branch of an
+        enabling or policy-driven checkpoint): the SOP still counts as
+        a quiesce anchor and a flight-recorder crossing."""
+        rt = self.runtime
+        self._sop += 1
+        rt.note_sop_crossing(self._sop, self._iteration)
+        fr = get_flight()
+        if fr.enabled:
+            my_node = self.comm.world.placement.get(self.rank)
+            fr.record(
+                "sop_crossed",
+                node=my_node if my_node is not None else GLOBAL_NODE,
+                time=self.comm.clock.now,
+                sop=self._sop, iteration=self._iteration,
+                rank=self.rank, skipped=True,
+            )
+        return (CheckpointStatus.SKIPPED, 0)
+
+    def policy_checkpoint(
+        self,
+        prefix: str,
+        policy=None,
+        final: bool = False,
+        enable_mode: bool = False,
+    ) -> tuple:
+        """``drms_policy_checkpoint``: a cadence decision point.  The
+        attached :class:`~repro.policy.engine.CheckpointPolicy` (or the
+        explicit ``policy``) decides whether this SOP checkpoints;
+        applications call it every iteration instead of hardcoding an
+        ``it % every`` test.
+
+        Collective.  The decision is made once (on rank 0, against the
+        run's shared policy state) so every task agrees.  Semantics
+        match the API calls it wraps: the first call after a restart
+        reports ``(RESTARTED, delta)`` without consulting the policy; a
+        positive decision runs ``reconfig_checkpoint`` (or
+        ``reconfig_chkenable`` when ``enable_mode`` — the JSA's
+        enabling signal still gates the write); a negative decision
+        crosses the SOP and returns ``(SKIPPED, 0)``.  ``final`` marks
+        the run's last SOP for ``at_end`` rules.  Observed checkpoint
+        costs are fed back to adaptive rules."""
+        rt = self.runtime
+        pol = policy if policy is not None else rt.policy
+        if pol is None:
+            raise CheckpointError(
+                "policy_checkpoint needs a cadence policy: pass policy= "
+                "or construct DRMSApplication(policy=...)"
+            )
+        if self._restart_pending:
+            return self.reconfig_checkpoint(prefix)
+        from repro.policy.rules import Observation
+
+        obs = Observation(
+            iteration=self._iteration,
+            sim_time=self.comm.clock.now,
+            final=final,
+            health=rt.app.health,
+        )
+        decision = self._collective(lambda: pol.decide(obs, rt.policy_state))
+        if not decision.fire:
+            return self._skip_sop()
+        if enable_mode:
+            return self.reconfig_chkenable(prefix)
+        status, delta = self.reconfig_checkpoint(prefix)
+        if status is CheckpointStatus.TAKEN and rt.checkpoints:
+            cost = rt.checkpoints[-1][1].total_seconds
+            self._collective(lambda: pol.observe_cost(rt.policy_state, cost))
+        return (status, delta)
+
     def reconfig_checkpoint(self, prefix: str) -> tuple:
         """``drms_reconfig_checkpoint``: mandatory checkpoint at this
         SOP.  Returns ``(status, delta)``: after a restart the first
@@ -398,17 +474,5 @@ class DRMSContext:
             return self.reconfig_checkpoint(prefix)
         enabled = self._collective(lambda: rt.consume_checkpoint_enable())
         if not enabled:
-            self._sop += 1
-            rt.note_sop_crossing(self._sop, self._iteration)
-            fr = get_flight()
-            if fr.enabled:
-                my_node = self.comm.world.placement.get(self.rank)
-                fr.record(
-                    "sop_crossed",
-                    node=my_node if my_node is not None else GLOBAL_NODE,
-                    time=self.comm.clock.now,
-                    sop=self._sop, iteration=self._iteration,
-                    rank=self.rank, skipped=True,
-                )
-            return (CheckpointStatus.SKIPPED, 0)
+            return self._skip_sop()
         return self.reconfig_checkpoint(prefix)

@@ -17,6 +17,13 @@ from repro.infra.jsa import Job, JobSchedulerAnalyzer, JobState
 from repro.infra.uic import UserInterfaceCoordinator
 from repro.infra.failure import FailurePlan, NodeFailure
 from repro.infra.cluster import DRMSCluster, RecoveryOutcome
+from repro.infra.study import JobSpec, SchedulingStudy, StudyResult
+from repro.infra.fleet import (
+    FleetResult,
+    FleetSimulation,
+    storm_schedule,
+    synthetic_stream,
+)
 
 __all__ = [
     "Event",
@@ -32,4 +39,11 @@ __all__ = [
     "NodeFailure",
     "DRMSCluster",
     "RecoveryOutcome",
+    "JobSpec",
+    "SchedulingStudy",
+    "StudyResult",
+    "FleetResult",
+    "FleetSimulation",
+    "storm_schedule",
+    "synthetic_stream",
 ]

@@ -1,0 +1,526 @@
+"""Fleet-scale scheduling-and-cadence study.
+
+:mod:`repro.infra.study` quantifies the Section 8 claim for one job
+stream on one failure-free machine.  This module scales the same
+question to a *fleet*: thousands of concurrent jobs on a large machine
+whose nodes fail — including correlated **failure storms** that sweep
+whole failure domains — and asks how the scheduling policy (rigid vs
+reconfigurable restart) *and* the checkpoint cadence policy (fixed
+interval vs Young/Daly adaptive, via
+:func:`repro.policy.rules.young_daly_interval`) interact at scale.
+
+The model is analytic per job, event-driven across the fleet.  A
+running job alternates work phases of length ``tau`` (its checkpoint
+interval) with checkpoint phases of length ``checkpoint_cost_s``; both
+progress and durable state advance in closed form between events, so a
+simulation of thousands of jobs costs one event per arrival,
+completion, failure, repair — not one per second.  A node failure
+kills the whole job running on it (the paper's premise), rolls it back
+to its last completed checkpoint, and requeues it: the **rigid** policy
+must re-acquire exactly ``max_tasks`` nodes (waiting out repairs if the
+machine shrank), the **reconfigurable** policy restarts at whatever
+share the equipartition targets grant on the surviving nodes.  The
+**adaptive** cadence re-derives ``tau`` from the fleet's *observed*
+failure rate at every (re)start anchor; the **fixed** cadence keeps the
+configured interval regardless of weather.
+
+Failure storms are deterministic :class:`~repro.infra.failure.FailurePlan`
+schedules — ``multi=[(second, node), ...]`` with the plan's ordered
+atomic :meth:`~repro.infra.failure.FailurePlan.claim` semantics —
+built by :func:`storm_schedule` to strike inside chosen failure
+domains (ceil-division frames, matching
+:meth:`repro.runtime.machine.Machine.domain_of`).
+
+Outcomes publish as ``fleet.*`` metrics and, when a
+:class:`~repro.obs.health.HealthRegistry` is attached, re-sample the
+``health.fleet.*`` occupancy gauges at every scheduling step.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import SchedulerError
+from repro.infra.failure import FailurePlan
+from repro.infra.study import JobSpec, equipartition_targets
+from repro.policy import young_daly_interval
+
+__all__ = [
+    "FleetResult",
+    "FleetSimulation",
+    "cadence_horizon",
+    "cadence_progress",
+    "storm_schedule",
+    "synthetic_stream",
+]
+
+
+# -- closed-form progress under a work/checkpoint cadence ---------------------
+
+
+def cadence_progress(x: float, tau: float, cost: float) -> float:
+    """Per-task work seconds completed after ``x`` active seconds of a
+    job that alternates ``tau`` seconds of work with ``cost`` seconds
+    of checkpointing."""
+    if x <= 0:
+        return 0.0
+    cycle = tau + cost
+    full, into = divmod(x, cycle)
+    return full * tau + min(into, tau)
+
+
+def cadence_horizon(w: float, tau: float, cost: float) -> float:
+    """Active seconds needed to complete ``w`` per-task work seconds
+    under the ``tau``/``cost`` cadence (the inverse of
+    :func:`cadence_progress`; the final partial work phase pays no
+    trailing checkpoint)."""
+    if w <= 0:
+        return 0.0
+    cycle = tau + cost
+    full = math.floor(w / tau)
+    into = w - full * tau
+    if into > 1e-9 * max(1.0, w) or full == 0:
+        return full * cycle + into
+    return (full - 1) * cycle + tau
+
+
+# -- workload and storm construction ------------------------------------------
+
+
+def synthetic_stream(
+    num_jobs: int,
+    num_nodes: int,
+    seed: int = 0,
+    mean_interarrival_s: float = 30.0,
+    mean_work_s: float = 4_000.0,
+) -> List[JobSpec]:
+    """A deterministic Poisson-ish stream of ``num_jobs`` malleable
+    jobs sized for a ``num_nodes`` machine (exponential interarrivals
+    and work, task counts spanning 1/32..1/4 of the machine)."""
+    if num_jobs < 1 or num_nodes < 4:
+        raise SchedulerError("synthetic stream needs >= 1 job and >= 4 nodes")
+    rng = random.Random(seed)
+    t = 0.0
+    jobs: List[JobSpec] = []
+    for i in range(num_jobs):
+        t += rng.expovariate(1.0 / mean_interarrival_s)
+        hi = max(2, int(rng.uniform(num_nodes / 16.0, num_nodes / 4.0)))
+        lo = max(1, hi // 8)
+        jobs.append(
+            JobSpec(
+                name=f"job{i:05d}",
+                work=max(60.0, rng.expovariate(1.0 / mean_work_s)) * hi,
+                max_tasks=hi,
+                min_tasks=lo,
+                arrival=round(t, 3),
+            )
+        )
+    return jobs
+
+
+def storm_schedule(
+    num_nodes: int,
+    num_domains: int,
+    domains: Sequence[int],
+    start_s: int,
+    count: int,
+    spacing_s: int = 2,
+) -> List[Tuple[int, int]]:
+    """A failure-storm schedule for ``FailurePlan(multi=...)``:
+    ``count`` node failures starting at ``start_s``, one every
+    ``spacing_s`` seconds, striking round-robin across the listed
+    failure domains (ceil-division frames of the machine)."""
+    frame = -(-num_nodes // num_domains)
+    pools = []
+    for d in domains:
+        nodes = list(range(d * frame, min((d + 1) * frame, num_nodes)))
+        if not nodes:
+            raise SchedulerError(f"failure domain {d} is empty on {num_nodes} nodes")
+        pools.append(nodes)
+    schedule: List[Tuple[int, int]] = []
+    for i in range(count):
+        pool = pools[i % len(pools)]
+        node = pool[(i // len(pools)) % len(pool)]
+        schedule.append((start_s + i * spacing_s, node))
+    return schedule
+
+
+# -- the simulation -----------------------------------------------------------
+
+
+@dataclass
+class _FleetRunning:
+    spec: JobSpec
+    ntasks: int
+    nodes: List[int]
+    #: durable node-seconds (work up to the last completed checkpoint)
+    checkpointed: float
+    #: absolute time useful work (re)starts at the current size
+    active_start: float
+    tau: float
+    reconfigs: int = 0
+
+    @property
+    def remaining(self) -> float:
+        """Node-seconds beyond the durable state (the equipartition
+        decline heuristic reads this)."""
+        return max(0.0, self.spec.work - self.checkpointed)
+
+
+@dataclass
+class FleetResult:
+    """Metrics of one fleet run under one (scheduling, cadence) pair."""
+
+    scheduling: str
+    cadence: str
+    makespan: float
+    utilization: float
+    mean_response: float
+    #: node-seconds of computed-but-never-checkpointed work destroyed
+    #: by failures
+    lost_work: float
+    completed: int
+    checkpoints: int
+    reconfigurations: int
+    restarts: int
+    failures: int
+    #: mean seconds from a failure to its job computing again
+    recovery_latency_mean_s: float
+
+    def row(self) -> Tuple:
+        """The result as a printable table row."""
+        return (
+            f"{self.scheduling}/{self.cadence}",
+            f"{self.makespan:.0f}",
+            f"{100 * self.utilization:.1f}%",
+            f"{self.lost_work:.0f}",
+            f"{self.recovery_latency_mean_s:.0f}",
+            self.checkpoints,
+            self.reconfigurations,
+        )
+
+
+class FleetSimulation:
+    """Run one job stream through failure storms under each policy pair."""
+
+    SCHEDULINGS = ("rigid", "reconfigurable")
+    CADENCES = ("fixed", "adaptive")
+
+    def __init__(
+        self,
+        num_nodes: int,
+        jobs: Sequence[JobSpec],
+        num_domains: int = 4,
+        failure_schedule: Optional[Sequence[Tuple[int, int]]] = None,
+        checkpoint_cost_s: float = 15.0,
+        fixed_interval_s: float = 600.0,
+        reconfig_cost_s: float = 30.0,
+        restart_cost_s: float = 60.0,
+        repair_s: float = 1_800.0,
+        max_events: int = 2_000_000,
+    ):
+        if num_nodes < 1:
+            raise SchedulerError("fleet needs at least one node")
+        if num_domains < 1 or num_domains > num_nodes:
+            raise SchedulerError(
+                f"bad domain count {num_domains} for {num_nodes} nodes"
+            )
+        for j in jobs:
+            if j.max_tasks > num_nodes:
+                raise SchedulerError(
+                    f"{j.name!r} requests {j.max_tasks} tasks on a "
+                    f"{num_nodes}-node fleet"
+                )
+        for second, node in failure_schedule or ():
+            if not (0 <= node < num_nodes):
+                raise SchedulerError(f"storm targets unknown node {node}")
+        self.num_nodes = num_nodes
+        self.num_domains = num_domains
+        self.jobs = sorted(jobs, key=lambda j: (j.arrival, j.name))
+        self.failure_schedule = list(failure_schedule or ())
+        self.checkpoint_cost_s = float(checkpoint_cost_s)
+        self.fixed_interval_s = float(fixed_interval_s)
+        self.reconfig_cost_s = float(reconfig_cost_s)
+        self.restart_cost_s = float(restart_cost_s)
+        self.repair_s = float(repair_s)
+        self.max_events = max_events
+        #: optional HealthRegistry re-sampled each scheduling step
+        self.health = None
+        #: optional MetricsRegistry receiving the fleet.* outcome totals
+        self.metrics = None
+
+    # -- public ---------------------------------------------------------------
+
+    def run(self, scheduling: str, cadence: str) -> FleetResult:
+        """Simulate the stream under one (scheduling, cadence) pair."""
+        if scheduling not in self.SCHEDULINGS:
+            raise SchedulerError(f"unknown scheduling policy {scheduling!r}")
+        if cadence not in self.CADENCES:
+            raise SchedulerError(f"unknown cadence policy {cadence!r}")
+        return self._simulate(
+            reconfigurable=(scheduling == "reconfigurable"),
+            adaptive=(cadence == "adaptive"),
+        )
+
+    def compare(self) -> Dict[str, FleetResult]:
+        """All four policy pairs, keyed ``<scheduling>/<cadence>``."""
+        return {
+            f"{s}/{c}": self.run(s, c)
+            for s in self.SCHEDULINGS
+            for c in self.CADENCES
+        }
+
+    # -- the event loop -------------------------------------------------------
+
+    def _simulate(self, reconfigurable: bool, adaptive: bool) -> FleetResult:
+        t = 0.0
+        pending = list(self.jobs)
+        #: FCFS queue: (spec, fail_time or None); failed jobs rejoin at
+        #: the head so recovery is not starved by later arrivals
+        queue: List[Tuple[JobSpec, Optional[float]]] = []
+        running: List[_FleetRunning] = []
+        #: durable progress of jobs currently off the machine
+        saved: Dict[str, float] = {}
+        down: Dict[int, float] = {}  # node -> repair completion time
+        free = list(range(self.num_nodes - 1, -1, -1))  # pop() yields lowest
+        completions: Dict[str, float] = {}
+        latencies: List[float] = []
+        plan = (
+            FailurePlan(multi=self.failure_schedule)
+            if self.failure_schedule
+            else None
+        )
+        C = self.checkpoint_cost_s
+        stats = {
+            "lost": 0.0, "ckpts": 0, "reconfigs": 0,
+            "restarts": 0, "failures": 0,
+        }
+
+        def pick_tau(ntasks: int) -> float:
+            if not adaptive or stats["failures"] == 0 or t <= 0:
+                return self.fixed_interval_s
+            node_mtbf = (t * self.num_nodes) / stats["failures"]
+            return young_daly_interval(C, node_mtbf / max(1, ntasks))
+
+        def settle(r: _FleetRunning) -> Tuple[float, float]:
+            """Advance durable state to time ``t``; returns the
+            (durable, in-flight) node-second split of the work done
+            since ``active_start``."""
+            horizon = cadence_horizon(r.remaining / r.ntasks, r.tau, C)
+            x = min(max(0.0, t - r.active_start), horizon)
+            cycles = math.floor(x / (r.tau + C))
+            durable = r.ntasks * cycles * r.tau
+            partial = r.ntasks * cadence_progress(x, r.tau, C) - durable
+            r.checkpointed = min(r.spec.work, r.checkpointed + durable)
+            stats["ckpts"] += cycles
+            return durable, partial
+
+        def start(spec: JobSpec, ntasks: int, fail_t: Optional[float]) -> None:
+            nodes = [free.pop() for _ in range(ntasks)]
+            cost = self.restart_cost_s if fail_t is not None else 0.0
+            r = _FleetRunning(
+                spec=spec, ntasks=ntasks, nodes=nodes,
+                checkpointed=saved.pop(spec.name, 0.0),
+                active_start=t + cost, tau=pick_tau(ntasks),
+            )
+            running.append(r)
+            if fail_t is not None:
+                latencies.append(r.active_start - fail_t)
+                stats["restarts"] += 1
+
+        def resize(r: _FleetRunning, ntasks: int) -> None:
+            # a planned resize checkpoints first (that is the point of
+            # reconfigurable restart), so nothing in flight is lost
+            _, partial = settle(r)
+            r.checkpointed = min(r.spec.work, r.checkpointed + partial)
+            stats["ckpts"] += 1
+            stats["reconfigs"] += 1
+            r.reconfigs += 1
+            if ntasks < r.ntasks:
+                for _ in range(r.ntasks - ntasks):
+                    free.append(r.nodes.pop())
+            else:
+                r.nodes.extend(free.pop() for _ in range(ntasks - r.ntasks))
+            r.ntasks = ntasks
+            r.active_start = max(t, r.active_start) + self.reconfig_cost_s
+            r.tau = pick_tau(ntasks)
+
+        def fail_node(node: int) -> None:
+            stats["failures"] += 1
+            if node in down:
+                return  # already dark; the storm wasted a strike
+            down[node] = t + self.repair_s
+            if node in free:
+                free.remove(node)
+                return
+            victim = next((r for r in running if node in r.nodes), None)
+            if victim is None:
+                return
+            _, partial = settle(victim)
+            stats["lost"] += partial
+            running.remove(victim)
+            free.extend(n for n in victim.nodes if n != node)
+            saved[victim.spec.name] = victim.checkpointed
+            queue.insert(0, (victim.spec, t))
+
+        def admit() -> None:
+            if not reconfigurable:
+                while queue:
+                    spec, fail_t = queue[0]
+                    if len(free) < spec.max_tasks:
+                        break
+                    queue.pop(0)
+                    start(spec, spec.max_tasks, fail_t)
+                return
+            capacity = self.num_nodes - len(down)
+            entering: Dict[str, Optional[float]] = {}
+            while queue:
+                spec, fail_t = queue[0]
+                committed = sum(x.spec.min_tasks for x in running)
+                if committed + spec.min_tasks > capacity:
+                    break
+                queue.pop(0)
+                entering[spec.name] = fail_t
+                running.append(
+                    _FleetRunning(
+                        spec=spec, ntasks=0, nodes=[],
+                        checkpointed=saved.get(spec.name, 0.0),
+                        active_start=t, tau=self.fixed_interval_s,
+                    )
+                )
+            if not running:
+                return
+            targets = equipartition_targets(
+                capacity, running, self.reconfig_cost_s
+            )
+            order = sorted(running, key=lambda r: (r.spec.arrival, r.spec.name))
+            # shrink first so freed nodes are in the pool for growers
+            for r in order:
+                if 0 < targets[r.spec.name] < r.ntasks:
+                    resize(r, targets[r.spec.name])
+            for r in order:
+                n = targets[r.spec.name]
+                if n <= r.ntasks:
+                    continue
+                if r.ntasks == 0:
+                    fail_t = entering.get(r.spec.name)
+                    running.remove(r)
+                    saved[r.spec.name] = r.checkpointed
+                    start(r.spec, n, fail_t)
+                else:
+                    resize(r, n)
+
+        for _ in range(self.max_events):
+            while pending and pending[0].arrival <= t:
+                queue.append((pending.pop(0), None))
+            for node in [n for n, ready in down.items() if ready <= t]:
+                del down[node]
+                free.append(node)
+            while plan is not None and not plan.fired:
+                sec, _node = plan.pending
+                if sec > t:
+                    break
+                if plan.claim(sec):
+                    fail_node(plan.fired_nodes[-1])
+            admit()
+            if self.health is not None:
+                occupied = sum(r.ntasks for r in running)
+                self.health.sample_fleet(
+                    running=len(running),
+                    queued=len(queue),
+                    utilization=occupied / self.num_nodes,
+                    down=len(down),
+                    lost_work=stats["lost"],
+                )
+            storms_left = plan is not None and not plan.fired
+            if not running and not queue and not pending and not storms_left:
+                break
+            horizons = []
+            for r in running:
+                horizons.append(
+                    r.active_start
+                    + cadence_horizon(r.remaining / r.ntasks, r.tau, C)
+                )
+            if pending:
+                horizons.append(pending[0].arrival)
+            if down:
+                horizons.append(min(down.values()))
+            if storms_left:
+                horizons.append(float(plan.pending[0]))
+            if not horizons:
+                raise SchedulerError("deadlock: queued jobs but nothing can run")
+            t = max(t, min(horizons))
+            for r in [x for x in running]:
+                done_at = r.active_start + cadence_horizon(
+                    r.remaining / r.ntasks, r.tau, C
+                )
+                if done_at <= t + 1e-9:
+                    settle(r)
+                    r.checkpointed = r.spec.work
+                    running.remove(r)
+                    free.extend(r.nodes)
+                    completions[r.spec.name] = t
+        else:
+            raise SchedulerError("event budget exhausted (livelock?)")
+
+        return self._result(
+            reconfigurable, adaptive, t, completions, latencies, stats
+        )
+
+    # -- reporting ------------------------------------------------------------
+
+    def _spec(self, name: str) -> JobSpec:
+        for j in self.jobs:
+            if j.name == name:
+                return j
+        raise KeyError(name)
+
+    def _result(
+        self, reconfigurable, adaptive, t, completions, latencies, stats
+    ) -> FleetResult:
+        makespan = max(completions.values(), default=0.0)
+        responses = [
+            completions[j.name] - j.arrival
+            for j in self.jobs
+            if j.name in completions
+        ]
+        useful = sum(j.work for j in self.jobs if j.name in completions)
+        result = FleetResult(
+            scheduling="reconfigurable" if reconfigurable else "rigid",
+            cadence="adaptive" if adaptive else "fixed",
+            makespan=makespan,
+            utilization=(
+                useful / (self.num_nodes * makespan) if makespan else 0.0
+            ),
+            mean_response=(
+                sum(responses) / len(responses) if responses else 0.0
+            ),
+            lost_work=stats["lost"],
+            completed=len(completions),
+            checkpoints=stats["ckpts"],
+            reconfigurations=stats["reconfigs"],
+            restarts=stats["restarts"],
+            failures=stats["failures"],
+            recovery_latency_mean_s=(
+                sum(latencies) / len(latencies) if latencies else 0.0
+            ),
+        )
+        self._publish(result)
+        return result
+
+    def _publish(self, r: FleetResult) -> None:
+        m = self.metrics
+        if m is None:
+            return
+        m.counter("fleet.jobs.completed").inc(r.completed)
+        m.counter("fleet.failures.injected").inc(r.failures)
+        m.counter("fleet.checkpoints.taken").inc(r.checkpoints)
+        m.counter("fleet.reconfigurations").inc(r.reconfigurations)
+        m.counter("fleet.restarts").inc(r.restarts)
+        m.gauge("fleet.lost_work.node_seconds").set(r.lost_work)
+        m.gauge("fleet.utilization").set(r.utilization)
+        m.gauge("fleet.makespan_s").set(r.makespan)
+        m.gauge("fleet.recovery.latency_mean_s").set(r.recovery_latency_mean_s)

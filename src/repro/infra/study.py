@@ -31,7 +31,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.errors import SchedulerError
 
-__all__ = ["JobSpec", "StudyResult", "SchedulingStudy"]
+__all__ = ["JobSpec", "StudyResult", "SchedulingStudy", "equipartition_targets"]
 
 
 @dataclass(frozen=True)
@@ -87,6 +87,74 @@ class StudyResult:
         )
 
 
+def equipartition_targets(
+    num_nodes: int,
+    running: List["_Running"],
+    reconfig_cost_s: float,
+) -> Dict[str, int]:
+    """The reconfigurable policy's task-count targets: split
+    ``num_nodes`` near-evenly over the running jobs (leftovers to the
+    earliest arrivals), clamped to each job's SOQ range.
+
+    Growth is *optional*: a job whose remaining work would not repay
+    one checkpoint + reconfigured restart declines it, and — this was
+    the stranded-surplus bug — its declined share is re-offered to the
+    other growable jobs instead of idling.  Shrinks (and initial
+    placements, ``ntasks == 0``) are never declined.  The returned
+    targets leave a node idle only when every running job is capped: at
+    its ``max_tasks``, or holding at its current size having declined
+    growth.
+    """
+    if not running:
+        return {}
+    base = num_nodes // len(running)
+    extra = num_nodes - base * len(running)
+    order = sorted(running, key=lambda r: (r.spec.arrival, r.spec.name))
+    targets: Dict[str, int] = {}
+    for i, r in enumerate(order):
+        n = base + (1 if i < extra else 0)
+        targets[r.spec.name] = max(r.spec.min_tasks, min(r.spec.max_tasks, n))
+    # clamping may oversubscribe; trim the largest jobs first
+    while sum(targets.values()) > num_nodes:
+        victim = max(
+            (r for r in order if targets[r.spec.name] > r.spec.min_tasks),
+            key=lambda r: targets[r.spec.name],
+            default=None,
+        )
+        if victim is None:
+            raise SchedulerError("minimum task counts exceed the machine")
+        targets[victim.spec.name] -= 1
+    # growth is optional: a nearly-done job declines (the checkpoint +
+    # restart would not pay off before it completes) and holds at its
+    # current size — never above it
+    declined = {
+        r.spec.name
+        for r in order
+        if r.ntasks != 0
+        and targets[r.spec.name] > r.ntasks
+        and r.remaining <= reconfig_cost_s * r.ntasks
+    }
+    for r in order:
+        if r.spec.name in declined:
+            targets[r.spec.name] = r.ntasks
+    # distribute the remaining nodes — clamping slack plus declined
+    # shares — to the earliest growable jobs
+    spare = num_nodes - sum(targets.values())
+    for r in order:
+        if spare <= 0:
+            break
+        if r.spec.name in declined:
+            continue
+        grow = min(spare, r.spec.max_tasks - targets[r.spec.name])
+        targets[r.spec.name] += grow
+        spare -= grow
+    assert spare == 0 or all(
+        targets[r.spec.name] == r.spec.max_tasks or r.spec.name in declined
+        for r in order
+    ), "idle nodes stranded while a growable job sits below max_tasks"
+    return targets
+
+
 class SchedulingStudy:
     """Run one job stream under both policies."""
 
@@ -103,6 +171,14 @@ class SchedulingStudy:
             if j.min_tasks > num_nodes:
                 raise SchedulerError(
                     f"{j.name!r} cannot ever run: min {j.min_tasks} > {num_nodes} nodes"
+                )
+            if j.max_tasks > num_nodes:
+                raise SchedulerError(
+                    f"{j.name!r} requests {j.max_tasks} tasks on a "
+                    f"{num_nodes}-node machine: the rigid policy runs a "
+                    "job at exactly its requested count and no longer "
+                    "clamps oversize requests silently; clamp max_tasks "
+                    "at submission if shrink-to-fit is intended"
                 )
         self.num_nodes = num_nodes
         self.jobs = sorted(jobs, key=lambda j: (j.arrival, j.name))
@@ -143,7 +219,7 @@ class SchedulingStudy:
                 # FCFS, exact-size allocation, no resizing ever
                 while queue:
                     spec = queue[0]
-                    want = min(spec.max_tasks, self.num_nodes)
+                    want = spec.max_tasks
                     if free_nodes() < want:
                         break
                     queue.pop(0)
@@ -173,41 +249,16 @@ class SchedulingStudy:
                 )
             if not running:
                 return
-            # near-even split, leftovers to the earliest arrivals
-            base = self.num_nodes // len(running)
-            extra = self.num_nodes - base * len(running)
-            order = sorted(running, key=lambda r: (r.spec.arrival, r.spec.name))
-            targets = {}
-            for i, r in enumerate(order):
-                n = base + (1 if i < extra else 0)
-                targets[r.spec.name] = max(r.spec.min_tasks, min(r.spec.max_tasks, n))
-            # clamping may oversubscribe; trim the largest jobs first
-            while sum(targets.values()) > self.num_nodes:
-                victim = max(
-                    (r for r in order if targets[r.spec.name] > r.spec.min_tasks),
-                    key=lambda r: targets[r.spec.name],
-                    default=None,
-                )
-                if victim is None:
-                    raise SchedulerError("minimum task counts exceed the machine")
-                targets[victim.spec.name] -= 1
-            # clamping may also leave idle nodes; grow the earliest jobs
-            spare = self.num_nodes - sum(targets.values())
-            for r in order:
-                if spare <= 0:
-                    break
-                grow = min(spare, r.spec.max_tasks - targets[r.spec.name])
-                targets[r.spec.name] += grow
-                spare -= grow
-            for r in order:
+            # near-even split with decline-aware spare redistribution
+            # (growth declines are resolved inside the target
+            # computation, so a declined share reaches other jobs)
+            targets = equipartition_targets(
+                self.num_nodes, running, self.reconfig_cost_s
+            )
+            for r in sorted(running, key=lambda r: (r.spec.arrival, r.spec.name)):
                 n = targets[r.spec.name]
                 if n == r.ntasks:
                     continue
-                if n > r.ntasks and r.ntasks != 0:
-                    # growth is optional: skip when the job is nearly
-                    # done and the checkpoint+restart would not pay off
-                    if r.remaining <= self.reconfig_cost_s * r.ntasks:
-                        continue
                 # shrinks are mandatory (they free the nodes an admitted
                 # job was promised); initial placement (ntasks == 0) is
                 # a plain start, not a reconfiguration

@@ -164,11 +164,24 @@ class HealthRegistry:
 
     # -- fleet study ----------------------------------------------------------
 
-    def sample_fleet(self, running: int, queued: int, utilization: float) -> None:
-        """Occupancy snapshot from a fleet/scheduling simulation."""
+    def sample_fleet(
+        self,
+        running: int,
+        queued: int,
+        utilization: float,
+        down: Optional[int] = None,
+        lost_work: Optional[float] = None,
+    ) -> None:
+        """Occupancy snapshot from a fleet/scheduling simulation; the
+        fleet study additionally reports dark nodes and cumulative
+        failure-destroyed work."""
         self.metrics.gauge("health.fleet.running").set(running)
         self.metrics.gauge("health.fleet.queued").set(queued)
         self.metrics.gauge("health.fleet.utilization").set(utilization)
+        if down is not None:
+            self.metrics.gauge("health.fleet.down_nodes").set(down)
+        if lost_work is not None:
+            self.metrics.gauge("health.fleet.lost_work_node_s").set(lost_work)
 
     # -- convenience ----------------------------------------------------------
 

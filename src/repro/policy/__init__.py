@@ -1,0 +1,44 @@
+"""Declarative checkpoint-cadence policies (the ROADMAP's cadence item).
+
+The paper's applications hardcode their SOP cadence (``it %
+checkpoint_every == 1`` in Fig. 1); muscle3 and OpenCHK argue cadence
+belongs to the runtime, specified declaratively.  This package is that
+runtime: rules over iteration count, simulated time, wallclock time,
+and ``at_end`` — plus *adaptive* rules (Young/Daly intervals derived
+from observed failure rates, drain-backlog throttling read from the
+fleet :class:`~repro.obs.health.HealthRegistry`) — combined by a
+:class:`CheckpointPolicy` that drives ``reconfig_checkpoint`` /
+``reconfig_chkenable`` decisions through
+:meth:`~repro.drms.context.DRMSContext.policy_checkpoint`.
+
+Rules are *stateless objects over per-run state dicts*: a policy can be
+shared by an application across restarts (each
+:class:`~repro.drms.app.AppRuntime` owns a fresh ``policy_state``), and
+by thousands of simulated jobs in the fleet study
+(:mod:`repro.infra.fleet`), each with its own state.
+"""
+
+from repro.policy.rules import (
+    AtEndRule,
+    DrainBacklogRule,
+    IterationRule,
+    Observation,
+    SimulatedTimeRule,
+    WallclockRule,
+    YoungDalyRule,
+    young_daly_interval,
+)
+from repro.policy.engine import CheckpointPolicy, Decision
+
+__all__ = [
+    "AtEndRule",
+    "CheckpointPolicy",
+    "Decision",
+    "DrainBacklogRule",
+    "IterationRule",
+    "Observation",
+    "SimulatedTimeRule",
+    "WallclockRule",
+    "YoungDalyRule",
+    "young_daly_interval",
+]

@@ -1,0 +1,154 @@
+"""The cadence engine: combine rules into one checkpoint decision.
+
+A :class:`CheckpointPolicy` holds *fire* rules (any one being due
+proposes a checkpoint) and *throttle* rules (any one active vetoes the
+proposal).  :meth:`decide` is side-effect-free on a negative answer —
+a throttled rule stays due, so the checkpoint lands as soon as the
+veto lifts — and on a positive answer consumes every due rule at once
+(one checkpoint services all of them, the way one muscle3 snapshot
+services every overdue trigger).
+
+Decisions publish ``policy.*`` metrics through the ambient tracer:
+``policy.evaluations``, ``policy.skipped``, ``policy.fired.<kind>``,
+``policy.throttled.<kind>``, and the ``policy.adaptive.interval_s``
+gauge tracking the Young/Daly interval in force.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.policy.rules import (
+    AtEndRule,
+    IterationRule,
+    Observation,
+    SimulatedTimeRule,
+    WallclockRule,
+    YoungDalyRule,
+)
+
+__all__ = ["CheckpointPolicy", "Decision"]
+
+
+@dataclass(frozen=True)
+class Decision:
+    """The outcome of one cadence evaluation."""
+
+    #: take a checkpoint now?
+    fire: bool
+    #: kinds of the rules that were due (even when vetoed)
+    due: Tuple[str, ...] = ()
+    #: kinds of the throttle rules that vetoed a due proposal
+    throttled_by: Tuple[str, ...] = ()
+
+
+class CheckpointPolicy:
+    """A set of cadence rules plus throttles, evaluated per SOP."""
+
+    def __init__(
+        self,
+        rules: Sequence[Any] = (),
+        throttles: Sequence[Any] = (),
+    ):
+        self.rules = list(rules)
+        self.throttles = list(throttles)
+
+    # -- construction helpers ---------------------------------------------------
+
+    @classmethod
+    def every_iterations(cls, every: int, start: int = 1) -> "CheckpointPolicy":
+        """The Fig. 1 cadence as a policy: checkpoint at iterations
+        ``start, start + every, ...`` — with ``every=1`` meaning every
+        iteration (the hardcoded ``it % every == 1`` never fired then).
+        ``every=0`` builds an empty policy that never fires."""
+        if every < 0:
+            raise ValueError(f"negative checkpoint interval {every}")
+        if every == 0:
+            return cls()
+        return cls([IterationRule(every=every, start=start)])
+
+    @classmethod
+    def from_spec(cls, spec: Mapping[str, Any]) -> "CheckpointPolicy":
+        """Build a policy from a muscle3-style declarative mapping::
+
+            CheckpointPolicy.from_spec({
+                "at_end": True,
+                "iterations": [{"every": 10, "start": 1}],
+                "simulation_time": [{"every": 10, "start": 0, "stop": 100},
+                                    {"every": 20, "start": 100}],
+                "wallclock_time": [{"every": 3600}, {"at": [300, 600]}],
+            })
+
+        Unknown keys are rejected so a typo'd trigger cannot silently
+        disable checkpointing."""
+        known = {"at_end", "iterations", "simulation_time", "wallclock_time"}
+        unknown = set(spec) - known
+        if unknown:
+            raise ValueError(
+                f"unknown checkpoint trigger(s) {sorted(unknown)}; "
+                f"expected a subset of {sorted(known)}"
+            )
+        rule_cls = {
+            "iterations": IterationRule,
+            "simulation_time": SimulatedTimeRule,
+            "wallclock_time": WallclockRule,
+        }
+        rules: List[Any] = []
+        for key, cls_ in rule_cls.items():
+            for entry in spec.get(key, ()) or ():
+                rules.append(cls_(**dict(entry)))
+        if spec.get("at_end"):
+            rules.append(AtEndRule())
+        return cls(rules)
+
+    # -- evaluation ------------------------------------------------------------
+
+    def decide(self, obs: Observation, state: Dict[str, Any]) -> Decision:
+        """Evaluate every rule at this SOP.  Mutates ``state`` only on
+        a positive decision (consuming the due rules); a vetoed or
+        not-due evaluation leaves the schedule untouched."""
+        from repro.obs import get_tracer
+
+        metrics = get_tracer().metrics
+        metrics.counter("policy.evaluations").inc()
+        self._publish_adaptive(obs, state, metrics)
+        due = [r for r in self.rules if r.due(obs, state)]
+        if not due:
+            metrics.counter("policy.skipped").inc()
+            return Decision(fire=False)
+        due_kinds = tuple(r.kind for r in due)
+        vetoes = tuple(
+            t.kind for t in self.throttles if t.veto(obs, state)
+        )
+        if vetoes:
+            for kind in vetoes:
+                metrics.counter(f"policy.throttled.{kind}").inc()
+            return Decision(fire=False, due=due_kinds, throttled_by=vetoes)
+        for r in due:
+            r.consume(obs, state)
+        for kind in due_kinds:
+            metrics.counter(f"policy.fired.{kind}").inc()
+        return Decision(fire=True, due=due_kinds)
+
+    def observe_cost(
+        self, state: Dict[str, Any], seconds: float
+    ) -> None:
+        """Report the cost of a checkpoint this policy fired, so
+        adaptive rules can track the real ``C``."""
+        for r in self.rules:
+            hook = getattr(r, "observe_cost", None)
+            if hook is not None:
+                hook(state, seconds)
+
+    def _publish_adaptive(self, obs, state, metrics) -> None:
+        for r in self.rules:
+            if isinstance(r, YoungDalyRule):
+                interval = r.interval(obs, state)
+                if interval is not None:
+                    metrics.gauge("policy.adaptive.interval_s").set(interval)
+
+    def __repr__(self) -> str:
+        kinds = [r.kind for r in self.rules]
+        vetoes = [t.kind for t in self.throttles]
+        return f"CheckpointPolicy(rules={kinds}, throttles={vetoes})"

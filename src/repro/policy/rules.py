@@ -1,0 +1,329 @@
+"""Cadence rules: when is a checkpoint due?
+
+Each rule answers :meth:`due` over an :class:`Observation` (what the
+caller knows right now) and a per-run ``state`` dict (what the rule
+remembered from earlier calls in *this* run).  Rules never mutate state
+in :meth:`due`; the engine calls :meth:`consume` exactly once per taken
+checkpoint, so a throttled or losing rule stays due and fires at the
+next opportunity.
+
+Cadence (fire) rules — any one being due proposes a checkpoint:
+
+* :class:`IterationRule` — over the SOQ iteration counter
+  (``every``/``start``/``stop`` or an explicit ``at`` list);
+* :class:`SimulatedTimeRule` — over the application's simulated clock,
+  muscle3's ``simulation_time: every/at``;
+* :class:`WallclockRule` — over real elapsed wallclock seconds,
+  muscle3's ``wallclock_time: every/at`` (clock injectable for tests);
+* :class:`AtEndRule` — once, at the SOP the caller marks ``final``;
+* :class:`YoungDalyRule` — adaptive: the Young/Daly optimal interval
+  ``sqrt(2 * C * MTBF)`` from the observed checkpoint cost ``C`` and
+  the observed mean time between failures.
+
+Throttle (veto) rules — any one being active suppresses the proposal:
+
+* :class:`DrainBacklogRule` — reads ``health.drain.backlog`` from a
+  :class:`~repro.obs.health.HealthRegistry`: while the L1→PFS drain
+  pipeline is this far behind, piling on more checkpoints only grows
+  the backlog; the veto lifts (and due rules fire) once it drains.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional, Sequence, Tuple
+
+__all__ = [
+    "Observation",
+    "IterationRule",
+    "SimulatedTimeRule",
+    "WallclockRule",
+    "AtEndRule",
+    "YoungDalyRule",
+    "DrainBacklogRule",
+    "young_daly_interval",
+]
+
+
+@dataclass(frozen=True)
+class Observation:
+    """What the caller knows at one cadence decision point."""
+
+    #: the SOQ loop counter at this SOP
+    iteration: int = 0
+    #: the application's simulated clock, seconds
+    sim_time: float = 0.0
+    #: True at the SOP the caller knows to be the run's last
+    final: bool = False
+    #: optional :class:`~repro.obs.health.HealthRegistry` (throttle
+    #: rules read fleet gauges from it)
+    health: Optional[Any] = None
+    #: optional externally estimated mean time between failures for
+    #: this job, seconds (adaptive rules prefer it over their default)
+    mtbf_s: Optional[float] = None
+
+
+def young_daly_interval(checkpoint_cost_s: float, mtbf_s: float) -> float:
+    """The Young/Daly first-order optimal checkpoint interval
+    ``sqrt(2 * C * MTBF)``, floored at the checkpoint cost itself (an
+    interval shorter than one checkpoint write is unserviceable)."""
+    if checkpoint_cost_s < 0 or mtbf_s <= 0:
+        raise ValueError(
+            f"young_daly_interval needs cost >= 0 and mtbf > 0, got "
+            f"cost={checkpoint_cost_s}, mtbf={mtbf_s}"
+        )
+    return max(checkpoint_cost_s, math.sqrt(2.0 * checkpoint_cost_s * mtbf_s))
+
+
+class _Schedule:
+    """The muscle3-style point schedule shared by the range rules:
+    ``every`` from ``start`` up to ``stop``, unioned with an explicit
+    ``at`` list.  :meth:`next_at_or_after` enumerates it lazily."""
+
+    def __init__(
+        self,
+        every: Optional[float] = None,
+        start: float = 0.0,
+        stop: Optional[float] = None,
+        at: Sequence[float] = (),
+    ):
+        if every is not None and every <= 0:
+            raise ValueError(f"every must be positive, got {every}")
+        if stop is not None and every is not None and stop < start:
+            raise ValueError(f"empty schedule: stop {stop} < start {start}")
+        self.every = every
+        self.start = start
+        self.stop = stop
+        self.at = tuple(sorted(float(a) for a in at))
+
+    def next_at_or_after(self, value: float) -> Optional[float]:
+        """The smallest scheduled point ``>= value``, or None when the
+        schedule is exhausted past ``value``."""
+        candidates = []
+        if self.every is not None:
+            if value <= self.start:
+                nxt = self.start
+            else:
+                steps = math.ceil((value - self.start) / self.every)
+                nxt = self.start + steps * self.every
+                # float round-off may land just below value
+                if nxt < value:
+                    nxt += self.every
+            if self.stop is None or nxt <= self.stop:
+                candidates.append(nxt)
+        for a in self.at:
+            if a >= value:
+                candidates.append(a)
+                break
+        return min(candidates) if candidates else None
+
+
+class _RangeRule:
+    """Shared machinery of the three schedule-over-a-counter rules:
+    subclasses say which Observation field is the counter."""
+
+    #: short name used in metrics and Decision records (subclasses set)
+    kind: str = "range"
+
+    def __init__(
+        self,
+        every: Optional[float] = None,
+        start: float = 0.0,
+        stop: Optional[float] = None,
+        at: Sequence[float] = (),
+    ):
+        if every is None and not at:
+            raise ValueError(
+                f"{type(self).__name__} needs every= and/or at= points"
+            )
+        self.schedule = _Schedule(every=every, start=start, stop=stop, at=at)
+
+    def _value(self, obs: Observation) -> float:
+        raise NotImplementedError
+
+    def _key(self) -> str:
+        return f"{self.kind}.{id(self)}.next_due"
+
+    def due(self, obs: Observation, state: Dict[str, Any]) -> bool:
+        """True when the counter has reached the next scheduled point."""
+        value = self._value(obs)
+        key = self._key()
+        if key not in state:
+            nxt = self.schedule.next_at_or_after(value)
+            state[key] = nxt if nxt is not None else math.inf
+        return value >= state[key]
+
+    def consume(self, obs: Observation, state: Dict[str, Any]) -> None:
+        """A checkpoint was taken at this point: advance past it."""
+        value = self._value(obs)
+        nxt = self.schedule.next_at_or_after(math.nextafter(value, math.inf))
+        state[self._key()] = nxt if nxt is not None else math.inf
+
+
+class IterationRule(_RangeRule):
+    """Checkpoint on a schedule over the SOQ iteration counter.
+
+    ``IterationRule(every=10, start=1)`` reproduces the paper's Fig. 1
+    cadence (iterations 1, 11, 21, ...) — and, unlike the hardcoded
+    ``it % every == 1`` test it replaces, ``every=1`` correctly fires
+    at *every* iteration (``it % 1`` is always 0, never 1)."""
+
+    kind = "iteration"
+
+    def _value(self, obs: Observation) -> float:
+        return float(obs.iteration)
+
+
+class SimulatedTimeRule(_RangeRule):
+    """Checkpoint on a schedule over the simulated clock (muscle3's
+    ``simulation_time: every/start/stop`` and ``at``)."""
+
+    kind = "simulated_time"
+
+    def _value(self, obs: Observation) -> float:
+        return obs.sim_time
+
+
+class WallclockRule(_RangeRule):
+    """Checkpoint on a schedule over *real* elapsed wallclock seconds
+    since the rule's first evaluation in this run (muscle3's
+    ``wallclock_time: every/at``).  ``clock`` is injectable so tests
+    stay deterministic."""
+
+    kind = "wallclock"
+
+    def __init__(
+        self,
+        every: Optional[float] = None,
+        start: float = 0.0,
+        stop: Optional[float] = None,
+        at: Sequence[float] = (),
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        super().__init__(every=every, start=start, stop=stop, at=at)
+        self.clock = clock
+
+    def _value(self, obs: Observation) -> float:
+        return self.clock()
+
+    def due(self, obs: Observation, state: Dict[str, Any]) -> bool:
+        """True when elapsed wallclock reached the next scheduled point
+        (elapsed is measured from the rule's first call this run)."""
+        base = state.setdefault(f"{self.kind}.{id(self)}.base", self.clock())
+        key = self._key()
+        elapsed = self.clock() - base
+        if key not in state:
+            nxt = self.schedule.next_at_or_after(elapsed)
+            state[key] = nxt if nxt is not None else math.inf
+        return elapsed >= state[key]
+
+    def consume(self, obs: Observation, state: Dict[str, Any]) -> None:
+        """Advance past the elapsed-wallclock point just serviced."""
+        base = state.setdefault(f"{self.kind}.{id(self)}.base", self.clock())
+        elapsed = self.clock() - base
+        nxt = self.schedule.next_at_or_after(math.nextafter(elapsed, math.inf))
+        state[self._key()] = nxt if nxt is not None else math.inf
+
+
+class AtEndRule:
+    """Checkpoint once at the SOP the caller marks ``final=True``
+    (muscle3's ``at_end``) — the state survives even when no periodic
+    rule happened to land on the last iteration."""
+
+    kind = "at_end"
+
+    def due(self, obs: Observation, state: Dict[str, Any]) -> bool:
+        """Due at the final SOP, unless already serviced this run."""
+        return obs.final and not state.get(f"{self.kind}.{id(self)}.done")
+
+    def consume(self, obs: Observation, state: Dict[str, Any]) -> None:
+        """The end-of-run checkpoint was taken; never fire again."""
+        state[f"{self.kind}.{id(self)}.done"] = True
+
+
+class YoungDalyRule:
+    """Adaptive cadence: checkpoint every ``sqrt(2 * C * MTBF)``
+    simulated seconds (Young/Daly's first-order optimum).
+
+    ``C`` starts at ``checkpoint_cost_s`` and tracks the observed cost
+    of taken checkpoints (EWMA fed by the engine's
+    :meth:`~repro.policy.engine.CheckpointPolicy.observe_cost`).  MTBF
+    comes from ``Observation.mtbf_s`` when the caller estimates failure
+    rates (the fleet study does), else from ``mtbf_s`` given here; with
+    neither, the rule is inert.
+    """
+
+    kind = "young_daly"
+
+    def __init__(
+        self,
+        checkpoint_cost_s: float = 30.0,
+        mtbf_s: Optional[float] = None,
+        cost_smoothing: float = 0.5,
+    ):
+        if checkpoint_cost_s < 0:
+            raise ValueError(f"negative checkpoint cost {checkpoint_cost_s}")
+        if not 0.0 < cost_smoothing <= 1.0:
+            raise ValueError(f"cost_smoothing {cost_smoothing} outside (0, 1]")
+        self.checkpoint_cost_s = float(checkpoint_cost_s)
+        self.mtbf_s = mtbf_s
+        self.cost_smoothing = float(cost_smoothing)
+
+    def _cost(self, state: Dict[str, Any]) -> float:
+        return state.get("young_daly.cost_s", self.checkpoint_cost_s)
+
+    def interval(self, obs: Observation, state: Dict[str, Any]) -> Optional[float]:
+        """The current adaptive interval, or None when no MTBF source
+        is available."""
+        mtbf = obs.mtbf_s if obs.mtbf_s is not None else self.mtbf_s
+        if mtbf is None or mtbf <= 0:
+            return None
+        return young_daly_interval(self._cost(state), mtbf)
+
+    def due(self, obs: Observation, state: Dict[str, Any]) -> bool:
+        """True when the adaptive interval has elapsed on the simulated
+        clock since the last checkpoint this rule drove."""
+        interval = self.interval(obs, state)
+        if interval is None:
+            return False
+        last = state.setdefault("young_daly.last_fire", obs.sim_time)
+        return obs.sim_time - last >= interval
+
+    def consume(self, obs: Observation, state: Dict[str, Any]) -> None:
+        """Re-anchor the interval at the checkpoint just taken."""
+        state["young_daly.last_fire"] = obs.sim_time
+
+    def observe_cost(self, state: Dict[str, Any], seconds: float) -> None:
+        """Fold one observed checkpoint cost into the EWMA ``C``."""
+        prev = self._cost(state)
+        a = self.cost_smoothing
+        state["young_daly.cost_s"] = a * float(seconds) + (1.0 - a) * prev
+
+
+class DrainBacklogRule:
+    """Throttle: veto checkpoints while the L1→PFS drain backlog
+    (``health.drain.backlog`` in a
+    :class:`~repro.obs.health.HealthRegistry`) exceeds ``max_backlog``.
+    The registry can be bound here or arrive per-decision on
+    ``Observation.health``; with neither, the rule never vetoes."""
+
+    kind = "drain_backlog"
+
+    def __init__(self, max_backlog: int = 2, health: Optional[Any] = None):
+        if max_backlog < 0:
+            raise ValueError(f"negative max_backlog {max_backlog}")
+        self.max_backlog = int(max_backlog)
+        self.health = health
+
+    def backlog(self, obs: Observation) -> float:
+        """The current drain backlog gauge, 0 when unknown."""
+        registry = self.health if self.health is not None else obs.health
+        if registry is None:
+            return 0.0
+        return registry.metrics.gauge("health.drain.backlog").value
+
+    def veto(self, obs: Observation, state: Dict[str, Any]) -> bool:
+        """True while the backlog is above the threshold."""
+        return self.backlog(obs) > self.max_backlog

@@ -3,7 +3,12 @@
 import pytest
 
 from repro.errors import SchedulerError
-from repro.infra.study import JobSpec, SchedulingStudy
+from repro.infra.study import (
+    JobSpec,
+    SchedulingStudy,
+    _Running,
+    equipartition_targets,
+)
 
 
 def make_stream():
@@ -24,7 +29,7 @@ class TestSpecs:
             SchedulingStudy(4, [JobSpec("x", work=1, max_tasks=9, min_tasks=8)])
 
     def test_unknown_policy(self):
-        s = SchedulingStudy(4, make_stream()[:1])
+        s = SchedulingStudy(16, make_stream()[:1])
         with pytest.raises(SchedulerError):
             s.run("elastic")
 
@@ -94,3 +99,115 @@ class TestPolicies:
         r = SchedulingStudy(8, jobs).run("rigid")
         assert r.completions["late"] == pytest.approx(1025.0)
         assert r.mean_response == pytest.approx(25.0)
+
+
+class TestOversizeRequestRejected:
+    """Bugfix: the rigid policy used to clamp ``max_tasks`` above the
+    machine size silently, so the 'rigid' run quietly simulated a
+    smaller job than requested while the reconfigurable run used the
+    real range — the comparison was apples to oranges."""
+
+    def test_rejected_at_construction(self):
+        with pytest.raises(SchedulerError, match="no longer clamps"):
+            SchedulingStudy(4, [JobSpec("big", work=100.0, max_tasks=9)])
+
+    def test_machine_sized_request_accepted(self):
+        s = SchedulingStudy(4, [JobSpec("ok", work=100.0, max_tasks=4)])
+        assert s.run("rigid").completions["ok"] == pytest.approx(25.0)
+
+
+class TestDeclinedGrowthRedistribution:
+    """Bugfix: a nearly-done job declining growth used to strand its
+    declined share as idle nodes even when another job could grow."""
+
+    def test_declined_share_reaches_other_jobs(self):
+        nearly_done = _Running(
+            spec=JobSpec("a", work=1_000.0, max_tasks=16, arrival=0.0),
+            ntasks=4, remaining=10.0, blocked_until=0.0,
+        )
+        hungry = _Running(
+            spec=JobSpec("b", work=9_000.0, max_tasks=16, arrival=1.0),
+            ntasks=4, remaining=8_000.0, blocked_until=0.0,
+        )
+        targets = equipartition_targets(
+            16, [nearly_done, hungry], reconfig_cost_s=60.0
+        )
+        # a declines its 8-node offer (10 node-seconds left will not
+        # repay a 60s x 4-task reconfiguration); its share must flow to
+        # b, not idle — the pre-fix targets were {a: 4, b: 8}
+        assert targets == {"a": 4, "b": 12}
+
+    def test_shrinks_and_initial_placements_never_declined(self):
+        nearly_done = _Running(
+            spec=JobSpec("a", work=1_000.0, max_tasks=16, arrival=0.0),
+            ntasks=8, remaining=10.0, blocked_until=0.0,
+        )
+        entering = _Running(
+            spec=JobSpec("b", work=9_000.0, max_tasks=4, arrival=1.0),
+            ntasks=0, remaining=9_000.0, blocked_until=0.0,
+        )
+        targets = equipartition_targets(
+            8, [nearly_done, entering], reconfig_cost_s=60.0
+        )
+        # a shrinks (mandatory, frees b's promised nodes); b starts
+        assert targets == {"a": 4, "b": 4}
+
+    def test_no_stranded_nodes_under_contended_stream(self):
+        """End to end: the occupancy invariant inside the target
+        computation holds across a whole contended run (it would
+        assert out on the pre-fix stranding)."""
+        jobs = [
+            JobSpec(
+                f"j{i}", work=500.0 + 137.0 * i, max_tasks=8,
+                min_tasks=1, arrival=13.0 * i,
+            )
+            for i in range(12)
+        ]
+        r = SchedulingStudy(16, jobs, reconfig_cost_s=40.0).run("reconfigurable")
+        assert set(r.completions) == {j.name for j in jobs}
+
+
+class TestEdgeCases:
+    def test_simultaneous_arrivals_tie_break_by_name(self):
+        jobs = [
+            JobSpec("b", work=400.0, max_tasks=4, arrival=0.0),
+            JobSpec("a", work=400.0, max_tasks=4, arrival=0.0),
+            JobSpec("c", work=400.0, max_tasks=4, arrival=0.0),
+        ]
+        for policy in ("rigid", "reconfigurable"):
+            r = SchedulingStudy(8, jobs).run(policy)
+            assert set(r.completions) == {"a", "b", "c"}
+            total = sum(j.work for j in jobs)
+            assert r.utilization * 8 * r.makespan == pytest.approx(total)
+        # only two fit at once: the queue must drain in name order
+        rigid = SchedulingStudy(8, jobs).run("rigid")
+        assert rigid.completions["a"] <= rigid.completions["c"]
+
+    def test_reconfig_inside_anothers_blocked_window(self):
+        """A second reconfiguration lands while the first's overhead
+        window is still open; the blocked time must accumulate, not
+        reset, and the accounting must stay work-conserving."""
+        jobs = [
+            JobSpec("hog", work=8_000.0, max_tasks=16, min_tasks=2, arrival=0.0),
+            JobSpec("q1", work=200.0, max_tasks=8, min_tasks=1, arrival=100.0),
+            JobSpec("q2", work=200.0, max_tasks=8, min_tasks=1, arrival=110.0),
+        ]
+        s = SchedulingStudy(16, jobs, reconfig_cost_s=60.0)
+        r = s.run("reconfigurable")
+        assert set(r.completions) == {"hog", "q1", "q2"}
+        assert r.reconfigurations >= 2
+        total = sum(j.work for j in jobs)
+        assert r.utilization * 16 * r.makespan == pytest.approx(total)
+
+    def test_event_budget_exhaustion_raises(self):
+        s = SchedulingStudy(16, make_stream(), max_events=2)
+        with pytest.raises(SchedulerError, match="event budget"):
+            s.run("rigid")
+
+    def test_empty_job_list(self):
+        for policy in ("rigid", "reconfigurable"):
+            r = SchedulingStudy(4, []).run(policy)
+            assert r.makespan == 0.0
+            assert r.mean_response == 0.0
+            assert r.utilization == 0.0
+            assert r.completions == {}

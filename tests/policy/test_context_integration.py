@@ -1,0 +1,145 @@
+"""The cadence engine driving real DRMS runs through
+``DRMSContext.policy_checkpoint`` — including the every-iteration
+cadence regression the policy engine fixes (``it % every == 1`` never
+fired with ``every=1``)."""
+
+import numpy as np
+import pytest
+
+from repro.apps import make_proxy
+from repro.apps.stencil import StencilApp
+from repro.drms import CheckpointStatus, DRMSApplication
+from repro.drms.api import (
+    drms_create_distribution,
+    drms_distribute,
+    drms_initialize,
+    drms_policy_checkpoint,
+)
+from repro.errors import CheckpointError
+from repro.obs.health import HealthRegistry
+from repro.policy import (
+    AtEndRule,
+    CheckpointPolicy,
+    DrainBacklogRule,
+    IterationRule,
+)
+
+pytestmark = pytest.mark.policy
+
+N = 12
+
+
+def policy_main(ctx, niter, prefix, policy=None):
+    drms_initialize(ctx)
+    dist = drms_create_distribution(ctx, (N, N), shadow=(1, 1))
+    u = drms_distribute(ctx, "u", dist, init_global=np.ones((N, N)))
+    for it in ctx.iterations(1, niter + 1):
+        status, delta = drms_policy_checkpoint(
+            ctx, prefix, policy=policy, final=(it == niter)
+        )
+        if status is CheckpointStatus.RESTARTED and delta != 0:
+            u = drms_distribute(ctx, "u", ctx.adjust("u"))
+        u.set_assigned(u.assigned + 1.0)
+        ctx.barrier()
+    return float(u.assigned.sum())
+
+
+class TestPolicyCheckpoint:
+    def test_attached_policy_drives_cadence(self):
+        app = DRMSApplication(
+            policy_main, policy=CheckpointPolicy.every_iterations(5)
+        )
+        rep = app.start(4, args=(11, "ck"))
+        assert len(rep.checkpoints) == 3  # it = 1, 6, 11
+
+    def test_explicit_policy_overrides_attached(self):
+        app = DRMSApplication(
+            policy_main, policy=CheckpointPolicy.every_iterations(2)
+        )
+        pol = CheckpointPolicy([IterationRule(at=[4])])
+        rep = app.start(2, args=(6, "ck"), kwargs={"policy": pol})
+        assert len(rep.checkpoints) == 1
+
+    def test_no_policy_raises(self):
+        app = DRMSApplication(policy_main)
+        with pytest.raises(CheckpointError, match="cadence policy"):
+            app.start(2, args=(4, "ck"))
+
+    def test_at_end_checkpoints_last_iteration(self):
+        pol = CheckpointPolicy([IterationRule(every=100, start=1), AtEndRule()])
+        app = DRMSApplication(policy_main, policy=pol)
+        rep = app.start(4, args=(10, "ck"))
+        assert len(rep.checkpoints) == 2  # it = 1 and the final SOP
+
+    def test_throttle_suppresses_until_lifted(self):
+        health = HealthRegistry()
+        health.metrics.gauge("health.drain.backlog").set(99)
+        pol = CheckpointPolicy(
+            [IterationRule(every=1, start=1)],
+            throttles=[DrainBacklogRule(max_backlog=2, health=health)],
+        )
+        app = DRMSApplication(policy_main, policy=pol)
+        rep = app.start(2, args=(5, "ck"))
+        assert len(rep.checkpoints) == 0
+        health.metrics.gauge("health.drain.backlog").set(0)
+        rep2 = DRMSApplication(policy_main, policy=pol).start(2, args=(5, "ck"))
+        assert len(rep2.checkpoints) == 5
+
+    def test_reconfigured_restart_matches_straight_run(self):
+        pol = CheckpointPolicy.every_iterations(4)
+        app = DRMSApplication(policy_main, policy=pol)
+        ref = app.start(4, args=(9, "ck"))
+        rep = app.restart("ck", 6, args=(9, "ck"))
+        assert np.allclose(
+            rep.arrays["u"].to_global(), ref.arrays["u"].to_global()
+        )
+        assert rep.restarted_from == "ck"
+
+    def test_policy_state_fresh_per_run(self):
+        """The same policy object drives two runs; rule state must not
+        leak between them (it lives in the per-run AppRuntime)."""
+        pol = CheckpointPolicy([IterationRule(at=[2])])
+        app = DRMSApplication(policy_main, policy=pol)
+        assert len(app.start(2, args=(4, "ck1")).checkpoints) == 1
+        assert len(app.start(2, args=(4, "ck2")).checkpoints) == 1
+
+
+class TestEveryIterationRegression:
+    def test_proxy_checkpoints_every_iteration(self):
+        """checkpoint_every=1 checkpoints at EVERY iteration; the old
+        hardcoded ``it % checkpoint_every == 1`` never fired for 1."""
+        proxy = make_proxy("bt", "toy")
+        app = proxy.build_application()
+        rep = app.start(
+            2, args=(4, "bt.ck"), kwargs={"checkpoint_every": 1}
+        )
+        assert len(rep.checkpoints) == 4
+
+    def test_proxy_fig1_cadence_unchanged(self):
+        proxy = make_proxy("lu", "toy")
+        app = proxy.build_application()
+        rep = app.start(
+            2, args=(4, "lu.ck"), kwargs={"checkpoint_every": 3}
+        )
+        assert len(rep.checkpoints) == 2  # it = 1 and it = 4
+
+    def test_proxy_zero_disables_checkpointing(self):
+        proxy = make_proxy("sp", "toy")
+        app = proxy.build_application()
+        rep = app.start(
+            2, args=(3, "sp.ck"), kwargs={"checkpoint_every": 0}
+        )
+        assert len(rep.checkpoints) == 0
+
+    def test_stencil_every_iteration(self):
+        app = StencilApp(shape=(12, 12), checkpoint_every=1).build_application()
+        rep = app.start(2, args=(3, "st.ck"))
+        assert len(rep.checkpoints) == 3
+
+    def test_stencil_custom_policy(self):
+        stencil = StencilApp(
+            shape=(12, 12),
+            policy=CheckpointPolicy([IterationRule(at=[2]), AtEndRule()]),
+        )
+        rep = stencil.build_application().start(2, args=(5, "st.ck"))
+        assert len(rep.checkpoints) == 2  # it = 2 and the final SOP

@@ -1,0 +1,139 @@
+"""Unit tests for the cadence engine (repro.policy.engine)."""
+
+import pytest
+
+from repro.obs.health import HealthRegistry
+from repro.policy import (
+    AtEndRule,
+    CheckpointPolicy,
+    DrainBacklogRule,
+    IterationRule,
+    Observation,
+    SimulatedTimeRule,
+)
+
+pytestmark = pytest.mark.policy
+
+
+class TestConstruction:
+    def test_every_iterations_matches_fig1(self):
+        pol = CheckpointPolicy.every_iterations(10)
+        state = {}
+        fired = [
+            it
+            for it in range(1, 26)
+            if pol.decide(Observation(iteration=it), state).fire
+        ]
+        assert fired == [1, 11, 21]
+
+    def test_every_iterations_one_fires_always(self):
+        pol = CheckpointPolicy.every_iterations(1)
+        state = {}
+        assert all(
+            pol.decide(Observation(iteration=it), state).fire
+            for it in range(1, 8)
+        )
+
+    def test_every_iterations_zero_is_empty(self):
+        pol = CheckpointPolicy.every_iterations(0)
+        assert not pol.rules and not pol.throttles
+        assert not pol.decide(Observation(iteration=1), {}).fire
+
+    def test_every_iterations_negative_rejected(self):
+        with pytest.raises(ValueError):
+            CheckpointPolicy.every_iterations(-1)
+
+    def test_from_spec(self):
+        pol = CheckpointPolicy.from_spec(
+            {
+                "at_end": True,
+                "iterations": [{"every": 10, "start": 1}],
+                "simulation_time": [{"every": 5.0}],
+                "wallclock_time": [{"at": [300.0]}],
+            }
+        )
+        kinds = sorted(r.kind for r in pol.rules)
+        assert kinds == ["at_end", "iteration", "simulated_time", "wallclock"]
+
+    def test_from_spec_rejects_unknown_trigger(self):
+        with pytest.raises(ValueError, match="unknown checkpoint trigger"):
+            CheckpointPolicy.from_spec({"simulation_tmie": [{"every": 5}]})
+
+
+class TestDecide:
+    def test_one_checkpoint_services_all_due_rules(self):
+        pol = CheckpointPolicy(
+            [IterationRule(every=2, start=0), SimulatedTimeRule(every=10.0)]
+        )
+        state = {}
+        d = pol.decide(Observation(iteration=0, sim_time=0.0), state)
+        assert d.fire and set(d.due) == {"iteration", "simulated_time"}
+        # both rules were consumed by the one checkpoint
+        d2 = pol.decide(Observation(iteration=1, sim_time=1.0), state)
+        assert not d2.fire
+
+    def test_throttle_vetoes_without_consuming(self):
+        health = HealthRegistry()
+        backlog = health.metrics.gauge("health.drain.backlog")
+        backlog.set(10)
+        pol = CheckpointPolicy(
+            [IterationRule(every=5, start=5)],
+            throttles=[DrainBacklogRule(max_backlog=2, health=health)],
+        )
+        state = {}
+        d = pol.decide(Observation(iteration=5), state)
+        assert not d.fire and d.due == ("iteration",)
+        assert d.throttled_by == ("drain_backlog",)
+        # the veto lifts: the rule is still due and fires immediately,
+        # even though iteration 5 is long past
+        backlog.set(0)
+        d2 = pol.decide(Observation(iteration=7), state)
+        assert d2.fire and d2.due == ("iteration",)
+
+    def test_negative_decision_leaves_state_untouched(self):
+        pol = CheckpointPolicy([IterationRule(every=10, start=5)])
+        state = {}
+        pol.decide(Observation(iteration=1), state)
+        before = dict(state)
+        pol.decide(Observation(iteration=2), state)
+        assert state == before
+
+    def test_at_end_combines_with_periodic(self):
+        pol = CheckpointPolicy(
+            [IterationRule(every=7, start=1), AtEndRule()]
+        )
+        state = {}
+        fired = [
+            it
+            for it in range(1, 11)
+            if pol.decide(
+                Observation(iteration=it, final=(it == 10)), state
+            ).fire
+        ]
+        assert fired == [1, 8, 10]
+
+    def test_metrics_published(self):
+        from repro.obs import Tracer, use_tracer
+
+        tr = Tracer()
+        pol = CheckpointPolicy([IterationRule(every=1, start=0)])
+        state = {}
+        with use_tracer(tr):
+            pol.decide(Observation(iteration=0), state)
+            pol.decide(Observation(iteration=0), state)
+        m = tr.metrics
+        assert m.counter("policy.evaluations").value == 2
+        assert m.counter("policy.fired.iteration").value == 1
+        assert m.counter("policy.skipped").value == 1
+
+
+class TestObserveCost:
+    def test_cost_fans_out_to_adaptive_rules(self):
+        from repro.policy import YoungDalyRule
+
+        pol = CheckpointPolicy(
+            [IterationRule(every=5), YoungDalyRule(checkpoint_cost_s=10.0)]
+        )
+        state = {}
+        pol.observe_cost(state, 40.0)
+        assert state["young_daly.cost_s"] == pytest.approx(25.0)

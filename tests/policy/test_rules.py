@@ -1,0 +1,207 @@
+"""Unit tests for the cadence rules (repro.policy.rules)."""
+
+import math
+
+import pytest
+
+from repro.obs.health import HealthRegistry
+from repro.policy import (
+    AtEndRule,
+    DrainBacklogRule,
+    IterationRule,
+    Observation,
+    SimulatedTimeRule,
+    WallclockRule,
+    YoungDalyRule,
+    young_daly_interval,
+)
+
+pytestmark = pytest.mark.policy
+
+
+class TestYoungDalyInterval:
+    def test_formula(self):
+        assert young_daly_interval(30.0, 86_400.0) == pytest.approx(
+            math.sqrt(2 * 30.0 * 86_400.0)
+        )
+
+    def test_floored_at_cost(self):
+        # an interval shorter than one checkpoint write is unserviceable
+        assert young_daly_interval(100.0, 1.0) == 100.0
+
+    @pytest.mark.parametrize("cost,mtbf", [(-1.0, 100.0), (1.0, 0.0), (1.0, -5.0)])
+    def test_rejects_bad_inputs(self, cost, mtbf):
+        with pytest.raises(ValueError):
+            young_daly_interval(cost, mtbf)
+
+
+class TestIterationRule:
+    def test_every_one_fires_every_iteration(self):
+        """The bug the policy engine replaces: ``it % 1 == 1`` is never
+        true, so the hardcoded cadence with every=1 never checkpointed."""
+        rule = IterationRule(every=1, start=1)
+        state = {}
+        fired = []
+        for it in range(1, 7):
+            obs = Observation(iteration=it)
+            if rule.due(obs, state):
+                fired.append(it)
+                rule.consume(obs, state)
+        assert fired == [1, 2, 3, 4, 5, 6]
+
+    def test_fig1_cadence(self):
+        rule = IterationRule(every=10, start=1)
+        state = {}
+        fired = []
+        for it in range(1, 26):
+            obs = Observation(iteration=it)
+            if rule.due(obs, state):
+                fired.append(it)
+                rule.consume(obs, state)
+        assert fired == [1, 11, 21]
+
+    def test_stop_bounds_the_schedule(self):
+        rule = IterationRule(every=2, start=0, stop=4)
+        state = {}
+        fired = []
+        for it in range(10):
+            obs = Observation(iteration=it)
+            if rule.due(obs, state):
+                fired.append(it)
+                rule.consume(obs, state)
+        assert fired == [0, 2, 4]
+
+    def test_at_points(self):
+        rule = IterationRule(at=[3, 7])
+        state = {}
+        fired = []
+        for it in range(10):
+            obs = Observation(iteration=it)
+            if rule.due(obs, state):
+                fired.append(it)
+                rule.consume(obs, state)
+        assert fired == [3, 7]
+
+    def test_missed_point_fires_late_once(self):
+        rule = IterationRule(every=5, start=5)
+        state = {}
+        # the loop skipped from 2 straight to 12: the overdue point
+        # fires once, not once per missed multiple
+        assert not rule.due(Observation(iteration=2), state)
+        obs = Observation(iteration=12)
+        assert rule.due(obs, state)
+        rule.consume(obs, state)
+        assert not rule.due(Observation(iteration=13), state)
+        assert rule.due(Observation(iteration=15), state)
+
+    def test_rejects_empty_and_bad_schedules(self):
+        with pytest.raises(ValueError):
+            IterationRule()
+        with pytest.raises(ValueError):
+            IterationRule(every=0)
+        with pytest.raises(ValueError):
+            IterationRule(every=2, start=10, stop=5)
+
+
+class TestSimulatedTimeRule:
+    def test_fires_on_sim_clock(self):
+        rule = SimulatedTimeRule(every=10.0, start=0.0)
+        state = {}
+        fired = []
+        for t in (0.0, 3.0, 9.9, 10.0, 12.0, 25.0):
+            obs = Observation(sim_time=t)
+            if rule.due(obs, state):
+                fired.append(t)
+                rule.consume(obs, state)
+        assert fired == [0.0, 10.0, 25.0]
+
+
+class TestWallclockRule:
+    def test_elapsed_measured_from_first_call(self):
+        now = [1_000.0]
+        rule = WallclockRule(every=60.0, start=60.0, clock=lambda: now[0])
+        state = {}
+        assert not rule.due(Observation(), state)
+        now[0] = 1_059.0
+        assert not rule.due(Observation(), state)
+        now[0] = 1_060.0
+        assert rule.due(Observation(), state)
+        rule.consume(Observation(), state)
+        assert not rule.due(Observation(), state)
+        now[0] = 1_120.0
+        assert rule.due(Observation(), state)
+
+
+class TestAtEndRule:
+    def test_fires_once_at_final(self):
+        rule = AtEndRule()
+        state = {}
+        assert not rule.due(Observation(final=False), state)
+        obs = Observation(final=True)
+        assert rule.due(obs, state)
+        rule.consume(obs, state)
+        assert not rule.due(Observation(final=True), state)
+
+
+class TestYoungDalyRule:
+    def test_inert_without_mtbf(self):
+        rule = YoungDalyRule(checkpoint_cost_s=30.0)
+        assert rule.interval(Observation(), {}) is None
+        assert not rule.due(Observation(sim_time=1e9), {})
+
+    def test_fires_on_adaptive_interval(self):
+        rule = YoungDalyRule(checkpoint_cost_s=50.0, mtbf_s=10_000.0)
+        interval = young_daly_interval(50.0, 10_000.0)
+        state = {}
+        assert not rule.due(Observation(sim_time=0.0), state)
+        assert not rule.due(Observation(sim_time=interval - 1), state)
+        obs = Observation(sim_time=interval + 1)
+        assert rule.due(obs, state)
+        rule.consume(obs, state)
+        assert not rule.due(Observation(sim_time=interval + 2), state)
+
+    def test_observation_mtbf_overrides(self):
+        rule = YoungDalyRule(checkpoint_cost_s=50.0, mtbf_s=10_000.0)
+        got = rule.interval(Observation(mtbf_s=100.0), {})
+        assert got == young_daly_interval(50.0, 100.0)
+
+    def test_cost_ewma_tracks_observed_cost(self):
+        rule = YoungDalyRule(
+            checkpoint_cost_s=10.0, mtbf_s=1_000.0, cost_smoothing=0.5
+        )
+        state = {}
+        rule.observe_cost(state, 30.0)
+        assert state["young_daly.cost_s"] == pytest.approx(20.0)
+        assert rule.interval(Observation(), state) == pytest.approx(
+            young_daly_interval(20.0, 1_000.0)
+        )
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            YoungDalyRule(checkpoint_cost_s=-1.0)
+        with pytest.raises(ValueError):
+            YoungDalyRule(cost_smoothing=0.0)
+
+
+class TestDrainBacklogRule:
+    def test_never_vetoes_without_registry(self):
+        rule = DrainBacklogRule(max_backlog=0)
+        assert not rule.veto(Observation(), {})
+
+    def test_vetoes_over_threshold(self):
+        health = HealthRegistry()
+        health.metrics.gauge("health.drain.backlog").set(5)
+        rule = DrainBacklogRule(max_backlog=2, health=health)
+        assert rule.veto(Observation(), {})
+        health.metrics.gauge("health.drain.backlog").set(2)
+        assert not rule.veto(Observation(), {})
+
+    def test_reads_registry_from_observation(self):
+        health = HealthRegistry()
+        health.metrics.gauge("health.drain.backlog").set(9)
+        rule = DrainBacklogRule(max_backlog=2)
+        assert rule.veto(Observation(health=health), {})
+
+    def test_rejects_negative_threshold(self):
+        with pytest.raises(ValueError):
+            DrainBacklogRule(max_backlog=-1)

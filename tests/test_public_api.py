@@ -33,7 +33,9 @@ def test_all_exports_resolve():
         "repro.drms.nonconforming",
         "repro.drms.steering",
         "repro.infra",
+        "repro.infra.fleet",
         "repro.infra.study",
+        "repro.policy",
         "repro.apps",
         "repro.apps.unstructured",
         "repro.apps.verify",
