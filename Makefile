@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: install test verify-checkpoints verify-mlck verify-localized verify-policy verify-reconfig verify-reconfig-deep bench bench-baseline bench-stream bench-obs bench-localized bench-fleet report trace obs-report forensics-demo examples all clean
+.PHONY: install test verify-checkpoints verify-mlck verify-localized verify-policy verify-workflow verify-reconfig verify-reconfig-deep bench bench-baseline bench-stream bench-obs bench-localized bench-workflow bench-fleet report trace obs-report forensics-demo examples all clean
 
 # fixed seed so the gate is fully deterministic; DEEP_SEED rotates daily
 VERIFY_SEED ?= 20260806
@@ -13,7 +13,7 @@ test:
 	$(PYTHON) -m pytest tests/
 
 verify-checkpoints:
-	PYTHONPATH=src $(PYTHON) -m pytest -m "crash_consistency or mlck or flight or localized or policy" tests/
+	PYTHONPATH=src $(PYTHON) -m pytest -m "crash_consistency or mlck or flight or localized or policy or workflow" tests/
 
 # the cadence-policy gate: the rule/engine unit suite plus the
 # context-integration scenarios (policy-marked tests)
@@ -36,6 +36,15 @@ verify-localized:
 	PYTHONPATH=src $(PYTHON) -m repro.verify localized --seed $(VERIFY_SEED) \
 		--cases 40 --out verify_out
 	PYTHONPATH=src $(PYTHON) -m pytest -m localized tests/
+
+# the coupled-workflow gate: the canonical torn-line and lost-member
+# schedules, a seeded batch of random ring-coupled ensemble cases
+# (torn lines rejected as units, byte-identical mixed-task-count
+# restarts), and the workflow-marked scenario tests
+verify-workflow:
+	PYTHONPATH=src $(PYTHON) -m repro.verify workflow --seed $(VERIFY_SEED) \
+		--cases 40 --out verify_out
+	PYTHONPATH=src $(PYTHON) -m pytest -m workflow tests/
 
 # the differential reconfiguration harness (DESIGN.md section 10):
 # 220 seeded (t1,p1)->(t2,p2) cases across all three engines plus 40
@@ -81,6 +90,13 @@ bench-obs:
 # L1-served happy path
 bench-localized:
 	PYTHONPATH=src:benchmarks $(PYTHON) benchmarks/bench_localized_recovery.py --check
+
+# the workflow gate: regenerates BENCH_workflow.json and fails if
+# coordination costs an unbounded premium over independent members,
+# a torn workflow line is not rejected as a unit, or the
+# mixed-task-count ensemble restart diverges
+bench-workflow:
+	PYTHONPATH=src:benchmarks $(PYTHON) benchmarks/bench_workflow.py --check
 
 # the fleet-policy gate: regenerates BENCH_fleet.json and fails if the
 # adaptive cadence does not beat the fixed one on lost work under the

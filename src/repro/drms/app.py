@@ -244,6 +244,10 @@ class DRMSApplication:
         from repro.drms.steering import SteeringHub
 
         self.steering = SteeringHub(order=order)
+        #: workflow binding while running under a
+        #: :class:`~repro.workflow.coordinator.WorkflowCoordinator`:
+        #: ``(hub, member_name, member_base)``, or None standalone
+        self.workflow = None
         #: active ElasticRunner, when running under on-the-fly
         #: reconfiguration (repro.drms.elastic)
         self._elastic_runner = None

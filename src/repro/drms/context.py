@@ -465,6 +465,89 @@ class DRMSContext:
         self.comm.clock.advance(bd.total_seconds)
         return (CheckpointStatus.TAKEN, 0)
 
+    def workflow_exchange(self, final: bool = False) -> tuple:
+        """``drms_workflow_exchange``: the coupled-workflow analogue of
+        ``reconfig_checkpoint``.  Collective across this member's tasks
+        *and* aligned across every member of the owning
+        :class:`~repro.workflow.coordinator.WorkflowCoordinator`: all
+        members quiesce at the boundary, the coordinator services
+        steering queues and coupling transfers and makes one ensemble
+        cadence decision, and a positive decision checkpoints every
+        member as one workflow generation (the manifest commits only
+        after all member states landed).
+
+        Returns ``(status, delta)`` with ``reconfig_checkpoint``
+        semantics: the first call of a restarted run reports
+        ``(RESTARTED, delta)`` without entering the rendezvous (every
+        member restarts together, so all of them skip the same
+        boundary); a negative cadence decision crosses the SOP and
+        returns ``(SKIPPED, 0)``; a committed line returns
+        ``(TAKEN, 0)``.  ``final`` marks the run's last exchange for
+        ``at_end`` policy rules."""
+        rt = self.runtime
+        wf = getattr(rt.app, "workflow", None)
+        if wf is None:
+            raise CheckpointError(
+                "workflow_exchange outside a workflow: run this "
+                "application through a WorkflowCoordinator"
+            )
+        hub, member, member_base = wf
+        self._sop += 1
+        rt.note_sop_crossing(self._sop, self._iteration)
+        fr = get_flight()
+        if fr.enabled:
+            my_node = self.comm.world.placement.get(self.rank)
+            fr.record(
+                "sop_crossed",
+                node=my_node if my_node is not None else GLOBAL_NODE,
+                time=self.comm.clock.now,
+                sop=self._sop, iteration=self._iteration, rank=self.rank,
+                member=member,
+            )
+        if self._restart_pending:
+            self._restart_pending = False
+            self.comm.barrier()
+            return (CheckpointStatus.RESTARTED, rt.restored.delta)
+        outcome = self._collective(
+            lambda: hub.exchange(
+                member, self._iteration, self.comm.clock.now, final
+            )
+        )
+        # charge this member's share of the coupling wire traffic
+        moved = outcome["transfer_bytes"].get(member, 0)
+        if moved:
+            per_task = moved / max(1, self.size)
+            self.comm.compute(self.comm.world.transfer_cost(int(per_task)))
+        if not outcome["fire"]:
+            return (CheckpointStatus.SKIPPED, 0)
+        prefix = outcome["prefixes"][member]
+
+        def take():
+            seg = rt.build_segment(iteration=self._iteration, sop_id=self._sop)
+            bd = rt.engine_checkpoint(prefix, seg, clock=self.comm.clock.now)
+            # engine_checkpoint records the actual prefix (mlck members
+            # checkpoint under a rotation base) as the newest entry
+            return rt.checkpoints[-1][0], bd
+
+        actual, bd = self._collective(take)
+        if fr.enabled and self.rank == 0:
+            fr.record(
+                "checkpoint_taken", prefix=actual, sop=self._sop,
+                time=self.comm.clock.now,
+                iteration=self._iteration, seconds=bd.total_seconds,
+                member=member, generation=outcome["generation"],
+            )
+        # Blocking checkpoint: every task waits for its member's state
+        # to land before the line can commit.
+        self.comm.clock.advance(bd.total_seconds)
+        self._collective(
+            lambda: hub.commit(
+                member, actual, self.size, self._iteration,
+                self.comm.clock.now, bd.total_seconds,
+            )
+        )
+        return (CheckpointStatus.TAKEN, 0)
+
     def reconfig_chkenable(self, prefix: str) -> tuple:
         """``drms_reconfig_chkenable``: enabling checkpoint, taken only
         if the system (JSA) has sent an enabling signal; the signal is

@@ -19,10 +19,12 @@ import json
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from repro.checkpoint.format import manifest_name
 from repro.drms.app import DRMSApplication, RunReport
-from repro.errors import CheckpointError, ReconfigurationError
+from repro.errors import ReconfigurationError, RestartError
 from repro.pfs.piofs import PIOFS
 from repro.runtime.machine import Machine
+from repro.workflow.manifest import check_member_name, newest_consistent_generations
 
 __all__ = ["MPMDApplication", "MPMDRunReport"]
 
@@ -58,9 +60,12 @@ class MPMDApplication:
         **app_options: Any,
     ) -> DRMSApplication:
         """Register an SPMD component (its ``main`` plus fixed args).
-        Component checkpoint prefixes are namespaced automatically."""
-        if name in self._components:
-            raise CheckpointError(f"duplicate MPMD component {name!r}")
+        Component checkpoint prefixes are namespaced automatically; the
+        name rules of
+        :func:`~repro.workflow.manifest.check_member_name` keep the
+        namespaces disjoint (a dotted or six-digit name would alias
+        another component's checkpoint files)."""
+        check_member_name(name, taken=self._components)
         app = DRMSApplication(
             main, name=name, machine=self.machine, pfs=self.pfs, **app_options
         )
@@ -111,17 +116,70 @@ class MPMDApplication:
     def restart(self, prefix: str, tasks: Dict[str, int]) -> MPMDRunReport:
         """Restart every component from its namespaced checkpoint, each
         with an independently chosen new task count (components
-        reconfigure individually or collectively)."""
+        reconfigure individually or collectively).
+
+        The component states must form one **consistent logical
+        generation**: when the components keep rotated generations under
+        their namespaces (``<prefix>.<name>.NNNNNN``), the set restarted
+        from is resolved *jointly* — the newest generation number at
+        which every component is byte-valid — instead of each component
+        falling back newest-to-oldest on its own, which could silently
+        mix generations when one component's newest state is torn."""
         self._check_tasks(tasks)
+        resolved = self._resolve_component_states(prefix)
         report = MPMDRunReport()
         for name, (app, args, kwargs) in self._components.items():
             report.components[name] = app.restart(
-                self._component_prefix(prefix, name),
+                resolved[name],
                 tasks[name],
                 args=args,
                 kwargs=kwargs,
             )
         return report
+
+    def _has_state(self, app: DRMSApplication, prefix: str) -> bool:
+        """A restartable state exists at exactly ``prefix`` (a committed
+        PFS manifest, or an L1 generation of a memory-tier component)."""
+        if self.pfs.exists(manifest_name(prefix)):
+            return True
+        return any(ck.store.has(prefix) for ck in app._mlck.values())
+
+    def _resolve_component_states(self, prefix: str) -> Dict[str, str]:
+        """The per-component restart prefixes under ``prefix``.
+
+        When every component has a state at its exact namespaced prefix
+        (un-rotated coordinated checkpoints), that set *is* the logical
+        generation.  Otherwise the components checkpointed under
+        rotating generation numbers, and the set is resolved through the
+        workflow-manifest validation walk
+        (:func:`~repro.workflow.manifest.newest_consistent_generations`):
+        the newest number at which every component verifies, torn
+        numbers rejected as a unit."""
+        exact = {
+            name: self._component_prefix(prefix, name)
+            for name in self._components
+        }
+        if all(
+            self._has_state(app, exact[name])
+            for name, (app, _, _) in self._components.items()
+        ):
+            return exact
+        l1_stores = {
+            name: app.l1_store_for(exact[name])
+            for name, (app, _, _) in self._components.items()
+        }
+        resolved, rejected = newest_consistent_generations(
+            self.pfs, exact, l1_stores
+        )
+        if resolved is None:
+            detail = "; ".join(
+                f"gen {g}: {errs[0]}" for g, errs in rejected[:3]
+            )
+            raise RestartError(
+                f"no MPMD generation under {prefix!r} has every "
+                "component byte-valid" + (f" ({detail})" if detail else "")
+            )
+        return resolved
 
     def _check_tasks(self, tasks: Dict[str, int]) -> None:
         missing = set(self._components) - set(tasks)

@@ -25,7 +25,7 @@ import numpy as np
 from repro.arrays.assignment import array_assign, build_schedule, schedule_bytes
 from repro.arrays.darray import DistributedArray
 from repro.arrays.slices import Slice
-from repro.errors import ArrayError
+from repro.errors import ArrayError, SteeringTimeoutError
 from repro.streaming.order import bytes_to_section, check_order
 from repro.streaming.serial import gather_piece, scatter_piece
 from repro.streaming.partition import partition_for_target
@@ -68,9 +68,15 @@ def steer_write(
 
 
 class SteeringFuture:
-    """Completion handle for one queued steering request."""
+    """Completion handle for one queued steering request.  Knows which
+    request it tracks (``kind``/``name``/``section``) so a timeout can
+    say *what* was never serviced."""
 
-    def __init__(self):
+    def __init__(self, kind: str = "", name: str = "",
+                 section: Optional[Slice] = None):
+        self.kind = kind
+        self.name = name
+        self.section = section
         self._event = threading.Event()
         self._result: Any = None
         self._error: Optional[BaseException] = None
@@ -84,9 +90,17 @@ class SteeringFuture:
         return self._event.is_set()
 
     def result(self, timeout: Optional[float] = 30.0) -> Any:
-        """Block for the serviced result; raises the relayed error, or after timeout."""
+        """Block for the serviced result; raises the relayed error, or
+        :class:`~repro.errors.SteeringTimeoutError` when the request is
+        never serviced (the application has no steering point in its
+        loop, or exited before reaching one)."""
         if not self._event.wait(timeout=timeout):
-            raise ArrayError("steering request not serviced (no steering point?)")
+            where = f" section {self.section}" if self.section is not None else ""
+            raise SteeringTimeoutError(
+                f"steering {self.kind or 'request'} of {self.name!r}{where} "
+                f"not serviced within {timeout}s (no steering point?)",
+                kind=self.kind, name=self.name, section=self.section,
+            )
         if self._error is not None:
             raise self._error
         return self._result
@@ -118,7 +132,8 @@ class SteeringHub:
         return self._enqueue(("write", name, section, np.asarray(values)))
 
     def _enqueue(self, req) -> SteeringFuture:
-        fut = SteeringFuture()
+        kind, name, section, _ = req
+        fut = SteeringFuture(kind=kind, name=name, section=section)
         with self._lock:
             self._queue.append((req, fut))
         return fut

@@ -29,6 +29,21 @@ class ArrayError(ReproError):
     access outside the local section."""
 
 
+class SteeringTimeoutError(ArrayError):
+    """A steering request was never serviced within the wait budget —
+    the application has no steering point in its loop, or it exited
+    before reaching one.  Carries the request ``kind``/``name``/
+    ``section`` so a client steering many fields can tell which one
+    wedged."""
+
+    def __init__(self, message: str, kind: str = "", name: str = "",
+                 section=None):
+        super().__init__(message)
+        self.kind = kind
+        self.name = name
+        self.section = section
+
+
 class StreamingError(ReproError):
     """Array-section streaming failure (bad partition, seek on a
     non-seekable stream, short read/write)."""
@@ -53,6 +68,12 @@ class MemoryTierError(CheckpointError):
     """The in-memory (L1) checkpoint tier cannot serve a generation: a
     replica set lost every copy of some piece, a surviving replica
     failed its checksum, or the generation was never captured."""
+
+
+class WorkflowError(CheckpointError):
+    """A coupled-workflow operation failed: a member never reached its
+    exchange boundary, a workflow line could not be committed, or no
+    workflow generation has every member byte-valid."""
 
 
 class ReconfigurationError(ReproError):

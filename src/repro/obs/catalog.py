@@ -82,6 +82,13 @@ METRIC_FAMILIES: List[Tuple[str, str, str]] = [
         "injected failures, lost work, recovery latency",
     ),
     (
+        "workflow",
+        rf"workflow\.{_SEG}(\.{_SEG})?",
+        "coupled-workflow coordination: exchange/steering tallies, "
+        "coupling wire bytes, committed/rejected/fallback line counts, "
+        "per-line ensemble checkpoint seconds, and member restore tiers",
+    ),
+    (
         "plancache",
         rf"plancache\.(hit|miss|eviction|invalidation|saved_seconds)({_ENT})?",
         "plan-cache hit/miss/eviction accounting",

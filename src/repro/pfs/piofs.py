@@ -40,6 +40,8 @@ class PIOFS:
         self.params = params or PIOFSParams(num_servers=self.machine.num_nodes)
         self._files: Dict[str, PFSFile] = {}
         self._lock = threading.Lock()
+        self._phase_cv = threading.Condition(self._lock)
+        self._phase_owner: Optional[int] = None
         self._phase_kind: Optional[IOKind] = None
         self._phase_transfers: List[PhaseTransfer] = []
         self._phase_server_bytes: Dict[int, int] = {}
@@ -148,13 +150,28 @@ class PIOFS:
 
     # -- timed I/O ----------------------------------------------------------
 
-    def begin_phase(self, kind: IOKind) -> None:
-        """Open a timed I/O phase of the given operation kind."""
-        with self._lock:
-            if self._phase_kind is not None:
+    def begin_phase(self, kind: IOKind, timeout: float = 60.0) -> None:
+        """Open a timed I/O phase of the given operation kind.
+
+        Phases are file-system-wide critical sections: a thread opening
+        a phase while it already owns one is a programming error
+        (phases do not nest), but a phase opened by *another* thread —
+        a concurrent workflow member checkpointing, a drain in flight —
+        simply queues behind it, the way independent jobs share a real
+        PFS's service capacity."""
+        with self._phase_cv:
+            me = threading.get_ident()
+            if self._phase_kind is not None and self._phase_owner == me:
                 raise PFSError(
                     f"phase {self._phase_kind} already open; phases do not nest"
                 )
+            while self._phase_kind is not None:
+                if not self._phase_cv.wait(timeout=timeout):
+                    raise PFSError(
+                        f"timed out waiting {timeout}s for phase "
+                        f"{self._phase_kind} to close"
+                    )
+            self._phase_owner = me
             self._phase_kind = kind
             self._phase_transfers = []
             self._phase_server_bytes = {}
@@ -173,8 +190,10 @@ class PIOFS:
                 if t.filename in self._files
             }
             self._phase_kind = None
+            self._phase_owner = None
             self._phase_transfers = []
             self._phase_server_bytes = {}
+            self._phase_cv.notify_all()
         busy = sum(1 for n in self.machine.nodes if n.busy)
         result = solve_phase(
             kind,
@@ -200,8 +219,10 @@ class PIOFS:
         when no phase is open."""
         with self._lock:
             self._phase_kind = None
+            self._phase_owner = None
             self._phase_transfers = []
             self._phase_server_bytes = {}
+            self._phase_cv.notify_all()
 
     def _meter(self, op: str, fname: str, nbytes: int, t0: Optional[float]) -> None:
         """Per-operation observability: global and per-file counters

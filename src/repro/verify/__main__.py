@@ -6,6 +6,7 @@ Subcommands::
                                    [--mlck-cases K] [--out DIR]
     python -m repro.verify mlck    [--seed S] [--cases N] [--out DIR]
     python -m repro.verify localized [--seed S] [--cases N] [--out DIR]
+    python -m repro.verify workflow [--seed S] [--cases N] [--out DIR]
     python -m repro.verify replay  CASE.json [CASE.json ...]
     python -m repro.verify shrink  CASE.json [--out SHRUNK.json]
     python -m repro.verify known-bad [--out CASE.json]
@@ -21,7 +22,13 @@ multi-level fault cases.  ``localized`` is the equivalence gate behind
 ``make verify-localized``: the canonical happy-path and PFS-fallback
 schedules plus a seeded sweep of (failure schedule, k-replica,
 node-count) triples, each run through BOTH the localized and the full
-recovery path — the state must come out byte-identical.
+recovery path — the state must come out byte-identical.  ``workflow``
+is the coupled-ensemble gate behind ``make verify-workflow``: the two
+canonical torn-line schedules (a silently corrupted member, a lost
+member generation) plus a seeded batch of random ring-coupled
+workflow cases, each asserting torn lines are rejected as units and
+the ensemble restarts byte-identically from the newest fully-valid
+line.
 """
 
 from __future__ import annotations
@@ -34,8 +41,10 @@ from repro.verify.gen import (
     known_bad_case,
     localized_equivalence_case,
     localized_pfs_fallback_case,
+    lost_member_generation_case,
     mid_drain_crash_case,
     node_loss_case,
+    torn_workflow_case,
 )
 from repro.verify.harness import dump_failures, run_suite
 from repro.verify.oracle import VerifyFailure, replay_case, run_case
@@ -107,6 +116,35 @@ def _cmd_localized(args: argparse.Namespace) -> int:
         )
     report = run_suite(args.seed, reconfig_cases=0, fault_cases=0,
                        localized_cases=args.cases)
+    print(report.summary())
+    if not report.ok:
+        paths = dump_failures(report, args.out)
+        for p in paths:
+            print(f"  reproducer: {p}")
+    return 1 if (bad or not report.ok) else 0
+
+
+def _cmd_workflow(args: argparse.Namespace) -> int:
+    bad = 0
+    for name, case in (
+        ("torn-line", torn_workflow_case(seed=args.seed)),
+        ("lost-member-generation", lost_member_generation_case(seed=args.seed)),
+    ):
+        try:
+            result = run_case(case)
+        except VerifyFailure as exc:
+            print(f"FAIL {name}: {exc.errors[0]}")
+            bad += 1
+            continue
+        d = result.details
+        print(
+            f"ok   {name}: chose line {d['chosen']} "
+            f"(committed {d['committed']}, rejected {d['rejected']} as "
+            f"units), ensemble restarted on tasks {d['restart_tasks']} "
+            "byte-identically"
+        )
+    report = run_suite(args.seed, reconfig_cases=0, fault_cases=0,
+                       workflow_cases=args.cases)
     print(report.summary())
     if not report.ok:
         paths = dump_failures(report, args.out)
@@ -222,6 +260,18 @@ def main(argv=None) -> int:
     p.add_argument("--out", default="verify_out",
                    help="directory for failure reproducers")
     p.set_defaults(fn=_cmd_localized)
+
+    p = sub.add_parser(
+        "workflow",
+        help="run the canonical torn-workflow-line schedules plus a "
+        "seeded batch of random coupled-workflow cases",
+    )
+    p.add_argument("--seed", type=int, default=20260806)
+    p.add_argument("--cases", type=int, default=25,
+                   help="random coupled-workflow cases")
+    p.add_argument("--out", default="verify_out",
+                   help="directory for failure reproducers")
+    p.set_defaults(fn=_cmd_workflow)
 
     p = sub.add_parser("replay", help="replay saved case files")
     p.add_argument("cases", nargs="+", metavar="CASE.json")

@@ -45,7 +45,7 @@ CASE_VERSION = 1
 ENGINES = ("drms", "spmd", "incremental")
 POLICIES = ("validated", "naive")
 EXPECTATIONS = ("pass", "fail")
-EVENT_KINDS = ("write", "stored_flip", "node_loss", "drain_crash")
+EVENT_KINDS = ("write", "stored_flip", "node_loss", "drain_crash", "gen_loss")
 TIERS = ("pfs", "memory+pfs")
 
 
@@ -81,7 +81,14 @@ class FaultEvent:
     stays memory-only (no manifest ever commits — two-phase commit).
     Plain ``write`` events in an mlck case also target the drain:
     silent modes ("short"/"torn") corrupt the durable copy while the
-    memory replicas stay good."""
+    memory replicas stay good.
+
+    Workflow cases (``workflow=True``) bind events to one *member* of
+    the ensemble (``member``, an index into the member list):
+    ``stored_flip`` corrupts that member's slice of workflow generation
+    ``gen`` after the run, and ``kind == "gen_loss"`` deletes the
+    member's generation manifest outright — either way the whole
+    workflow line must be rejected as a unit."""
 
     kind: str
     gen: int = 1
@@ -97,6 +104,8 @@ class FaultEvent:
     bit: int = 0
     # node losses (tier="memory+pfs")
     node: int = 0
+    # workflow member the event targets (index into the member list)
+    member: int = 0
 
     def __post_init__(self) -> None:
         if self.kind not in EVENT_KINDS:
@@ -142,6 +151,17 @@ class Case:
     #: route this fault case through the localized-vs-full differential
     #: oracle: both recovery paths must produce byte-identical state
     localized: bool = False
+    #: route this fault case through the coupled-workflow oracle: an
+    #: ensemble of ``members`` applications checkpointed as workflow
+    #: lines, post-run corruption tearing lines that the recovery walk
+    #: must reject as units
+    workflow: bool = False
+    #: ensemble size of a workflow case
+    members: int = 2
+    #: per-member task counts for the initial run / the ensemble
+    #: restart (empty lists fall back to ``t1`` / ``t2`` for all)
+    member_tasks1: List[int] = field(default_factory=list)
+    member_tasks2: List[int] = field(default_factory=list)
 
     def __post_init__(self) -> None:
         if self.type not in ("reconfig", "fault"):
@@ -162,6 +182,24 @@ class Case:
             raise CaseError(
                 "localized cases are fault cases on the memory+pfs tier"
             )
+        if self.workflow:
+            if self.type != "fault" or self.tier != "pfs" or self.localized:
+                raise CaseError(
+                    "workflow cases are fault cases on the pfs tier"
+                )
+            if self.members < 2:
+                raise CaseError("workflow cases need at least 2 members")
+            for fname, tasks in (
+                ("member_tasks1", self.member_tasks1),
+                ("member_tasks2", self.member_tasks2),
+            ):
+                if tasks and len(tasks) != self.members:
+                    raise CaseError(
+                        f"{fname} has {len(tasks)} entries for "
+                        f"{self.members} members"
+                    )
+                if any(t < 1 for t in tasks):
+                    raise CaseError(f"{fname} entries must be >= 1")
         if self.engine == "spmd" and self.t2 != self.t1:
             raise CaseError(
                 "SPMD restart is only conforming on the checkpointing "
@@ -171,6 +209,16 @@ class Case:
             raise CaseError(f"p1={self.p1} outside 1..t1={self.t1}")
         if not 1 <= self.p2 <= self.t2:
             raise CaseError(f"p2={self.p2} outside 1..t2={self.t2}")
+
+    # -- workflow geometry ----------------------------------------------
+
+    def workflow_tasks1(self) -> List[int]:
+        """Per-member task counts of a workflow case's initial run."""
+        return list(self.member_tasks1) or [self.t1] * self.members
+
+    def workflow_tasks2(self) -> List[int]:
+        """Per-member task counts of the ensemble restart."""
+        return list(self.member_tasks2) or [self.t2] * self.members
 
     # -- geometry --------------------------------------------------------
 
@@ -255,6 +303,11 @@ class Case:
             core += f" tier={self.tier} nodes={self.num_nodes} k={self.k}"
         if self.localized:
             core += " localized"
+        if self.workflow:
+            core += (
+                f" workflow members={self.members} "
+                f"tasks={self.workflow_tasks1()}->{self.workflow_tasks2()}"
+            )
         return core
 
 

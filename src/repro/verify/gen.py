@@ -39,6 +39,7 @@ __all__ = [
     "known_bad_case",
     "localized_equivalence_case",
     "localized_pfs_fallback_case",
+    "lost_member_generation_case",
     "mid_drain_crash_case",
     "node_loss_case",
     "random_axis",
@@ -47,6 +48,7 @@ __all__ = [
     "random_range",
     "random_shape",
     "random_slice",
+    "torn_workflow_case",
 ]
 
 _DTYPES = ("float64", "float32", "int64", "int32", "int16", "uint8")
@@ -420,6 +422,66 @@ class CaseGen:
             localized=True,
         )
 
+    def _workflow_event(self, generations: int, members: int) -> FaultEvent:
+        rng = self.rng
+        gen = rng.randint(1, generations)
+        member = rng.randrange(members)
+        if rng.random() < 0.65:
+            return FaultEvent(
+                kind="stored_flip",
+                gen=gen,
+                member=member,
+                target=rng.choice(["segment", "array", "array"]),
+                array_index=rng.randrange(2),
+                offset=rng.randrange(4096),
+                bit=rng.randrange(8),
+            )
+        return FaultEvent(kind="gen_loss", gen=gen, member=member)
+
+    def workflow_case(self) -> Case:
+        """One random coupled-workflow case: a ring-coupled ensemble
+        commits one workflow line per exchange, post-run corruption
+        tears random members of random lines, and the oracle checks the
+        walk rejects torn lines as units, falls back to the newest
+        fully-valid one, and restarts every member byte-identically on
+        independently drawn new task counts."""
+        rng = self.rng
+        members = rng.choice([2, 2, 3])
+        shape = random_shape(rng, max_rank=2, max_extent=8)
+        generations = rng.randint(2, 4)
+        mt1 = [rng.randint(1, 3) for _ in range(members)]
+        mt2 = [rng.randint(1, 3) for _ in range(members)]
+        events = [
+            self._workflow_event(generations, members)
+            for _ in range(rng.randint(1, 3))
+        ]
+        t1, t2 = max(mt1), max(mt2)
+        return Case(
+            type="fault",
+            engine="drms",
+            order="F",
+            shape=shape,
+            t1=t1,
+            p1=1,
+            t2=t2,
+            p2=1,
+            grid1=random_grid(rng, t1, len(shape)),
+            grid2=random_grid(rng, t2, len(shape)),
+            arrays=[],
+            target_bytes=rng.choice(_TARGET_BYTES),
+            data_seed=rng.randrange(1 << 30),
+            seed=self.seed,
+            generations=generations,
+            events=events,
+            policy="validated",
+            expect="pass",
+            num_nodes=rng.choice([8, 16]),
+            workflow=True,
+            members=members,
+            member_tasks1=mt1,
+            member_tasks2=mt2,
+        )
+
     def fault_case(self) -> Case:
         """One random fault-schedule case: the validated recovery policy
         must land on the newest byte-for-byte valid generation."""
@@ -580,6 +642,76 @@ def localized_pfs_fallback_case(seed: int = 0) -> Case:
             "all replicas of a piece die with the failed pair: localized "
             "recovery must degrade to the same full PFS read and still "
             "byte-match"
+        ),
+    )
+
+
+def _workflow_case_shell(seed: int, **kw) -> Case:
+    """Shared fixed geometry of the canonical workflow schedules: a
+    two-member ring (stencil feeding a consumer), three committed
+    lines, mixed task counts on restart."""
+    rng = random.Random(seed)
+    return Case(
+        type="fault",
+        engine="drms",
+        order="F",
+        shape=[6, 4],
+        t1=2,
+        p1=1,
+        t2=3,
+        p2=1,
+        grid1=[2, 1],
+        grid2=[3, 1],
+        arrays=[],
+        target_bytes=64,
+        data_seed=rng.randrange(1 << 30),
+        seed=seed,
+        generations=3,
+        policy="validated",
+        expect="pass",
+        workflow=True,
+        members=2,
+        member_tasks1=[2, 1],
+        member_tasks2=[3, 2],
+        **kw,
+    )
+
+
+def torn_workflow_case(seed: int = 0) -> Case:
+    """The canonical torn-line schedule: after three workflow lines
+    commit, a stored byte of member 1's newest generation flips.
+    Member 0's newest state is still perfectly valid — but the line is
+    torn, so the recovery walk must reject generation 3 *as a unit*
+    (never mixing member 0's gen-3 state with member 1's gen-2 one) and
+    restart the whole ensemble from line 2."""
+    return _workflow_case_shell(
+        seed,
+        events=[
+            FaultEvent(
+                kind="stored_flip", gen=3, member=1,
+                target="array", array_index=0, offset=3, bit=1,
+            )
+        ],
+        note=(
+            "one member of the newest workflow line silently corrupted: "
+            "the whole line is rejected as a unit and the ensemble "
+            "falls back to the previous one"
+        ),
+    )
+
+
+def lost_member_generation_case(seed: int = 0) -> Case:
+    """The canonical lost-member schedule: member 0's newest generation
+    manifest disappears outright (a crash between the member commit and
+    the workflow manifest would look the same).  The workflow manifest
+    for line 3 still exists and member 1's state is intact, but the
+    walk must treat the line as torn and fall back to line 2."""
+    return _workflow_case_shell(
+        seed,
+        events=[FaultEvent(kind="gen_loss", gen=3, member=0)],
+        note=(
+            "one member generation of the newest line lost: the line "
+            "is torn and the ensemble restarts from the previous one"
         ),
     )
 

@@ -60,23 +60,29 @@ def run_suite(
     fault_cases: int = 30,
     mlck_cases: int = 0,
     localized_cases: int = 0,
+    workflow_cases: int = 0,
     on_case: Optional[Callable[[int, Case], None]] = None,
 ) -> SuiteReport:
     """Generate and run ``reconfig_cases`` reconfiguration cases,
     ``fault_cases`` fault-schedule cases, ``mlck_cases`` multi-level
-    (memory+pfs tier) fault cases, and ``localized_cases``
-    localized-vs-full recovery equivalence cases, all from ``seed``."""
+    (memory+pfs tier) fault cases, ``localized_cases``
+    localized-vs-full recovery equivalence cases, and
+    ``workflow_cases`` coupled-workflow torn-line cases, all from
+    ``seed``."""
     gen = CaseGen(seed)
     report = SuiteReport(seed=seed)
     cases: List[Case] = [gen.reconfig_case() for _ in range(reconfig_cases)]
     cases += [gen.fault_case() for _ in range(fault_cases)]
     cases += [gen.mlck_fault_case() for _ in range(mlck_cases)]
     cases += [gen.localized_case() for _ in range(localized_cases)]
+    cases += [gen.workflow_case() for _ in range(workflow_cases)]
     for i, case in enumerate(cases):
         if on_case is not None:
             on_case(i, case)
         if case.type == "reconfig":
             key = case.engine
+        elif case.workflow:
+            key = "workflow"
         elif case.localized:
             key = "localized"
         else:

@@ -1169,6 +1169,313 @@ def _run_localized(case: Case) -> CaseResult:
     return c.finish(details)
 
 
+# -- coupled-workflow fault mode --------------------------------------------
+
+
+def _workflow_base_array(case: Case, member_index: int) -> np.ndarray:
+    """Deterministic per-member initial state of the workflow oracle's
+    evolving array (well-conditioned floats, so the ``+= 1.0`` update
+    is byte-deterministic across task counts)."""
+    rng = np.random.default_rng(
+        (case.data_seed * 1_000_003 + member_index * 7919 + 11) & 0x7FFFFFFF
+    )
+    return rng.random(tuple(case.shape), dtype=np.float64)
+
+
+def _workflow_ref(base: np.ndarray, iterations: int) -> np.ndarray:
+    """The analytic value of a member's ``u`` after ``iterations``
+    applications of the update, replayed with the member's exact
+    operation order (one ``+ 1.0`` per iteration, never a fused
+    ``+ n``)."""
+    ref = base.copy()
+    for _ in range(iterations):
+        ref = ref + 1.0
+    return ref
+
+
+def _apply_workflow_corruption(
+    pfs: PIOFS, case: Case, base: str, members: List[str]
+) -> None:
+    """Post-run persistent corruption of member generation files.
+    Flips that land on no stored byte and deletions of files that do
+    not exist are inert by design — the ground-truth snapshot diff sees
+    exactly what the recovery walk sees."""
+    from repro.checkpoint.format import manifest_name
+
+    for ev in case.events:
+        if ev.kind not in ("stored_flip", "gen_loss"):
+            continue
+        member = members[ev.member % len(members)]
+        prefix = f"{base}.{member}.{ev.gen:06d}"
+        if ev.kind == "gen_loss":
+            try:
+                pfs.unlink(manifest_name(prefix))
+            except PFSError:
+                continue
+            continue
+        if ev.target == "segment":
+            fname = segment_name(prefix)
+        else:
+            fname = array_name(prefix, ("u", "inbox")[ev.array_index % 2])
+        try:
+            size = pfs.file_size(fname)
+            if size <= 0:
+                continue
+            flip_stored_bit(pfs, fname, ev.offset % size, ev.bit)
+        except PFSError:
+            continue
+
+
+def _run_workflow(case: Case) -> CaseResult:
+    """The coupled-workflow oracle: run an ensemble of ``members``
+    applications coupled in a ring (each member's ``u`` feeds the next
+    member's ``inbox`` at every exchange boundary), committing one
+    workflow line per iteration.  After the run the oracle snapshots
+    every member generation byte-for-byte, applies the case's post-run
+    corruption schedule (stored flips, lost member manifests), and
+    computes ground truth *independently of the recovery code*: a line
+    is valid iff every member's files still byte-match the snapshot.
+
+    The invariants: the workflow recovery walk must land exactly on the
+    newest fully-valid line and reject exactly the torn newer ones *as
+    units*; the ensemble restart (each member on an independently drawn
+    new task count) must restore every member byte-identically to the
+    chosen line's analytic reference — including each ``inbox``
+    matching its peer's ``u`` on the same line, the cross-member
+    consistency the common boundary guarantees — and resume to the same
+    final state as an uninterrupted run, numbering new lines strictly
+    after every old one."""
+    from repro.checkpoint.format import manifest_name
+    from repro.drms import CheckpointStatus
+    from repro.drms.api import (
+        drms_adjust,
+        drms_create_distribution,
+        drms_distribute,
+        drms_initialize,
+    )
+    from repro.errors import WorkflowError
+    from repro.workflow import WorkflowCoordinator
+
+    c = _Checker(case)
+    machine = Machine(MachineParams(num_nodes=case.num_nodes))
+    pfs = PIOFS(machine=machine)
+    base = "wf.ck"
+    members = [f"m{i}" for i in range(case.members)]
+    bases_np = {
+        m: _workflow_base_array(case, i) for i, m in enumerate(members)
+    }
+    niter = case.generations
+    tasks1 = dict(zip(members, case.workflow_tasks1()))
+    tasks2 = dict(zip(members, case.workflow_tasks2()))
+    restored: Dict[str, Dict[str, object]] = {}
+
+    def member_main(ctx, name, base_arr):
+        drms_initialize(ctx)
+        dist = drms_create_distribution(ctx, tuple(case.shape))
+        u = drms_distribute(
+            ctx, "u", dist, dtype=np.float64,
+            init_global=lambda s: base_arr.copy(),
+        )
+        inbox = drms_distribute(
+            ctx, "inbox", dist, dtype=np.float64,
+            init_global=lambda s: np.zeros(s),
+        )
+        for it in ctx.iterations(1, niter + 1):
+            status, delta = ctx.workflow_exchange(final=(it == niter))
+            if status is CheckpointStatus.RESTARTED:
+                if delta != 0:
+                    u = drms_distribute(ctx, "u", drms_adjust(ctx, "u"))
+                    inbox = drms_distribute(
+                        ctx, "inbox", drms_adjust(ctx, "inbox")
+                    )
+                if ctx.rank == 0:
+                    restored[name] = {
+                        "u": u.array.to_global(fill=0).tobytes(),
+                        "inbox": inbox.array.to_global(fill=0).tobytes(),
+                        "iteration": it,
+                    }
+                # every rank takes this branch on restart, so the
+                # barrier is collective: siblings must not start
+                # mutating the arrays while rank 0 snapshots them
+                ctx.barrier()
+            u.set_assigned(u.assigned + 1.0)
+            ctx.barrier()
+        return None
+
+    with use_tracer(Tracer()):
+        coord = WorkflowCoordinator(base, machine=machine, pfs=pfs)
+        for m in members:
+            coord.add_member(m, member_main, args=(m, bases_np[m]))
+        for i, m in enumerate(members):
+            coord.couple(m, "u", members[(i + 1) % len(members)], "inbox")
+
+        report = coord.run(tasks1)
+        committed = coord.committed_generations()
+        c.check(
+            committed == list(range(1, niter + 1)),
+            f"initial run committed lines {committed}, expected "
+            f"1..{niter}",
+        )
+        c.check(
+            len(report.lines) == niter,
+            f"run report carries {len(report.lines)} lines, expected {niter}",
+        )
+        for line in report.lines:
+            c.check(
+                set(line.members) == set(members),
+                f"line {line.generation} covers {sorted(line.members)}, "
+                f"expected all of {members}",
+            )
+            for m in members:
+                entry = line.members.get(m, {})
+                c.check(
+                    entry.get("ntasks") == tasks1[m]
+                    and entry.get("iteration") == line.generation,
+                    f"line {line.generation} member {m}: recorded "
+                    f"(ntasks={entry.get('ntasks')}, "
+                    f"iteration={entry.get('iteration')}) != "
+                    f"({tasks1[m]}, {line.generation})",
+                )
+
+        # byte-level snapshot of every member generation: the intent
+        # record the post-corruption ground truth diffs against
+        snapshots: Dict[int, Dict[str, Dict[str, bytes]]] = {}
+        for g in committed:
+            snapshots[g] = {}
+            for m in members:
+                prefix = f"{base}.{m}.{g:06d}"
+                files = {}
+                for fname in pfs.listdir(prefix + "."):
+                    size = pfs.file_size(fname)
+                    files[fname] = pfs.read_at(fname, 0, size) if size else b""
+                c.check(
+                    manifest_name(prefix) in files,
+                    f"member {m} generation {g} committed no manifest",
+                )
+                snapshots[g][m] = files
+
+        _apply_workflow_corruption(pfs, case, base, members)
+
+        def member_intact(g: int, m: str) -> bool:
+            for fname, want in snapshots[g][m].items():
+                if not pfs.exists(fname) or pfs.file_size(fname) != len(want):
+                    return False
+                if want and pfs.read_at(fname, 0, len(want)) != want:
+                    return False
+            return True
+
+        valid = {
+            g: all(member_intact(g, m) for m in members) for g in committed
+        }
+        expected_gen = max((g for g in committed if valid[g]), default=None)
+        want_rejected = {
+            g
+            for g in committed
+            if not valid[g] and (expected_gen is None or g > expected_gen)
+        }
+
+        decision = coord.select_restart_line()
+        c.check(
+            decision.generation == expected_gen,
+            f"workflow recovery chose line {decision.generation}; newest "
+            f"fully-valid line is {expected_gen}",
+        )
+        got_rejected = {g for g, _ in decision.rejected}
+        c.check(
+            got_rejected == want_rejected,
+            f"rejected lines {sorted(got_rejected)} != torn-newer set "
+            f"{sorted(want_rejected)}",
+        )
+        details: Dict[str, object] = {
+            "expected_gen": expected_gen,
+            "chosen": decision.generation,
+            "committed": committed,
+            "valid": sorted(g for g in committed if valid[g]),
+            "rejected": sorted(got_rejected),
+        }
+        if expected_gen is None:
+            try:
+                coord.restart_workflow(tasks2)
+                c.check(
+                    False,
+                    "every line is torn but restart_workflow still "
+                    "relaunched the ensemble",
+                )
+            except WorkflowError:
+                c.checked += 1
+            return c.finish(details)
+
+        c.check(
+            all(t == "l2" for t in decision.member_tiers.values())
+            and set(decision.member_tiers) == set(members),
+            f"pfs-tier ensemble reported member tiers "
+            f"{decision.member_tiers}",
+        )
+
+        report2 = coord.restart_workflow(tasks2)
+        g = expected_gen
+        for i, m in enumerate(members):
+            rec = restored.get(m)
+            if not c.check(
+                rec is not None,
+                f"member {m} never reported a restored state",
+            ):
+                continue
+            c.check(
+                rec["iteration"] == g,
+                f"member {m} resumed at iteration {rec['iteration']}, "
+                f"line {g} was taken at iteration {g}",
+            )
+            ref_u = _workflow_ref(bases_np[m], g - 1)
+            c.check(
+                rec["u"] == ref_u.tobytes(),
+                f"member {m}: restored 'u' differs from line {g}'s "
+                "analytic reference bytes",
+            )
+            src = members[(i - 1) % len(members)]
+            ref_inbox = _workflow_ref(bases_np[src], g - 1)
+            c.check(
+                rec["inbox"] == ref_inbox.tobytes(),
+                f"member {m}: restored 'inbox' differs from peer "
+                f"{src}'s 'u' on line {g} — the line is not mutually "
+                "consistent",
+            )
+        c.check(
+            report2.decision is not None
+            and report2.decision.generation == expected_gen,
+            "restart_workflow recorded a different decision than the "
+            "recovery walk",
+        )
+        new_gens = [line.generation for line in report2.lines]
+        c.check(
+            len(new_gens) == niter - g,
+            f"resumed run committed {len(new_gens)} lines from "
+            f"iteration {g}, expected {niter - g}",
+        )
+        c.check(
+            all(ng > niter for ng in new_gens),
+            f"resumed lines {new_gens} reuse generation numbers "
+            f"<= {niter}",
+        )
+        final_ref = {
+            m: _workflow_ref(bases_np[m], niter) for m in members
+        }
+        for m in members:
+            arr = report2.members[m].arrays.get("u")
+            if not c.check(
+                arr is not None, f"member {m} finished without 'u'"
+            ):
+                continue
+            c.check(
+                arr.to_global(fill=0).tobytes() == final_ref[m].tobytes(),
+                f"member {m}: resumed final state differs from an "
+                "uninterrupted run's",
+            )
+        details["restart_tasks"] = tasks2
+        details["new_lines"] = new_gens
+    return c.finish(details)
+
+
 # -- entry points -----------------------------------------------------------
 
 
@@ -1176,6 +1483,8 @@ def run_case(case: Case) -> CaseResult:
     """Run one case's oracle; raises :class:`VerifyFailure` on any
     invariant violation (regardless of the case's ``expect`` field)."""
     if case.type == "fault":
+        if case.workflow:
+            return _run_workflow(case)
         if case.localized:
             return _run_localized(case)
         if case.tier == "memory+pfs":

@@ -1,0 +1,621 @@
+"""The workflow coordinator: N coupled applications, one checkpoint line.
+
+:class:`WorkflowCoordinator` owns named member
+:class:`~repro.drms.app.DRMSApplication`\\ s plus the coupling topology
+(who sends which array to whom) and runs them *concurrently* on one
+simulated machine.  Members align at **exchange boundaries** — each
+member's SPMD tasks call
+:meth:`~repro.drms.context.DRMSContext.workflow_exchange` at the same
+logical point of their outer loops — where the coordinator:
+
+1. services every member's steering queue (the ensemble-wide analogue
+   of a consistent steering point),
+2. performs the coupling transfers (``dst <- src`` across independent
+   distributions, :func:`~repro.drms.steering.app_transfer`),
+3. makes **one** cadence decision for the whole ensemble (a shared
+   :class:`~repro.policy.engine.CheckpointPolicy`, evaluated once,
+   rank-0 style, and serviced by all members), and
+4. on a positive decision, has every member checkpoint *at this
+   boundary* and — only after every member state committed — writes the
+   v1 workflow manifest naming the set as one workflow generation.
+
+Because all members are quiescent inside the same exchange (their SOP
+crossing anchors are noted first, exactly like ``reconfig_checkpoint``),
+the per-member states are mutually consistent by construction: every
+coupling transfer either happened before the line for all members or
+after it for all members.
+
+Restart is the mirror image: :meth:`WorkflowCoordinator.restart_workflow`
+asks :func:`~repro.workflow.manifest.select_workflow_restart_state` for
+the newest fully-valid line (torn sets rejected as a unit) and
+relaunches every member from its recorded prefix — each on any task
+count its SOQ allows, some served from L1 memory replicas and others
+from the PFS.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.drms.app import DRMSApplication, RunReport
+from repro.drms.steering import app_transfer
+from repro.errors import ArrayError, ReconfigurationError, WorkflowError
+from repro.obs import get_tracer
+from repro.obs.flight import GLOBAL_NODE, get_flight
+from repro.pfs.piofs import PIOFS
+from repro.runtime.machine import Machine
+from repro.workflow.manifest import (
+    WorkflowDecision,
+    check_member_name,
+    next_workflow_generation,
+    read_workflow_manifest,
+    select_workflow_restart_state,
+    workflow_generations,
+    write_workflow_manifest,
+)
+
+__all__ = ["Coupling", "WorkflowCoordinator", "WorkflowLine", "WorkflowRunReport"]
+
+
+@dataclass(frozen=True)
+class Coupling:
+    """One directed edge of the coupling topology: at every exchange,
+    ``dst_member.dst_array <- src_member.src_array``."""
+
+    src_member: str
+    src_array: str
+    dst_member: str
+    dst_array: str
+
+
+@dataclass
+class WorkflowLine:
+    """One committed workflow generation."""
+
+    generation: int
+    #: member -> {"prefix", "ntasks", "iteration", "tier", "seconds"}
+    members: Dict[str, Dict[str, Any]]
+    #: simulated clock of the line (max over member arrival clocks)
+    clock: float = 0.0
+
+    @property
+    def seconds(self) -> float:
+        """Ensemble checkpoint time for the line: the slowest member
+        (members write concurrently behind the common boundary)."""
+        return max((m["seconds"] for m in self.members.values()), default=0.0)
+
+    @property
+    def serial_seconds(self) -> float:
+        """Sum of member checkpoint times — what the same states would
+        cost checkpointed independently, one after another."""
+        return sum(m["seconds"] for m in self.members.values())
+
+
+@dataclass
+class WorkflowRunReport:
+    """Outcome of one ensemble run."""
+
+    members: Dict[str, RunReport] = field(default_factory=dict)
+    #: workflow lines committed during this run, oldest first
+    lines: List[WorkflowLine] = field(default_factory=list)
+    #: set by restart_workflow: the recovery walk that chose the line
+    decision: Optional[WorkflowDecision] = None
+
+    @property
+    def sim_elapsed(self) -> float:
+        """Ensemble wall time: the slowest member."""
+        return max((r.sim_elapsed for r in self.members.values()), default=0.0)
+
+    @property
+    def checkpoint_seconds(self) -> float:
+        return sum(r.checkpoint_seconds for r in self.members.values())
+
+
+class _WorkflowHub:
+    """Rank-0 rendezvous of one ensemble run.
+
+    Each member's rank 0 enters :meth:`exchange` (inside its own
+    ``_collective``, so the member's other tasks are parked at a comm
+    barrier); a :class:`threading.Barrier` across the members runs the
+    coordinator's exchange action exactly once, then releases everyone
+    with the shared outcome.  A second barrier plays the same trick for
+    the two-phase line commit: the workflow manifest is written only
+    after *every* member has reported its checkpoint complete."""
+
+    def __init__(self, coordinator: "WorkflowCoordinator", members: Sequence[str]):
+        self._coord = coordinator
+        self._timeout = coordinator.exchange_timeout
+        self._lock = threading.Lock()
+        self._arrivals: Dict[str, Dict[str, Any]] = {}
+        self._commits: Dict[str, Dict[str, Any]] = {}
+        self._outcome: Optional[Dict[str, Any]] = None
+        self._line: Optional[WorkflowLine] = None
+        self._error: Optional[BaseException] = None
+        parties = len(members)
+        self._exchange_barrier = threading.Barrier(parties, action=self._run_exchange)
+        self._commit_barrier = threading.Barrier(parties, action=self._run_commit)
+
+    # -- barrier actions (run exactly once, all members parked) -------------
+
+    def _run_exchange(self) -> None:
+        try:
+            self._outcome = self._coord._exchange_action(self._arrivals)
+            self._arrivals = {}
+        except BaseException as exc:  # noqa: BLE001 - relayed to every member
+            self._error = exc
+            self._arrivals = {}
+
+    def _run_commit(self) -> None:
+        try:
+            self._line = self._coord._commit_action(self._outcome, self._commits)
+            self._commits = {}
+        except BaseException as exc:  # noqa: BLE001 - relayed to every member
+            self._error = exc
+            self._commits = {}
+
+    def _wait(self, barrier: threading.Barrier, member: str, phase: str) -> None:
+        try:
+            barrier.wait(timeout=self._timeout)
+        except threading.BrokenBarrierError:
+            raise WorkflowError(
+                f"workflow {phase} broken while member {member!r} waited: "
+                "a peer crashed, exited early, or never reached its "
+                "exchange boundary"
+            ) from None
+        if self._error is not None:
+            raise WorkflowError(
+                f"workflow {phase} failed: {self._error}"
+            ) from self._error
+
+    # -- member side (each member's rank 0) ----------------------------------
+
+    def exchange(
+        self, member: str, iteration: int, clock: float, final: bool
+    ) -> Dict[str, Any]:
+        with self._lock:
+            self._arrivals[member] = {
+                "iteration": iteration, "clock": clock, "final": final,
+            }
+        self._wait(self._exchange_barrier, member, "exchange")
+        return self._outcome
+
+    def commit(
+        self,
+        member: str,
+        prefix: str,
+        ntasks: int,
+        iteration: int,
+        clock: float,
+        seconds: float,
+    ) -> WorkflowLine:
+        with self._lock:
+            self._commits[member] = {
+                "prefix": prefix, "ntasks": ntasks,
+                "iteration": iteration, "clock": clock, "seconds": seconds,
+            }
+        self._wait(self._commit_barrier, member, "line commit")
+        return self._line
+
+    def abort(self) -> None:
+        """Break both barriers so peers of a crashed member unwind
+        instead of blocking out their full timeout."""
+        self._exchange_barrier.abort()
+        self._commit_barrier.abort()
+
+
+class WorkflowCoordinator:
+    """A set of coupled applications checkpointed as one workflow."""
+
+    def __init__(
+        self,
+        base: str,
+        machine: Optional[Machine] = None,
+        pfs: Optional[PIOFS] = None,
+        policy: Optional[Any] = None,
+        exchange_timeout: float = 30.0,
+        events=None,
+    ):
+        self.base = base
+        self.machine = machine or Machine()
+        self.pfs = pfs or PIOFS(machine=self.machine)
+        #: shared cadence policy deciding the workflow line (one
+        #: decision per exchange, serviced by every member); None means
+        #: every exchange checkpoints (the mandatory-SOP analogue)
+        self.policy = policy
+        self.policy_state: Dict[str, Any] = {}
+        self.exchange_timeout = exchange_timeout
+        self.events = events
+        self._members: Dict[str, Tuple[DRMSApplication, tuple, dict]] = {}
+        self.couplings: List[Coupling] = []
+        #: workflow lines committed across all runs, oldest first
+        self.lines: List[WorkflowLine] = []
+        self._hub: Optional[_WorkflowHub] = None
+
+    # -- construction ---------------------------------------------------------
+
+    def add_member(
+        self,
+        name: str,
+        main,
+        args: Sequence[Any] = (),
+        kwargs: Optional[dict] = None,
+        **app_options: Any,
+    ) -> DRMSApplication:
+        """Register a member application (its ``main`` plus fixed args).
+        Member checkpoint prefixes are namespaced as ``<base>.<name>``;
+        the name rules of :func:`~repro.workflow.manifest.check_member_name`
+        keep the namespaces disjoint.
+
+        Members keep a deeper L1 rotation than standalone applications
+        (``mlck_keep=4`` unless overridden): pruning a member generation
+        tears every older workflow line that references it."""
+        check_member_name(name, taken=self._members)
+        app_options.setdefault("mlck_keep", 4)
+        app = DRMSApplication(
+            main, name=name, machine=self.machine, pfs=self.pfs, **app_options
+        )
+        self._members[name] = (app, tuple(args), dict(kwargs or {}))
+        return app
+
+    def couple(
+        self, src_member: str, src_array: str, dst_member: str, dst_array: str
+    ) -> Coupling:
+        """Add a coupling edge: at every exchange boundary,
+        ``dst_member.dst_array`` is assigned from
+        ``src_member.src_array`` across their independent
+        distributions."""
+        for member in (src_member, dst_member):
+            if member not in self._members:
+                raise WorkflowError(f"unknown workflow member {member!r}")
+        if src_member == dst_member:
+            raise WorkflowError(
+                f"coupling {src_member!r} to itself: use an in-member "
+                "assignment instead"
+            )
+        edge = Coupling(src_member, src_array, dst_member, dst_array)
+        self.couplings.append(edge)
+        return edge
+
+    @property
+    def member_names(self) -> List[str]:
+        return list(self._members)
+
+    def member(self, name: str) -> DRMSApplication:
+        return self._members[name][0]
+
+    def member_base(self, name: str) -> str:
+        """The checkpoint namespace of one member."""
+        return f"{self.base}.{name}"
+
+    def _l1_stores(self) -> Dict[str, Any]:
+        return {
+            name: app.l1_store_for(self.member_base(name))
+            for name, (app, _, _) in self._members.items()
+        }
+
+    # -- running --------------------------------------------------------------
+
+    def run(self, tasks: Mapping[str, int]) -> WorkflowRunReport:
+        """Run every member from the beginning, concurrently, on its own
+        task count; exchange boundaries align them and commit workflow
+        lines per the shared policy."""
+        return self._run_ensemble(dict(tasks), restart=None)
+
+    def restart_workflow(
+        self,
+        tasks: Mapping[str, int],
+        generation: Optional[int] = None,
+    ) -> WorkflowRunReport:
+        """Restart the whole ensemble from the newest workflow
+        generation whose every member state is byte-valid (or from an
+        explicit ``generation``, still validated).  Each member may come
+        back on a different task count than it checkpointed with; the
+        recovery walk serves members from L1 memory replicas where they
+        verify and from the PFS otherwise."""
+        decision = self._select(generation)
+        if decision.generation is None:
+            detail = "; ".join(
+                f"gen {g}: {errs[0]}" for g, errs in decision.rejected[:3]
+            )
+            raise WorkflowError(
+                f"no workflow generation under {self.base!r} has every "
+                "member byte-valid" + (f" ({detail})" if detail else "")
+            )
+        prefixes = {
+            name: entry["prefix"]
+            for name, entry in decision.manifest["members"].items()
+        }
+        missing = set(self._members) - set(prefixes)
+        if missing:
+            raise WorkflowError(
+                f"workflow generation {decision.generation} does not "
+                f"cover members {sorted(missing)}"
+            )
+        obs = get_tracer()
+        obs.metrics.counter("workflow.restarts").inc()
+        fr = get_flight()
+        if fr.enabled:
+            fr.record(
+                "workflow_restarted", node=GLOBAL_NODE,
+                base=self.base, generation=decision.generation,
+                tiers=dict(decision.member_tiers),
+                tasks={n: int(t) for n, t in tasks.items()},
+            )
+        report = self._run_ensemble(dict(tasks), restart=prefixes)
+        report.decision = decision
+        return report
+
+    def select_restart_line(self) -> WorkflowDecision:
+        """The recovery walk alone (no relaunch): newest-to-oldest over
+        committed workflow generations, torn lines rejected as units."""
+        return select_workflow_restart_state(
+            self.pfs, self.base, l1_stores=self._l1_stores(),
+            events=self.events,
+        )
+
+    def _select(self, generation: Optional[int]) -> WorkflowDecision:
+        if generation is None:
+            return self.select_restart_line()
+        from repro.workflow.manifest import validate_workflow_line
+
+        manifest = read_workflow_manifest(self.pfs, self.base, generation)
+        report = validate_workflow_line(self.pfs, manifest, self._l1_stores())
+        if not report.ok:
+            return WorkflowDecision(
+                base=self.base, generation=None,
+                rejected=[(generation, list(report.errors))],
+            )
+        return WorkflowDecision(
+            base=self.base, generation=generation, manifest=manifest,
+            member_tiers=dict(report.member_tiers),
+        )
+
+    # -- ensemble execution ---------------------------------------------------
+
+    def _check_tasks(self, tasks: Dict[str, int]) -> None:
+        missing = set(self._members) - set(tasks)
+        if missing:
+            raise ReconfigurationError(
+                f"no task counts for workflow members {sorted(missing)}"
+            )
+        for name, n in tasks.items():
+            if name in self._members:
+                self._members[name][0].soq.check(n)
+
+    def _member_nodes(self, tasks: Dict[str, int]) -> Dict[str, Optional[List[int]]]:
+        """Disjoint node sets per member when the machine has capacity
+        (so failures and L1 replica placement stay member-local);
+        members overlap from node 0 otherwise, like space-shared jobs
+        forced to time-share."""
+        up = self.machine.up_nodes()
+        if sum(tasks[n] for n in self._members) > len(up):
+            return {name: None for name in self._members}
+        out: Dict[str, Optional[List[int]]] = {}
+        cursor = 0
+        for name in self._members:
+            out[name] = up[cursor : cursor + tasks[name]]
+            cursor += tasks[name]
+        return out
+
+    def _run_ensemble(
+        self, tasks: Dict[str, int], restart: Optional[Dict[str, str]]
+    ) -> WorkflowRunReport:
+        if not self._members:
+            raise WorkflowError("workflow has no members")
+        self._check_tasks(tasks)
+        self.policy_state = {}
+        self._hub = _WorkflowHub(self, list(self._members))
+        nodes = self._member_nodes(tasks)
+        report = WorkflowRunReport()
+        first_line = len(self.lines)
+        errors: Dict[str, BaseException] = {}
+
+        def runner(name: str) -> None:
+            app, args, kwargs = self._members[name]
+            app.workflow = (self._hub, name, self.member_base(name))
+            try:
+                if restart is None:
+                    report.members[name] = app.start(
+                        tasks[name], args=args, kwargs=kwargs, nodes=nodes[name]
+                    )
+                else:
+                    report.members[name] = app.restart(
+                        restart[name], tasks[name],
+                        args=args, kwargs=kwargs, nodes=nodes[name],
+                    )
+            except BaseException as exc:  # noqa: BLE001 - reported to caller
+                errors[name] = exc
+                self._hub.abort()
+            finally:
+                app.workflow = None
+
+        threads = [
+            threading.Thread(target=runner, args=(name,), name=f"wf-{name}")
+            for name in self._members
+        ]
+        for t in threads:
+            t.start()
+        join_timeout = max(
+            app.run_timeout for app, _, _ in self._members.values()
+        ) + 30.0
+        for t in threads:
+            t.join(timeout=join_timeout)
+        hung = [t.name for t in threads if t.is_alive()]
+        if hung:
+            self._hub.abort()
+            for t in threads:
+                t.join(timeout=5.0)
+            raise WorkflowError(f"workflow members did not finish: {hung}")
+        if errors:
+            # Prefer the root cause over the WorkflowError echoes the
+            # broken barriers produced in peer members.
+            primary = next(
+                (e for e in errors.values() if not isinstance(e, WorkflowError)),
+                None,
+            )
+            raise primary if primary is not None else next(iter(errors.values()))
+        report.lines = self.lines[first_line:]
+        return report
+
+    # -- hub actions (one thread, all members parked at the boundary) ---------
+
+    def _exchange_action(self, arrivals: Dict[str, Dict[str, Any]]) -> Dict[str, Any]:
+        """The coordinator's turn at an exchange boundary: steering,
+        coupling transfers, and the single ensemble cadence decision."""
+        obs = get_tracer()
+        obs.metrics.counter("workflow.exchanges").inc()
+        clock = max((a["clock"] for a in arrivals.values()), default=0.0)
+        iteration = max((a["iteration"] for a in arrivals.values()), default=0)
+        final = all(a["final"] for a in arrivals.values()) and bool(arrivals)
+
+        steered = 0
+        runtimes = {}
+        for name, (app, _, _) in self._members.items():
+            rt = app._last_runtime
+            if rt is None:
+                raise WorkflowError(f"member {name!r} has no live runtime")
+            runtimes[name] = rt
+            steered += app.steering.service(rt.arrays)
+        if steered:
+            obs.metrics.counter("workflow.steered").inc(steered)
+
+        transfer_bytes = {name: 0 for name in self._members}
+        for edge in self.couplings:
+            src_rt = runtimes[edge.src_member]
+            dst_rt = runtimes[edge.dst_member]
+            try:
+                src = src_rt.arrays[edge.src_array]
+                dst = dst_rt.arrays[edge.dst_array]
+            except KeyError as exc:
+                raise WorkflowError(
+                    f"coupling {edge.src_member}.{edge.src_array} -> "
+                    f"{edge.dst_member}.{edge.dst_array}: no such array "
+                    f"{exc.args[0]!r} at this exchange"
+                ) from None
+            try:
+                wire = app_transfer(dst, src)
+            except ArrayError as exc:
+                raise WorkflowError(
+                    f"coupling {edge.src_member}.{edge.src_array} -> "
+                    f"{edge.dst_member}.{edge.dst_array}: {exc}"
+                ) from exc
+            transfer_bytes[edge.src_member] += wire
+            transfer_bytes[edge.dst_member] += wire
+        total_wire = sum(transfer_bytes.values()) // 2
+        if total_wire:
+            obs.metrics.counter("workflow.transfer.bytes").inc(total_wire)
+
+        if self.policy is not None:
+            from repro.policy.rules import Observation
+
+            decision = self.policy.decide(
+                Observation(iteration=iteration, sim_time=clock, final=final),
+                self.policy_state,
+            )
+            fire = decision.fire
+        else:
+            fire = True
+
+        outcome: Dict[str, Any] = {
+            "fire": fire,
+            "generation": None,
+            "prefixes": {},
+            "transfer_bytes": transfer_bytes,
+            "steered": steered,
+            "clock": clock,
+            "iteration": iteration,
+        }
+        if fire:
+            bases = {n: self.member_base(n) for n in self._members}
+            gen = next_workflow_generation(self.pfs, self.base, bases)
+            outcome["generation"] = gen
+            for name, (app, _, _) in self._members.items():
+                # mlck members checkpoint under their rotation base (the
+                # engine numbers the generation); PFS members take the
+                # workflow generation number directly.  The commit
+                # records the *actual* prefixes either way.
+                if app.tier == "memory+pfs":
+                    outcome["prefixes"][name] = bases[name]
+                else:
+                    outcome["prefixes"][name] = f"{bases[name]}.{gen:06d}"
+        fr = get_flight()
+        if fr.enabled:
+            fr.record(
+                "workflow_exchange", node=GLOBAL_NODE, time=clock,
+                base=self.base, iteration=iteration, fire=fire,
+                generation=outcome["generation"], steered=steered,
+                wire_bytes=total_wire,
+            )
+        return outcome
+
+    def _commit_action(
+        self, outcome: Dict[str, Any], commits: Dict[str, Dict[str, Any]]
+    ) -> WorkflowLine:
+        """Every member reported its checkpoint complete: seal the line
+        with the two-phase workflow manifest."""
+        missing = set(self._members) - set(commits)
+        if missing:
+            raise WorkflowError(
+                f"workflow line {outcome['generation']} missing member "
+                f"checkpoints {sorted(missing)}"
+            )
+        gen = outcome["generation"]
+        clock = max(c["clock"] for c in commits.values())
+        members = {
+            name: {
+                "prefix": entry["prefix"],
+                "ntasks": entry["ntasks"],
+                "iteration": entry["iteration"],
+                "tier": self._members[name][0].tier,
+                "seconds": entry["seconds"],
+            }
+            for name, entry in commits.items()
+        }
+        write_workflow_manifest(
+            self.pfs, self.base, gen,
+            {
+                "members": members,
+                "couplings": [
+                    [e.src_member, e.src_array, e.dst_member, e.dst_array]
+                    for e in self.couplings
+                ],
+                "clock": clock,
+            },
+        )
+        line = WorkflowLine(generation=gen, members=members, clock=clock)
+        self.lines.append(line)
+        obs = get_tracer()
+        obs.metrics.counter("workflow.lines.committed").inc()
+        obs.metrics.histogram("workflow.line.seconds").observe(line.seconds)
+        if self.policy is not None:
+            self.policy.observe_cost(self.policy_state, line.seconds)
+        fr = get_flight()
+        if fr.enabled:
+            fr.record(
+                "workflow_line_committed", node=GLOBAL_NODE, time=clock,
+                base=self.base, generation=gen,
+                members={n: m["prefix"] for n, m in members.items()},
+                seconds=line.seconds,
+            )
+        if self.events is not None:
+            self.events.emit(
+                clock, "workflow_line_committed",
+                base=self.base, generation=gen,
+                members={n: m["prefix"] for n, m in members.items()},
+            )
+        return line
+
+    # -- introspection --------------------------------------------------------
+
+    def committed_generations(self) -> List[int]:
+        """Workflow generations with a committed manifest, oldest first."""
+        return workflow_generations(self.pfs, self.base)
+
+    def __repr__(self) -> str:
+        return (
+            f"WorkflowCoordinator({self.base!r}, "
+            f"members={list(self._members)}, "
+            f"couplings={len(self.couplings)})"
+        )

@@ -71,3 +71,99 @@ def test_coordinated_checkpoint_and_individual_reconfiguration(mpmd):
         assert np.allclose(a, b)
     assert rep.components["flow"].ntasks == 2
     assert rep.components["chem"].ntasks == 5
+
+
+class TestComponentPrefixCollisions:
+    """Component names become dotted prefix segments; names that would
+    alias another component's checkpoint files are rejected up front."""
+
+    def test_dotted_name_aliases_a_peer_namespace(self):
+        app = MPMDApplication()
+        app.add_component("flow", make_component_main("flow"))
+        # "flow.extra" files would live inside component "flow"'s
+        # namespace: ck.flow.extra.* matches ck.flow.*'s prefix scan
+        with pytest.raises(CheckpointError, match="alias"):
+            app.add_component("flow.extra", make_component_main("x"))
+
+    def test_six_digit_name_aliases_a_rotation_generation(self):
+        app = MPMDApplication()
+        with pytest.raises(CheckpointError, match="generation"):
+            app.add_component("000002", make_component_main("x"))
+
+    def test_reserved_file_kind_rejected(self):
+        app = MPMDApplication()
+        with pytest.raises(CheckpointError, match="reserved"):
+            app.add_component("mpmd", make_component_main("x"))
+
+
+def make_rotating_main(name):
+    """A component keeping rotated generations ``<base>.NNNNNN`` — one
+    per iteration — under its namespaced prefix."""
+
+    def main(ctx, cbase):
+        ctx.initialize()
+        d = ctx.create_distribution((N, N))
+        u = ctx.distribute(
+            "u", d, init_global=np.full((N, N), float(len(name)))
+        )
+        for it in ctx.iterations(1, 4):
+            status, delta = ctx.reconfig_checkpoint(f"{cbase}.{it:06d}")
+            if delta != 0:
+                u = ctx.distribute("u", ctx.adjust("u"))
+            u.set_assigned(u.assigned + 1.0)
+            ctx.barrier()
+        return float(u.assigned.sum())
+
+    return main
+
+
+class TestJointGenerationRestart:
+    """Reproducer for the mixed-generation restart bug: each component
+    falling back newest-to-oldest on its own could silently restart
+    flow from generation 2 next to chem from generation 3.  The
+    resolution must be joint — the newest number at which EVERY
+    component is byte-valid."""
+
+    @pytest.fixture
+    def rotated(self):
+        app = MPMDApplication()
+        app.add_component(
+            "flow", make_rotating_main("flow"), args=("ck2.flow",)
+        )
+        app.add_component(
+            "chem", make_rotating_main("chem"), args=("ck2.chem",)
+        )
+        ref = app.start({"flow": 4, "chem": 2})
+        return app, ref
+
+    def test_torn_newest_generation_falls_back_jointly(self, rotated):
+        from repro.checkpoint.format import array_name
+        from repro.pfs.faults import flip_stored_bit
+
+        app, ref = rotated
+        # flow's newest state is silently corrupt; chem's is intact
+        flip_stored_bit(app.pfs, array_name("ck2.flow.000003", "u"), 13, 2)
+        rep = app.restart("ck2", {"flow": 2, "chem": 3})
+        # BOTH components restarted from generation 2 — chem must not
+        # keep its (valid) generation 3 next to flow's fallback
+        assert rep.components["flow"].restarted_from == "ck2.flow.000002"
+        assert rep.components["chem"].restarted_from == "ck2.chem.000002"
+        for name in ("flow", "chem"):
+            assert np.allclose(
+                rep.components[name].arrays["u"].to_global(),
+                ref.components[name].arrays["u"].to_global(),
+            )
+
+    def test_no_consistent_generation_raises(self, rotated):
+        from repro.checkpoint.format import array_name
+        from repro.pfs.faults import flip_stored_bit
+
+        app, _ = rotated
+        for gen in (1, 2, 3):
+            flip_stored_bit(
+                app.pfs, array_name(f"ck2.chem.{gen:06d}", "u"), 5, 1
+            )
+        from repro.errors import RestartError
+
+        with pytest.raises(RestartError, match="every component byte-valid"):
+            app.restart("ck2", {"flow": 2, "chem": 2})

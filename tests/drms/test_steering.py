@@ -76,3 +76,35 @@ def test_app_transfer_virtual_returns_schedule_volume():
     )
     wire = app_transfer(dst, src)
     assert 0 < wire <= src.nbytes_global
+
+
+def test_never_serviced_request_raises_named_timeout():
+    from repro.drms.steering import SteeringHub
+    from repro.errors import SteeringTimeoutError
+
+    hub = SteeringHub()
+    sec = Slice([Range.regular(0, 3, 1), Range.regular(0, 3, 1)])
+    fut = hub.read_async("pressure", sec)
+    # nothing ever services the queue (no steering point in the loop):
+    # the timeout must say WHICH request wedged, not just that one did
+    with pytest.raises(SteeringTimeoutError) as exc_info:
+        fut.result(timeout=0.05)
+    err = exc_info.value
+    assert err.kind == "read"
+    assert err.name == "pressure"
+    assert err.section == sec
+    assert "pressure" in str(err) and "not serviced" in str(err)
+    assert not fut.done()
+
+
+def test_never_serviced_write_carries_request_identity():
+    from repro.drms.steering import SteeringHub
+    from repro.errors import SteeringTimeoutError
+
+    hub = SteeringHub()
+    fut = hub.write_async("u", np.zeros((2, 2)))
+    with pytest.raises(SteeringTimeoutError) as exc_info:
+        fut.result(timeout=0.05)
+    assert exc_info.value.kind == "write"
+    assert exc_info.value.name == "u"
+    assert exc_info.value.section is None

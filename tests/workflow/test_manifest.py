@@ -1,0 +1,234 @@
+"""Unit tests for the v1 workflow manifest: member-name rules, the
+two-phase commit, generation discovery, line validation (torn sets
+rejected as units), and the joint MPMD rotation walk."""
+
+import numpy as np
+import pytest
+
+from repro.arrays.darray import DistributedArray
+from repro.arrays.distributions import block_distribution
+from repro.checkpoint.drms import drms_checkpoint
+from repro.checkpoint.format import array_name, manifest_name
+from repro.checkpoint.segment import DataSegment, SegmentProfile
+from repro.errors import CheckpointError, WorkflowError
+from repro.pfs.faults import flip_stored_bit
+from repro.pfs.piofs import PIOFS
+from repro.workflow.manifest import (
+    WORKFLOW_VERSION,
+    check_member_name,
+    newest_consistent_generations,
+    next_workflow_generation,
+    read_workflow_manifest,
+    select_workflow_restart_state,
+    validate_workflow_line,
+    workflow_generations,
+    workflow_manifest_name,
+    write_workflow_manifest,
+)
+
+pytestmark = pytest.mark.workflow
+
+N = 6
+
+
+def take(pfs, prefix, value):
+    """One real (byte-validatable) member state at ``prefix``."""
+    arr = DistributedArray("u", (N, N), np.float64, block_distribution((N, N), 2))
+    arr.set_global(np.full((N, N), float(value)))
+    seg = DataSegment(profile=SegmentProfile(1000, 0, 0), replicated={"it": value})
+    drms_checkpoint(pfs, prefix, seg, [arr])
+
+
+class TestMemberNames:
+    """Names become dotted prefix segments; anything that would alias
+    another namespace is rejected up front."""
+
+    def test_dotted_name_rejected(self):
+        with pytest.raises(CheckpointError, match="alias"):
+            check_member_name("flow.chem")
+
+    def test_six_digit_name_rejected(self):
+        with pytest.raises(CheckpointError, match="generation"):
+            check_member_name("000123")
+
+    @pytest.mark.parametrize("name", ["workflow", "mpmd", "manifest", "array"])
+    def test_reserved_file_kinds_rejected(self, name):
+        with pytest.raises(CheckpointError, match="reserved"):
+            check_member_name(name)
+
+    def test_duplicate_rejected(self):
+        with pytest.raises(CheckpointError, match="duplicate"):
+            check_member_name("flow", taken={"flow": object()})
+
+    @pytest.mark.parametrize("name", ["flow", "m0", "a_b-c", "12345", "1234567"])
+    def test_plain_names_pass(self, name):
+        assert check_member_name(name) == name
+
+
+class TestManifestIO:
+    def test_round_trip_stamps_version(self, pfs):
+        write_workflow_manifest(pfs, "wf", 3, {"members": {"a": {"prefix": "p"}}})
+        back = read_workflow_manifest(pfs, "wf", 3)
+        assert back["workflow_version"] == WORKFLOW_VERSION
+        assert back["base"] == "wf"
+        assert back["generation"] == 3
+        assert back["members"] == {"a": {"prefix": "p"}}
+
+    def test_unknown_version_rejected(self, pfs):
+        write_workflow_manifest(pfs, "wf", 1, {"members": {}})
+        name = workflow_manifest_name("wf", 1)
+        raw = pfs.read_at(name, 0, pfs.file_size(name))
+        doctored = raw.replace(
+            f'"workflow_version": {WORKFLOW_VERSION}'.encode(),
+            b'"workflow_version": 99',
+        )
+        pfs.unlink(name)
+        pfs.create(name, virtual=False)
+        pfs.write_at(name, 0, doctored)
+        with pytest.raises(WorkflowError, match="version 99"):
+            read_workflow_manifest(pfs, "wf", 1)
+
+    def test_missing_manifest_raises(self, pfs):
+        with pytest.raises(WorkflowError, match="no workflow manifest"):
+            read_workflow_manifest(pfs, "wf", 7)
+
+    def test_generations_ignore_staged_tmp(self, pfs):
+        write_workflow_manifest(pfs, "wf", 1, {"members": {}})
+        write_workflow_manifest(pfs, "wf", 2, {"members": {}})
+        # a crash mid-commit leaves only the staged .tmp: invisible
+        pfs.create(workflow_manifest_name("wf", 3) + ".tmp", virtual=False)
+        assert workflow_generations(pfs, "wf") == [1, 2]
+
+    def test_corrupt_manifest_invisible_to_generations(self, pfs):
+        write_workflow_manifest(pfs, "wf", 1, {"members": {}})
+        name = workflow_manifest_name("wf", 2)
+        pfs.create(name, virtual=False)
+        pfs.write_at(name, 0, b"{not json")
+        assert workflow_generations(pfs, "wf") == [1]
+
+
+class TestNextGeneration:
+    """Generation numbers are never reused, even for lines that lost
+    their manifest or never finished committing one."""
+
+    def test_counts_staged_tmp_lines(self, pfs):
+        write_workflow_manifest(pfs, "wf", 2, {"members": {}})
+        pfs.create(workflow_manifest_name("wf", 5) + ".tmp", virtual=False)
+        assert next_workflow_generation(pfs, "wf") == 6
+
+    def test_counts_member_states_without_manifest(self, pfs):
+        take(pfs, "wf.a.000004", 4)
+        assert next_workflow_generation(pfs, "wf", {"a": "wf.a"}) == 5
+
+    def test_empty_namespace_starts_at_one(self, pfs):
+        assert next_workflow_generation(pfs, "wf") == 1
+
+
+class TestLineValidation:
+    def manifest_for(self, members):
+        return {
+            "generation": 1,
+            "members": {m: {"prefix": p} for m, p in members.items()},
+        }
+
+    def test_all_members_valid(self, pfs):
+        take(pfs, "wf.a.000001", 1)
+        take(pfs, "wf.b.000001", 2)
+        report = validate_workflow_line(
+            pfs, self.manifest_for({"a": "wf.a.000001", "b": "wf.b.000001"})
+        )
+        assert report.ok
+        assert report.member_tiers == {"a": "l2", "b": "l2"}
+
+    def test_one_torn_member_rejects_the_line(self, pfs):
+        take(pfs, "wf.a.000001", 1)
+        take(pfs, "wf.b.000001", 2)
+        flip_stored_bit(pfs, array_name("wf.b.000001", "u"), 5, 2)
+        report = validate_workflow_line(
+            pfs, self.manifest_for({"a": "wf.a.000001", "b": "wf.b.000001"})
+        )
+        assert not report.ok
+        assert report.errors and report.errors[0].startswith("b:")
+        # the intact member still audited clean — but ok is all-or-nothing
+        assert report.member_tiers == {"a": "l2"}
+
+    def test_empty_member_set_rejected(self, pfs):
+        report = validate_workflow_line(pfs, {"generation": 1, "members": {}})
+        assert not report.ok
+
+
+class TestRecoveryWalk:
+    def commit_line(self, pfs, gen, values):
+        for member, value in values.items():
+            take(pfs, f"wf.{member}.{gen:06d}", value)
+        write_workflow_manifest(
+            pfs, "wf", gen,
+            {"members": {m: {"prefix": f"wf.{m}.{gen:06d}"} for m in values}},
+        )
+
+    def test_newest_fully_valid_line_wins(self, pfs):
+        for gen in (1, 2, 3):
+            self.commit_line(pfs, gen, {"a": gen, "b": gen + 10})
+        decision = select_workflow_restart_state(pfs, "wf")
+        assert decision.generation == 3
+        assert not decision.fell_back
+
+    def test_torn_line_rejected_as_a_unit(self, pfs):
+        for gen in (1, 2, 3):
+            self.commit_line(pfs, gen, {"a": gen, "b": gen + 10})
+        flip_stored_bit(pfs, array_name("wf.a.000003", "u"), 9, 1)
+        decision = select_workflow_restart_state(pfs, "wf")
+        # member b's gen-3 state is fine, but it must never pair with
+        # a's gen-2 state: the whole line falls back together
+        assert decision.generation == 2
+        assert decision.fell_back
+        assert [g for g, _ in decision.rejected] == [3]
+        assert decision.manifest["members"]["b"]["prefix"] == "wf.b.000002"
+
+    def test_lost_member_manifest_tears_the_line(self, pfs):
+        for gen in (1, 2):
+            self.commit_line(pfs, gen, {"a": gen, "b": gen + 10})
+        pfs.unlink(manifest_name("wf.b.000002"))
+        decision = select_workflow_restart_state(pfs, "wf")
+        assert decision.generation == 1
+        assert [g for g, _ in decision.rejected] == [2]
+
+    def test_no_valid_line(self, pfs):
+        self.commit_line(pfs, 1, {"a": 1, "b": 2})
+        flip_stored_bit(pfs, array_name("wf.b.000001", "u"), 0, 0)
+        decision = select_workflow_restart_state(pfs, "wf")
+        assert decision.generation is None
+        assert not decision.fell_back
+        assert [g for g, _ in decision.rejected] == [1]
+
+
+class TestJointRotationWalk:
+    """newest_consistent_generations: the manifest-free MPMD variant of
+    the same all-or-nothing rule."""
+
+    def test_newest_joint_generation(self, pfs):
+        for gen in (1, 2, 3):
+            take(pfs, f"g.a.{gen:06d}", gen)
+            take(pfs, f"g.b.{gen:06d}", gen)
+        resolved, rejected = newest_consistent_generations(
+            pfs, {"a": "g.a", "b": "g.b"}
+        )
+        assert resolved == {"a": "g.a.000003", "b": "g.b.000003"}
+        assert rejected == []
+
+    def test_missing_component_state_rejects_the_number(self, pfs):
+        for gen in (1, 2):
+            take(pfs, f"g.a.{gen:06d}", gen)
+        take(pfs, "g.b.000001", 1)  # b never reached generation 2
+        resolved, rejected = newest_consistent_generations(
+            pfs, {"a": "g.a", "b": "g.b"}
+        )
+        assert resolved == {"a": "g.a.000001", "b": "g.b.000001"}
+        assert [g for g, _ in rejected] == [2]
+
+    def test_nothing_consistent(self, pfs):
+        take(pfs, "g.a.000001", 1)
+        flip_stored_bit(pfs, array_name("g.a.000001", "u"), 3, 3)
+        resolved, rejected = newest_consistent_generations(pfs, {"a": "g.a"})
+        assert resolved is None
+        assert [g for g, _ in rejected] == [1]

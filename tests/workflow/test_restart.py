@@ -1,0 +1,131 @@
+"""Ensemble restart tests: the walk picks the newest fully-valid line,
+torn lines fall back as a unit, members come back on new task counts
+(and mixed tiers), and generation numbers are never reused."""
+
+import numpy as np
+import pytest
+
+from repro.checkpoint.format import array_name, manifest_name
+from repro.drms.context import CheckpointStatus
+from repro.errors import WorkflowError
+from repro.pfs.faults import flip_stored_bit
+from repro.pfs.piofs import PIOFS
+from repro.runtime.machine import Machine, MachineParams
+from repro.workflow import WorkflowCoordinator
+
+pytestmark = pytest.mark.workflow
+
+N = 8
+NITER = 3
+TASKS1 = {"m0": 3, "m1": 2}
+TASKS2 = {"m0": 2, "m1": 4}
+
+
+def member_main(ctx, base):
+    ctx.initialize()
+    d = ctx.create_distribution((N, N))
+    u = ctx.distribute("u", d, init_global=np.full((N, N), float(base)))
+    ctx.distribute("inbox", d, init_global=np.zeros((N, N)))
+    for it in ctx.iterations(1, NITER + 1):
+        status, delta = ctx.workflow_exchange(final=(it == NITER))
+        if status is CheckpointStatus.RESTARTED and delta != 0:
+            u = ctx.distribute("u", ctx.adjust("u"))
+            ctx.distribute("inbox", ctx.adjust("inbox"))
+        u.set_assigned(u.assigned + 1.0)
+        ctx.barrier()
+    return float(u.assigned.sum())
+
+
+def build(tier_m1="pfs"):
+    machine = Machine(MachineParams(num_nodes=12))
+    coord = WorkflowCoordinator("wf", machine=machine, pfs=PIOFS(machine=machine))
+    coord.add_member("m0", member_main, args=(1.0,))
+    coord.add_member(
+        "m1", member_main, args=(5.0,), tier=tier_m1,
+        mlck_drain="sync" if tier_m1 == "memory+pfs" else "async",
+    )
+    coord.couple("m0", "u", "m1", "inbox")
+    return coord
+
+
+def final_u(rep, name):
+    return rep.members[name].arrays["u"].to_global(fill=0)
+
+
+def test_restart_newest_line_on_new_task_counts():
+    coord = build()
+    ref = coord.run(TASKS1)
+    rep = coord.restart_workflow(TASKS2)
+    assert rep.decision.generation == NITER
+    assert not rep.decision.fell_back
+    for name, ntasks in TASKS2.items():
+        assert rep.members[name].ntasks == ntasks
+        # replaying from the newest line reproduces the original run
+        assert np.array_equal(final_u(rep, name), final_u(ref, name))
+
+
+def test_torn_line_falls_back_as_a_unit():
+    coord = build()
+    ref = coord.run(TASKS1)
+    # silently corrupt ONE member's newest state: the peer's gen-NITER
+    # state is intact, but must never pair with an older m1 state
+    flip_stored_bit(coord.pfs, array_name(f"wf.m1.{NITER:06d}", "u"), 11, 2)
+    rep = coord.restart_workflow(TASKS2)
+    assert rep.decision.generation == NITER - 1
+    assert rep.decision.fell_back
+    assert [g for g, _ in rep.decision.rejected] == [NITER]
+    for name in TASKS2:
+        assert np.array_equal(final_u(rep, name), final_u(ref, name))
+
+
+def test_lost_member_generation_tears_the_line():
+    coord = build()
+    coord.run(TASKS1)
+    coord.pfs.unlink(manifest_name(f"wf.m0.{NITER:06d}"))
+    rep = coord.restart_workflow(TASKS2)
+    assert rep.decision.generation == NITER - 1
+    assert [g for g, _ in rep.decision.rejected] == [NITER]
+
+
+def test_no_valid_line_raises():
+    coord = build()
+    coord.run(TASKS1)
+    for gen in range(1, NITER + 1):
+        flip_stored_bit(coord.pfs, array_name(f"wf.m0.{gen:06d}", "u"), 3, 1)
+    with pytest.raises(WorkflowError, match="every member byte-valid"):
+        coord.restart_workflow(TASKS2)
+
+
+def test_explicit_generation_still_validated():
+    coord = build()
+    coord.run(TASKS1)
+    flip_stored_bit(coord.pfs, array_name("wf.m1.000002", "u"), 7, 4)
+    with pytest.raises(WorkflowError, match="every member byte-valid"):
+        coord.restart_workflow(TASKS2, generation=2)
+
+
+def test_generation_numbers_never_reused():
+    coord = build()
+    coord.run(TASKS1)
+    flip_stored_bit(coord.pfs, array_name(f"wf.m1.{NITER:06d}", "u"), 11, 2)
+    rep = coord.restart_workflow(TASKS2)
+    # the resumed run replays iterations NITER-1..NITER and commits new
+    # lines — numbered past the torn line, which keeps its number even
+    # though it was rejected
+    new_gens = [line.generation for line in rep.lines]
+    assert new_gens and all(g > NITER for g in new_gens)
+    assert coord.committed_generations() == sorted(
+        set(range(1, NITER + 1)) | set(new_gens)
+    )
+
+
+def test_mixed_tier_restart_serves_memory_member_from_l1():
+    coord = build(tier_m1="memory+pfs")
+    ref = coord.run(TASKS1)
+    rep = coord.restart_workflow(TASKS2)
+    # the memory-tier member restores from its L1 replicas, the PFS
+    # member from the file system — a mixed-tier line is normal
+    assert rep.decision.member_tiers["m1"] == "l1"
+    assert rep.decision.member_tiers["m0"] == "l2"
+    for name in TASKS2:
+        assert np.array_equal(final_u(rep, name), final_u(ref, name))
